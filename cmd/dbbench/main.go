@@ -1,0 +1,145 @@
+// Command dbbench is the db_bench-style micro-benchmark driver (§5.2). It
+// runs fill/read/seek/delete workloads against any of the paper's store
+// presets and reports throughput, IO and write amplification.
+//
+// Example:
+//
+//	dbbench -store=pebblesdb -benchmarks=fillrandom,readrandom,seekrandom \
+//	        -num=1000000 -value_size=1024 -store_scale=64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pebblesdb"
+	"pebblesdb/internal/harness"
+)
+
+var (
+	store      = flag.String("store", "pebblesdb", "store preset: pebblesdb, hyperleveldb, leveldb, rocksdb, pebblesdb1")
+	benchmarks = flag.String("benchmarks", "fillrandom,readrandom,seekrandom", "comma-separated workloads: fillseq, fillrandom, readrandom, seekrandom, deleterandom")
+	num        = flag.Int("num", 1_000_000, "operations per workload")
+	valueSize  = flag.Int("value_size", 1024, "value size in bytes")
+	nexts      = flag.Int("nexts", 0, "next() calls per seek")
+	threads    = flag.Int("threads", 1, "concurrent worker threads")
+	storeScale = flag.Int("store_scale", 1, "divide store size parameters (memtable, level budgets) by this factor")
+	dir        = flag.String("dir", "", "store directory on the OS filesystem; empty = in-memory")
+	compact    = flag.Bool("compact_before_reads", true, "fully compact before read/seek workloads")
+	seed       = flag.Int64("seed", 1, "workload RNG seed")
+)
+
+func presetByName(name string) (pebblesdb.Preset, bool) {
+	switch strings.ToLower(name) {
+	case "pebblesdb":
+		return pebblesdb.PresetPebblesDB, true
+	case "hyperleveldb":
+		return pebblesdb.PresetHyperLevelDB, true
+	case "leveldb":
+		return pebblesdb.PresetLevelDB, true
+	case "rocksdb":
+		return pebblesdb.PresetRocksDB, true
+	case "pebblesdb1", "pebblesdb-1":
+		return pebblesdb.PresetPebblesDB1, true
+	}
+	return 0, false
+}
+
+func main() {
+	flag.Parse()
+	preset, ok := presetByName(*store)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown store %q\n", *store)
+		os.Exit(2)
+	}
+	opts := preset.Options()
+	harness.Scale(opts, *storeScale)
+
+	var db *pebblesdb.DB
+	var err error
+	if *dir == "" {
+		db, err = harness.Open(harness.Spec{Name: preset.String(), Options: opts})
+	} else {
+		db, err = pebblesdb.Open(*dir, opts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "open: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	written := false
+	for _, bench := range strings.Split(*benchmarks, ",") {
+		bench = strings.TrimSpace(bench)
+		if bench == "" {
+			continue
+		}
+		if !written && (bench == "readrandom" || bench == "seekrandom" || bench == "deleterandom") {
+			fmt.Fprintf(os.Stderr, "note: %s without a prior fill reads an empty store\n", bench)
+		}
+		run := func() error {
+			per := *num / *threads
+			switch bench {
+			case "fillseq":
+				written = true
+				return harness.Concurrent(*threads, func(th int) error {
+					return harness.FillSeq(db, per, *valueSize, *seed+int64(th))
+				})
+			case "fillrandom":
+				written = true
+				return harness.Concurrent(*threads, func(th int) error {
+					return harness.FillRandom(db, per, *num, *valueSize, *seed+int64(th))
+				})
+			case "readrandom":
+				return harness.Concurrent(*threads, func(th int) error {
+					_, err := harness.ReadRandom(db, per, *num, *seed+int64(th))
+					return err
+				})
+			case "seekrandom":
+				return harness.Concurrent(*threads, func(th int) error {
+					return harness.SeekRandom(db, per, *num, *nexts, *seed+int64(th))
+				})
+			case "deleterandom":
+				return harness.Concurrent(*threads, func(th int) error {
+					return harness.DeleteRandom(db, per, *num, *seed+int64(th))
+				})
+			}
+			return fmt.Errorf("unknown benchmark %q", bench)
+		}
+
+		if *compact && (bench == "readrandom" || bench == "seekrandom") {
+			if err := db.CompactAll(); err != nil {
+				fmt.Fprintf(os.Stderr, "compact: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		res, err := harness.Measure(db, preset.String(), bench, int64(*num), func() error {
+			if err := run(); err != nil {
+				return err
+			}
+			return db.WaitIdle()
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", bench, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-14s %12d ops  %10.1f KOps/s  %8.3f GB written  writeAmp %6.2f\n",
+			bench, res.Ops, res.KOpsPerSec, res.WriteGB, res.WriteAmp)
+	}
+
+	m := db.Metrics()
+	fmt.Printf("\nstore: %s\n", preset)
+	fmt.Printf("levels (files/bytes):")
+	for l := range m.Tree.LevelFiles {
+		if m.Tree.LevelFiles[l] > 0 {
+			fmt.Printf("  L%d %d/%dMB", l, m.Tree.LevelFiles[l], m.Tree.LevelBytes[l]>>20)
+		}
+	}
+	fmt.Printf("\ncompactions %d (in-place %d, trivial %d, seek %d), flushes %d\n",
+		m.Tree.Compactions, m.Tree.InPlaceMerges, m.Tree.TrivialMoves, m.Tree.SeekCompactions, m.Flushes)
+	fmt.Printf("stalls: slowdown %d, stop %d, memtable waits %d\n",
+		m.SlowdownWrites, m.StoppedWrites, m.MemtableWaits)
+	fmt.Printf("total write amplification: %.2f\n", m.WriteAmplification())
+}

@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for recorded results).
+//
+// Example:
+//
+//	experiments -run fig1.1 -scale 500 -store_scale 64
+//	experiments -run all -scale 2000 -store_scale 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pebblesdb/internal/experiments"
+)
+
+var (
+	run        = flag.String("run", "all", "experiment id (fig1.1, tab5.1, ... ) or 'all'; see -list")
+	list       = flag.Bool("list", false, "list experiment ids and exit")
+	scale      = flag.Int("scale", 2000, "divide the paper's key counts by this factor")
+	storeScale = flag.Int("store_scale", 128, "divide store size parameters by this factor")
+	threads    = flag.Int("threads", 4, "threads for multi-threaded workloads")
+)
+
+func main() {
+	flag.Parse()
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	cfg := experiments.Config{
+		Out:        os.Stdout,
+		Scale:      *scale,
+		StoreScale: *storeScale,
+		Threads:    *threads,
+	}
+	var ids []string
+	if *run == "all" {
+		ids = experiments.Names()
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		fn, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := fn(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("-- %s done in %s --\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

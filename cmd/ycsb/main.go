@@ -1,0 +1,112 @@
+// Command ycsb runs the Yahoo! Cloud Serving Benchmark suite (§5.3,
+// Table 5.3) against a store preset, optionally through the HyperDex or
+// MongoDB application shims of §5.4.
+//
+// Example:
+//
+//	ycsb -store=pebblesdb -records=1000000 -ops=1000000 -threads=4
+//	ycsb -store=hyperleveldb -app=hyperdex -workloads=LoadA,A,B
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pebblesdb"
+	"pebblesdb/internal/apps"
+	"pebblesdb/internal/harness"
+	"pebblesdb/internal/ycsb"
+)
+
+var (
+	store      = flag.String("store", "pebblesdb", "store preset: pebblesdb, hyperleveldb, leveldb, rocksdb, pebblesdb1")
+	app        = flag.String("app", "", "application shim: hyperdex, mongodb, or empty for the bare store")
+	workloads  = flag.String("workloads", "LoadA,A,B,C,D,F,LoadE,E", "comma-separated workload sequence")
+	records    = flag.Uint64("records", 1_000_000, "records for load phases")
+	ops        = flag.Uint64("ops", 1_000_000, "operations per run workload")
+	threads    = flag.Int("threads", 4, "client threads (paper: 4)")
+	valueSize  = flag.Int("value_size", 1024, "value size in bytes")
+	storeScale = flag.Int("store_scale", 1, "divide store size parameters by this factor")
+	dir        = flag.String("dir", "", "store directory on the OS filesystem; empty = in-memory")
+)
+
+func main() {
+	flag.Parse()
+	var preset pebblesdb.Preset
+	switch strings.ToLower(*store) {
+	case "pebblesdb":
+		preset = pebblesdb.PresetPebblesDB
+	case "hyperleveldb":
+		preset = pebblesdb.PresetHyperLevelDB
+	case "leveldb":
+		preset = pebblesdb.PresetLevelDB
+	case "rocksdb":
+		preset = pebblesdb.PresetRocksDB
+	case "pebblesdb1", "pebblesdb-1":
+		preset = pebblesdb.PresetPebblesDB1
+	default:
+		fmt.Fprintf(os.Stderr, "unknown store %q\n", *store)
+		os.Exit(2)
+	}
+	opts := preset.Options()
+	harness.Scale(opts, *storeScale)
+
+	var db *pebblesdb.DB
+	var err error
+	if *dir == "" {
+		db, err = harness.Open(harness.Spec{Name: preset.String(), Options: opts})
+	} else {
+		db, err = pebblesdb.Open(*dir, opts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "open: %v\n", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	var target ycsb.Store = harness.DBAdapter{DB: db}
+	switch strings.ToLower(*app) {
+	case "hyperdex":
+		target = apps.NewHyperDex(target)
+	case "mongodb":
+		target = apps.NewMongoDB(target)
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app shim %q\n", *app)
+		os.Exit(2)
+	}
+
+	runner := ycsb.NewRunner(target)
+	for _, name := range strings.Split(*workloads, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "LoadA", "LoadE":
+			res, err := runner.Load(*records, *valueSize, *threads, 1)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-6s %12d ops  %10.1f KOps/s\n", name, res.Ops, res.OpsPerSec/1000)
+		default:
+			w, ok := ycsb.Workloads[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
+				os.Exit(2)
+			}
+			res, err := runner.Run(w, ycsb.RunnerOptions{
+				RecordCount: *records, OpCount: *ops, Threads: *threads,
+				ValueSize: *valueSize, Seed: 7,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-6s %12d ops  %10.1f KOps/s  (%s)\n", name, res.Ops, res.OpsPerSec/1000, w.Description)
+		}
+	}
+	m := db.Metrics()
+	fmt.Printf("\ntotal write IO %.3f GB, write amplification %.2f\n",
+		float64(m.IO.TotalWritten())/(1<<30), m.WriteAmplification())
+}

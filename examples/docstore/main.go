@@ -1,0 +1,119 @@
+// Docstore: a small JSON document store in the style of the paper's §5.4
+// NoSQL applications (HyperDex / MongoDB). Documents live under
+// doc/<collection>/<id>; a secondary index under idx/<collection>/<field>/
+// <value>/<id> supports lookups by attribute via range scans. Both the
+// document write and its index entries commit in one atomic batch.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"pebblesdb"
+)
+
+type Doc map[string]interface{}
+
+type Store struct {
+	db *pebblesdb.DB
+}
+
+func docKey(collection, id string) []byte {
+	return []byte("doc/" + collection + "/" + id)
+}
+
+func idxKey(collection, field, value, id string) []byte {
+	return []byte("idx/" + collection + "/" + field + "/" + value + "/" + id)
+}
+
+// Insert writes the document and its secondary-index entries atomically.
+func (s *Store) Insert(collection, id string, doc Doc, indexed ...string) error {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	b := s.db.NewBatch()
+	b.Set(docKey(collection, id), body)
+	for _, field := range indexed {
+		if v, ok := doc[field].(string); ok {
+			b.Set(idxKey(collection, field, v, id), nil)
+		}
+	}
+	return s.db.Apply(b)
+}
+
+// Get fetches one document.
+func (s *Store) Get(collection, id string) (Doc, bool, error) {
+	body, ok, err := s.db.Get(docKey(collection, id))
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	var d Doc
+	if err := json.Unmarshal(body, &d); err != nil {
+		return nil, false, err
+	}
+	return d, true, nil
+}
+
+// FindBy returns the ids of documents whose indexed field equals value,
+// using a prefix range scan (the range_query operation of §2.1).
+func (s *Store) FindBy(collection, field, value string) ([]string, error) {
+	prefix := "idx/" + collection + "/" + field + "/" + value + "/"
+	it, err := s.db.NewIter()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var ids []string
+	for it.SeekGE([]byte(prefix)); it.Valid(); it.Next() {
+		k := string(it.Key())
+		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+			break
+		}
+		ids = append(ids, k[len(prefix):])
+	}
+	return ids, it.Error()
+}
+
+func main() {
+	opts := pebblesdb.PresetPebblesDB.Options()
+	opts.InMemory = true
+	db, err := pebblesdb.Open("docstore-db", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	store := &Store{db: db}
+
+	people := []struct {
+		id   string
+		doc  Doc
+	}{
+		{"u1", Doc{"name": "ada", "city": "london", "role": "engineer"}},
+		{"u2", Doc{"name": "grace", "city": "nyc", "role": "admiral"}},
+		{"u3", Doc{"name": "edsger", "city": "austin", "role": "engineer"}},
+		{"u4", Doc{"name": "barbara", "city": "nyc", "role": "engineer"}},
+	}
+	for _, p := range people {
+		if err := store.Insert("people", p.id, p.doc, "city", "role"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if d, ok, _ := store.Get("people", "u2"); ok {
+		fmt.Printf("u2: %v\n", d)
+	}
+
+	engineers, err := store.FindBy("people", "role", "engineer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engineers: %v\n", engineers)
+
+	inNYC, err := store.FindBy("people", "city", "nyc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in nyc:    %v\n", inNYC)
+}

@@ -1,0 +1,107 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"pebblesdb/internal/ycsb"
+)
+
+// countingStore records operations for behaviour assertions.
+type countingStore struct {
+	mu            sync.Mutex
+	gets, puts    int
+	scans         int
+	m             map[string][]byte
+}
+
+func newCountingStore() *countingStore { return &countingStore{m: map[string][]byte{}} }
+
+func (s *countingStore) Put(k, v []byte) error {
+	s.mu.Lock()
+	s.puts++
+	s.m[string(k)] = append([]byte(nil), v...)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *countingStore) Get(k []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	s.gets++
+	v, ok := s.m[string(k)]
+	s.mu.Unlock()
+	return v, ok, nil
+}
+
+func (s *countingStore) Scan(start []byte, count int) (int, error) {
+	s.mu.Lock()
+	s.scans++
+	s.mu.Unlock()
+	return count, nil
+}
+
+func TestHyperDexReadsBeforeWrites(t *testing.T) {
+	cs := newCountingStore()
+	hd := New(cs, Config{ReadBeforeWrite: true})
+	hd.Put([]byte("k"), []byte("v"))
+	if cs.gets != 1 || cs.puts != 1 {
+		t.Fatalf("expected get+put, got gets=%d puts=%d", cs.gets, cs.puts)
+	}
+	hd.Get([]byte("k"))
+	if cs.gets != 2 {
+		t.Fatal("get not forwarded")
+	}
+}
+
+func TestMongoDBDoesNotReadBeforeWrite(t *testing.T) {
+	cs := newCountingStore()
+	m := New(cs, Config{})
+	m.Put([]byte("k"), []byte("v"))
+	if cs.gets != 0 || cs.puts != 1 {
+		t.Fatalf("gets=%d puts=%d", cs.gets, cs.puts)
+	}
+}
+
+func TestOpLatencyDominates(t *testing.T) {
+	cs := newCountingStore()
+	srv := New(cs, Config{OpLatency: 200 * time.Microsecond})
+	start := time.Now()
+	const n = 50
+	for i := 0; i < n; i++ {
+		srv.Put([]byte("k"), []byte("v"))
+	}
+	elapsed := time.Since(start)
+	if elapsed < n*150*time.Microsecond {
+		t.Fatalf("app latency not applied: %v for %d ops", elapsed, n)
+	}
+}
+
+func TestServerDrivesYCSB(t *testing.T) {
+	cs := newCountingStore()
+	srv := NewMongoDB(cs)
+	r := ycsb.NewRunner(srv)
+	if _, err := r.Load(200, 64, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(ycsb.Workloads["A"], ycsb.RunnerOptions{
+		RecordCount: 200, OpCount: 400, Threads: 2, ValueSize: 64, Seed: 2,
+	})
+	if err != nil || res.Errors != 0 {
+		t.Fatalf("ycsb through shim failed: %+v %v", res, err)
+	}
+}
+
+func TestPresetLatencies(t *testing.T) {
+	hd := NewHyperDex(newCountingStore())
+	if !hd.cfg.ReadBeforeWrite {
+		t.Fatal("HyperDex must read before write")
+	}
+	mg := NewMongoDB(newCountingStore())
+	if mg.cfg.ReadBeforeWrite {
+		t.Fatal("MongoDB shim must not read before write")
+	}
+	if hd.cfg.OpLatency <= 0 || mg.cfg.OpLatency <= 0 {
+		t.Fatal("presets must carry application latency")
+	}
+}

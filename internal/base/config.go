@@ -1,0 +1,195 @@
+package base
+
+import "fmt"
+
+// Config carries every tunable shared by the engine and the two tree
+// implementations. The public package translates user-facing Options and
+// presets into a Config. Zero fields are filled in by EnsureDefaults.
+type Config struct {
+	// MemtableSize is the size in bytes at which a memtable is frozen and
+	// scheduled for flush. HyperLevelDB's default is 4 MB; RocksDB's 64 MB.
+	MemtableSize int
+
+	// L0CompactionTrigger is the number of L0 files that triggers a
+	// compaction into level 1.
+	L0CompactionTrigger int
+	// L0SlowdownTrigger is the L0 file count at which writes are delayed.
+	L0SlowdownTrigger int
+	// L0StopTrigger is the L0 file count at which writes block.
+	L0StopTrigger int
+
+	// NumLevels is the total number of levels including L0.
+	NumLevels int
+	// LevelBaseBytes is the target size of level 1.
+	LevelBaseBytes int64
+	// LevelMultiplier is the size ratio between successive levels.
+	LevelMultiplier int
+
+	// TargetFileSize bounds output sstables during leveled compaction.
+	TargetFileSize int64
+
+	// BlockSize is the uncompressed size target for sstable data blocks.
+	BlockSize int
+	// BlockRestartInterval is the number of keys between restart points.
+	BlockRestartInterval int
+	// BloomBitsPerKey sizes the per-sstable bloom filter; 0 selects the
+	// default (10) and a negative value disables bloom filters entirely
+	// (ablation: §5.2 reports reads improve 63% with them).
+	BloomBitsPerKey int
+
+	// BlockCacheSize is the capacity in bytes of the shared block cache.
+	BlockCacheSize int64
+	// TableCacheSize is the number of open sstables (and their index
+	// blocks/bloom filters) kept cached. The paper notes the stores cache a
+	// limited number of sstable index blocks (default 1000).
+	TableCacheSize int
+
+	// --- FLSM-specific (ignored by the leveled tree) ---
+
+	// TopLevelBits is the number of consecutive least-significant set bits
+	// a key's hash needs to become a guard at level 1 (§4.4).
+	TopLevelBits int
+	// BitDecrement relaxes the requirement per deeper level (§4.4).
+	BitDecrement int
+	// MaxSSTablesPerGuard caps sstables per guard; reaching the cap
+	// triggers compaction of the guard (§3.5). 1 makes FLSM behave as LSM.
+	MaxSSTablesPerGuard int
+	// GuardHashSeed seeds guard selection hashing.
+	GuardHashSeed uint64
+	// SizeRatioPct triggers aggressive compaction of level i when its size
+	// is within this percentage of level i+1 (§4.2, default 25). Negative
+	// disables the rule (ablation).
+	SizeRatioPct int
+	// LastLevelRewriteFactor is the IO blow-up beyond which the
+	// second-highest level rewrites in place instead of merging into the
+	// full last-level guard (§3.4, default 25).
+	LastLevelRewriteFactor int
+	// ParallelSeeks enables concurrent sstable positioning in last-level
+	// guards during seeks (§4.2).
+	ParallelSeeks bool
+	// ParallelGuardCompaction partitions and writes guard outputs with a
+	// worker pool (paper §7 future work, implemented here as an extension).
+	ParallelGuardCompaction bool
+
+	// SeekCompactionThreshold is the number of consecutive seeks that mark
+	// a guard (FLSM) or file (leveled) for compaction (§4.2, default 10).
+	// Negative disables seek-triggered compaction (ablation).
+	SeekCompactionThreshold int
+
+	// MaxCompactionConcurrency is the number of background compaction
+	// goroutines. LevelDB uses 1; HyperLevelDB/RocksDB/PebblesDB use more.
+	MaxCompactionConcurrency int
+
+	// WALSync, if true, syncs the write-ahead log on every commit.
+	WALSync bool
+
+	// Logger, if non-nil, receives diagnostic messages.
+	Logger func(format string, args ...interface{})
+}
+
+// EnsureDefaults fills zero-valued fields with the PebblesDB defaults used
+// throughout the paper's evaluation (HyperLevelDB-derived).
+func (c *Config) EnsureDefaults() {
+	if c.MemtableSize == 0 {
+		c.MemtableSize = 4 << 20
+	}
+	if c.L0CompactionTrigger == 0 {
+		c.L0CompactionTrigger = 4
+	}
+	if c.L0SlowdownTrigger == 0 {
+		c.L0SlowdownTrigger = 8
+	}
+	if c.L0StopTrigger == 0 {
+		c.L0StopTrigger = 12
+	}
+	if c.NumLevels == 0 {
+		c.NumLevels = 7
+	}
+	if c.LevelBaseBytes == 0 {
+		c.LevelBaseBytes = 10 << 20
+	}
+	if c.LevelMultiplier == 0 {
+		c.LevelMultiplier = 10
+	}
+	if c.TargetFileSize == 0 {
+		c.TargetFileSize = 2 << 20
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 4 << 10
+	}
+	if c.BlockRestartInterval == 0 {
+		c.BlockRestartInterval = 16
+	}
+	if c.BloomBitsPerKey == 0 {
+		c.BloomBitsPerKey = 10
+	}
+	if c.BlockCacheSize == 0 {
+		c.BlockCacheSize = 8 << 20
+	}
+	if c.TableCacheSize == 0 {
+		c.TableCacheSize = 1000
+	}
+	if c.TopLevelBits == 0 {
+		c.TopLevelBits = 22
+	}
+	if c.BitDecrement == 0 {
+		c.BitDecrement = 2
+	}
+	if c.MaxSSTablesPerGuard == 0 {
+		c.MaxSSTablesPerGuard = 4
+	}
+	if c.GuardHashSeed == 0 {
+		c.GuardHashSeed = 0x9747b28c
+	}
+	if c.SizeRatioPct == 0 {
+		c.SizeRatioPct = 25
+	}
+	if c.LastLevelRewriteFactor == 0 {
+		c.LastLevelRewriteFactor = 25
+	}
+	if c.SeekCompactionThreshold == 0 {
+		c.SeekCompactionThreshold = 10
+	}
+	if c.MaxCompactionConcurrency == 0 {
+		c.MaxCompactionConcurrency = 3
+	}
+}
+
+// Validate rejects configurations the trees cannot honor.
+func (c *Config) Validate() error {
+	if c.NumLevels < 3 {
+		return fmt.Errorf("base: NumLevels must be >= 3, got %d", c.NumLevels)
+	}
+	if c.L0SlowdownTrigger < c.L0CompactionTrigger {
+		return fmt.Errorf("base: L0SlowdownTrigger (%d) < L0CompactionTrigger (%d)",
+			c.L0SlowdownTrigger, c.L0CompactionTrigger)
+	}
+	if c.L0StopTrigger < c.L0SlowdownTrigger {
+		return fmt.Errorf("base: L0StopTrigger (%d) < L0SlowdownTrigger (%d)",
+			c.L0StopTrigger, c.L0SlowdownTrigger)
+	}
+	if c.MaxSSTablesPerGuard < 1 {
+		return fmt.Errorf("base: MaxSSTablesPerGuard must be >= 1, got %d", c.MaxSSTablesPerGuard)
+	}
+	if c.BitDecrement < 1 {
+		return fmt.Errorf("base: BitDecrement must be >= 1, got %d", c.BitDecrement)
+	}
+	return nil
+}
+
+// MaxBytesForLevel returns the soft size limit of the given level (level 0
+// is bounded by file count, not bytes).
+func (c *Config) MaxBytesForLevel(level int) int64 {
+	b := c.LevelBaseBytes
+	for l := 1; l < level; l++ {
+		b *= int64(c.LevelMultiplier)
+	}
+	return b
+}
+
+// Logf logs through the configured logger, if any.
+func (c *Config) Logf(format string, args ...interface{}) {
+	if c.Logger != nil {
+		c.Logger(format, args...)
+	}
+}

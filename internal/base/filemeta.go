@@ -1,0 +1,30 @@
+package base
+
+import "fmt"
+
+// FileMetadata describes one sstable as recorded in a version. Smallest and
+// Largest are internal keys. Guard assignment (FLSM) is derived from the key
+// range and the level's guard set; it is not stored here.
+type FileMetadata struct {
+	FileNum  FileNum
+	Size     uint64
+	Smallest []byte // internal key
+	Largest  []byte // internal key
+
+	// AllowedSeeks implements seek-triggered compaction: it is decremented
+	// on every seek that touches the file and the containing guard or level
+	// becomes a compaction candidate when it reaches zero. Accessed under
+	// the tree mutex.
+	AllowedSeeks int
+}
+
+func (m *FileMetadata) String() string {
+	return fmt.Sprintf("%06d:%d[%s..%s]", m.FileNum, m.Size,
+		InternalKeyString(m.Smallest), InternalKeyString(m.Largest))
+}
+
+// SmallestUserKey returns the user key of the file's smallest internal key.
+func (m *FileMetadata) SmallestUserKey() []byte { return UserKey(m.Smallest) }
+
+// LargestUserKey returns the user key of the file's largest internal key.
+func (m *FileMetadata) LargestUserKey() []byte { return UserKey(m.Largest) }

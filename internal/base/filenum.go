@@ -1,0 +1,80 @@
+package base
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FileNum identifies a file (sstable, WAL segment, or manifest) within a
+// store directory. File numbers are allocated from a single counter recorded
+// in the MANIFEST.
+type FileNum uint64
+
+// FileType enumerates the kinds of files in a store directory.
+type FileType int
+
+const (
+	// FileTypeLog is a write-ahead log segment (NNNNNN.log).
+	FileTypeLog FileType = iota
+	// FileTypeTable is an sstable (NNNNNN.sst).
+	FileTypeTable
+	// FileTypeManifest is a MANIFEST-NNNNNN version log.
+	FileTypeManifest
+	// FileTypeCurrent is the CURRENT pointer file.
+	FileTypeCurrent
+	// FileTypeTemp is a temporary file (NNNNNN.tmp).
+	FileTypeTemp
+)
+
+// MakeFilename returns the store-relative name for a file of the given type
+// and number.
+func MakeFilename(ft FileType, fn FileNum) string {
+	switch ft {
+	case FileTypeLog:
+		return fmt.Sprintf("%06d.log", fn)
+	case FileTypeTable:
+		return fmt.Sprintf("%06d.sst", fn)
+	case FileTypeManifest:
+		return fmt.Sprintf("MANIFEST-%06d", fn)
+	case FileTypeCurrent:
+		return "CURRENT"
+	case FileTypeTemp:
+		return fmt.Sprintf("%06d.tmp", fn)
+	}
+	panic("base: unknown file type")
+}
+
+// ParseFilename decodes a store-relative file name. ok is false for names
+// this package did not produce.
+func ParseFilename(name string) (ft FileType, fn FileNum, ok bool) {
+	switch {
+	case name == "CURRENT":
+		return FileTypeCurrent, 0, true
+	case strings.HasPrefix(name, "MANIFEST-"):
+		n, err := strconv.ParseUint(name[len("MANIFEST-"):], 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		return FileTypeManifest, FileNum(n), true
+	case strings.HasSuffix(name, ".log"):
+		n, err := strconv.ParseUint(name[:len(name)-4], 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		return FileTypeLog, FileNum(n), true
+	case strings.HasSuffix(name, ".sst"):
+		n, err := strconv.ParseUint(name[:len(name)-4], 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		return FileTypeTable, FileNum(n), true
+	case strings.HasSuffix(name, ".tmp"):
+		n, err := strconv.ParseUint(name[:len(name)-4], 10, 64)
+		if err != nil {
+			return 0, 0, false
+		}
+		return FileTypeTemp, FileNum(n), true
+	}
+	return 0, 0, false
+}

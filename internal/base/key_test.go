@@ -1,0 +1,121 @@
+package base
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInternalKeyRoundtrip(t *testing.T) {
+	cases := []struct {
+		ukey []byte
+		seq  SeqNum
+		kind Kind
+	}{
+		{[]byte("hello"), 1, KindSet},
+		{[]byte(""), 0, KindDelete},
+		{[]byte("k"), MaxSeqNum, KindSet},
+		{bytes.Repeat([]byte{0xff}, 100), 123456789, KindDelete},
+	}
+	for _, c := range cases {
+		ik := MakeInternalKey(nil, c.ukey, c.seq, c.kind)
+		ukey, seq, kind, ok := DecodeInternalKey(ik)
+		if !ok {
+			t.Fatalf("decode failed for %q", c.ukey)
+		}
+		if !bytes.Equal(ukey, c.ukey) || seq != c.seq || kind != c.kind {
+			t.Fatalf("roundtrip mismatch: got (%q,%d,%v) want (%q,%d,%v)",
+				ukey, seq, kind, c.ukey, c.seq, c.kind)
+		}
+	}
+}
+
+func TestDecodeInternalKeyTooShort(t *testing.T) {
+	for i := 0; i < TrailerLen; i++ {
+		if _, _, _, ok := DecodeInternalKey(make([]byte, i)); ok {
+			t.Fatalf("decode of %d-byte key should fail", i)
+		}
+	}
+}
+
+func TestInternalCompareOrdering(t *testing.T) {
+	// Same user key: higher seq sorts first.
+	a := MakeInternalKey(nil, []byte("k"), 10, KindSet)
+	b := MakeInternalKey(nil, []byte("k"), 5, KindSet)
+	if InternalCompare(a, b) >= 0 {
+		t.Fatal("higher seq should sort before lower seq")
+	}
+	// Same seq: KindSeek sorts before KindSet before KindDelete.
+	seek := MakeInternalKey(nil, []byte("k"), 10, KindSeek)
+	set := MakeInternalKey(nil, []byte("k"), 10, KindSet)
+	del := MakeInternalKey(nil, []byte("k"), 10, KindDelete)
+	if InternalCompare(seek, set) >= 0 || InternalCompare(set, del) >= 0 {
+		t.Fatal("kind ordering wrong")
+	}
+	// Different user keys dominate.
+	x := MakeInternalKey(nil, []byte("a"), 1, KindSet)
+	y := MakeInternalKey(nil, []byte("b"), MaxSeqNum, KindSet)
+	if InternalCompare(x, y) >= 0 {
+		t.Fatal("user key should dominate ordering")
+	}
+}
+
+func TestSearchKeyFindsNewestVisible(t *testing.T) {
+	// A search key at seq S must sort before (ukey, S, KindSet) and after
+	// (ukey, S+1, anything).
+	search := MakeSearchKey(nil, []byte("k"), 7)
+	at7 := MakeInternalKey(nil, []byte("k"), 7, KindSet)
+	at8 := MakeInternalKey(nil, []byte("k"), 8, KindSet)
+	if InternalCompare(search, at7) > 0 {
+		t.Fatal("search key must sort at or before same-seq entries")
+	}
+	if InternalCompare(search, at8) < 0 {
+		t.Fatal("search key must sort after higher-seq entries")
+	}
+}
+
+func TestInternalCompareProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() []byte {
+		ukey := make([]byte, rng.Intn(8))
+		rng.Read(ukey)
+		return MakeInternalKey(nil, ukey, SeqNum(rng.Intn(100)), Kind(rng.Intn(2)))
+	}
+	// Antisymmetry and transitivity via sort consistency.
+	keys := make([][]byte, 200)
+	for i := range keys {
+		keys[i] = gen()
+	}
+	sort.Slice(keys, func(i, j int) bool { return InternalCompare(keys[i], keys[j]) < 0 })
+	for i := 1; i < len(keys); i++ {
+		if InternalCompare(keys[i-1], keys[i]) > 0 {
+			t.Fatal("sort produced inconsistent order")
+		}
+	}
+	// Reflexivity.
+	if err := quick.Check(func(k []byte, s uint32, d bool) bool {
+		kind := KindSet
+		if d {
+			kind = KindDelete
+		}
+		ik := MakeInternalKey(nil, k, SeqNum(s), kind)
+		return InternalCompare(ik, ik) == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrailerPacking(t *testing.T) {
+	if err := quick.Check(func(s uint32, d bool) bool {
+		kind := KindSet
+		if d {
+			kind = KindDelete
+		}
+		tr := MakeTrailer(SeqNum(s), kind)
+		return SeqNum(tr>>8) == SeqNum(s) && Kind(tr&0xff) == kind
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package batch implements atomic write batches. The serialized form is
+// both the WAL record payload and the unit of group commit: a header of
+// [seq:8][count:4] followed by records of kind, key and (for sets) value.
+package batch
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"pebblesdb/internal/base"
+)
+
+const headerLen = 12
+
+// ErrCorrupt is returned when a serialized batch cannot be decoded.
+var ErrCorrupt = errors.New("batch: corrupt repr")
+
+// Batch accumulates mutations to be applied atomically.
+type Batch struct {
+	data  []byte
+	count uint32
+}
+
+// New returns an empty batch.
+func New() *Batch {
+	return &Batch{data: make([]byte, headerLen)}
+}
+
+// FromRepr wraps a serialized batch (e.g. recovered from the WAL).
+func FromRepr(repr []byte) (*Batch, error) {
+	if len(repr) < headerLen {
+		return nil, ErrCorrupt
+	}
+	return &Batch{data: repr, count: binary.LittleEndian.Uint32(repr[8:12])}, nil
+}
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() {
+	b.data = b.data[:headerLen]
+	for i := range b.data {
+		b.data[i] = 0
+	}
+	b.count = 0
+}
+
+// Set queues a put of key to value.
+func (b *Batch) Set(key, value []byte) {
+	b.data = append(b.data, byte(base.KindSet))
+	b.data = appendBytes(b.data, key)
+	b.data = appendBytes(b.data, value)
+	b.count++
+}
+
+// Delete queues a tombstone for key.
+func (b *Batch) Delete(key []byte) {
+	b.data = append(b.data, byte(base.KindDelete))
+	b.data = appendBytes(b.data, key)
+	b.count++
+}
+
+func appendBytes(dst, p []byte) []byte {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(p)))
+	dst = append(dst, lenBuf[:n]...)
+	return append(dst, p...)
+}
+
+// Count returns the number of queued mutations.
+func (b *Batch) Count() uint32 { return b.count }
+
+// Empty reports whether the batch holds no mutations.
+func (b *Batch) Empty() bool { return b.count == 0 }
+
+// SetSeqNum stamps the sequence number assigned to the batch's first
+// mutation; subsequent mutations use consecutive numbers.
+func (b *Batch) SetSeqNum(seq base.SeqNum) {
+	binary.LittleEndian.PutUint64(b.data[:8], uint64(seq))
+	binary.LittleEndian.PutUint32(b.data[8:12], b.count)
+}
+
+// SeqNum returns the stamped sequence number.
+func (b *Batch) SeqNum() base.SeqNum {
+	return base.SeqNum(binary.LittleEndian.Uint64(b.data[:8]))
+}
+
+// Repr returns the serialized batch. SetSeqNum must have been called.
+func (b *Batch) Repr() []byte {
+	binary.LittleEndian.PutUint32(b.data[8:12], b.count)
+	return b.data
+}
+
+// ApproxSize returns the serialized size in bytes.
+func (b *Batch) ApproxSize() int { return len(b.data) }
+
+// Append concatenates other's mutations onto b (used by group commit).
+func (b *Batch) Append(other *Batch) {
+	b.data = append(b.data, other.data[headerLen:]...)
+	b.count += other.count
+}
+
+// Iterate decodes the batch, invoking fn for each mutation with the
+// sequence number it was assigned. Iterate validates framing and returns
+// ErrCorrupt on malformed input.
+func (b *Batch) Iterate(fn func(kind base.Kind, ukey, value []byte, seq base.SeqNum) error) error {
+	binary.LittleEndian.PutUint32(b.data[8:12], b.count)
+	seq := b.SeqNum()
+	p := b.data[headerLen:]
+	for i := uint32(0); i < b.count; i++ {
+		if len(p) < 1 {
+			return ErrCorrupt
+		}
+		kind := base.Kind(p[0])
+		p = p[1:]
+		var key, value []byte
+		var ok bool
+		if key, p, ok = readBytes(p); !ok {
+			return ErrCorrupt
+		}
+		if kind == base.KindSet {
+			if value, p, ok = readBytes(p); !ok {
+				return ErrCorrupt
+			}
+		} else if kind != base.KindDelete {
+			return ErrCorrupt
+		}
+		if err := fn(kind, key, value, seq+base.SeqNum(i)); err != nil {
+			return err
+		}
+	}
+	if len(p) != 0 {
+		return ErrCorrupt
+	}
+	return nil
+}
+
+func readBytes(p []byte) (val, rest []byte, ok bool) {
+	l, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < l {
+		return nil, nil, false
+	}
+	return p[n : n+int(l)], p[n+int(l):], true
+}

@@ -1,0 +1,140 @@
+package batch
+
+import (
+	"fmt"
+	"testing"
+
+	"pebblesdb/internal/base"
+)
+
+func TestRoundtrip(t *testing.T) {
+	b := New()
+	b.Set([]byte("k1"), []byte("v1"))
+	b.Delete([]byte("k2"))
+	b.Set([]byte(""), []byte("")) // empty key and value are legal
+	b.SetSeqNum(100)
+
+	if b.Count() != 3 {
+		t.Fatalf("count %d", b.Count())
+	}
+	if b.SeqNum() != 100 {
+		t.Fatalf("seq %d", b.SeqNum())
+	}
+
+	type op struct {
+		kind base.Kind
+		key  string
+		val  string
+		seq  base.SeqNum
+	}
+	var got []op
+	err := b.Iterate(func(kind base.Kind, k, v []byte, seq base.SeqNum) error {
+		got = append(got, op{kind, string(k), string(v), seq})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []op{
+		{base.KindSet, "k1", "v1", 100},
+		{base.KindDelete, "k2", "", 101},
+		{base.KindSet, "", "", 102},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFromReprRoundtrip(t *testing.T) {
+	b := New()
+	b.Set([]byte("key"), []byte("value"))
+	b.SetSeqNum(7)
+	repr := append([]byte(nil), b.Repr()...)
+
+	b2, err := FromRepr(repr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Count() != 1 || b2.SeqNum() != 7 {
+		t.Fatalf("recovered count=%d seq=%d", b2.Count(), b2.SeqNum())
+	}
+	n := 0
+	b2.Iterate(func(kind base.Kind, k, v []byte, seq base.SeqNum) error {
+		n++
+		if string(k) != "key" || string(v) != "value" || seq != 7 {
+			t.Fatalf("bad op %q %q %d", k, v, seq)
+		}
+		return nil
+	})
+	if n != 1 {
+		t.Fatal("expected one op")
+	}
+}
+
+func TestCorruptReprs(t *testing.T) {
+	if _, err := FromRepr([]byte("short")); err == nil {
+		t.Fatal("short repr should fail")
+	}
+	b := New()
+	b.Set([]byte("k"), []byte("v"))
+	b.SetSeqNum(1)
+	repr := append([]byte(nil), b.Repr()...)
+
+	// Truncate the payload: Iterate must report corruption.
+	trunc, _ := FromRepr(repr[:len(repr)-2])
+	// count still says 1 but data is short
+	if err := trunc.Iterate(func(base.Kind, []byte, []byte, base.SeqNum) error { return nil }); err == nil {
+		t.Fatal("truncated batch should fail to iterate")
+	}
+
+	// Bad kind byte.
+	bad := append([]byte(nil), repr...)
+	bad[12] = 0x77
+	bb, _ := FromRepr(bad)
+	if err := bb.Iterate(func(base.Kind, []byte, []byte, base.SeqNum) error { return nil }); err == nil {
+		t.Fatal("bad kind should fail")
+	}
+}
+
+func TestAppendCombinesBatches(t *testing.T) {
+	a := New()
+	a.Set([]byte("a"), []byte("1"))
+	b := New()
+	b.Set([]byte("b"), []byte("2"))
+	b.Delete([]byte("c"))
+
+	a.Append(b)
+	a.SetSeqNum(10)
+	if a.Count() != 3 {
+		t.Fatalf("combined count %d", a.Count())
+	}
+	var keys []string
+	a.Iterate(func(_ base.Kind, k, _ []byte, _ base.SeqNum) error {
+		keys = append(keys, string(k))
+		return nil
+	})
+	if fmt.Sprint(keys) != "[a b c]" {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New()
+	b.Set([]byte("k"), []byte("v"))
+	b.Reset()
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("reset should empty the batch")
+	}
+	b.Set([]byte("k2"), []byte("v2"))
+	b.SetSeqNum(5)
+	n := 0
+	b.Iterate(func(_ base.Kind, k, _ []byte, _ base.SeqNum) error { n++; return nil })
+	if n != 1 {
+		t.Fatal("reused batch should hold one op")
+	}
+}

@@ -1,0 +1,235 @@
+// Package block implements the sstable block format: prefix-compressed
+// key/value entries with periodic restart points that allow binary search
+// within a block. The format follows LevelDB (PebblesDB keeps the sstable
+// format unchanged, §4.3.1).
+package block
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt indicates a block that failed structural validation.
+var ErrCorrupt = errors.New("block: corrupt block")
+
+// Builder assembles a block. Keys must be added in strictly increasing
+// order (by the caller's comparator).
+type Builder struct {
+	buf             []byte
+	restarts        []uint32
+	restartInterval int
+	counter         int
+	lastKey         []byte
+}
+
+// NewBuilder returns a Builder placing a restart point every
+// restartInterval entries.
+func NewBuilder(restartInterval int) *Builder {
+	if restartInterval < 1 {
+		restartInterval = 1
+	}
+	return &Builder{restartInterval: restartInterval, restarts: []uint32{0}}
+}
+
+// Reset clears the builder for reuse.
+func (b *Builder) Reset() {
+	b.buf = b.buf[:0]
+	b.restarts = append(b.restarts[:0], 0)
+	b.counter = 0
+	b.lastKey = b.lastKey[:0]
+}
+
+// Add appends a key/value entry.
+func (b *Builder) Add(key, value []byte) {
+	shared := 0
+	if b.counter < b.restartInterval {
+		n := len(b.lastKey)
+		if len(key) < n {
+			n = len(key)
+		}
+		for shared < n && b.lastKey[shared] == key[shared] {
+			shared++
+		}
+	} else {
+		b.restarts = append(b.restarts, uint32(len(b.buf)))
+		b.counter = 0
+	}
+	b.buf = appendUvarint(b.buf, uint64(shared))
+	b.buf = appendUvarint(b.buf, uint64(len(key)-shared))
+	b.buf = appendUvarint(b.buf, uint64(len(value)))
+	b.buf = append(b.buf, key[shared:]...)
+	b.buf = append(b.buf, value...)
+	b.lastKey = append(b.lastKey[:0], key...)
+	b.counter++
+}
+
+// EstimatedSize returns the current encoded size.
+func (b *Builder) EstimatedSize() int {
+	return len(b.buf) + 4*len(b.restarts) + 4
+}
+
+// Empty reports whether no entries have been added.
+func (b *Builder) Empty() bool { return len(b.buf) == 0 }
+
+// Finish returns the completed block. The builder must be Reset before
+// reuse; the returned slice aliases the builder's buffer.
+func (b *Builder) Finish() []byte {
+	var tmp [4]byte
+	for _, r := range b.restarts {
+		binary.LittleEndian.PutUint32(tmp[:], r)
+		b.buf = append(b.buf, tmp[:]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(b.restarts)))
+	b.buf = append(b.buf, tmp[:]...)
+	return b.buf
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// Iter is a cursor over an encoded block.
+type Iter struct {
+	cmp         func(a, b []byte) int
+	data        []byte // entries region only
+	restarts    []uint32
+	off         int // offset of current entry in data
+	nextOff     int
+	key         []byte
+	val         []byte
+	valid       bool
+	err         error
+}
+
+// NewIter returns an iterator over an encoded block using cmp.
+func NewIter(data []byte, cmp func(a, b []byte) int) (*Iter, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(data[len(data)-4:]))
+	restartsEnd := len(data) - 4
+	restartsStart := restartsEnd - 4*n
+	if n < 1 || restartsStart < 0 {
+		return nil, ErrCorrupt
+	}
+	restarts := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		restarts[i] = binary.LittleEndian.Uint32(data[restartsStart+4*i:])
+		if int(restarts[i]) > restartsStart {
+			return nil, ErrCorrupt
+		}
+	}
+	return &Iter{cmp: cmp, data: data[:restartsStart], restarts: restarts}, nil
+}
+
+// decodeAt decodes the entry at off, returning the next entry's offset.
+// Returns -1 on corruption.
+func (i *Iter) decodeAt(off int, prevKey []byte) int {
+	p := i.data[off:]
+	shared, n0 := binary.Uvarint(p)
+	if n0 <= 0 {
+		return -1
+	}
+	unshared, n1 := binary.Uvarint(p[n0:])
+	if n1 <= 0 {
+		return -1
+	}
+	vlen, n2 := binary.Uvarint(p[n0+n1:])
+	if n2 <= 0 {
+		return -1
+	}
+	h := n0 + n1 + n2
+	if uint64(len(p)-h) < unshared+vlen || uint64(len(prevKey)) < shared {
+		return -1
+	}
+	i.key = append(i.key[:0], prevKey[:shared]...)
+	i.key = append(i.key, p[h:h+int(unshared)]...)
+	i.val = p[h+int(unshared) : h+int(unshared)+int(vlen)]
+	return off + h + int(unshared) + int(vlen)
+}
+
+func (i *Iter) corrupt() {
+	i.valid = false
+	i.err = ErrCorrupt
+}
+
+// First positions at the first entry.
+func (i *Iter) First() {
+	if len(i.data) == 0 {
+		i.valid = false
+		return
+	}
+	i.off = 0
+	next := i.decodeAt(0, nil)
+	if next < 0 {
+		i.corrupt()
+		return
+	}
+	i.nextOff = next
+	i.valid = true
+}
+
+// Next advances to the following entry.
+func (i *Iter) Next() {
+	if !i.valid {
+		return
+	}
+	if i.nextOff >= len(i.data) {
+		i.valid = false
+		return
+	}
+	i.off = i.nextOff
+	next := i.decodeAt(i.off, i.key)
+	if next < 0 {
+		i.corrupt()
+		return
+	}
+	i.nextOff = next
+}
+
+// SeekGE positions at the first entry with key >= target.
+func (i *Iter) SeekGE(target []byte) {
+	// Binary search the restart points: find the last restart whose key is
+	// < target, then scan forward.
+	lo, hi := 0, len(i.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if i.decodeAt(int(i.restarts[mid]), nil) < 0 {
+			i.corrupt()
+			return
+		}
+		if i.cmp(i.key, target) < 0 {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	i.off = int(i.restarts[lo])
+	next := i.decodeAt(i.off, nil)
+	if next < 0 {
+		i.corrupt()
+		return
+	}
+	i.nextOff = next
+	i.valid = true
+	for i.valid && i.cmp(i.key, target) < 0 {
+		i.Next()
+	}
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (i *Iter) Valid() bool { return i.valid }
+
+// Key returns the current key; valid until the next positioning call.
+func (i *Iter) Key() []byte { return i.key }
+
+// Value returns the current value, aliasing the block.
+func (i *Iter) Value() []byte { return i.val }
+
+// Error returns any corruption error encountered.
+func (i *Iter) Error() error { return i.err }
+
+// Close releases the iterator.
+func (i *Iter) Close() error { return i.err }

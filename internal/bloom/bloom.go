@@ -1,0 +1,100 @@
+// Package bloom implements the sstable-level bloom filters PebblesDB
+// attaches to every sstable (§4.1). A filter is built once per sstable over
+// all user keys in the table and is consulted on every get to skip tables
+// that cannot contain the key. False positives are possible; false
+// negatives are not.
+package bloom
+
+import (
+	"encoding/binary"
+
+	"pebblesdb/internal/murmur"
+)
+
+const bloomSeed = 0xbc9f1d34
+
+// Filter is an immutable encoded bloom filter. The encoding is the bit
+// array followed by a single byte holding the number of probes.
+type Filter []byte
+
+// Build constructs a filter over keys using bitsPerKey bits per key.
+func Build(keys [][]byte, bitsPerKey int) Filter {
+	if bitsPerKey < 1 {
+		bitsPerKey = 1
+	}
+	// k = bitsPerKey * ln(2), clamped to a sane range.
+	k := uint8(float64(bitsPerKey) * 0.69)
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	bits := len(keys) * bitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	nBytes := (bits + 7) / 8
+	bits = nBytes * 8
+
+	f := make(Filter, nBytes+1)
+	f[nBytes] = k
+	for _, key := range keys {
+		h := murmur.Hash64(key, bloomSeed)
+		// Double hashing: derive k probe positions from one 64-bit hash.
+		h1 := uint32(h)
+		delta := uint32(h >> 32)
+		for i := uint8(0); i < k; i++ {
+			pos := h1 % uint32(bits)
+			f[pos/8] |= 1 << (pos % 8)
+			h1 += delta
+		}
+	}
+	return f
+}
+
+// MayContain reports whether key may be in the set the filter was built
+// over. A false return is definitive.
+func (f Filter) MayContain(key []byte) bool {
+	if len(f) < 2 {
+		return true // degenerate filter: claim everything
+	}
+	k := f[len(f)-1]
+	if k < 1 || k > 30 {
+		return true // unknown encoding: be safe
+	}
+	bits := uint32((len(f) - 1) * 8)
+	h := murmur.Hash64(key, bloomSeed)
+	h1 := uint32(h)
+	delta := uint32(h >> 32)
+	for i := uint8(0); i < k; i++ {
+		pos := h1 % bits
+		if f[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h1 += delta
+	}
+	return true
+}
+
+// ApproximateMemory returns the in-memory footprint of the filter in bytes;
+// used by the Table 5.4 memory-consumption experiment.
+func (f Filter) ApproximateMemory() int { return len(f) }
+
+// EncodeInto appends the filter with a length prefix to dst.
+func EncodeInto(dst []byte, f Filter) []byte {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(f)))
+	dst = append(dst, lenBuf[:n]...)
+	return append(dst, f...)
+}
+
+// Decode reads a length-prefixed filter from src, returning the filter and
+// the remaining bytes.
+func Decode(src []byte) (Filter, []byte, bool) {
+	l, n := binary.Uvarint(src)
+	if n <= 0 || uint64(len(src)-n) < l {
+		return nil, nil, false
+	}
+	return Filter(src[n : n+int(l)]), src[n+int(l):], true
+}

@@ -1,0 +1,128 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 10, 1000, 10000} {
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key%08d", i))
+		}
+		f := Build(keys, 10)
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				t.Fatalf("n=%d: false negative for %q", n, k)
+			}
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("member%08d", i))
+	}
+	f := Build(keys, 10)
+	fp := 0
+	for i := 0; i < n; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent%08d", i))) {
+			fp++
+		}
+	}
+	// 10 bits/key targets ~1%; allow generous slack.
+	if rate := float64(fp) / n; rate > 0.03 {
+		t.Fatalf("false positive rate %.3f too high", rate)
+	}
+}
+
+func TestEmptyAndDegenerateFilters(t *testing.T) {
+	f := Build(nil, 10)
+	// An empty filter may claim nothing; membership query must not panic.
+	f.MayContain([]byte("anything"))
+
+	var junk Filter
+	if !junk.MayContain([]byte("x")) {
+		t.Fatal("nil filter must be permissive (no false negatives)")
+	}
+}
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	keys := [][]byte{[]byte("a"), []byte("b"), []byte("c")}
+	f := Build(keys, 10)
+	enc := EncodeInto(nil, f)
+	dec, rest, ok := Decode(enc)
+	if !ok || len(rest) != 0 {
+		t.Fatal("decode failed")
+	}
+	for _, k := range keys {
+		if !dec.MayContain(k) {
+			t.Fatalf("decoded filter lost %q", k)
+		}
+	}
+	if _, _, ok := Decode([]byte{0xff}); ok {
+		t.Fatal("decoding junk should fail")
+	}
+}
+
+func TestPropertyMembersAlwaysPresent(t *testing.T) {
+	err := quick.Check(func(keys [][]byte, probe []byte) bool {
+		f := Build(keys, 10)
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsPerKeyScaling(t *testing.T) {
+	keys := make([][]byte, 5000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("k%07d", i))
+	}
+	rate := func(bits int) float64 {
+		f := Build(keys, bits)
+		fp := 0
+		for i := 0; i < 5000; i++ {
+			if f.MayContain([]byte(fmt.Sprintf("x%07d", i))) {
+				fp++
+			}
+		}
+		return float64(fp) / 5000
+	}
+	if rate(4) <= rate(12) {
+		t.Fatal("more bits per key should reduce false positives")
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	keys := make([][]byte, 10000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%08d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(keys, 10)
+	}
+}
+
+func BenchmarkMayContain(b *testing.B) {
+	keys := make([][]byte, 10000)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key%08d", i))
+	}
+	f := Build(keys, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(keys[i%len(keys)])
+	}
+}

@@ -1,0 +1,222 @@
+// Package cache provides a sharded LRU cache with byte-based capacity. It
+// backs both the block cache (decoded sstable data blocks) and, via
+// eviction callbacks, the table cache. The paper's evaluation repeatedly
+// turns on cache effects (Fig 5.1d cached datasets, Fig 5.2b low memory),
+// so capacity must be byte-exact.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+const numShards = 16
+
+// Key identifies a cache entry: a file number plus an offset (0 for
+// whole-file entries such as table readers).
+type Key struct {
+	File uint64
+	Off  uint64
+}
+
+// Cache is a fixed-capacity sharded LRU.
+type Cache struct {
+	shards  [numShards]shard
+	onEvict func(Key, interface{})
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recent
+	items    map[Key]*list.Element
+	hits     int64
+	misses   int64
+}
+
+type entry struct {
+	key    Key
+	value  interface{}
+	charge int64
+}
+
+// New returns a cache with the given total capacity in bytes. onEvict, if
+// non-nil, is called (without locks held by the caller's shard) for every
+// evicted or replaced entry.
+func New(capacity int64, onEvict func(Key, interface{})) *Cache {
+	c := &Cache{onEvict: onEvict}
+	per := capacity / numShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[Key]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard {
+	h := k.File*0x9e3779b97f4a7c15 + k.Off*0xbf58476d1ce4e5b9
+	return &c.shards[h%numShards]
+}
+
+// Get returns the cached value for k, if present.
+func (c *Cache) Get(k Key) (interface{}, bool) {
+	return c.GetHold(k, nil)
+}
+
+// GetHold is Get with a callback invoked on the value while the shard lock
+// is held. Reference-counted values (table readers) use it to acquire a
+// reference atomically with the lookup, so a concurrent eviction cannot
+// release the last reference in between.
+func (c *Cache) GetHold(k Key, hold func(v interface{})) (interface{}, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[k]; ok {
+		s.ll.MoveToFront(e)
+		s.hits++
+		v := e.Value.(*entry).value
+		if hold != nil {
+			hold(v)
+		}
+		return v, true
+	}
+	s.misses++
+	return nil, false
+}
+
+// Set inserts value under k with the given charge in bytes, evicting LRU
+// entries as needed.
+func (c *Cache) Set(k Key, value interface{}, charge int64) {
+	s := c.shard(k)
+	var evicted []*entry
+	s.mu.Lock()
+	if e, ok := s.items[k]; ok {
+		old := e.Value.(*entry)
+		s.used -= old.charge
+		evicted = append(evicted, old)
+		e.Value = &entry{key: k, value: value, charge: charge}
+		s.used += charge
+		s.ll.MoveToFront(e)
+	} else {
+		e := s.ll.PushFront(&entry{key: k, value: value, charge: charge})
+		s.items[k] = e
+		s.used += charge
+	}
+	for s.used > s.capacity && s.ll.Len() > 0 {
+		back := s.ll.Back()
+		ent := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.items, ent.key)
+		s.used -= ent.charge
+		evicted = append(evicted, ent)
+	}
+	s.mu.Unlock()
+	if c.onEvict != nil {
+		for _, ent := range evicted {
+			c.onEvict(ent.key, ent.value)
+		}
+	}
+}
+
+// Delete removes k if present, invoking the eviction callback.
+func (c *Cache) Delete(k Key) {
+	s := c.shard(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	var ent *entry
+	if ok {
+		ent = e.Value.(*entry)
+		s.ll.Remove(e)
+		delete(s.items, k)
+		s.used -= ent.charge
+	}
+	s.mu.Unlock()
+	if ok && c.onEvict != nil {
+		c.onEvict(ent.key, ent.value)
+	}
+}
+
+// DeleteFile removes every entry whose Key.File matches fn.
+func (c *Cache) DeleteFile(fn uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		var evicted []*entry
+		s.mu.Lock()
+		for k, e := range s.items {
+			if k.File == fn {
+				ent := e.Value.(*entry)
+				s.ll.Remove(e)
+				delete(s.items, k)
+				s.used -= ent.charge
+				evicted = append(evicted, ent)
+			}
+		}
+		s.mu.Unlock()
+		if c.onEvict != nil {
+			for _, ent := range evicted {
+				c.onEvict(ent.key, ent.value)
+			}
+		}
+	}
+}
+
+// Range calls fn for every cached entry. Entries may be concurrently
+// evicted; Range holds each shard's lock while visiting it.
+func (c *Cache) Range(fn func(k Key, v interface{})) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.items {
+			fn(k, e.Value.(*entry).value)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Clear evicts every entry, invoking the eviction callback for each.
+func (c *Cache) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		var evicted []*entry
+		s.mu.Lock()
+		for k, e := range s.items {
+			evicted = append(evicted, e.Value.(*entry))
+			delete(s.items, k)
+		}
+		s.ll.Init()
+		s.used = 0
+		s.mu.Unlock()
+		if c.onEvict != nil {
+			for _, ent := range evicted {
+				c.onEvict(ent.key, ent.value)
+			}
+		}
+	}
+}
+
+// Stats reports aggregate cache behaviour.
+type Stats struct {
+	Hits, Misses int64
+	UsedBytes    int64
+	Entries      int
+}
+
+// Stats returns a snapshot across shards.
+func (c *Cache) Stats() Stats {
+	var st Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.UsedBytes += s.used
+		st.Entries += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,23 @@
+// Package crc provides the masked CRC-32C checksums used to protect WAL
+// records and sstable blocks, following the LevelDB convention of masking
+// the raw checksum so that checksumming data that embeds checksums stays
+// robust.
+package crc
+
+import "hash/crc32"
+
+var table = crc32.MakeTable(crc32.Castagnoli)
+
+const maskDelta = 0xa282ead8
+
+// Value computes the masked CRC-32C of data.
+func Value(data []byte) uint32 { return mask(crc32.Checksum(data, table)) }
+
+// ValueExtended computes the masked CRC-32C of the concatenation a||b
+// without materializing it.
+func ValueExtended(a, b []byte) uint32 {
+	c := crc32.Update(crc32.Checksum(a, table), table, b)
+	return mask(c)
+}
+
+func mask(c uint32) uint32 { return ((c >> 15) | (c << 17)) + maskDelta }

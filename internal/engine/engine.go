@@ -1,0 +1,498 @@
+// Package engine implements the store machinery shared by PebblesDB and
+// the LSM baselines: write-ahead logging, memtable rotation, write stalls
+// (level0-slowdown / level0-stop, §5.1), background flush and compaction
+// scheduling, snapshots, and crash recovery. The on-storage structure is
+// delegated to a Tree (internal/flsm or internal/leveled), mirroring how
+// PebblesDB replaced HyperLevelDB's version/compaction layer while reusing
+// the rest (§4.4).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/batch"
+	"pebblesdb/internal/flsm"
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/leveled"
+	"pebblesdb/internal/memtable"
+	"pebblesdb/internal/tablecache"
+	"pebblesdb/internal/treebase"
+	"pebblesdb/internal/vfs"
+	"pebblesdb/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("engine: store is closed")
+
+// Kind selects the on-storage structure.
+type Kind int
+
+const (
+	// KindFLSM is the fragmented LSM (PebblesDB).
+	KindFLSM Kind = iota
+	// KindLeveled is the classic leveled LSM (the baselines).
+	KindLeveled
+)
+
+// Tree is the on-storage structure contract shared by internal/flsm and
+// internal/leveled.
+type Tree interface {
+	NewFileNum() base.FileNum
+	RecoveryLogNum() base.FileNum
+	PersistedLastSeq() base.SeqNum
+	Ingest(ukey []byte)
+	Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.SeqNum) error
+	Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err error)
+	NewIters() ([]iterator.Iterator, error)
+	NeedsCompaction() bool
+	CompactOnce() (bool, error)
+	CompactAll() error
+	L0Count() int
+	ProtectedFiles() map[base.FileNum]bool
+	EvictTable(fn base.FileNum)
+	ManifestFileNum() base.FileNum
+	LogNum() base.FileNum
+	Metrics() treebase.Metrics
+	CacheMetrics() tablecache.Metrics
+	Dump(w io.Writer)
+	Close() error
+}
+
+// Engine is a single-node key-value store instance.
+type Engine struct {
+	cfg  *base.Config
+	fs   vfs.FS
+	dir  string
+	tree Tree
+
+	// commitMu serializes the write path: room checks, WAL appends, and
+	// memtable application.
+	commitMu sync.Mutex
+
+	// mu protects the mutable fields below and feeds cond.
+	mu         sync.Mutex
+	cond       *sync.Cond
+	mem        *memtable.Memtable
+	imm        *memtable.Memtable
+	walW       *wal.Writer
+	walFile    vfs.File
+	walNum     base.FileNum
+	flushing   bool
+	compacting int
+	bgErr      error
+	closed     bool
+
+	// seq is the volatile last-committed sequence number.
+	seq atomic.Uint64
+
+	snapMu sync.Mutex
+	snaps  map[base.SeqNum]int
+
+	// opLock guards physical file deletion against in-flight reads: reads
+	// hold it shared for their duration, the obsolete-file sweeper takes
+	// it exclusively (TryLock) and defers when readers are active.
+	opLock         sync.RWMutex
+	cleanupPending atomic.Bool
+
+	// obsolete queues table files that left the live version; the sweeper
+	// deletes them once no reads are in flight. Guarded by mu. Tables are
+	// never discovered by directory scanning at runtime (only at Open), so
+	// a file being created can never be mistaken for garbage.
+	obsolete []base.FileNum
+
+	stats struct {
+		slowdowns     atomic.Int64
+		stops         atomic.Int64
+		memWaits      atomic.Int64
+		flushes       atomic.Int64
+		walBytes      atomic.Int64
+		gets          atomic.Int64
+		writes        atomic.Int64
+		iterators     atomic.Int64
+	}
+}
+
+// Open creates or recovers a store of the given kind in dir.
+func Open(cfg *base.Config, fs vfs.FS, dir string, kind Kind) (*Engine, error) {
+	cfg.EnsureDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, fs: fs, dir: dir, snaps: make(map[base.SeqNum]int)}
+	e.cond = sync.NewCond(&e.mu)
+
+	var tree Tree
+	var err error
+	switch kind {
+	case KindFLSM:
+		tree, err = flsm.Open(cfg, fs, dir, e)
+	case KindLeveled:
+		tree, err = leveled.Open(cfg, fs, dir, e)
+	default:
+		err = fmt.Errorf("engine: unknown tree kind %d", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.tree = tree
+	e.mem = memtable.New()
+
+	maxSeq, err := e.replayWALs()
+	if err != nil {
+		tree.Close()
+		return nil, err
+	}
+	if s := tree.PersistedLastSeq(); s > maxSeq {
+		maxSeq = s
+	}
+	e.seq.Store(uint64(maxSeq))
+
+	if err := e.startNewWAL(); err != nil {
+		tree.Close()
+		return nil, err
+	}
+
+	// Flush anything recovered from the logs so the old WALs can go.
+	if e.mem.Len() > 0 {
+		recovered := e.mem
+		e.mem = memtable.New()
+		if err := tree.Flush(recovered.NewIter(), e.walNum, maxSeq); err != nil {
+			tree.Close()
+			return nil, err
+		}
+	}
+
+	e.removeStaleTemp()
+	e.sweepOrphanTables()
+	e.cleanup()
+	e.maybeScheduleCompaction()
+	return e, nil
+}
+
+// replayWALs rebuilds the memtable from every log at or after the
+// manifest's recovery watermark, in file-number order (§4.3.1).
+func (e *Engine) replayWALs() (base.SeqNum, error) {
+	names, err := e.fs.List(e.dir)
+	if err != nil {
+		return 0, err
+	}
+	var logs []base.FileNum
+	for _, name := range names {
+		ft, fn, ok := base.ParseFilename(name)
+		if ok && ft == base.FileTypeLog && fn >= e.tree.RecoveryLogNum() {
+			logs = append(logs, fn)
+		}
+	}
+	sort.Slice(logs, func(i, j int) bool { return logs[i] < logs[j] })
+
+	var maxSeq base.SeqNum
+	for _, fn := range logs {
+		path := filepath.Join(e.dir, base.MakeFilename(base.FileTypeLog, fn))
+		f, err := e.fs.Open(path)
+		if err != nil {
+			return 0, err
+		}
+		size, err := e.fs.Stat(path)
+		if err != nil {
+			f.Close()
+			return 0, err
+		}
+		r, err := wal.NewReader(f, size)
+		f.Close()
+		if err != nil {
+			return 0, err
+		}
+		for {
+			rec, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return 0, fmt.Errorf("engine: replaying %s: %w", path, err)
+			}
+			b, err := batch.FromRepr(rec)
+			if err != nil {
+				return 0, fmt.Errorf("engine: replaying %s: %w", path, err)
+			}
+			err = b.Iterate(func(kind base.Kind, ukey, value []byte, seq base.SeqNum) error {
+				e.mem.Set(ukey, seq, kind, value)
+				e.tree.Ingest(ukey)
+				if seq > maxSeq {
+					maxSeq = seq
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
+	}
+	return maxSeq, nil
+}
+
+// startNewWAL opens a fresh log; the caller holds no locks (open) or
+// commitMu+mu (rotation).
+func (e *Engine) startNewWAL() error {
+	fn := e.tree.NewFileNum()
+	f, err := e.fs.Create(filepath.Join(e.dir, base.MakeFilename(base.FileTypeLog, fn)))
+	if err != nil {
+		return err
+	}
+	if e.walFile != nil {
+		e.walFile.Close()
+	}
+	e.walFile = f
+	e.walW = wal.NewWriter(f)
+	e.walNum = fn
+	return nil
+}
+
+// removeStaleTemp clears temp files left by a crash mid-rename.
+func (e *Engine) removeStaleTemp() {
+	names, _ := e.fs.List(e.dir)
+	for _, name := range names {
+		if ft, _, ok := base.ParseFilename(name); ok && ft == base.FileTypeTemp {
+			e.fs.Remove(filepath.Join(e.dir, name))
+		}
+	}
+}
+
+// NoteObsoleteTables implements treebase.Host: trees report table files
+// that just left the live version; the sweeper deletes them when no reads
+// are in flight.
+func (e *Engine) NoteObsoleteTables(fns []base.FileNum) {
+	e.mu.Lock()
+	e.obsolete = append(e.obsolete, fns...)
+	e.mu.Unlock()
+}
+
+// cleanup physically deletes queued obsolete tables, stale WALs and
+// superseded manifests. It defers itself while reads are in flight (an
+// open iterator may still be reading tables that left the version).
+func (e *Engine) cleanup() {
+	if !e.opLock.TryLock() {
+		e.cleanupPending.Store(true)
+		return
+	}
+	defer e.opLock.Unlock()
+	e.cleanupPending.Store(false)
+
+	e.mu.Lock()
+	obsolete := e.obsolete
+	e.obsolete = nil
+	curWAL := e.walNum
+	e.mu.Unlock()
+
+	for _, fn := range obsolete {
+		e.tree.EvictTable(fn)
+		e.fs.Remove(filepath.Join(e.dir, base.MakeFilename(base.FileTypeTable, fn)))
+	}
+
+	logNum := e.tree.LogNum()
+	manifestNum := e.tree.ManifestFileNum()
+	names, err := e.fs.List(e.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		ft, fn, ok := base.ParseFilename(name)
+		if !ok {
+			continue
+		}
+		remove := false
+		switch ft {
+		case base.FileTypeLog:
+			remove = fn < logNum && fn != curWAL
+		case base.FileTypeManifest:
+			remove = fn < manifestNum
+		}
+		if remove {
+			e.fs.Remove(filepath.Join(e.dir, name))
+		}
+	}
+}
+
+// sweepOrphanTables removes table files not referenced by the recovered
+// version. Only safe at Open, before any background work begins (at
+// runtime, in-flight compaction outputs would look like orphans).
+func (e *Engine) sweepOrphanTables() {
+	protected := e.tree.ProtectedFiles()
+	names, err := e.fs.List(e.dir)
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		ft, fn, ok := base.ParseFilename(name)
+		if ok && ft == base.FileTypeTable && !protected[fn] {
+			e.fs.Remove(filepath.Join(e.dir, name))
+		}
+	}
+}
+
+// releaseOp drops a read hold and runs a deferred sweep when possible.
+func (e *Engine) releaseOp() {
+	e.opLock.RUnlock()
+	if e.cleanupPending.Load() {
+		e.cleanup()
+	}
+}
+
+// SmallestSnapshot implements part of treebase.Host.
+func (e *Engine) SmallestSnapshot() base.SeqNum {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	min := base.SeqNum(e.seq.Load())
+	for s := range e.snaps {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// Snapshot captures the current sequence number; reads through it observe
+// the store as of creation. Release with Close.
+type Snapshot struct {
+	e   *Engine
+	seq base.SeqNum
+}
+
+// NewSnapshot registers a read snapshot.
+func (e *Engine) NewSnapshot() *Snapshot {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	s := base.SeqNum(e.seq.Load())
+	e.snaps[s]++
+	return &Snapshot{e: e, seq: s}
+}
+
+// Seq returns the snapshot's sequence number.
+func (s *Snapshot) Seq() base.SeqNum { return s.seq }
+
+// Close releases the snapshot, letting compaction reclaim its versions.
+func (s *Snapshot) Close() {
+	s.e.snapMu.Lock()
+	defer s.e.snapMu.Unlock()
+	s.e.snaps[s.seq]--
+	if s.e.snaps[s.seq] <= 0 {
+		delete(s.e.snaps, s.seq)
+	}
+}
+
+// maybeScheduleCompaction spins up background workers while the tree has
+// work and capacity remains (multi-threaded compaction, §4.4).
+func (e *Engine) maybeScheduleCompaction() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.maybeScheduleCompactionLocked()
+}
+
+func (e *Engine) maybeScheduleCompactionLocked() {
+	if e.closed || e.bgErr != nil {
+		return
+	}
+	for e.compacting < e.cfg.MaxCompactionConcurrency && e.tree.NeedsCompaction() {
+		e.compacting++
+		go e.compactWorker()
+	}
+}
+
+func (e *Engine) compactWorker() {
+	for {
+		did, err := e.tree.CompactOnce()
+		e.mu.Lock()
+		if err != nil {
+			e.bgErr = err
+			e.compacting--
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+		if !did {
+			e.compacting--
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			e.cleanup()
+			return
+		}
+		// A unit completed: wake stalled writers, look for more work.
+		e.cond.Broadcast()
+		e.maybeScheduleCompactionLocked()
+		e.mu.Unlock()
+		e.cleanup()
+	}
+}
+
+// WaitIdle blocks until no flush or compaction is running or pending. The
+// paper's "fully compacted" read benchmarks (Fig 5.1b seeks) use this.
+func (e *Engine) WaitIdle() error {
+	for {
+		e.mu.Lock()
+		if e.bgErr != nil {
+			err := e.bgErr
+			e.mu.Unlock()
+			return err
+		}
+		busy := e.flushing || e.imm != nil || e.compacting > 0
+		e.mu.Unlock()
+		if !busy {
+			e.maybeScheduleCompaction()
+			e.mu.Lock()
+			busy = e.compacting > 0
+			e.mu.Unlock()
+			if !busy && !e.tree.NeedsCompaction() {
+				return nil
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Dump writes the tree layout (cmd/flsmdump, Fig 3.1).
+func (e *Engine) Dump(w io.Writer) { e.tree.Dump(w) }
+
+// Tree exposes the underlying tree for white-box tests and tools.
+func (e *Engine) Tree() Tree { return e.tree }
+
+// Close flushes nothing (the WAL preserves the memtable), waits for
+// background work, and releases resources.
+func (e *Engine) Close() error {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	for e.flushing || e.compacting > 0 {
+		e.cond.Wait()
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	var first error
+	if e.walFile != nil {
+		if err := e.walFile.Sync(); err != nil && first == nil {
+			first = err
+		}
+		if err := e.walFile.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := e.tree.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"pebblesdb/internal/vfs"
+)
+
+func TestIterCollapsesVersionsAcrossLayers(t *testing.T) {
+	// Versions of one key spread across memtable, L0 and deeper levels;
+	// the user iterator must surface exactly the newest live version.
+	e := openEngine(t, vfs.NewMem(), KindFLSM)
+	defer e.Close()
+
+	e.Set([]byte("k"), []byte("v1"), false)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	e.Set([]byte("k"), []byte("v2"), false)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	e.Set([]byte("k"), []byte("v3"), false) // memtable only
+
+	it, err := e.NewIter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	it.First()
+	if !it.Valid() || string(it.Key()) != "k" || string(it.Value()) != "v3" {
+		t.Fatalf("got %q=%q valid=%v", it.Key(), it.Value(), it.Valid())
+	}
+	it.Next()
+	if it.Valid() {
+		t.Fatal("only one live user key expected")
+	}
+}
+
+func TestIterHidesTombstonesAcrossLayers(t *testing.T) {
+	e := openEngine(t, vfs.NewMem(), KindFLSM)
+	defer e.Close()
+
+	for i := 0; i < 10; i++ {
+		e.Set([]byte(fmt.Sprintf("k%d", i)), []byte("v"), false)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Tombstone in the memtable shadows the flushed value.
+	e.Delete([]byte("k3"), false)
+
+	it, err := e.NewIter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for it.First(); it.Valid(); it.Next() {
+		got = append(got, string(it.Key()))
+	}
+	if len(got) != 9 {
+		t.Fatalf("got %v", got)
+	}
+	for _, k := range got {
+		if k == "k3" {
+			t.Fatal("tombstoned key visible")
+		}
+	}
+
+	// SeekGE lands after the deleted key.
+	it2, _ := e.NewIter(nil)
+	defer it2.Close()
+	it2.SeekGE([]byte("k3"))
+	if !it2.Valid() || string(it2.Key()) != "k4" {
+		t.Fatalf("SeekGE(k3) = %q", it2.Key())
+	}
+}
+
+func TestIterSnapshotIgnoresLaterVersions(t *testing.T) {
+	e := openEngine(t, vfs.NewMem(), KindFLSM)
+	defer e.Close()
+
+	e.Set([]byte("a"), []byte("old"), false)
+	snap := e.NewSnapshot()
+	defer snap.Close()
+	e.Set([]byte("a"), []byte("new"), false)
+	e.Set([]byte("b"), []byte("later"), false)
+
+	it, err := e.NewIter(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	it.First()
+	if !it.Valid() || string(it.Value()) != "old" {
+		t.Fatalf("snapshot iterator sees %q", it.Value())
+	}
+	it.Next()
+	if it.Valid() {
+		t.Fatal("snapshot iterator must not see later inserts")
+	}
+}

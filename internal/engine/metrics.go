@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/tablecache"
+	"pebblesdb/internal/treebase"
+)
+
+// Metrics is a point-in-time summary of store activity, sized for the
+// paper's reporting needs (write amplification, stall counts, sstable size
+// distributions, memory consumption).
+type Metrics struct {
+	// Tree describes the on-storage structure.
+	Tree treebase.Metrics
+	// Cache describes the table cache (Table 5.4 memory accounting).
+	Cache tablecache.Metrics
+
+	// SlowdownWrites / StoppedWrites / MemtableWaits count write stalls.
+	SlowdownWrites int64
+	StoppedWrites  int64
+	MemtableWaits  int64
+	// Flushes counts memtable flushes.
+	Flushes int64
+	// WALBytes counts bytes appended to the write-ahead log.
+	WALBytes int64
+	// Gets / Writes / Iterators count operations.
+	Gets      int64
+	Writes    int64
+	Iterators int64
+	// MemtableBytes is the live memtable footprint.
+	MemtableBytes int64
+	// LastSeq is the last committed sequence number.
+	LastSeq base.SeqNum
+}
+
+// Metrics returns a snapshot of store statistics.
+func (e *Engine) Metrics() Metrics {
+	m := Metrics{
+		Tree:           e.tree.Metrics(),
+		Cache:          e.tree.CacheMetrics(),
+		SlowdownWrites: e.stats.slowdowns.Load(),
+		StoppedWrites:  e.stats.stops.Load(),
+		MemtableWaits:  e.stats.memWaits.Load(),
+		Flushes:        e.stats.flushes.Load(),
+		WALBytes:       e.stats.walBytes.Load(),
+		Gets:           e.stats.gets.Load(),
+		Writes:         e.stats.writes.Load(),
+		Iterators:      e.stats.iterators.Load(),
+		LastSeq:        base.SeqNum(e.seq.Load()),
+	}
+	e.mu.Lock()
+	m.MemtableBytes = e.mem.ApproxSize()
+	if e.imm != nil {
+		m.MemtableBytes += e.imm.ApproxSize()
+	}
+	e.mu.Unlock()
+	return m
+}

@@ -1,0 +1,180 @@
+package engine
+
+import (
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/iterator"
+)
+
+// Get returns the value of key, or found=false if absent or deleted. A nil
+// snapshot reads the latest committed state.
+func (e *Engine) Get(key []byte, snap *Snapshot) (value []byte, found bool, err error) {
+	e.stats.gets.Add(1)
+	e.opLock.RLock()
+	defer e.releaseOp()
+
+	seq := base.SeqNum(e.seq.Load())
+	if snap != nil {
+		seq = snap.seq
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	mem, imm := e.mem, e.imm
+	e.mu.Unlock()
+
+	if v, kind, ok := mem.Get(key, seq); ok {
+		return v, kind == base.KindSet, nil
+	}
+	if imm != nil {
+		if v, kind, ok := imm.Get(key, seq); ok {
+			return v, kind == base.KindSet, nil
+		}
+	}
+	return e.tree.Get(key, seq)
+}
+
+// Iter is the user-facing iterator: it yields live user keys in ascending
+// order, collapsing versions and hiding tombstones at the read sequence.
+type Iter struct {
+	e       *Engine
+	merged  iterator.Iterator
+	readSeq base.SeqNum
+	ukey    []byte
+	value   []byte
+	valid   bool
+	closed  bool
+	err     error
+}
+
+// NewIter returns an iterator over the store. A nil snapshot observes the
+// latest committed state as of creation. The iterator holds resources;
+// Close it promptly.
+func (e *Engine) NewIter(snap *Snapshot) (*Iter, error) {
+	e.stats.iterators.Add(1)
+	e.opLock.RLock()
+
+	seq := base.SeqNum(e.seq.Load())
+	if snap != nil {
+		seq = snap.seq
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.opLock.RUnlock()
+		return nil, ErrClosed
+	}
+	mem, imm := e.mem, e.imm
+	e.mu.Unlock()
+
+	iters := []iterator.Iterator{mem.NewIter()}
+	if imm != nil {
+		iters = append(iters, imm.NewIter())
+	}
+	treeIters, err := e.tree.NewIters()
+	if err != nil {
+		e.opLock.RUnlock()
+		return nil, err
+	}
+	iters = append(iters, treeIters...)
+	return &Iter{
+		e:       e,
+		merged:  iterator.NewMerging(base.InternalCompare, iters...),
+		readSeq: seq,
+	}, nil
+}
+
+// SeekGE positions the iterator at the first live user key >= key.
+func (it *Iter) SeekGE(key []byte) {
+	if it.closed {
+		return
+	}
+	search := base.MakeSearchKey(make([]byte, 0, len(key)+base.TrailerLen), key, it.readSeq)
+	it.merged.SeekGE(search)
+	it.findNext(nil)
+}
+
+// First positions the iterator at the smallest live user key.
+func (it *Iter) First() {
+	if it.closed {
+		return
+	}
+	it.merged.First()
+	it.findNext(nil)
+}
+
+// Next advances to the next live user key.
+func (it *Iter) Next() {
+	if it.closed || !it.valid {
+		return
+	}
+	prev := append([]byte(nil), it.ukey...)
+	it.merged.Next()
+	it.findNext(prev)
+}
+
+// findNext scans the merged stream for the newest visible version of the
+// next user key after skipUkey, skipping invisible sequence numbers,
+// shadowed versions and tombstones.
+func (it *Iter) findNext(skipUkey []byte) {
+	it.valid = false
+	for it.merged.Valid() {
+		ukey, seq, kind, ok := base.DecodeInternalKey(it.merged.Key())
+		if !ok {
+			it.merged.Next()
+			continue
+		}
+		if seq > it.readSeq {
+			it.merged.Next()
+			continue
+		}
+		if skipUkey != nil && string(ukey) == string(skipUkey) {
+			it.merged.Next()
+			continue
+		}
+		if kind == base.KindDelete {
+			// Newest visible version is a tombstone: skip this user key
+			// entirely.
+			skipUkey = append(skipUkey[:0], ukey...)
+			it.merged.Next()
+			continue
+		}
+		it.ukey = append(it.ukey[:0], ukey...)
+		it.value = it.merged.Value()
+		it.valid = true
+		return
+	}
+	if err := it.merged.Error(); err != nil && it.err == nil {
+		it.err = err
+	}
+}
+
+// Valid reports whether the iterator is positioned on a live entry.
+func (it *Iter) Valid() bool { return it.valid && it.err == nil }
+
+// Key returns the current user key (valid until the next move).
+func (it *Iter) Key() []byte { return it.ukey }
+
+// Value returns the current value (valid until the next move).
+func (it *Iter) Value() []byte { return it.value }
+
+// Error returns the first error the iterator encountered.
+func (it *Iter) Error() error { return it.err }
+
+// Close releases the iterator's resources. It must be called exactly once.
+func (it *Iter) Close() error {
+	if it.closed {
+		return it.err
+	}
+	it.closed = true
+	it.valid = false
+	err := it.merged.Close()
+	it.e.releaseOp()
+	if it.err == nil {
+		it.err = err
+	}
+	return it.err
+}

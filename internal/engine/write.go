@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"time"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/batch"
+	"pebblesdb/internal/memtable"
+)
+
+// Set writes a single key-value pair.
+func (e *Engine) Set(key, value []byte, sync bool) error {
+	b := batch.New()
+	b.Set(key, value)
+	return e.Apply(b, sync)
+}
+
+// Delete writes a tombstone for key.
+func (e *Engine) Delete(key []byte, sync bool) error {
+	b := batch.New()
+	b.Delete(key)
+	return e.Apply(b, sync)
+}
+
+// Apply commits a batch atomically: one WAL record, consecutive sequence
+// numbers, and memtable application. Concurrent callers serialize on the
+// commit mutex (LevelDB's writer queue collapses to this under Go's mutex
+// FIFO-ish scheduling).
+func (e *Engine) Apply(b *batch.Batch, sync bool) error {
+	if b.Empty() {
+		return nil
+	}
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+
+	if err := e.makeRoomForWrite(b.ApproxSize()); err != nil {
+		return err
+	}
+
+	seq := base.SeqNum(e.seq.Load()) + 1
+	b.SetSeqNum(seq)
+	repr := b.Repr()
+	if err := e.walW.AddRecord(repr); err != nil {
+		e.setBgErr(err)
+		return err
+	}
+	e.stats.walBytes.Add(int64(len(repr)))
+	if sync || e.cfg.WALSync {
+		if err := e.walFile.Sync(); err != nil {
+			e.setBgErr(err)
+			return err
+		}
+	}
+
+	err := b.Iterate(func(kind base.Kind, ukey, value []byte, s base.SeqNum) error {
+		e.mem.Set(ukey, s, kind, value)
+		e.tree.Ingest(ukey)
+		return nil
+	})
+	if err != nil {
+		e.setBgErr(err)
+		return err
+	}
+	// Publish visibility only after the memtable holds every entry.
+	e.seq.Store(uint64(seq) + uint64(b.Count()) - 1)
+	e.stats.writes.Add(int64(b.Count()))
+	return nil
+}
+
+func (e *Engine) setBgErr(err error) {
+	e.mu.Lock()
+	if e.bgErr == nil {
+		e.bgErr = err
+	}
+	e.mu.Unlock()
+}
+
+// makeRoomForWrite implements the write-stall state machine (§5.1's
+// level0-slowdown and level0-stop parameters, plus memtable rotation).
+// Called with commitMu held.
+func (e *Engine) makeRoomForWrite(n int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	delayed := false
+	for {
+		switch {
+		case e.closed:
+			return ErrClosed
+		case e.bgErr != nil:
+			return e.bgErr
+		case !delayed && e.tree.L0Count() >= e.cfg.L0SlowdownTrigger && e.tree.L0Count() < e.cfg.L0StopTrigger:
+			// Soft limit: delay this write once by 1ms, ceding CPU and IO
+			// to compaction.
+			e.stats.slowdowns.Add(1)
+			e.mu.Unlock()
+			time.Sleep(time.Millisecond)
+			e.mu.Lock()
+			delayed = true
+		case e.mem.ApproxSize()+int64(n) <= int64(e.cfg.MemtableSize):
+			return nil
+		case e.imm != nil:
+			// Previous memtable still flushing.
+			e.stats.memWaits.Add(1)
+			e.cond.Wait()
+		case e.tree.L0Count() >= e.cfg.L0StopTrigger:
+			// Hard limit: block until compaction drains level 0.
+			e.stats.stops.Add(1)
+			e.cond.Wait()
+		default:
+			// Rotate: freeze the memtable, start a new WAL, flush in the
+			// background.
+			if err := e.startNewWAL(); err != nil {
+				e.bgErr = err
+				return err
+			}
+			e.imm = e.mem
+			e.mem = memtable.New()
+			e.flushing = true
+			flushSeq := base.SeqNum(e.seq.Load())
+			go e.flushWorker(e.imm, e.walNum, flushSeq)
+		}
+	}
+}
+
+// flushWorker writes one immutable memtable to level 0.
+func (e *Engine) flushWorker(imm *memtable.Memtable, newLogNum base.FileNum, lastSeq base.SeqNum) {
+	err := e.tree.Flush(imm.NewIter(), newLogNum, lastSeq)
+	e.mu.Lock()
+	if err != nil {
+		if e.bgErr == nil {
+			e.bgErr = err
+		}
+	} else {
+		e.imm = nil
+		e.stats.flushes.Add(1)
+	}
+	e.flushing = false
+	e.cond.Broadcast()
+	e.maybeScheduleCompactionLocked()
+	e.mu.Unlock()
+	e.cleanup()
+}
+
+// Flush forces the current memtable to storage and waits for it.
+func (e *Engine) Flush() error {
+	e.commitMu.Lock()
+	e.mu.Lock()
+	for e.imm != nil && e.bgErr == nil {
+		e.cond.Wait()
+	}
+	if e.bgErr != nil {
+		err := e.bgErr
+		e.mu.Unlock()
+		e.commitMu.Unlock()
+		return err
+	}
+	if e.mem.Len() == 0 {
+		e.mu.Unlock()
+		e.commitMu.Unlock()
+		return nil
+	}
+	if err := e.startNewWAL(); err != nil {
+		e.mu.Unlock()
+		e.commitMu.Unlock()
+		return err
+	}
+	e.imm = e.mem
+	e.mem = memtable.New()
+	e.flushing = true
+	flushSeq := base.SeqNum(e.seq.Load())
+	go e.flushWorker(e.imm, e.walNum, flushSeq)
+	for e.imm != nil && e.bgErr == nil {
+		e.cond.Wait()
+	}
+	err := e.bgErr
+	e.mu.Unlock()
+	e.commitMu.Unlock()
+	return err
+}
+
+// CompactAll flushes and then drives compaction to quiescence on the
+// calling goroutine (benchmarks measuring fully compacted stores).
+func (e *Engine) CompactAll() error {
+	if err := e.Flush(); err != nil {
+		return err
+	}
+	if err := e.tree.CompactAll(); err != nil {
+		return err
+	}
+	e.cleanup()
+	return e.WaitIdle()
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// smokeCfg runs each experiment at a tiny scale so the full suite stays
+// fast; correctness of shapes is asserted where cheap.
+func smokeCfg(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Scale: 500_000, StoreScale: 256, Threads: 2}
+}
+
+func TestAllExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Registry[name](smokeCfg(&buf)); err != nil {
+				t.Fatalf("%s failed: %v\noutput:\n%s", name, err, buf.String())
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", name)
+			}
+		})
+	}
+}
+
+func TestFig1ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// At a moderate scale, PebblesDB must show the lowest write
+	// amplification — the headline result.
+	var buf bytes.Buffer
+	cfg := Config{Out: &buf, Scale: 1_000, StoreScale: 128, Threads: 2} // 500k keys, stores scaled 128x
+	if err := Fig1WriteAmplification(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	t.Log(out)
+	amps := map[string]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		var name string
+		var io, amp float64
+		if n, _ := parseAmpLine(line, &name, &io, &amp); n == 3 {
+			amps[name] = amp
+		}
+	}
+	if len(amps) != 4 {
+		t.Fatalf("parsed %d stores from output:\n%s", len(amps), out)
+	}
+	// PebblesDB must clearly beat the baselines that share its exact
+	// parameters (the paper's 2.4-3x / 1.6x claims). The RocksDB preset's
+	// large L0/memtables absorb a big fraction of a scaled dataset, so it
+	// can tie PebblesDB here (documented deviation in EXPERIMENTS.md);
+	// only a clear loss to it would be a regression.
+	for _, name := range []string{"HyperLevelDB", "LevelDB"} {
+		if amps["PebblesDB"] >= amps[name] {
+			t.Errorf("PebblesDB write amp %.2f not below %s's %.2f", amps["PebblesDB"], name, amps[name])
+		}
+	}
+	if amps["PebblesDB"] > amps["RocksDB"]*1.25 {
+		t.Errorf("PebblesDB write amp %.2f clearly above RocksDB preset's %.2f", amps["PebblesDB"], amps["RocksDB"])
+	}
+}
+
+func parseAmpLine(line string, name *string, io, amp *float64) (int, error) {
+	line = strings.TrimSpace(line)
+	if !strings.Contains(line, "writeAmp") || strings.HasPrefix(line, "==") {
+		return 0, nil
+	}
+	fields := strings.Fields(line)
+	// NAME writeIO X GB writeAmp Y
+	if len(fields) != 6 {
+		return 0, nil
+	}
+	*name = fields[0]
+	n := 1
+	if _, err := fmtSscan(fields[2], io); err == nil {
+		n++
+	}
+	if _, err := fmtSscan(fields[5], amp); err == nil {
+		n++
+	}
+	return n, nil
+}
+
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscanf(s, "%f", v)
+}

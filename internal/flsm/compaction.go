@@ -1,0 +1,511 @@
+package flsm
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/guard"
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/treebase"
+)
+
+// sourceGuard is one guard's worth of compaction input. key==nil means the
+// sentinel.
+type sourceGuard struct {
+	key   []byte
+	files []*base.FileMetadata
+}
+
+func (s *sourceGuard) bytes() uint64 {
+	var t uint64
+	for _, f := range s.files {
+		t += f.Size
+	}
+	return t
+}
+
+// compaction is one unit of FLSM compaction work.
+type compaction struct {
+	level       int // source level; 0 = L0 compaction
+	targetLevel int // level+1, or level for an in-place last-level merge
+	l0Files     []*base.FileMetadata
+	sources     []sourceGuard
+	inPlace     bool
+	seek        bool
+	// targetKeys are the partition boundaries: committed guards of the
+	// target level plus the uncommitted guards eligible for commit.
+	targetKeys [][]byte
+	// commitKeys are the uncommitted guards this compaction commits.
+	commitKeys [][]byte
+	// v pins the version the compaction was planned against.
+	v *version
+}
+
+// NeedsCompaction reports whether compaction work is pending.
+func (t *Tree) NeedsCompaction() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pickLocked(false) != nil
+}
+
+// levelsFree reports whether the given levels are not being compacted.
+func (t *Tree) levelsFree(levels ...int) bool {
+	for _, l := range levels {
+		if t.busyLevels[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// pickLocked chooses the next compaction unit following the paper's
+// triggers, in priority order: L0 fill, level size, size-ratio (§4.2
+// aggressive compaction), per-guard sstable caps (§3.5), and seek budgets
+// (§4.2).
+func (t *Tree) pickLocked(claim bool) *compaction {
+	v := t.cur
+	last := t.cfg.NumLevels - 1
+	var c *compaction
+
+	// 1. L0 file count.
+	if len(v.l0) >= t.cfg.L0CompactionTrigger && t.levelsFree(0, 1) {
+		c = &compaction{
+			level:       0,
+			targetLevel: 1,
+			l0Files:     append([]*base.FileMetadata(nil), v.l0...),
+			v:           v,
+		}
+	}
+
+	// 2. Level size: compact the whole level (every populated guard) into
+	// the next. Each byte still moves down at most once per level.
+	if c == nil {
+		bestScore := 0.0
+		bestLevel := -1
+		for l := 1; l < last; l++ {
+			if !t.levelsFree(l, l+1) {
+				continue
+			}
+			score := float64(v.levels[l].totalBytes()) / float64(t.cfg.MaxBytesForLevel(l))
+			if score >= 1.0 && score > bestScore {
+				bestScore, bestLevel = score, l
+			}
+		}
+		if bestLevel > 0 {
+			c = t.wholeLevelCompaction(v, bestLevel)
+		}
+	}
+
+	// 3. Size-ratio rule: level i within SizeRatioPct of level i+1.
+	if c == nil && t.cfg.SizeRatioPct > 0 {
+		for l := 1; l < last; l++ {
+			if !t.levelsFree(l, l+1) {
+				continue
+			}
+			next := v.levels[l+1].totalBytes()
+			if next <= 0 {
+				continue
+			}
+			if v.levels[l].totalBytes()*100 >= next*int64(t.cfg.SizeRatioPct) {
+				c = t.wholeLevelCompaction(v, l)
+				break
+			}
+		}
+	}
+
+	// 4. Guard sstable cap.
+	if c == nil {
+		for l := 1; l <= last && c == nil; l++ {
+			gl := &v.levels[l]
+			pick := func(key []byte, files []*base.FileMetadata) {
+				if len(files) < t.cfg.MaxSSTablesPerGuard || c != nil {
+					return
+				}
+				if l == last {
+					// In-place merges need at least two files; rewriting
+					// a single file is pure churn (matters when
+					// max_sstables_per_guard is 1, the PebblesDB-1 mode).
+					if len(files) < 2 || !t.levelsFree(l) {
+						return
+					}
+					c = &compaction{level: l, targetLevel: l, inPlace: true,
+						sources: []sourceGuard{{key: key, files: append([]*base.FileMetadata(nil), files...)}}, v: v}
+				} else {
+					if !t.levelsFree(l, l+1) {
+						return
+					}
+					c = &compaction{level: l, targetLevel: l + 1,
+						sources: []sourceGuard{{key: key, files: append([]*base.FileMetadata(nil), files...)}}, v: v}
+				}
+			}
+			pick(nil, gl.sentinel)
+			for i := range gl.guards {
+				pick(gl.guards[i].Key, gl.guards[i].Files)
+			}
+		}
+	}
+
+	// 5. Seek-triggered guard compaction.
+	if c == nil {
+		for id := range t.seekPending {
+			l := id.Level
+			src := t.findGroup(v, l, id.Key)
+			if src == nil || len(src) <= 1 {
+				delete(t.seekPending, id)
+				continue
+			}
+			var key []byte
+			if id.Key != "" {
+				key = []byte(id.Key)
+			}
+			if l == last {
+				if !t.levelsFree(l) {
+					continue
+				}
+				c = &compaction{level: l, targetLevel: l, inPlace: true, seek: true,
+					sources: []sourceGuard{{key: key, files: append([]*base.FileMetadata(nil), src...)}}, v: v}
+			} else {
+				if !t.levelsFree(l, l+1) {
+					continue
+				}
+				c = &compaction{level: l, targetLevel: l + 1, seek: true,
+					sources: []sourceGuard{{key: key, files: append([]*base.FileMetadata(nil), src...)}}, v: v}
+			}
+			delete(t.seekPending, id)
+			break
+		}
+	}
+
+	if c == nil {
+		return nil
+	}
+	t.fillTargetKeysLocked(c)
+	if claim {
+		t.busyLevels[c.level] = true
+		t.busyLevels[c.targetLevel] = true
+	}
+	return c
+}
+
+// findGroup returns the files of the guard identified by key ("" sentinel).
+func (t *Tree) findGroup(v *version, level int, key string) []*base.FileMetadata {
+	gl := &v.levels[level]
+	if key == "" {
+		return gl.sentinel
+	}
+	for i := range gl.guards {
+		if string(gl.guards[i].Key) == key {
+			return gl.guards[i].Files
+		}
+	}
+	return nil
+}
+
+// wholeLevelCompaction gathers every populated group of a level.
+func (t *Tree) wholeLevelCompaction(v *version, level int) *compaction {
+	c := &compaction{level: level, targetLevel: level + 1, v: v}
+	gl := &v.levels[level]
+	if len(gl.sentinel) > 0 {
+		c.sources = append(c.sources, sourceGuard{key: nil, files: append([]*base.FileMetadata(nil), gl.sentinel...)})
+	}
+	for i := range gl.guards {
+		if len(gl.guards[i].Files) > 0 {
+			c.sources = append(c.sources, sourceGuard{
+				key:   gl.guards[i].Key,
+				files: append([]*base.FileMetadata(nil), gl.guards[i].Files...),
+			})
+		}
+	}
+	if len(c.sources) == 0 {
+		return nil
+	}
+	return c
+}
+
+// fillTargetKeysLocked computes the partition boundaries for the target
+// level: its committed guards plus every uncommitted guard that no existing
+// file straddles (§3.3: sstables that would need splitting by an
+// uncommitted guard are instead handled at the next compaction cycle).
+func (t *Tree) fillTargetKeysLocked(c *compaction) {
+	gl := &t.cur.levels[c.targetLevel]
+	committed := gl.guardKeys()
+	var eligible [][]byte
+	for _, k := range t.uncommitted[c.targetLevel] {
+		if !gl.straddles(k) {
+			eligible = append(eligible, append([]byte(nil), k...))
+		}
+	}
+	keys := make([][]byte, 0, len(committed)+len(eligible))
+	keys = append(keys, committed...)
+	keys = append(keys, eligible...)
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	c.targetKeys = keys
+	c.commitKeys = eligible
+}
+
+// CompactOnce performs at most one compaction unit.
+func (t *Tree) CompactOnce() (bool, error) {
+	t.mu.Lock()
+	c := t.pickLocked(true)
+	t.mu.Unlock()
+	if c == nil {
+		return false, nil
+	}
+	err := t.runCompaction(c)
+	t.mu.Lock()
+	delete(t.busyLevels, c.level)
+	delete(t.busyLevels, c.targetLevel)
+	t.mu.Unlock()
+	return true, err
+}
+
+// guardOutput is the result of compacting one source guard.
+type guardOutput struct {
+	dstLevel int
+	metas    []*base.FileMetadata
+	builder  *treebase.OutputBuilder
+	inPlace  bool
+}
+
+func (t *Tree) runCompaction(c *compaction) error {
+	smallest := base.MaxSeqNum
+	if t.snap != nil {
+		smallest = t.snap.SmallestSnapshot()
+	}
+	last := t.cfg.NumLevels - 1
+
+	edit := &manifest.VersionEdit{}
+	for _, k := range c.commitKeys {
+		edit.NewGuards = append(edit.NewGuards, manifest.GuardEntry{Level: c.targetLevel, Key: k})
+	}
+
+	var bytesIn, bytesOut int64
+	var outputs []guardOutput
+	var failed error
+
+	if c.level == 0 {
+		for _, f := range c.l0Files {
+			bytesIn += int64(f.Size)
+			edit.DeletedFiles = append(edit.DeletedFiles, manifest.DeletedFileEntry{Level: 0, FileNum: f.FileNum})
+		}
+		// Tombstones are never elided here: older versions may live below.
+		out, err := t.mergeAndPartition(c.l0Files, c.targetKeys, smallest, false)
+		if err != nil {
+			out.builder.Abandon()
+			return err
+		}
+		out.dstLevel = 1
+		outputs = append(outputs, out)
+	} else {
+		for _, s := range c.sources {
+			for _, f := range s.files {
+				bytesIn += int64(f.Size)
+				edit.DeletedFiles = append(edit.DeletedFiles, manifest.DeletedFileEntry{Level: c.level, FileNum: f.FileNum})
+			}
+		}
+		run := func(s sourceGuard) (guardOutput, error) {
+			dst := c.targetLevel
+			partition := c.targetKeys
+			inPlace := c.inPlace
+			// Second-to-last level heuristic (§3.4): when the target guard
+			// in the last level is full and merging there would cost more
+			// than LastLevelRewriteFactor times the input, rewrite within
+			// this level instead. A single-file guard is exempt: rewriting
+			// one file in place is pure churn (and would repeat forever).
+			if !inPlace && c.level == last-1 && len(s.files) >= 2 {
+				if full, existing := t.lastLevelPressure(c.v, s); full &&
+					existing > uint64(t.cfg.LastLevelRewriteFactor)*s.bytes() {
+					dst = c.level
+					partition = nil // single guard: no partitioning needed
+					inPlace = true
+				}
+			}
+			// Elide tombstones only when the merge covers every file that
+			// could hold older versions of its keys: an in-place merge of
+			// a whole last-level guard.
+			elide := inPlace && dst == last
+			out, err := t.mergeAndPartition(s.files, partition, smallest, elide)
+			out.dstLevel = dst
+			out.inPlace = inPlace
+			return out, err
+		}
+
+		if t.cfg.ParallelGuardCompaction && len(c.sources) > 1 {
+			// Guard-granular parallel compaction: source guards map to
+			// disjoint target intervals, so their merges are independent
+			// (§3.4: "FLSM compaction is trivially parallelizable").
+			var wg sync.WaitGroup
+			var omu sync.Mutex
+			for _, s := range c.sources {
+				wg.Add(1)
+				go func(s sourceGuard) {
+					defer wg.Done()
+					out, err := run(s)
+					omu.Lock()
+					defer omu.Unlock()
+					if err != nil {
+						out.builder.Abandon()
+						if failed == nil {
+							failed = err
+						}
+						return
+					}
+					outputs = append(outputs, out)
+				}(s)
+			}
+			wg.Wait()
+		} else {
+			for _, s := range c.sources {
+				out, err := run(s)
+				if err != nil {
+					out.builder.Abandon()
+					failed = err
+					break
+				}
+				outputs = append(outputs, out)
+			}
+		}
+	}
+	if failed != nil {
+		for _, o := range outputs {
+			o.builder.Abandon()
+		}
+		return failed
+	}
+
+	inPlaceCount := 0
+	for _, o := range outputs {
+		if o.inPlace {
+			inPlaceCount++
+		}
+		for _, m := range o.metas {
+			edit.NewFiles = append(edit.NewFiles, manifest.NewFileEntry{Level: o.dstLevel, Meta: *m})
+			bytesOut += int64(m.Size)
+		}
+	}
+
+	if err := t.logAndInstall(edit); err != nil {
+		for _, o := range outputs {
+			o.builder.Abandon()
+		}
+		return err
+	}
+	for _, o := range outputs {
+		o.builder.ReleasePending()
+	}
+	if t.snap != nil {
+		dead := make([]base.FileNum, 0, len(edit.DeletedFiles))
+		for _, d := range edit.DeletedFiles {
+			dead = append(dead, d.FileNum)
+		}
+		t.snap.NoteObsoleteTables(dead)
+	}
+
+	t.mu.Lock()
+	t.metrics.Compactions++
+	t.metrics.InPlaceMerges += int64(inPlaceCount)
+	if c.seek {
+		t.metrics.SeekCompactions++
+	}
+	t.metrics.BytesCompactedIn += bytesIn
+	t.metrics.BytesCompactedOut += bytesOut
+	for _, s := range c.sources {
+		id := guardID{Level: c.level, Key: string(s.key)}
+		delete(t.seekCounts, id)
+		delete(t.seekPending, id)
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// lastLevelPressure reports whether the last-level guard receiving source
+// guard s is at its sstable cap, and how many bytes it already holds.
+func (t *Tree) lastLevelPressure(v *version, s sourceGuard) (full bool, existing uint64) {
+	last := t.cfg.NumLevels - 1
+	gl := &v.levels[last]
+	var lo []byte
+	for i, f := range s.files {
+		if i == 0 || bytes.Compare(f.SmallestUserKey(), lo) < 0 {
+			lo = f.SmallestUserKey()
+		}
+	}
+	idx := guard.FindGuard(gl.guards, lo)
+	var files []*base.FileMetadata
+	if idx < 0 {
+		files = gl.sentinel
+	} else {
+		files = gl.guards[idx].Files
+	}
+	for _, f := range files {
+		existing += f.Size
+	}
+	return len(files) >= t.cfg.MaxSSTablesPerGuard, existing
+}
+
+// mergeAndPartition merge-sorts files and fragments the stream at the
+// partition keys (§3.4: "the sstables of a given guard are merge-sorted
+// and then partitioned, so that each child guard receives a new sstable
+// that fits its key range").
+func (t *Tree) mergeAndPartition(files []*base.FileMetadata, partitionKeys [][]byte, smallestSnapshot base.SeqNum, elideTombstones bool) (guardOutput, error) {
+	ob := treebase.NewOutputBuilder(t.fs, t.dir, t.writerOptions(), t.vs, t)
+	out := guardOutput{builder: ob}
+
+	var iters []iterator.Iterator
+	for _, f := range files {
+		r, err := t.tc.Find(f.FileNum, f.Size)
+		if err != nil {
+			for _, it := range iters {
+				it.Close()
+			}
+			return out, err
+		}
+		iters = append(iters, treebase.NewTableIter(r))
+	}
+	merged := iterator.NewMerging(base.InternalCompare, iters...)
+	ci := treebase.NewCompactionIter(merged, smallestSnapshot, elideTombstones)
+
+	tIdx := 0
+	for ci.First(); ci.Valid(); ci.Next() {
+		ukey := base.UserKey(ci.Key())
+		for tIdx < len(partitionKeys) && bytes.Compare(partitionKeys[tIdx], ukey) <= 0 {
+			if ob.HasOpen() {
+				if err := ob.Cut(); err != nil {
+					ci.Close()
+					return out, err
+				}
+			}
+			tIdx++
+		}
+		if err := ob.Add(ci.Key(), ci.Value()); err != nil {
+			ci.Close()
+			return out, err
+		}
+	}
+	if err := ci.Error(); err != nil {
+		ci.Close()
+		return out, err
+	}
+	ci.Close()
+	metas, err := ob.Finish()
+	if err != nil {
+		return out, err
+	}
+	out.metas = metas
+	return out, nil
+}
+
+// CompactAll drives compaction until quiescent.
+func (t *Tree) CompactAll() error {
+	for {
+		did, err := t.CompactOnce()
+		if err != nil {
+			return err
+		}
+		if !did {
+			return nil
+		}
+	}
+}

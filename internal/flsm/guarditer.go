@@ -1,0 +1,156 @@
+package flsm
+
+import (
+	"sync"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/guard"
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/treebase"
+)
+
+// guardLevelIter iterates one FLSM level in key order: the sentinel's
+// files, then each guard's files. Within a guard (where sstables may
+// overlap) a merging iterator combines the tables; across guards plain
+// concatenation suffices because guard intervals are disjoint (§3.1).
+type guardLevelIter struct {
+	tree     *Tree
+	level    int
+	groups   []guard.Guard // sentinel (Key=nil) followed by the guards
+	idx      int
+	cur      iterator.Iterator
+	parallel bool
+	err      error
+}
+
+func newGuardLevelIter(t *Tree, level int, gl *guardedLevel, parallel bool) *guardLevelIter {
+	groups := make([]guard.Guard, 0, len(gl.guards)+1)
+	groups = append(groups, guard.Guard{Files: gl.sentinel})
+	groups = append(groups, gl.guards...)
+	return &guardLevelIter{tree: t, level: level, groups: groups, idx: -1, parallel: parallel}
+}
+
+// openGroup builds the merged iterator over group i's files; returns false
+// at end of level or on error.
+func (g *guardLevelIter) openGroup(i int, seekTarget []byte) bool {
+	if g.cur != nil {
+		g.cur.Close()
+		g.cur = nil
+	}
+	if i < 0 || i >= len(g.groups) {
+		g.idx = len(g.groups)
+		return false
+	}
+	g.idx = i
+	files := g.groups[i].Files
+	if len(files) == 0 {
+		g.cur = &iterator.Empty{}
+		return true
+	}
+	kids := make([]iterator.Iterator, 0, len(files))
+	for _, f := range files {
+		r, err := g.tree.tc.Find(f.FileNum, f.Size)
+		if err != nil {
+			g.err = err
+			for _, k := range kids {
+				k.Close()
+			}
+			return false
+		}
+		kids = append(kids, treebase.NewTableIter(r))
+	}
+	m := iterator.NewMerging(base.InternalCompare, kids...)
+	if seekTarget != nil {
+		// Parallel seeks (§4.2): position each sstable iterator on its own
+		// goroutine, then assemble the heap. Only profitable when the
+		// tables are likely uncached — the tree enables it for the last
+		// level only.
+		if g.parallel && len(kids) > 1 {
+			var wg sync.WaitGroup
+			for _, k := range kids {
+				wg.Add(1)
+				go func(k iterator.Iterator) {
+					defer wg.Done()
+					k.SeekGE(seekTarget)
+				}(k)
+			}
+			wg.Wait()
+			m.InitPositioned()
+		} else {
+			m.SeekGE(seekTarget)
+		}
+	}
+	g.cur = m
+	return true
+}
+
+// SeekGE positions at the first entry >= target (an internal key).
+func (g *guardLevelIter) SeekGE(target []byte) {
+	if g.err != nil {
+		return
+	}
+	ukey := base.UserKey(target)
+	// groups[0] is the sentinel; guards start at index 1.
+	gi := guard.FindGuard(g.groups[1:], ukey) + 1
+	if gi >= 1 {
+		g.tree.recordSeek(g.level, g.groups[gi].Key, len(g.groups[gi].Files))
+	} else {
+		gi = 0
+		g.tree.recordSeek(g.level, nil, len(g.groups[0].Files))
+	}
+	if !g.openGroup(gi, target) {
+		return
+	}
+	g.skipEmpty()
+}
+
+// First positions at the level's first entry.
+func (g *guardLevelIter) First() {
+	if g.err != nil {
+		return
+	}
+	if !g.openGroup(0, nil) {
+		return
+	}
+	g.cur.First()
+	g.skipEmpty()
+}
+
+// Next advances, crossing guard boundaries as needed.
+func (g *guardLevelIter) Next() {
+	if g.cur == nil || g.err != nil {
+		return
+	}
+	g.cur.Next()
+	g.skipEmpty()
+}
+
+func (g *guardLevelIter) skipEmpty() {
+	for g.cur != nil && !g.cur.Valid() {
+		if err := g.cur.Error(); err != nil {
+			g.err = err
+			return
+		}
+		if !g.openGroup(g.idx+1, nil) {
+			return
+		}
+		g.cur.First()
+	}
+}
+
+func (g *guardLevelIter) Valid() bool {
+	return g.err == nil && g.cur != nil && g.cur.Valid()
+}
+
+func (g *guardLevelIter) Key() []byte   { return g.cur.Key() }
+func (g *guardLevelIter) Value() []byte { return g.cur.Value() }
+
+func (g *guardLevelIter) Error() error { return g.err }
+
+func (g *guardLevelIter) Close() error {
+	if g.cur != nil {
+		g.cur.Close()
+		g.cur = nil
+	}
+	return g.err
+}

@@ -1,0 +1,506 @@
+package flsm
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/cache"
+	"pebblesdb/internal/guard"
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/sstable"
+	"pebblesdb/internal/tablecache"
+	"pebblesdb/internal/treebase"
+	"pebblesdb/internal/vfs"
+)
+
+// Tree is the FLSM store structure: the paper's primary contribution.
+// All methods are safe for concurrent use.
+type Tree struct {
+	cfg    *base.Config
+	fs     vfs.FS
+	dir    string
+	vs     *manifest.VersionSet
+	tc     *tablecache.TableCache
+	snap   treebase.Host
+	picker guard.Picker
+
+	mu sync.Mutex
+	// cur is the current immutable version.
+	cur *version
+	// uncommitted holds guard keys selected from inserted keys but not yet
+	// partitioned on storage (§3.3). uncommitted[l] is sorted.
+	uncommitted [][][]byte
+	// busyLevels serializes compactions per level.
+	busyLevels map[int]bool
+	// seekCounts tracks consecutive seeks per guard; seekPending holds
+	// guards whose budget is exhausted (§4.2 seek-based compaction).
+	seekCounts  map[guardID]int
+	seekPending map[guardID]bool
+
+	pendingMu sync.Mutex
+	pending   map[base.FileNum]bool
+
+	metrics treebase.Metrics
+}
+
+// guardID identifies a guard for seek accounting; Key=="" is the sentinel.
+type guardID struct {
+	Level int
+	Key   string
+}
+
+// Open creates or recovers an FLSM tree in dir.
+func Open(cfg *base.Config, fs vfs.FS, dir string, snap treebase.Host) (*Tree, error) {
+	t := &Tree{
+		cfg:  cfg,
+		fs:   fs,
+		dir:  dir,
+		snap: snap,
+		picker: guard.Picker{
+			TopLevelBits: cfg.TopLevelBits,
+			BitDecrement: cfg.BitDecrement,
+			NumLevels:    cfg.NumLevels,
+			Seed:         cfg.GuardHashSeed,
+		},
+		cur:         newVersion(cfg.NumLevels),
+		uncommitted: make([][][]byte, cfg.NumLevels),
+		busyLevels:  make(map[int]bool),
+		seekCounts:  make(map[guardID]int),
+		seekPending: make(map[guardID]bool),
+		pending:     make(map[base.FileNum]bool),
+	}
+	blockCache := cache.New(cfg.BlockCacheSize, nil)
+	t.tc = tablecache.New(fs, dir, cfg.TableCacheSize, blockCache)
+
+	if manifest.Exists(fs, dir) {
+		vs, err := manifest.Load(fs, dir, func(e *manifest.VersionEdit) error {
+			nv, err := t.cur.apply(e, cfg.NumLevels)
+			if err != nil {
+				return err
+			}
+			t.cur = nv
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.vs = vs
+		if err := vs.StartAppending(t.snapshotEditLocked()); err != nil {
+			return nil, err
+		}
+	} else {
+		vs, err := manifest.Create(fs, dir)
+		if err != nil {
+			return nil, err
+		}
+		t.vs = vs
+	}
+	return t, nil
+}
+
+func (t *Tree) snapshotEditLocked() *manifest.VersionEdit {
+	e := &manifest.VersionEdit{}
+	for _, f := range t.cur.l0 {
+		e.NewFiles = append(e.NewFiles, manifest.NewFileEntry{Level: 0, Meta: *f})
+	}
+	for l := 1; l < t.cfg.NumLevels; l++ {
+		gl := &t.cur.levels[l]
+		for i := range gl.guards {
+			e.NewGuards = append(e.NewGuards, manifest.GuardEntry{Level: l, Key: gl.guards[i].Key})
+		}
+		for _, f := range gl.sentinel {
+			e.NewFiles = append(e.NewFiles, manifest.NewFileEntry{Level: l, Meta: *f})
+		}
+		for i := range gl.guards {
+			for _, f := range gl.guards[i].Files {
+				e.NewFiles = append(e.NewFiles, manifest.NewFileEntry{Level: l, Meta: *f})
+			}
+		}
+	}
+	return e
+}
+
+// NewFileNum allocates a file number (also used by the engine for WALs).
+func (t *Tree) NewFileNum() base.FileNum { return t.vs.NewFileNum() }
+
+// RecoveryLogNum returns the WAL number recovery must replay from.
+func (t *Tree) RecoveryLogNum() base.FileNum { return t.vs.LogNum() }
+
+// PersistedLastSeq returns the sequence watermark from the manifest.
+func (t *Tree) PersistedLastSeq() base.SeqNum { return t.vs.LastSeq() }
+
+// Ingest hashes every inserted key and records new uncommitted guards
+// (§3.2: guards are selected probabilistically from inserted keys; §4.4:
+// via the key's hash). A key selected at level l is an uncommitted guard
+// for l and every deeper level.
+func (t *Tree) Ingest(ukey []byte) {
+	level, ok := t.picker.GuardLevel(ukey)
+	if !ok {
+		return
+	}
+	t.mu.Lock()
+	for l := level; l < t.cfg.NumLevels; l++ {
+		if t.cur.levels[l].hasGuard(ukey) {
+			continue
+		}
+		t.uncommitted[l] = guard.InsertKey(t.uncommitted[l], ukey)
+	}
+	t.mu.Unlock()
+}
+
+// AddPending registers an in-flight output file.
+func (t *Tree) AddPending(fn base.FileNum) {
+	t.pendingMu.Lock()
+	t.pending[fn] = true
+	t.pendingMu.Unlock()
+}
+
+// RemovePending unregisters an in-flight output file.
+func (t *Tree) RemovePending(fn base.FileNum) {
+	t.pendingMu.Lock()
+	delete(t.pending, fn)
+	t.pendingMu.Unlock()
+}
+
+func (t *Tree) currentVersion() *version {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur
+}
+
+func (t *Tree) writerOptions() sstable.WriterOptions {
+	return sstable.WriterOptions{
+		BlockSize:            t.cfg.BlockSize,
+		BlockRestartInterval: t.cfg.BlockRestartInterval,
+		BloomBitsPerKey:      t.cfg.BloomBitsPerKey,
+	}
+}
+
+// Flush writes memtable contents as a level-0 sstable. L0 has no guards
+// (§3.1: "Level 0 does not have guards, and collects together recently
+// written sstables").
+func (t *Tree) Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.SeqNum) error {
+	ob := treebase.NewOutputBuilder(t.fs, t.dir, t.writerOptions(), t.vs, t)
+	for it.First(); it.Valid(); it.Next() {
+		if err := ob.Add(it.Key(), it.Value()); err != nil {
+			ob.Abandon()
+			return err
+		}
+	}
+	if err := it.Error(); err != nil {
+		ob.Abandon()
+		return err
+	}
+	metas, err := ob.Finish()
+	if err != nil {
+		ob.Abandon()
+		return err
+	}
+	edit := &manifest.VersionEdit{}
+	edit.SetLogNum(logNum)
+	edit.SetLastSeq(lastSeq)
+	var flushed int64
+	for _, m := range metas {
+		edit.NewFiles = append(edit.NewFiles, manifest.NewFileEntry{Level: 0, Meta: *m})
+		flushed += int64(m.Size)
+	}
+	if err := t.logAndInstall(edit); err != nil {
+		ob.Abandon()
+		return err
+	}
+	ob.ReleasePending()
+	t.mu.Lock()
+	t.metrics.BytesFlushed += flushed
+	t.mu.Unlock()
+	return nil
+}
+
+// logAndInstall installs the version resulting from edit, prunes committed
+// guards from the uncommitted sets, and persists the edit.
+func (t *Tree) logAndInstall(edit *manifest.VersionEdit) error {
+	t.mu.Lock()
+	nv, err := t.cur.apply(edit, t.cfg.NumLevels)
+	if err == nil {
+		t.cur = nv
+		for _, g := range edit.NewGuards {
+			t.uncommitted[g.Level] = removeKey(t.uncommitted[g.Level], g.Key)
+		}
+	}
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.snapshotEditLocked()
+	})
+}
+
+func removeKey(keys [][]byte, key []byte) [][]byte {
+	for i, k := range keys {
+		if string(k) == string(key) {
+			return append(keys[:i], keys[i+1:]...)
+		}
+	}
+	return keys
+}
+
+// Get implements the FLSM read path (§3.4): per level, binary-search the
+// single guard that can hold the key, then examine every sstable in that
+// guard that passes the bloom filter, returning the match with the highest
+// sequence number at or below the read snapshot.
+func (t *Tree) Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err error) {
+	v := t.currentVersion()
+	search := base.MakeSearchKey(make([]byte, 0, len(ukey)+base.TrailerLen), ukey, seq)
+
+	// examine returns the best (newest visible) entry across files.
+	examine := func(files []*base.FileMetadata) (val []byte, kind base.Kind, bestSeq base.SeqNum, ok bool, err error) {
+		bestSeq = 0
+		for _, f := range files {
+			if !userKeyInRange(ukey, f) {
+				continue
+			}
+			r, ferr := t.tc.Find(f.FileNum, f.Size)
+			if ferr != nil {
+				return nil, 0, 0, false, ferr
+			}
+			if !r.MayContain(ukey) {
+				r.Unref()
+				continue
+			}
+			ikey, v, hit, gerr := r.Get(search)
+			r.Unref()
+			if gerr != nil {
+				return nil, 0, 0, false, gerr
+			}
+			if !hit {
+				continue
+			}
+			_, s, k, _ := base.DecodeInternalKey(ikey)
+			if !ok || s > bestSeq {
+				val, kind, bestSeq, ok = v, k, s, true
+			}
+		}
+		return val, kind, bestSeq, ok, nil
+	}
+
+	// Level 0: newest file first; flush order guarantees newer files hold
+	// newer versions, so the first visible hit wins.
+	for _, f := range v.l0 {
+		if !userKeyInRange(ukey, f) {
+			continue
+		}
+		val, kind, _, ok, err := examine([]*base.FileMetadata{f})
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return val, kind == base.KindSet, nil
+		}
+	}
+	for l := 1; l < t.cfg.NumLevels; l++ {
+		gl := &v.levels[l]
+		var files []*base.FileMetadata
+		idx := guard.FindGuard(gl.guards, ukey)
+		if idx < 0 {
+			files = gl.sentinel
+		} else {
+			files = gl.guards[idx].Files
+		}
+		if len(files) == 0 {
+			continue // empty guards are skipped (§3.3)
+		}
+		val, kind, _, ok, err := examine(files)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return val, kind == base.KindSet, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func userKeyInRange(ukey []byte, f *base.FileMetadata) bool {
+	return string(ukey) >= string(f.SmallestUserKey()) && string(ukey) <= string(f.LargestUserKey())
+}
+
+// NewIters returns one iterator per L0 table plus a guard-aware iterator
+// per populated level.
+func (t *Tree) NewIters() ([]iterator.Iterator, error) {
+	v := t.currentVersion()
+	var iters []iterator.Iterator
+	for _, f := range v.l0 {
+		r, err := t.tc.Find(f.FileNum, f.Size)
+		if err != nil {
+			for _, it := range iters {
+				it.Close()
+			}
+			return nil, err
+		}
+		iters = append(iters, treebase.NewTableIter(r))
+	}
+	for l := 1; l < t.cfg.NumLevels; l++ {
+		gl := &v.levels[l]
+		if gl.fileCount() == 0 {
+			continue
+		}
+		parallel := t.cfg.ParallelSeeks && l == t.cfg.NumLevels-1
+		iters = append(iters, newGuardLevelIter(t, l, gl, parallel))
+	}
+	return iters, nil
+}
+
+// recordSeek charges a guard's seek budget; exhaustion schedules the guard
+// for compaction (§4.2, default threshold 10 consecutive seeks).
+func (t *Tree) recordSeek(level int, gkey []byte, numFiles int) {
+	if t.cfg.SeekCompactionThreshold <= 0 || numFiles <= 1 || level >= t.cfg.NumLevels {
+		return
+	}
+	id := guardID{Level: level, Key: string(gkey)}
+	t.mu.Lock()
+	n, ok := t.seekCounts[id]
+	if !ok {
+		n = t.cfg.SeekCompactionThreshold
+	}
+	n--
+	if n <= 0 {
+		t.seekPending[id] = true
+		n = t.cfg.SeekCompactionThreshold
+	}
+	t.seekCounts[id] = n
+	t.mu.Unlock()
+}
+
+// L0Count returns the number of level-0 files.
+func (t *Tree) L0Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.cur.l0)
+}
+
+// ProtectedFiles returns live plus in-flight table files. The pending set
+// is read before the version: files move pending -> version, so this order
+// guarantees a file cannot slip between the two snapshots and be swept
+// while live.
+func (t *Tree) ProtectedFiles() map[base.FileNum]bool {
+	out := make(map[base.FileNum]bool)
+	t.pendingMu.Lock()
+	for fn := range t.pending {
+		out[fn] = true
+	}
+	t.pendingMu.Unlock()
+	t.mu.Lock()
+	for _, f := range t.cur.l0 {
+		out[f.FileNum] = true
+	}
+	for l := 1; l < t.cfg.NumLevels; l++ {
+		gl := &t.cur.levels[l]
+		for _, f := range gl.sentinel {
+			out[f.FileNum] = true
+		}
+		for i := range gl.guards {
+			for _, f := range gl.guards[i].Files {
+				out[f.FileNum] = true
+			}
+		}
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// EvictTable drops a deleted table from the caches.
+func (t *Tree) EvictTable(fn base.FileNum) { t.tc.Evict(fn) }
+
+// ManifestFileNum exposes the live manifest number for the sweeper.
+func (t *Tree) ManifestFileNum() base.FileNum { return t.vs.ManifestFileNum() }
+
+// LogNum exposes the recovery WAL watermark for the sweeper.
+func (t *Tree) LogNum() base.FileNum { return t.vs.LogNum() }
+
+// Metrics reports tree statistics, including guard occupancy.
+func (t *Tree) Metrics() treebase.Metrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.metrics
+	m.LevelFiles = make([]int, t.cfg.NumLevels)
+	m.LevelBytes = make([]int64, t.cfg.NumLevels)
+	m.GuardsPerLevel = make([]int, t.cfg.NumLevels)
+	for _, f := range t.cur.l0 {
+		m.LevelFiles[0]++
+		m.LevelBytes[0] += int64(f.Size)
+		m.TableFileSizes = append(m.TableFileSizes, f.Size)
+	}
+	for l := 1; l < t.cfg.NumLevels; l++ {
+		gl := &t.cur.levels[l]
+		m.LevelFiles[l] = gl.fileCount()
+		m.LevelBytes[l] = gl.totalBytes()
+		m.GuardsPerLevel[l] = len(gl.guards)
+		for _, f := range gl.sentinel {
+			m.TableFileSizes = append(m.TableFileSizes, f.Size)
+		}
+		for i := range gl.guards {
+			if len(gl.guards[i].Files) == 0 {
+				m.EmptyGuards++
+			}
+			for _, f := range gl.guards[i].Files {
+				m.TableFileSizes = append(m.TableFileSizes, f.Size)
+			}
+		}
+	}
+	return m
+}
+
+// CacheMetrics reports table-cache statistics (Table 5.4).
+func (t *Tree) CacheMetrics() tablecache.Metrics { return t.tc.Metrics() }
+
+// GuardKeys returns the committed guard keys of a level (tests, dumps).
+func (t *Tree) GuardKeys(level int) [][]byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if level < 1 || level >= t.cfg.NumLevels {
+		return nil
+	}
+	return t.cur.levels[level].guardKeys()
+}
+
+// Dump writes a Figure 3.1-style layout description.
+func (t *Tree) Dump(w io.Writer) {
+	v := t.currentVersion()
+	fmt.Fprintf(w, "FLSM tree %s\n", t.dir)
+	fmt.Fprintf(w, "  level 0 (no guards): %d sstables\n", len(v.l0))
+	for _, f := range v.l0 {
+		fmt.Fprintf(w, "    %s\n", f)
+	}
+	for l := 1; l < t.cfg.NumLevels; l++ {
+		gl := &v.levels[l]
+		if gl.fileCount() == 0 && len(gl.guards) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  level %d: %d guards, %d sstables, %d bytes\n",
+			l, len(gl.guards), gl.fileCount(), gl.totalBytes())
+		if len(gl.sentinel) > 0 {
+			fmt.Fprintf(w, "    sentinel:\n")
+			for _, f := range gl.sentinel {
+				fmt.Fprintf(w, "      %s\n", f)
+			}
+		}
+		for i := range gl.guards {
+			g := &gl.guards[i]
+			fmt.Fprintf(w, "    guard %q: %d sstables\n", g.Key, len(g.Files))
+			for _, f := range g.Files {
+				fmt.Fprintf(w, "      %s\n", f)
+			}
+		}
+	}
+}
+
+// Close releases cached readers and the manifest.
+func (t *Tree) Close() error {
+	t.tc.Close()
+	return t.vs.Close()
+}

@@ -1,0 +1,296 @@
+// Package flsm implements the Fragmented Log-Structured Merge tree and the
+// PebblesDB compaction, read, and seek optimizations built over it
+// (chapters 3 and 4 of the paper). Levels above L0 are partitioned by
+// guards; sstables within a guard may overlap; compaction partitions merged
+// guard contents by the next level's guards and appends, avoiding rewrites
+// except in the last levels.
+package flsm
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/guard"
+	"pebblesdb/internal/manifest"
+)
+
+// guardedLevel is one level's layout: a sentinel holding files below the
+// first guard key, and the sorted guard list (possibly with empty guards —
+// the paper keeps them, §3.3).
+type guardedLevel struct {
+	sentinel []*base.FileMetadata
+	guards   []guard.Guard
+}
+
+func (gl *guardedLevel) totalBytes() int64 {
+	var t int64
+	for _, f := range gl.sentinel {
+		t += int64(f.Size)
+	}
+	for i := range gl.guards {
+		t += int64(gl.guards[i].TotalBytes())
+	}
+	return t
+}
+
+func (gl *guardedLevel) fileCount() int {
+	n := len(gl.sentinel)
+	for i := range gl.guards {
+		n += len(gl.guards[i].Files)
+	}
+	return n
+}
+
+// guardKeys returns the level's committed guard keys.
+func (gl *guardedLevel) guardKeys() [][]byte {
+	keys := make([][]byte, len(gl.guards))
+	for i := range gl.guards {
+		keys[i] = gl.guards[i].Key
+	}
+	return keys
+}
+
+// hasGuard reports whether key is a committed guard of this level.
+func (gl *guardedLevel) hasGuard(key []byte) bool {
+	i := sort.Search(len(gl.guards), func(i int) bool {
+		return bytes.Compare(gl.guards[i].Key, key) >= 0
+	})
+	return i < len(gl.guards) && bytes.Equal(gl.guards[i].Key, key)
+}
+
+// version is an immutable snapshot of the FLSM layout.
+type version struct {
+	l0     []*base.FileMetadata // newest first
+	levels []guardedLevel       // index 0 unused
+}
+
+func newVersion(numLevels int) *version {
+	return &version{levels: make([]guardedLevel, numLevels)}
+}
+
+// clone deep-copies the structure (file metadata pointers are shared).
+func (v *version) clone() *version {
+	nv := &version{
+		l0:     append([]*base.FileMetadata(nil), v.l0...),
+		levels: make([]guardedLevel, len(v.levels)),
+	}
+	for l := range v.levels {
+		src := &v.levels[l]
+		dst := &nv.levels[l]
+		dst.sentinel = append([]*base.FileMetadata(nil), src.sentinel...)
+		dst.guards = make([]guard.Guard, len(src.guards))
+		for i := range src.guards {
+			dst.guards[i] = guard.Guard{
+				Key:   src.guards[i].Key,
+				Files: append([]*base.FileMetadata(nil), src.guards[i].Files...),
+			}
+		}
+	}
+	return nv
+}
+
+// apply builds a new version with edit applied. Guards are inserted before
+// files so that files added in the same edit attach to the new guards.
+func (v *version) apply(edit *manifest.VersionEdit, numLevels int) (*version, error) {
+	nv := v.clone()
+
+	if len(edit.NewGuards) > 0 {
+		byLevel := map[int][][]byte{}
+		for _, g := range edit.NewGuards {
+			if g.Level < 1 || g.Level >= numLevels {
+				return nil, fmt.Errorf("flsm: guard at invalid level %d", g.Level)
+			}
+			byLevel[g.Level] = append(byLevel[g.Level], g.Key)
+		}
+		for level, keys := range byLevel {
+			nv.insertGuards(level, keys)
+		}
+	}
+	for _, g := range edit.DeletedGuards {
+		if g.Level < 1 || g.Level >= numLevels {
+			return nil, fmt.Errorf("flsm: guard deletion at invalid level %d", g.Level)
+		}
+		nv.deleteGuard(g.Level, g.Key)
+	}
+	for _, d := range edit.DeletedFiles {
+		if !nv.removeFile(d.Level, d.FileNum) {
+			return nil, fmt.Errorf("flsm: deleted file %d not found at level %d", d.FileNum, d.Level)
+		}
+	}
+	for i := range edit.NewFiles {
+		nf := &edit.NewFiles[i]
+		if nf.Level < 0 || nf.Level >= numLevels {
+			return nil, fmt.Errorf("flsm: new file at invalid level %d", nf.Level)
+		}
+		meta := nf.Meta
+		nv.addFile(nf.Level, &meta)
+	}
+	sort.Slice(nv.l0, func(i, j int) bool { return nv.l0[i].FileNum > nv.l0[j].FileNum })
+	return nv, nil
+}
+
+// insertGuards adds a batch of guard keys to a level in one merge pass,
+// then redistributes files into the refined intervals. Callers guarantee
+// (via the straddle check at commit time) that no existing file spans a
+// new boundary. A single merge keeps recovery-snapshot application linear
+// in the number of guards rather than quadratic.
+func (v *version) insertGuards(level int, keys [][]byte) {
+	gl := &v.levels[level]
+	fresh := keys[:0:0]
+	for _, k := range keys {
+		if !gl.hasGuard(k) {
+			fresh = append(fresh, append([]byte(nil), k...))
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	sort.Slice(fresh, func(i, j int) bool { return bytes.Compare(fresh[i], fresh[j]) < 0 })
+
+	// Merge existing guards and fresh keys into the refined guard list.
+	merged := make([]guard.Guard, 0, len(gl.guards)+len(fresh))
+	gi, fi := 0, 0
+	for gi < len(gl.guards) || fi < len(fresh) {
+		switch {
+		case gi == len(gl.guards):
+			merged = append(merged, guard.Guard{Key: fresh[fi]})
+			fi++
+		case fi == len(fresh):
+			merged = append(merged, gl.guards[gi])
+			gi++
+		default:
+			switch bytes.Compare(gl.guards[gi].Key, fresh[fi]) {
+			case -1:
+				merged = append(merged, gl.guards[gi])
+				gi++
+			case 1:
+				merged = append(merged, guard.Guard{Key: fresh[fi]})
+				fi++
+			default: // duplicate within the batch
+				fi++
+			}
+		}
+	}
+
+	// Redistribute: every file re-attaches by its smallest user key.
+	oldSentinel := gl.sentinel
+	oldGuards := merged // reuse: collect files first, then clear
+	var files []*base.FileMetadata
+	files = append(files, oldSentinel...)
+	for i := range oldGuards {
+		files = append(files, oldGuards[i].Files...)
+		oldGuards[i].Files = nil
+	}
+	gl.sentinel = nil
+	gl.guards = merged
+	for _, f := range files {
+		idx := guard.FindGuard(gl.guards, f.SmallestUserKey())
+		if idx < 0 {
+			gl.sentinel = append(gl.sentinel, f)
+		} else {
+			gl.guards[idx].Files = append(gl.guards[idx].Files, f)
+		}
+	}
+}
+
+// deleteGuard removes a guard, folding its files into the preceding
+// interval (§3.3: sstables of a deleted guard are re-attached to
+// neighbours; compaction-generated edits only delete empty guards).
+func (v *version) deleteGuard(level int, key []byte) {
+	gl := &v.levels[level]
+	i := sort.Search(len(gl.guards), func(i int) bool {
+		return bytes.Compare(gl.guards[i].Key, key) >= 0
+	})
+	if i >= len(gl.guards) || !bytes.Equal(gl.guards[i].Key, key) {
+		return
+	}
+	files := gl.guards[i].Files
+	if i == 0 {
+		gl.sentinel = append(gl.sentinel, files...)
+	} else {
+		gl.guards[i-1].Files = append(gl.guards[i-1].Files, files...)
+	}
+	gl.guards = append(gl.guards[:i], gl.guards[i+1:]...)
+}
+
+// removeFile deletes a file from a level, wherever it is attached.
+func (v *version) removeFile(level int, fn base.FileNum) bool {
+	if level == 0 {
+		for i, f := range v.l0 {
+			if f.FileNum == fn {
+				v.l0 = append(v.l0[:i], v.l0[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	gl := &v.levels[level]
+	if removeFromSlice(&gl.sentinel, fn) {
+		return true
+	}
+	for i := range gl.guards {
+		if removeFromSlice(&gl.guards[i].Files, fn) {
+			return true
+		}
+	}
+	return false
+}
+
+func removeFromSlice(files *[]*base.FileMetadata, fn base.FileNum) bool {
+	for i, f := range *files {
+		if f.FileNum == fn {
+			*files = append((*files)[:i], (*files)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// addFile attaches a file to its guard at a level (or to L0).
+func (v *version) addFile(level int, f *base.FileMetadata) {
+	f.AllowedSeeks = allowedSeeks(f.Size)
+	if level == 0 {
+		v.l0 = append(v.l0, f)
+		return
+	}
+	gl := &v.levels[level]
+	idx := guard.FindGuard(gl.guards, f.SmallestUserKey())
+	if idx < 0 {
+		gl.sentinel = append(gl.sentinel, f)
+		return
+	}
+	gl.guards[idx].Files = append(gl.guards[idx].Files, f)
+}
+
+func allowedSeeks(size uint64) int {
+	n := int(size / (16 << 10))
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+// straddles reports whether any file at the level spans key (file.smallest
+// < key <= file.largest): such a file blocks committing key as a guard.
+func (gl *guardedLevel) straddles(key []byte) bool {
+	check := func(files []*base.FileMetadata) bool {
+		for _, f := range files {
+			if bytes.Compare(f.SmallestUserKey(), key) < 0 &&
+				bytes.Compare(f.LargestUserKey(), key) >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if check(gl.sentinel) {
+		return true
+	}
+	for i := range gl.guards {
+		if check(gl.guards[i].Files) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+// Package guard implements FLSM guards (§3.1–§3.3, §4.4): the skip-list-
+// inspired partitioning of each level's key space. A guard is chosen
+// probabilistically from inserted keys by hashing the key and counting
+// consecutive least-significant set bits; a key that qualifies at level i
+// qualifies at every deeper level, so the guards of level i+1 are a strict
+// superset of the guards of level i.
+package guard
+
+import (
+	"bytes"
+	"math/bits"
+	"sort"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/murmur"
+)
+
+// Picker decides which inserted keys become guards and at which level.
+type Picker struct {
+	// TopLevelBits is the number of consecutive LSBs that must be set for
+	// a key to be a guard at level 1.
+	TopLevelBits int
+	// BitDecrement relaxes the requirement by this many bits per level.
+	BitDecrement int
+	// NumLevels is the total level count including L0 (guards exist for
+	// levels 1..NumLevels-1).
+	NumLevels int
+	// Seed seeds the hash.
+	Seed uint64
+}
+
+// requiredBits returns the LSB-run length required at the given level
+// (1-based), clamped to at least 1.
+func (p Picker) requiredBits(level int) int {
+	r := p.TopLevelBits - (level-1)*p.BitDecrement
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// GuardLevel returns the shallowest level (1-based) at which ukey is a
+// guard, and ok=false if it is a guard at no level.
+func (p Picker) GuardLevel(ukey []byte) (level int, ok bool) {
+	h := murmur.Hash64(ukey, p.Seed)
+	run := bits.TrailingZeros64(^h) // length of trailing 1s run
+	// requiredBits decreases with level, so scan from the top.
+	for l := 1; l < p.NumLevels; l++ {
+		if run >= p.requiredBits(l) {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// Guard is one guard within a level: its key and the sstables attached to
+// it. Files may have overlapping key ranges with each other (the FLSM
+// relaxation), but every file lies within [Key, nextGuard.Key). The
+// sentinel guard (keys below the first guard) is represented separately in
+// the level structure, not as a Guard with a nil key.
+type Guard struct {
+	// Key is the guard's user key; sstables attached hold keys >= Key.
+	Key []byte
+	// Files are the attached sstables.
+	Files []*base.FileMetadata
+}
+
+// TotalBytes sums the sizes of the guard's files.
+func (g *Guard) TotalBytes() uint64 {
+	var t uint64
+	for _, f := range g.Files {
+		t += f.Size
+	}
+	return t
+}
+
+// FindGuard returns the index of the guard interval containing ukey:
+// -1 for the sentinel (ukey < guards[0].Key), otherwise the largest i with
+// guards[i].Key <= ukey. guards must be sorted by Key.
+func FindGuard(guards []Guard, ukey []byte) int {
+	// sort.Search finds the first guard with Key > ukey.
+	i := sort.Search(len(guards), func(i int) bool {
+		return bytes.Compare(guards[i].Key, ukey) > 0
+	})
+	return i - 1
+}
+
+// FindGuardKey is FindGuard over bare keys.
+func FindGuardKey(keys [][]byte, ukey []byte) int {
+	i := sort.Search(len(keys), func(i int) bool {
+		return bytes.Compare(keys[i], ukey) > 0
+	})
+	return i - 1
+}
+
+// InsertKey inserts ukey into a sorted key list if not present, returning
+// the (possibly new) list.
+func InsertKey(keys [][]byte, ukey []byte) [][]byte {
+	i := sort.Search(len(keys), func(i int) bool {
+		return bytes.Compare(keys[i], ukey) >= 0
+	})
+	if i < len(keys) && bytes.Equal(keys[i], ukey) {
+		return keys
+	}
+	keys = append(keys, nil)
+	copy(keys[i+1:], keys[i:])
+	keys[i] = append([]byte(nil), ukey...)
+	return keys
+}

@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"pebblesdb"
+	"pebblesdb/internal/ycsb"
+)
+
+// DBAdapter exposes a pebblesdb.DB through the ycsb.Store interface.
+type DBAdapter struct {
+	DB *pebblesdb.DB
+}
+
+// Put implements ycsb.Store.
+func (a DBAdapter) Put(key, value []byte) error { return a.DB.Put(key, value) }
+
+// Get implements ycsb.Store.
+func (a DBAdapter) Get(key []byte) ([]byte, bool, error) { return a.DB.Get(key) }
+
+// Scan implements ycsb.Store: a seek followed by next()s (§2.1).
+func (a DBAdapter) Scan(start []byte, count int) (int, error) {
+	it, err := a.DB.NewIter()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for it.SeekGE(start); it.Valid() && n < count; it.Next() {
+		n++
+	}
+	if err := it.Close(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+var _ ycsb.Store = DBAdapter{}

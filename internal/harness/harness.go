@@ -1,0 +1,385 @@
+// Package harness drives the paper's experiments: db_bench-style
+// micro-workloads (§5.2), store presets with per-run in-memory filesystems,
+// IO/write-amplification accounting, and paper-style relative reporting.
+// Every table and figure in EXPERIMENTS.md is regenerated through this
+// package, either from the root bench_test.go or cmd/experiments.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"pebblesdb"
+	"pebblesdb/internal/vfs"
+)
+
+// Spec names a store configuration under test.
+type Spec struct {
+	// Name is the display name used in tables ("PebblesDB", ...).
+	Name string
+	// Options is the full configuration; each Open gets a fresh private
+	// in-memory filesystem unless one is already set.
+	Options *pebblesdb.Options
+}
+
+// DefaultStores returns the four stores the paper compares (§5.1), in the
+// order its figures list them.
+func DefaultStores() []Spec {
+	return []Spec{
+		{Name: "PebblesDB", Options: pebblesdb.PresetPebblesDB.Options()},
+		{Name: "HyperLevelDB", Options: pebblesdb.PresetHyperLevelDB.Options()},
+		{Name: "LevelDB", Options: pebblesdb.PresetLevelDB.Options()},
+		{Name: "RocksDB", Options: pebblesdb.PresetRocksDB.Options()},
+	}
+}
+
+// Scale shrinks the stores' size parameters so that scaled-down datasets
+// exercise the same number of levels and compactions the paper's full-size
+// runs do. factor=1 keeps the paper's parameters. Ratios between the
+// parameters (and therefore between presets) are preserved.
+func Scale(o *pebblesdb.Options, factor int) *pebblesdb.Options {
+	if factor <= 1 {
+		return o
+	}
+	div := func(v int) int {
+		if v/factor < 1 {
+			return 1
+		}
+		return v / factor
+	}
+	o.MemtableSize = div(o.MemtableSize)
+	o.LevelBaseBytes = int64(div(int(o.LevelBaseBytes)))
+	o.TargetFileSize = int64(div(int(o.TargetFileSize)))
+	if o.BlockCacheSize == 0 {
+		o.BlockCacheSize = 8 << 20
+	}
+	o.BlockCacheSize = int64(div(int(o.BlockCacheSize)))
+	// Guard probability tracks dataset size (§4.4: top_level_bits is set
+	// for the expected key count). Halving the dataset 2^k times calls
+	// for k fewer required bits so guard counts stay proportional.
+	if o.TopLevelBits > 0 {
+		bits := 0
+		for f := factor; f > 1; f /= 2 {
+			bits++
+		}
+		o.TopLevelBits -= bits
+		// Keep the last level's guard probability at or below 1/64: finer
+		// guards degenerate into per-handful-of-keys fragments and
+		// metadata dominates.
+		floor := 6 + (o.NumLevels-2)*o.BitDecrement
+		if o.TopLevelBits < floor {
+			o.TopLevelBits = floor
+		}
+	}
+	return o
+}
+
+// Open opens a fresh store for the spec on its own in-memory filesystem.
+func Open(spec Spec) (*pebblesdb.DB, error) {
+	o := *spec.Options // copy so reuse across opens stays clean
+	o.InMemory = false
+	o.WithFS(vfs.NewMem())
+	return pebblesdb.Open("bench", &o)
+}
+
+// Result is one workload measurement.
+type Result struct {
+	Store    string
+	Workload string
+	Ops      int64
+	Duration time.Duration
+	// KOpsPerSec is throughput in thousands of operations per second (the
+	// unit the paper reports).
+	KOpsPerSec float64
+	// WriteGB / ReadGB are storage IO in gigabytes.
+	WriteGB float64
+	ReadGB  float64
+	// WriteAmp is write IO over user bytes (Fig 1.1).
+	WriteAmp float64
+}
+
+// Measure runs fn against the DB and captures throughput plus the IO
+// delta.
+func Measure(db *pebblesdb.DB, store, workload string, ops int64, fn func() error) (Result, error) {
+	before := db.Metrics()
+	start := time.Now()
+	err := fn()
+	dur := time.Since(start)
+	after := db.Metrics()
+	io := after.IO.Sub(before.IO)
+	res := Result{
+		Store:      store,
+		Workload:   workload,
+		Ops:        ops,
+		Duration:   dur,
+		KOpsPerSec: float64(ops) / dur.Seconds() / 1000,
+		WriteGB:    float64(io.TotalWritten()) / (1 << 30),
+		ReadGB:     float64(io.TotalRead()) / (1 << 30),
+	}
+	if ub := after.UserBytesWritten - before.UserBytesWritten; ub > 0 {
+		res.WriteAmp = float64(io.TotalWritten()) / float64(ub)
+	}
+	return res, err
+}
+
+// KeyAt renders the fixed-width 16-byte key for index i (the paper uses
+// 16-byte keys throughout §5.2).
+func KeyAt(dst []byte, i uint64) []byte {
+	dst = dst[:0]
+	var buf [16]byte
+	for p := len(buf) - 1; p >= 0; p-- {
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return append(dst, buf[:]...)
+}
+
+// FillSeq inserts n keys in ascending order.
+func FillSeq(db *pebblesdb.DB, n int, valueSize int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	val := make([]byte, valueSize)
+	rng.Read(val)
+	key := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		key = KeyAt(key, uint64(i))
+		if err := db.Put(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FillRandom inserts n keys drawn uniformly from keySpace.
+func FillRandom(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	val := make([]byte, valueSize)
+	rng.Read(val)
+	key := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		key = KeyAt(key, uint64(rng.Intn(keySpace)))
+		if err := db.Put(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FillSeqUnique inserts exactly the keys [0, n), each once, in order
+// (space-amplification experiments need unique keys).
+func FillSeqUnique(db *pebblesdb.DB, n, valueSize int, seed int64) error {
+	return FillSeq(db, n, valueSize, seed)
+}
+
+// FillRange inserts every key in [lo, hi) once.
+func FillRange(db *pebblesdb.DB, lo, hi uint64, valueSize int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	val := make([]byte, valueSize)
+	rng.Read(val)
+	key := make([]byte, 0, 16)
+	for i := lo; i < hi; i++ {
+		key = KeyAt(key, i)
+		if err := db.Put(key, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRange performs n gets uniformly over [lo, hi); returns hits.
+func ReadRange(db *pebblesdb.DB, lo, hi uint64, n int, seed int64) (hits int, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	key := make([]byte, 0, 16)
+	span := int64(hi - lo)
+	for i := 0; i < n; i++ {
+		key = KeyAt(key, lo+uint64(rng.Int63n(span)))
+		_, ok, gerr := db.Get(key)
+		if gerr != nil {
+			return hits, gerr
+		}
+		if ok {
+			hits++
+		}
+	}
+	return hits, nil
+}
+
+// DeleteRange deletes every key in [lo, hi).
+func DeleteRange(db *pebblesdb.DB, lo, hi uint64) error {
+	key := make([]byte, 0, 16)
+	for i := lo; i < hi; i++ {
+		key = KeyAt(key, i)
+		if err := db.Delete(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRandom performs n gets over keySpace; returns the hit count.
+func ReadRandom(db *pebblesdb.DB, n, keySpace int, seed int64) (hits int, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	key := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		key = KeyAt(key, uint64(rng.Intn(keySpace)))
+		_, ok, gerr := db.Get(key)
+		if gerr != nil {
+			return hits, gerr
+		}
+		if ok {
+			hits++
+		}
+	}
+	return hits, nil
+}
+
+// SeekRandom performs n seeks, each followed by nexts Next calls (the
+// paper's range query: a seek() then next()s, §5.2).
+func SeekRandom(db *pebblesdb.DB, n, keySpace, nexts int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	key := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		key = KeyAt(key, uint64(rng.Intn(keySpace)))
+		it, err := db.NewIter()
+		if err != nil {
+			return err
+		}
+		it.SeekGE(key)
+		for j := 0; j < nexts && it.Valid(); j++ {
+			it.Next()
+		}
+		if err := it.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeleteRandom deletes n keys drawn uniformly from keySpace.
+func DeleteRandom(db *pebblesdb.DB, n, keySpace int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	key := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		key = KeyAt(key, uint64(rng.Intn(keySpace)))
+		if err := db.Delete(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Concurrent runs worker(threadID) on threads goroutines and returns the
+// first error (the paper's multi-threaded benchmarks, Fig 5.1c).
+func Concurrent(threads int, worker func(th int) error) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, threads)
+	for th := 0; th < threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			if err := worker(th); err != nil {
+				errCh <- err
+			}
+		}(th)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// Age churns the store per the paper's key-value-store aging procedure
+// (Fig 5.2a): concurrent inserts, deletes and updates in random order.
+func Age(db *pebblesdb.DB, inserts, deletes, updates, keySpace, valueSize int, seed int64) error {
+	return Concurrent(4, func(th int) error {
+		rng := rand.New(rand.NewSource(seed + int64(th)))
+		val := make([]byte, valueSize)
+		rng.Read(val)
+		key := make([]byte, 0, 16)
+		for i := 0; i < inserts/4; i++ {
+			key = KeyAt(key, uint64(rng.Intn(keySpace)))
+			if err := db.Put(key, val); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < deletes/4; i++ {
+			key = KeyAt(key, uint64(rng.Intn(keySpace)))
+			if err := db.Delete(key); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < updates/4; i++ {
+			key = KeyAt(key, uint64(rng.Intn(keySpace)))
+			if err := db.Put(key, val); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// SizeDistribution summarizes sstable sizes in MB (Table 5.1).
+type SizeDistribution struct {
+	Count                    int
+	MeanMB, MedianMB         float64
+	P90MB, P95MB             float64
+}
+
+// SSTableSizes computes the live sstable size distribution.
+func SSTableSizes(db *pebblesdb.DB) SizeDistribution {
+	sizes := db.Metrics().Tree.TableFileSizes
+	if len(sizes) == 0 {
+		return SizeDistribution{}
+	}
+	sorted := append([]uint64(nil), sizes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum uint64
+	for _, s := range sorted {
+		sum += s
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return float64(sorted[idx]) / (1 << 20)
+	}
+	return SizeDistribution{
+		Count:    len(sorted),
+		MeanMB:   float64(sum) / float64(len(sorted)) / (1 << 20),
+		MedianMB: pct(0.5),
+		P90MB:    pct(0.9),
+		P95MB:    pct(0.95),
+	}
+}
+
+// Table renders results grouped by workload with values relative to a
+// baseline store, matching the paper's figure style ("values are shown
+// relative to HyperLevelDB").
+func Table(w io.Writer, results []Result, baseline string, higherIsBetter bool) {
+	byWorkload := map[string][]Result{}
+	var order []string
+	for _, r := range results {
+		if len(byWorkload[r.Workload]) == 0 {
+			order = append(order, r.Workload)
+		}
+		byWorkload[r.Workload] = append(byWorkload[r.Workload], r)
+	}
+	for _, wl := range order {
+		rs := byWorkload[wl]
+		var base float64
+		for _, r := range rs {
+			if r.Store == baseline {
+				base = r.KOpsPerSec
+			}
+		}
+		fmt.Fprintf(w, "%s (baseline %s = %.1f KOps/s):\n", wl, baseline, base)
+		for _, r := range rs {
+			rel := 0.0
+			if base > 0 {
+				rel = r.KOpsPerSec / base
+			}
+			fmt.Fprintf(w, "  %-14s %10.1f KOps/s  %5.2fx  writeIO %7.3f GB  writeAmp %6.2f\n",
+				r.Store, r.KOpsPerSec, rel, r.WriteGB, r.WriteAmp)
+		}
+	}
+}

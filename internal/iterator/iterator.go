@@ -1,0 +1,40 @@
+// Package iterator defines the internal iterator contract shared by
+// memtables, sstables, guards and levels, plus the merging iterator that
+// combines them (§2.2: "the database iterator is implemented via merging
+// level iterators").
+package iterator
+
+// Iterator is a forward cursor over internal keys in sorted order
+// (base.InternalCompare). Implementations are not safe for concurrent use.
+type Iterator interface {
+	// SeekGE positions the iterator at the first entry with key >= target
+	// (an internal key).
+	SeekGE(target []byte)
+	// First positions the iterator at the smallest entry.
+	First()
+	// Next advances the iterator. It must only be called when Valid.
+	Next()
+	// Valid reports whether the iterator is positioned on an entry.
+	Valid() bool
+	// Key returns the current internal key. The slice is only valid until
+	// the next positioning call.
+	Key() []byte
+	// Value returns the current value, with the same lifetime as Key.
+	Value() []byte
+	// Error returns the first IO error the iterator encountered.
+	Error() error
+	// Close releases resources. The iterator is unusable afterwards.
+	Close() error
+}
+
+// Empty is an iterator over nothing.
+type Empty struct{ Err error }
+
+func (e *Empty) SeekGE([]byte) {}
+func (e *Empty) First()        {}
+func (e *Empty) Next()         {}
+func (e *Empty) Valid() bool   { return false }
+func (e *Empty) Key() []byte   { return nil }
+func (e *Empty) Value() []byte { return nil }
+func (e *Empty) Error() error  { return e.Err }
+func (e *Empty) Close() error  { return nil }

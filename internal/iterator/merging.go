@@ -1,0 +1,126 @@
+package iterator
+
+// Merging merges any number of child iterators into one sorted stream. It
+// is the merge procedure the paper describes for range queries (§3.4):
+// identifying the next smallest key without performing a full sort. A
+// binary min-heap keyed by the children's current keys gives O(log n)
+// advancement.
+type Merging struct {
+	cmp  func(a, b []byte) int
+	kids []Iterator
+	heap []int // indices into kids, heap-ordered; kids[heap[0]] is smallest
+	err  error
+}
+
+// NewMerging returns a merging iterator over kids ordered by cmp. The
+// merging iterator takes ownership: Close closes every child.
+func NewMerging(cmp func(a, b []byte) int, kids ...Iterator) *Merging {
+	return &Merging{cmp: cmp, kids: kids}
+}
+
+func (m *Merging) less(i, j int) bool {
+	return m.cmp(m.kids[i].Key(), m.kids[j].Key()) < 0
+}
+
+func (m *Merging) initHeap() {
+	m.heap = m.heap[:0]
+	for i, k := range m.kids {
+		if k.Valid() {
+			m.heap = append(m.heap, i)
+		} else if err := k.Error(); err != nil && m.err == nil {
+			m.err = err
+		}
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+}
+
+func (m *Merging) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && m.less(m.heap[l], m.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && m.less(m.heap[r], m.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.heap[i], m.heap[smallest] = m.heap[smallest], m.heap[i]
+		i = smallest
+	}
+}
+
+// InitPositioned rebuilds the heap from the children's current positions
+// without repositioning them. PebblesDB's parallel seeks (§4.2) position
+// the sstable iterators of a last-level guard concurrently, then call this
+// to assemble the merged view.
+func (m *Merging) InitPositioned() { m.initHeap() }
+
+// SeekGE positions every child at target and rebuilds the heap.
+func (m *Merging) SeekGE(target []byte) {
+	for _, k := range m.kids {
+		k.SeekGE(target)
+	}
+	m.initHeap()
+}
+
+// First positions every child at its first entry and rebuilds the heap.
+func (m *Merging) First() {
+	for _, k := range m.kids {
+		k.First()
+	}
+	m.initHeap()
+}
+
+// Next advances the child currently at the heap root.
+func (m *Merging) Next() {
+	if len(m.heap) == 0 {
+		return
+	}
+	top := m.heap[0]
+	m.kids[top].Next()
+	if m.kids[top].Valid() {
+		m.siftDown(0)
+		return
+	}
+	if err := m.kids[top].Error(); err != nil && m.err == nil {
+		m.err = err
+	}
+	last := len(m.heap) - 1
+	m.heap[0] = m.heap[last]
+	m.heap = m.heap[:last]
+	if len(m.heap) > 0 {
+		m.siftDown(0)
+	}
+}
+
+// Valid reports whether the merged stream has a current entry.
+func (m *Merging) Valid() bool { return len(m.heap) > 0 && m.err == nil }
+
+// Key returns the smallest current key across children.
+func (m *Merging) Key() []byte { return m.kids[m.heap[0]].Key() }
+
+// Value returns the value paired with Key.
+func (m *Merging) Value() []byte { return m.kids[m.heap[0]].Value() }
+
+// Error returns the first error from any child.
+func (m *Merging) Error() error { return m.err }
+
+// Close closes every child and returns the first error.
+func (m *Merging) Close() error {
+	var first error
+	for _, k := range m.kids {
+		if err := k.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if m.err != nil && first == nil {
+		first = m.err
+	}
+	return first
+}

@@ -1,0 +1,265 @@
+package leveled
+
+import (
+	"bytes"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/treebase"
+)
+
+// compaction describes one unit of work: merge inputs (level) with targets
+// (level+1) and write the result to level+1.
+type compaction struct {
+	level     int
+	inputs    []*base.FileMetadata
+	targets   []*base.FileMetadata
+	seek      bool // triggered by seek budget exhaustion
+	trivially bool // metadata-only move
+}
+
+// NeedsCompaction reports whether any level is over threshold.
+func (t *Tree) NeedsCompaction() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pickLocked(false) != nil
+}
+
+// pickLocked chooses the next compaction, or nil. When claim is true the
+// involved levels are marked busy.
+func (t *Tree) pickLocked(claim bool) *compaction {
+	v := t.cur
+	bestScore := 0.0
+	bestLevel := -1
+
+	if !t.busyLevels[0] && !t.busyLevels[1] {
+		score := float64(len(v.files[0])) / float64(t.cfg.L0CompactionTrigger)
+		if score >= 1.0 && score > bestScore {
+			bestScore, bestLevel = score, 0
+		}
+	}
+	for l := 1; l < t.cfg.NumLevels-1; l++ {
+		if t.busyLevels[l] || t.busyLevels[l+1] {
+			continue
+		}
+		score := float64(v.levelBytes(l)) / float64(t.cfg.MaxBytesForLevel(l))
+		if score >= 1.0 && score > bestScore {
+			bestScore, bestLevel = score, l
+		}
+	}
+
+	var c *compaction
+	switch {
+	case bestLevel == 0:
+		inputs := append([]*base.FileMetadata(nil), v.files[0]...)
+		lo, hi := rangeOfFiles(inputs)
+		c = &compaction{level: 0, inputs: inputs, targets: overlaps(v.files[1], lo, hi)}
+	case bestLevel > 0:
+		f := t.pickFileLocked(v, bestLevel)
+		c = &compaction{
+			level:   bestLevel,
+			inputs:  []*base.FileMetadata{f},
+			targets: overlaps(v.files[bestLevel+1], f.SmallestUserKey(), f.LargestUserKey()),
+		}
+	default:
+		c = t.pickSeekLocked(v)
+	}
+	if c == nil {
+		return nil
+	}
+	if len(c.inputs) == 1 && c.level > 0 && len(c.targets) == 0 {
+		c.trivially = true
+	}
+	if c.level == 0 && len(c.inputs) == 1 && len(c.targets) == 0 {
+		c.trivially = true
+	}
+	if claim {
+		t.busyLevels[c.level] = true
+		t.busyLevels[c.level+1] = true
+	}
+	return c
+}
+
+// pickFileLocked selects the next file after the level's compaction
+// pointer, wrapping around (LevelDB's round-robin).
+func (t *Tree) pickFileLocked(v *version, level int) *base.FileMetadata {
+	files := v.files[level]
+	ptr := t.compactPtr[level]
+	for _, f := range files {
+		if ptr == nil || bytes.Compare(f.LargestUserKey(), ptr) > 0 {
+			return f
+		}
+	}
+	return files[0]
+}
+
+// pickSeekLocked turns a seek-budget exhaustion into a compaction.
+func (t *Tree) pickSeekLocked(v *version) *compaction {
+	for fn, level := range t.seekPending {
+		if t.busyLevels[level] || t.busyLevels[level+1] {
+			continue
+		}
+		var file *base.FileMetadata
+		for _, f := range v.files[level] {
+			if f.FileNum == fn {
+				file = f
+				break
+			}
+		}
+		delete(t.seekPending, fn)
+		if file == nil {
+			continue // already compacted away
+		}
+		return &compaction{
+			level:   level,
+			inputs:  []*base.FileMetadata{file},
+			targets: overlaps(v.files[level+1], file.SmallestUserKey(), file.LargestUserKey()),
+			seek:    true,
+		}
+	}
+	return nil
+}
+
+// CompactOnce performs at most one compaction unit. It returns whether any
+// work was done.
+func (t *Tree) CompactOnce() (bool, error) {
+	t.mu.Lock()
+	c := t.pickLocked(true)
+	t.mu.Unlock()
+	if c == nil {
+		return false, nil
+	}
+	err := t.runCompaction(c)
+	t.mu.Lock()
+	delete(t.busyLevels, c.level)
+	delete(t.busyLevels, c.level+1)
+	t.mu.Unlock()
+	return true, err
+}
+
+func (t *Tree) runCompaction(c *compaction) error {
+	if c.trivially {
+		// Metadata-only move: the LSM fast path for non-overlapping data
+		// that FLSM deliberately forgoes (§4.5: sequential workloads).
+		f := c.inputs[0]
+		edit := &manifest.VersionEdit{
+			DeletedFiles: []manifest.DeletedFileEntry{{Level: c.level, FileNum: f.FileNum}},
+			NewFiles:     []manifest.NewFileEntry{{Level: c.level + 1, Meta: *f}},
+		}
+		if err := t.logAndInstall(edit); err != nil {
+			return err
+		}
+		t.mu.Lock()
+		t.metrics.TrivialMoves++
+		t.compactPtr[c.level] = append([]byte(nil), f.LargestUserKey()...)
+		t.mu.Unlock()
+		return nil
+	}
+
+	var iters []iterator.Iterator
+	var bytesIn int64
+	for _, f := range append(append([]*base.FileMetadata(nil), c.inputs...), c.targets...) {
+		r, err := t.tc.Find(f.FileNum, f.Size)
+		if err != nil {
+			for _, it := range iters {
+				it.Close()
+			}
+			return err
+		}
+		iters = append(iters, treebase.NewTableIter(r))
+		bytesIn += int64(f.Size)
+	}
+	merged := iterator.NewMerging(base.InternalCompare, iters...)
+	smallest := base.MaxSeqNum
+	if t.snap != nil {
+		smallest = t.snap.SmallestSnapshot()
+	}
+	elide := c.level+1 == t.cfg.NumLevels-1
+	ci := treebase.NewCompactionIter(merged, smallest, elide)
+
+	ob := treebase.NewOutputBuilder(t.fs, t.dir, t.writerOptions(), t.vs, t)
+	var prevUkey []byte
+	for ci.First(); ci.Valid(); ci.Next() {
+		ukey := base.UserKey(ci.Key())
+		// Cut at the size target, but never between two versions of the
+		// same user key: deeper levels must stay disjoint in user keys.
+		if ob.HasOpen() && ob.CurrentSize() >= uint64(t.cfg.TargetFileSize) &&
+			prevUkey != nil && !bytes.Equal(prevUkey, ukey) {
+			if err := ob.Cut(); err != nil {
+				ob.Abandon()
+				ci.Close()
+				return err
+			}
+		}
+		if err := ob.Add(ci.Key(), ci.Value()); err != nil {
+			ob.Abandon()
+			ci.Close()
+			return err
+		}
+		prevUkey = append(prevUkey[:0], ukey...)
+	}
+	if err := ci.Error(); err != nil {
+		ob.Abandon()
+		ci.Close()
+		return err
+	}
+	ci.Close()
+	metas, err := ob.Finish()
+	if err != nil {
+		ob.Abandon()
+		return err
+	}
+
+	edit := &manifest.VersionEdit{}
+	for _, f := range c.inputs {
+		edit.DeletedFiles = append(edit.DeletedFiles, manifest.DeletedFileEntry{Level: c.level, FileNum: f.FileNum})
+	}
+	for _, f := range c.targets {
+		edit.DeletedFiles = append(edit.DeletedFiles, manifest.DeletedFileEntry{Level: c.level + 1, FileNum: f.FileNum})
+	}
+	var bytesOut int64
+	for _, m := range metas {
+		edit.NewFiles = append(edit.NewFiles, manifest.NewFileEntry{Level: c.level + 1, Meta: *m})
+		bytesOut += int64(m.Size)
+	}
+	if err := t.logAndInstall(edit); err != nil {
+		ob.Abandon()
+		return err
+	}
+	ob.ReleasePending()
+	if t.snap != nil {
+		dead := make([]base.FileNum, 0, len(edit.DeletedFiles))
+		for _, d := range edit.DeletedFiles {
+			dead = append(dead, d.FileNum)
+		}
+		t.snap.NoteObsoleteTables(dead)
+	}
+
+	t.mu.Lock()
+	t.metrics.Compactions++
+	if c.seek {
+		t.metrics.SeekCompactions++
+	}
+	t.metrics.BytesCompactedIn += bytesIn
+	t.metrics.BytesCompactedOut += bytesOut
+	if len(c.inputs) > 0 {
+		t.compactPtr[c.level] = append([]byte(nil), c.inputs[len(c.inputs)-1].LargestUserKey()...)
+	}
+	t.mu.Unlock()
+	return nil
+}
+
+// CompactAll drives compaction until no level is over threshold. Used by
+// benchmarks that measure fully-compacted stores (Fig 5.1b seeks).
+func (t *Tree) CompactAll() error {
+	for {
+		did, err := t.CompactOnce()
+		if err != nil {
+			return err
+		}
+		if !did {
+			return nil
+		}
+	}
+}

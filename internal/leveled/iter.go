@@ -1,0 +1,114 @@
+package leveled
+
+import (
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/tablecache"
+	"pebblesdb/internal/treebase"
+)
+
+// levelIter concatenates the (disjoint, sorted) sstables of one level into
+// a single iterator, opening tables lazily through the table cache.
+type levelIter struct {
+	tc    *tablecache.TableCache
+	files []*base.FileMetadata
+	idx   int
+	cur   iterator.Iterator
+	err   error
+}
+
+func newLevelIter(tc *tablecache.TableCache, files []*base.FileMetadata) *levelIter {
+	return &levelIter{tc: tc, files: files, idx: -1}
+}
+
+func (l *levelIter) openFile(i int) bool {
+	if l.cur != nil {
+		l.cur.Close()
+		l.cur = nil
+	}
+	if i < 0 || i >= len(l.files) {
+		l.idx = len(l.files)
+		return false
+	}
+	r, err := l.tc.Find(l.files[i].FileNum, l.files[i].Size)
+	if err != nil {
+		l.err = err
+		return false
+	}
+	l.idx = i
+	l.cur = treebase.NewTableIter(r)
+	return true
+}
+
+// SeekGE positions at the first entry >= target.
+func (l *levelIter) SeekGE(target []byte) {
+	if l.err != nil {
+		return
+	}
+	// Find the first file whose largest key is >= target.
+	lo, hi := 0, len(l.files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if base.InternalCompare(l.files[mid].Largest, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if !l.openFile(lo) {
+		return
+	}
+	l.cur.SeekGE(target)
+	l.skipEmpty()
+}
+
+// First positions at the level's first entry.
+func (l *levelIter) First() {
+	if l.err != nil {
+		return
+	}
+	if !l.openFile(0) {
+		return
+	}
+	l.cur.First()
+	l.skipEmpty()
+}
+
+// Next advances, moving to the next file as needed.
+func (l *levelIter) Next() {
+	if l.cur == nil || l.err != nil {
+		return
+	}
+	l.cur.Next()
+	l.skipEmpty()
+}
+
+func (l *levelIter) skipEmpty() {
+	for l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Error(); err != nil {
+			l.err = err
+			return
+		}
+		if !l.openFile(l.idx + 1) {
+			return
+		}
+		l.cur.First()
+	}
+}
+
+func (l *levelIter) Valid() bool {
+	return l.err == nil && l.cur != nil && l.cur.Valid()
+}
+
+func (l *levelIter) Key() []byte   { return l.cur.Key() }
+func (l *levelIter) Value() []byte { return l.cur.Value() }
+
+func (l *levelIter) Error() error { return l.err }
+
+func (l *levelIter) Close() error {
+	if l.cur != nil {
+		l.cur.Close()
+		l.cur = nil
+	}
+	return l.err
+}

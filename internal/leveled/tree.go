@@ -1,0 +1,385 @@
+package leveled
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/cache"
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/sstable"
+	"pebblesdb/internal/tablecache"
+	"pebblesdb/internal/treebase"
+	"pebblesdb/internal/vfs"
+)
+
+// Tree is the leveled LSM baseline. All methods are safe for concurrent
+// use.
+type Tree struct {
+	cfg  *base.Config
+	fs   vfs.FS
+	dir  string
+	vs   *manifest.VersionSet
+	tc   *tablecache.TableCache
+	snap treebase.Host
+
+	mu          sync.Mutex
+	cur         *version
+	compactPtr  [][]byte // per-level round-robin cursor (user key)
+	busyLevels  map[int]bool
+	seekPending map[base.FileNum]int // fileNum -> level, seek-triggered candidates
+	pendingMu   sync.Mutex
+	pending     map[base.FileNum]bool
+
+	metrics treebase.Metrics
+}
+
+// Open creates or recovers a leveled tree in dir.
+func Open(cfg *base.Config, fs vfs.FS, dir string, snap treebase.Host) (*Tree, error) {
+	t := &Tree{
+		cfg:         cfg,
+		fs:          fs,
+		dir:         dir,
+		snap:        snap,
+		cur:         newVersion(cfg.NumLevels),
+		compactPtr:  make([][]byte, cfg.NumLevels),
+		busyLevels:  make(map[int]bool),
+		seekPending: make(map[base.FileNum]int),
+		pending:     make(map[base.FileNum]bool),
+	}
+	blockCache := cache.New(cfg.BlockCacheSize, nil)
+	t.tc = tablecache.New(fs, dir, cfg.TableCacheSize, blockCache)
+
+	if manifest.Exists(fs, dir) {
+		vs, err := manifest.Load(fs, dir, func(e *manifest.VersionEdit) error {
+			nv, err := t.cur.apply(e, cfg.NumLevels)
+			if err != nil {
+				return err
+			}
+			t.cur = nv
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.vs = vs
+		if err := vs.StartAppending(t.snapshotEditLocked()); err != nil {
+			return nil, err
+		}
+	} else {
+		vs, err := manifest.Create(fs, dir)
+		if err != nil {
+			return nil, err
+		}
+		t.vs = vs
+	}
+	return t, nil
+}
+
+// snapshotEditLocked describes the full current state as one edit.
+func (t *Tree) snapshotEditLocked() *manifest.VersionEdit {
+	e := &manifest.VersionEdit{}
+	for l, files := range t.cur.files {
+		for _, f := range files {
+			e.NewFiles = append(e.NewFiles, manifest.NewFileEntry{Level: l, Meta: *f})
+		}
+	}
+	return e
+}
+
+// NewFileNum allocates a file number (also used by the engine for WALs).
+func (t *Tree) NewFileNum() base.FileNum { return t.vs.NewFileNum() }
+
+// RecoveryLogNum returns the WAL number recovery must replay from.
+func (t *Tree) RecoveryLogNum() base.FileNum { return t.vs.LogNum() }
+
+// PersistedLastSeq returns the sequence watermark from the manifest.
+func (t *Tree) PersistedLastSeq() base.SeqNum { return t.vs.LastSeq() }
+
+// Ingest is the per-key write hook; the leveled tree has no guards, so it
+// is a no-op.
+func (t *Tree) Ingest(ukey []byte) {}
+
+// AddPending registers an in-flight output file (treebase.PendingRegistry).
+func (t *Tree) AddPending(fn base.FileNum) {
+	t.pendingMu.Lock()
+	t.pending[fn] = true
+	t.pendingMu.Unlock()
+}
+
+// RemovePending unregisters an in-flight output file.
+func (t *Tree) RemovePending(fn base.FileNum) {
+	t.pendingMu.Lock()
+	delete(t.pending, fn)
+	t.pendingMu.Unlock()
+}
+
+func (t *Tree) currentVersion() *version {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cur
+}
+
+func (t *Tree) writerOptions() sstable.WriterOptions {
+	return sstable.WriterOptions{
+		BlockSize:            t.cfg.BlockSize,
+		BlockRestartInterval: t.cfg.BlockRestartInterval,
+		BloomBitsPerKey:      t.cfg.BloomBitsPerKey,
+	}
+}
+
+// Flush writes the memtable contents as a level-0 sstable and logs an edit
+// recording the new WAL number and sequence watermark.
+func (t *Tree) Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.SeqNum) error {
+	ob := treebase.NewOutputBuilder(t.fs, t.dir, t.writerOptions(), t.vs, t)
+	for it.First(); it.Valid(); it.Next() {
+		if err := ob.Add(it.Key(), it.Value()); err != nil {
+			ob.Abandon()
+			return err
+		}
+	}
+	if err := it.Error(); err != nil {
+		ob.Abandon()
+		return err
+	}
+	metas, err := ob.Finish()
+	if err != nil {
+		ob.Abandon()
+		return err
+	}
+
+	edit := &manifest.VersionEdit{}
+	edit.SetLogNum(logNum)
+	edit.SetLastSeq(lastSeq)
+	var flushed int64
+	for _, m := range metas {
+		edit.NewFiles = append(edit.NewFiles, manifest.NewFileEntry{Level: 0, Meta: *m})
+		flushed += int64(m.Size)
+	}
+	if err := t.logAndInstall(edit); err != nil {
+		ob.Abandon()
+		return err
+	}
+	ob.ReleasePending()
+	t.mu.Lock()
+	t.metrics.BytesFlushed += flushed
+	t.mu.Unlock()
+	return nil
+}
+
+// logAndInstall installs the version resulting from edit and persists the
+// edit. Install-then-log keeps the rotation snapshot (which reads t.cur)
+// consistent with the edit it replaces; if the manifest write fails the
+// engine surfaces the error and stops accepting writes, so the in-memory
+// state running ahead of the manifest is harmless.
+func (t *Tree) logAndInstall(edit *manifest.VersionEdit) error {
+	t.mu.Lock()
+	nv, err := t.cur.apply(edit, t.cfg.NumLevels)
+	if err == nil {
+		t.cur = nv
+	}
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.snapshotEditLocked()
+	})
+}
+
+// Get returns the newest visible value of ukey at seq. found=false means
+// the key is absent or deleted at that snapshot.
+func (t *Tree) Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err error) {
+	v := t.currentVersion()
+	search := base.MakeSearchKey(make([]byte, 0, len(ukey)+base.TrailerLen), ukey, seq)
+
+	// A Get that examines more than one file charges the first file's seek
+	// budget (LevelDB's seek-triggered compaction).
+	var firstMiss *base.FileMetadata
+	firstMissLevel := -1
+	defer func() {
+		if firstMiss != nil {
+			t.chargeSeek(firstMiss, firstMissLevel)
+		}
+	}()
+
+	examine := func(f *base.FileMetadata, level int) (stop bool) {
+		r, ferr := t.tc.Find(f.FileNum, f.Size)
+		if ferr != nil {
+			err = ferr
+			return true
+		}
+		defer r.Unref()
+		if !r.MayContain(ukey) {
+			return false
+		}
+		ikey, val, ok, gerr := r.Get(search)
+		if gerr != nil {
+			err = gerr
+			return true
+		}
+		if !ok {
+			if firstMiss == nil {
+				firstMiss, firstMissLevel = f, level
+			}
+			return false
+		}
+		_, _, kind, _ := base.DecodeInternalKey(ikey)
+		if kind == base.KindSet {
+			value, found = val, true
+		}
+		return true
+	}
+
+	// Level 0: newest file first; a hit (value or tombstone) ends the
+	// search.
+	for _, f := range v.files[0] {
+		if !userKeyInRange(ukey, f) {
+			continue
+		}
+		if examine(f, 0) {
+			return value, found, err
+		}
+	}
+	for l := 1; l < t.cfg.NumLevels; l++ {
+		i := findFile(v.files[l], ukey)
+		if i < 0 {
+			continue
+		}
+		if examine(v.files[l][i], l) {
+			return value, found, err
+		}
+	}
+	return nil, false, err
+}
+
+func userKeyInRange(ukey []byte, f *base.FileMetadata) bool {
+	return string(ukey) >= string(f.SmallestUserKey()) && string(ukey) <= string(f.LargestUserKey())
+}
+
+// chargeSeek decrements a file's seek budget, scheduling a seek-triggered
+// compaction when exhausted (§4.2's baseline analogue, from LevelDB).
+func (t *Tree) chargeSeek(f *base.FileMetadata, level int) {
+	if t.cfg.SeekCompactionThreshold <= 0 || level >= t.cfg.NumLevels-1 {
+		return
+	}
+	t.mu.Lock()
+	f.AllowedSeeks--
+	if f.AllowedSeeks <= 0 {
+		if _, dup := t.seekPending[f.FileNum]; !dup {
+			t.seekPending[f.FileNum] = level
+		}
+		f.AllowedSeeks = allowedSeeks(f.Size)
+	}
+	t.mu.Unlock()
+}
+
+// NewIters returns one iterator per L0 table plus one concatenating
+// iterator per deeper level.
+func (t *Tree) NewIters() ([]iterator.Iterator, error) {
+	v := t.currentVersion()
+	var iters []iterator.Iterator
+	for _, f := range v.files[0] {
+		r, err := t.tc.Find(f.FileNum, f.Size)
+		if err != nil {
+			return closeAll(iters, err)
+		}
+		iters = append(iters, treebase.NewTableIter(r))
+	}
+	for l := 1; l < t.cfg.NumLevels; l++ {
+		if len(v.files[l]) == 0 {
+			continue
+		}
+		iters = append(iters, newLevelIter(t.tc, v.files[l]))
+	}
+	return iters, nil
+}
+
+func closeAll(iters []iterator.Iterator, err error) ([]iterator.Iterator, error) {
+	for _, it := range iters {
+		it.Close()
+	}
+	return nil, err
+}
+
+// L0Count returns the current number of level-0 files (write stalls).
+func (t *Tree) L0Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.cur.files[0])
+}
+
+// ProtectedFiles returns every table file the sweeper must keep: files in
+// the live version plus in-flight outputs. The pending set is read first:
+// files move pending -> version, so reading the version second guarantees
+// a file cannot slip between the two snapshots.
+func (t *Tree) ProtectedFiles() map[base.FileNum]bool {
+	out := make(map[base.FileNum]bool)
+	t.pendingMu.Lock()
+	for fn := range t.pending {
+		out[fn] = true
+	}
+	t.pendingMu.Unlock()
+	t.mu.Lock()
+	for _, files := range t.cur.files {
+		for _, f := range files {
+			out[f.FileNum] = true
+		}
+	}
+	t.mu.Unlock()
+	return out
+}
+
+// EvictTable drops a deleted table from the caches.
+func (t *Tree) EvictTable(fn base.FileNum) { t.tc.Evict(fn) }
+
+// ManifestFileNum exposes the live manifest number for the sweeper.
+func (t *Tree) ManifestFileNum() base.FileNum { return t.vs.ManifestFileNum() }
+
+// LogNum exposes the recovery WAL watermark for the sweeper.
+func (t *Tree) LogNum() base.FileNum { return t.vs.LogNum() }
+
+// Metrics reports tree statistics.
+func (t *Tree) Metrics() treebase.Metrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.metrics
+	m.LevelFiles = make([]int, t.cfg.NumLevels)
+	m.LevelBytes = make([]int64, t.cfg.NumLevels)
+	for l, files := range t.cur.files {
+		m.LevelFiles[l] = len(files)
+		m.LevelBytes[l] = t.cur.levelBytes(l)
+		for _, f := range files {
+			m.TableFileSizes = append(m.TableFileSizes, f.Size)
+		}
+	}
+	return m
+}
+
+// CacheMetrics reports table-cache statistics (Table 5.4).
+func (t *Tree) CacheMetrics() tablecache.Metrics { return t.tc.Metrics() }
+
+// Dump writes a human-readable layout description.
+func (t *Tree) Dump(w io.Writer) {
+	v := t.currentVersion()
+	fmt.Fprintf(w, "leveled tree %s\n", t.dir)
+	for l, files := range v.files {
+		if len(files) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  level %d: %d files, %d bytes\n", l, len(files), v.levelBytes(l))
+		for _, f := range files {
+			fmt.Fprintf(w, "    %s\n", f)
+		}
+	}
+}
+
+// Close releases cached readers and the manifest.
+func (t *Tree) Close() error {
+	t.tc.Close()
+	return t.vs.Close()
+}

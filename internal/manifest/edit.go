@@ -1,0 +1,227 @@
+// Package manifest persists the store's metadata: the set of live sstables
+// per level, the committed guard keys per level (PebblesDB's addition,
+// §4.3.1: "PebblesDB simply adds more metadata (guard information) to be
+// persisted in the MANIFEST file"), the WAL number to recover from, and the
+// file-number / sequence-number watermarks. Edits are encoded as tagged
+// records appended to a MANIFEST log in the WAL record format; CURRENT
+// points at the live MANIFEST.
+package manifest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pebblesdb/internal/base"
+)
+
+// ErrCorrupt indicates an undecodable version edit.
+var ErrCorrupt = errors.New("manifest: corrupt version edit")
+
+const (
+	tagLogNum       = 1
+	tagNextFileNum  = 2
+	tagLastSeq      = 3
+	tagNewFile      = 4
+	tagDeletedFile  = 5
+	tagNewGuard     = 6
+	tagDeletedGuard = 7
+)
+
+// NewFileEntry records an sstable added to a level.
+type NewFileEntry struct {
+	Level int
+	Meta  base.FileMetadata
+}
+
+// DeletedFileEntry records an sstable removed from a level.
+type DeletedFileEntry struct {
+	Level   int
+	FileNum base.FileNum
+}
+
+// GuardEntry records a guard key committed to (or deleted from) a level.
+type GuardEntry struct {
+	Level int
+	Key   []byte // user key
+}
+
+// VersionEdit is one atomic mutation of the store's metadata.
+type VersionEdit struct {
+	LogNum       *base.FileNum
+	NextFileNum  *base.FileNum
+	LastSeq      *base.SeqNum
+	NewFiles     []NewFileEntry
+	DeletedFiles []DeletedFileEntry
+	NewGuards    []GuardEntry
+	DeletedGuards []GuardEntry
+}
+
+// SetLogNum records the WAL number from which recovery must replay.
+func (e *VersionEdit) SetLogNum(n base.FileNum) { e.LogNum = &n }
+
+// SetNextFileNum records the file-number watermark.
+func (e *VersionEdit) SetNextFileNum(n base.FileNum) { e.NextFileNum = &n }
+
+// SetLastSeq records the sequence-number watermark.
+func (e *VersionEdit) SetLastSeq(s base.SeqNum) { e.LastSeq = &s }
+
+// Encode appends the serialized edit to dst.
+func (e *VersionEdit) Encode(dst []byte) []byte {
+	if e.LogNum != nil {
+		dst = appendUvarint(dst, tagLogNum)
+		dst = appendUvarint(dst, uint64(*e.LogNum))
+	}
+	if e.NextFileNum != nil {
+		dst = appendUvarint(dst, tagNextFileNum)
+		dst = appendUvarint(dst, uint64(*e.NextFileNum))
+	}
+	if e.LastSeq != nil {
+		dst = appendUvarint(dst, tagLastSeq)
+		dst = appendUvarint(dst, uint64(*e.LastSeq))
+	}
+	for _, f := range e.NewFiles {
+		dst = appendUvarint(dst, tagNewFile)
+		dst = appendUvarint(dst, uint64(f.Level))
+		dst = appendUvarint(dst, uint64(f.Meta.FileNum))
+		dst = appendUvarint(dst, f.Meta.Size)
+		dst = appendBytes(dst, f.Meta.Smallest)
+		dst = appendBytes(dst, f.Meta.Largest)
+	}
+	for _, f := range e.DeletedFiles {
+		dst = appendUvarint(dst, tagDeletedFile)
+		dst = appendUvarint(dst, uint64(f.Level))
+		dst = appendUvarint(dst, uint64(f.FileNum))
+	}
+	for _, g := range e.NewGuards {
+		dst = appendUvarint(dst, tagNewGuard)
+		dst = appendUvarint(dst, uint64(g.Level))
+		dst = appendBytes(dst, g.Key)
+	}
+	for _, g := range e.DeletedGuards {
+		dst = appendUvarint(dst, tagDeletedGuard)
+		dst = appendUvarint(dst, uint64(g.Level))
+		dst = appendBytes(dst, g.Key)
+	}
+	return dst
+}
+
+// Decode parses a serialized edit.
+func (e *VersionEdit) Decode(src []byte) error {
+	for len(src) > 0 {
+		tag, n := binary.Uvarint(src)
+		if n <= 0 {
+			return fmt.Errorf("%w: bad tag", ErrCorrupt)
+		}
+		src = src[n:]
+		var err error
+		switch tag {
+		case tagLogNum:
+			var v uint64
+			if v, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			fn := base.FileNum(v)
+			e.LogNum = &fn
+		case tagNextFileNum:
+			var v uint64
+			if v, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			fn := base.FileNum(v)
+			e.NextFileNum = &fn
+		case tagLastSeq:
+			var v uint64
+			if v, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			s := base.SeqNum(v)
+			e.LastSeq = &s
+		case tagNewFile:
+			var level, fn, size uint64
+			var smallest, largest []byte
+			if level, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			if fn, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			if size, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			if smallest, src, err = readBytes(src); err != nil {
+				return err
+			}
+			if largest, src, err = readBytes(src); err != nil {
+				return err
+			}
+			e.NewFiles = append(e.NewFiles, NewFileEntry{
+				Level: int(level),
+				Meta: base.FileMetadata{
+					FileNum:  base.FileNum(fn),
+					Size:     size,
+					Smallest: smallest,
+					Largest:  largest,
+				},
+			})
+		case tagDeletedFile:
+			var level, fn uint64
+			if level, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			if fn, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			e.DeletedFiles = append(e.DeletedFiles, DeletedFileEntry{int(level), base.FileNum(fn)})
+		case tagNewGuard, tagDeletedGuard:
+			var level uint64
+			var key []byte
+			if level, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			if key, src, err = readBytes(src); err != nil {
+				return err
+			}
+			g := GuardEntry{Level: int(level), Key: key}
+			if tag == tagNewGuard {
+				e.NewGuards = append(e.NewGuards, g)
+			} else {
+				e.DeletedGuards = append(e.DeletedGuards, g)
+			}
+		default:
+			return fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tag)
+		}
+	}
+	return nil
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func appendBytes(dst, p []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+func readUvarint(src []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	return v, src[n:], nil
+}
+
+func readBytes(src []byte) ([]byte, []byte, error) {
+	l, src, err := readUvarint(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(src)) < l {
+		return nil, nil, fmt.Errorf("%w: truncated bytes", ErrCorrupt)
+	}
+	out := append([]byte(nil), src[:l]...)
+	return out, src[l:], nil
+}

@@ -1,0 +1,176 @@
+package manifest
+
+import (
+	"bytes"
+	"testing"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/vfs"
+)
+
+func TestEditEncodeDecodeRoundtrip(t *testing.T) {
+	var e VersionEdit
+	e.SetLogNum(5)
+	e.SetNextFileNum(100)
+	e.SetLastSeq(99999)
+	e.NewFiles = append(e.NewFiles, NewFileEntry{
+		Level: 2,
+		Meta: base.FileMetadata{
+			FileNum:  17,
+			Size:     123456,
+			Smallest: base.MakeInternalKey(nil, []byte("aaa"), 1, base.KindSet),
+			Largest:  base.MakeInternalKey(nil, []byte("zzz"), 9, base.KindSet),
+		},
+	})
+	e.DeletedFiles = append(e.DeletedFiles, DeletedFileEntry{Level: 1, FileNum: 9})
+	e.NewGuards = append(e.NewGuards, GuardEntry{Level: 3, Key: []byte("guardkey")})
+	e.DeletedGuards = append(e.DeletedGuards, GuardEntry{Level: 4, Key: []byte("dead")})
+
+	enc := e.Encode(nil)
+	var d VersionEdit
+	if err := d.Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if *d.LogNum != 5 || *d.NextFileNum != 100 || *d.LastSeq != 99999 {
+		t.Fatalf("watermarks: %+v", d)
+	}
+	if len(d.NewFiles) != 1 || d.NewFiles[0].Level != 2 || d.NewFiles[0].Meta.FileNum != 17 ||
+		d.NewFiles[0].Meta.Size != 123456 ||
+		!bytes.Equal(d.NewFiles[0].Meta.Smallest, e.NewFiles[0].Meta.Smallest) ||
+		!bytes.Equal(d.NewFiles[0].Meta.Largest, e.NewFiles[0].Meta.Largest) {
+		t.Fatalf("new files: %+v", d.NewFiles)
+	}
+	if len(d.DeletedFiles) != 1 || d.DeletedFiles[0] != (DeletedFileEntry{1, 9}) {
+		t.Fatalf("deleted files: %+v", d.DeletedFiles)
+	}
+	if len(d.NewGuards) != 1 || d.NewGuards[0].Level != 3 || string(d.NewGuards[0].Key) != "guardkey" {
+		t.Fatalf("guards: %+v", d.NewGuards)
+	}
+	if len(d.DeletedGuards) != 1 || string(d.DeletedGuards[0].Key) != "dead" {
+		t.Fatalf("deleted guards: %+v", d.DeletedGuards)
+	}
+}
+
+func TestEditDecodeEmpty(t *testing.T) {
+	var d VersionEdit
+	if err := d.Decode(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditDecodeCorrupt(t *testing.T) {
+	var d VersionEdit
+	if err := d.Decode([]byte{0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("unknown/garbled tag should fail")
+	}
+	// Truncated new-file record.
+	var e VersionEdit
+	e.NewFiles = append(e.NewFiles, NewFileEntry{Level: 1, Meta: base.FileMetadata{
+		FileNum: 1, Smallest: []byte("aaaaaaaax"), Largest: []byte("bbbbbbbbx"),
+	}})
+	enc := e.Encode(nil)
+	var d2 VersionEdit
+	if err := d2.Decode(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated edit should fail")
+	}
+}
+
+func TestVersionSetCreateLoad(t *testing.T) {
+	fs := vfs.NewMem()
+	vs, err := Create(fs, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(fs, "db") {
+		t.Fatal("store should exist after Create")
+	}
+
+	fn1 := vs.NewFileNum()
+	var e1 VersionEdit
+	e1.SetLogNum(fn1)
+	e1.SetLastSeq(42)
+	e1.NewFiles = append(e1.NewFiles, NewFileEntry{Level: 0, Meta: base.FileMetadata{
+		FileNum:  fn1,
+		Size:     10,
+		Smallest: base.MakeInternalKey(nil, []byte("a"), 1, base.KindSet),
+		Largest:  base.MakeInternalKey(nil, []byte("b"), 2, base.KindSet),
+	}})
+	if err := vs.LogAndApply(&e1, nil); err != nil {
+		t.Fatal(err)
+	}
+	var e2 VersionEdit
+	e2.NewGuards = append(e2.NewGuards, GuardEntry{Level: 1, Key: []byte("g")})
+	if err := vs.LogAndApply(&e2, nil); err != nil {
+		t.Fatal(err)
+	}
+	vs.Close()
+
+	var files, guards int
+	vs2, err := Load(fs, "db", func(e *VersionEdit) error {
+		files += len(e.NewFiles)
+		guards += len(e.NewGuards)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 1 || guards != 1 {
+		t.Fatalf("replayed files=%d guards=%d", files, guards)
+	}
+	if vs2.LastSeq() != 42 {
+		t.Fatalf("last seq %d", vs2.LastSeq())
+	}
+	if vs2.LogNum() != fn1 {
+		t.Fatalf("log num %d want %d", vs2.LogNum(), fn1)
+	}
+	// File numbers must not collide with anything allocated before.
+	if vs2.NewFileNum() <= fn1 {
+		t.Fatal("file numbers must advance across reloads")
+	}
+	if err := vs2.StartAppending(&VersionEdit{}); err != nil {
+		t.Fatal(err)
+	}
+	vs2.Close()
+}
+
+func TestVersionSetRotation(t *testing.T) {
+	fs := vfs.NewMem()
+	vs, err := Create(fs, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write enough edits to exceed the rotation threshold; each edit
+	// carries a large key to accelerate growth.
+	bigKey := bytes.Repeat([]byte("k"), 64<<10)
+	snapshotCalls := 0
+	for i := 0; i < 80; i++ {
+		var e VersionEdit
+		e.NewGuards = append(e.NewGuards, GuardEntry{Level: 1, Key: bigKey})
+		err := vs.LogAndApply(&e, func() *VersionEdit {
+			snapshotCalls++
+			return &VersionEdit{} // state snapshot; empty is fine here
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snapshotCalls == 0 {
+		t.Fatal("manifest never rotated")
+	}
+	vs.Close()
+
+	// The rotated manifest must load.
+	if _, err := Load(fs, "db", func(*VersionEdit) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMissingStore(t *testing.T) {
+	fs := vfs.NewMem()
+	if Exists(fs, "nope") {
+		t.Fatal("store should not exist")
+	}
+	if _, err := Load(fs, "nope", func(*VersionEdit) error { return nil }); err == nil {
+		t.Fatal("loading a missing store should fail")
+	}
+}

@@ -1,0 +1,74 @@
+// Package memtable wraps the skiplist with internal-key framing: every
+// mutation is stored under user_key++trailer so that multiple versions of a
+// key coexist and reads at a snapshot sequence number see the right one.
+package memtable
+
+import (
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/skiplist"
+)
+
+// Memtable is an in-memory write buffer. A single writer (the engine's
+// commit pipeline) calls Set; readers are lock-free.
+type Memtable struct {
+	list *skiplist.Skiplist
+}
+
+// New returns an empty memtable.
+func New() *Memtable {
+	return &Memtable{list: skiplist.New(base.InternalCompare)}
+}
+
+// Set records a mutation of kind (KindSet or KindDelete) at seq. Both key
+// and value are copied: callers (the commit pipeline) own and may reuse
+// their buffers — batches in particular are reusable after Apply.
+func (m *Memtable) Set(ukey []byte, seq base.SeqNum, kind base.Kind, value []byte) {
+	ikey := base.MakeInternalKey(make([]byte, 0, len(ukey)+base.TrailerLen), ukey, seq, kind)
+	var v []byte
+	if len(value) > 0 {
+		v = append(make([]byte, 0, len(value)), value...)
+	}
+	m.list.Add(ikey, v)
+}
+
+// Get returns the newest entry for ukey visible at seq. found reports
+// whether any version exists; if found and kind is KindDelete the key is
+// deleted at this snapshot.
+func (m *Memtable) Get(ukey []byte, seq base.SeqNum) (value []byte, kind base.Kind, found bool) {
+	search := base.MakeSearchKey(make([]byte, 0, len(ukey)+base.TrailerLen), ukey, seq)
+	it := m.list.NewIter()
+	it.SeekGE(search)
+	if !it.Valid() {
+		return nil, 0, false
+	}
+	gotUkey, _, gotKind, ok := base.DecodeInternalKey(it.Key())
+	if !ok || string(gotUkey) != string(ukey) {
+		return nil, 0, false
+	}
+	return it.Value(), gotKind, true
+}
+
+// ApproxSize returns the approximate memory footprint in bytes.
+func (m *Memtable) ApproxSize() int64 { return m.list.ApproxSize() }
+
+// Len returns the number of entries.
+func (m *Memtable) Len() int { return m.list.Len() }
+
+// NewIter returns an iterator over the memtable's internal keys.
+func (m *Memtable) NewIter() iterator.Iterator {
+	return &memIter{it: m.list.NewIter()}
+}
+
+type memIter struct {
+	it *skiplist.Iter
+}
+
+func (i *memIter) SeekGE(target []byte) { i.it.SeekGE(target) }
+func (i *memIter) First()               { i.it.First() }
+func (i *memIter) Next()                { i.it.Next() }
+func (i *memIter) Valid() bool          { return i.it.Valid() }
+func (i *memIter) Key() []byte          { return i.it.Key() }
+func (i *memIter) Value() []byte        { return i.it.Value() }
+func (i *memIter) Error() error         { return nil }
+func (i *memIter) Close() error         { return nil }

@@ -1,0 +1,101 @@
+package memtable
+
+import (
+	"fmt"
+	"testing"
+
+	"pebblesdb/internal/base"
+)
+
+func TestSetGetLatestWins(t *testing.T) {
+	m := New()
+	m.Set([]byte("k"), 1, base.KindSet, []byte("v1"))
+	m.Set([]byte("k"), 2, base.KindSet, []byte("v2"))
+
+	v, kind, ok := m.Get([]byte("k"), base.MaxSeqNum)
+	if !ok || kind != base.KindSet || string(v) != "v2" {
+		t.Fatalf("latest read: %q %v %v", v, kind, ok)
+	}
+}
+
+func TestSnapshotReads(t *testing.T) {
+	m := New()
+	m.Set([]byte("k"), 5, base.KindSet, []byte("old"))
+	m.Set([]byte("k"), 10, base.KindSet, []byte("new"))
+
+	if v, _, ok := m.Get([]byte("k"), 7); !ok || string(v) != "old" {
+		t.Fatalf("read at seq 7: %q ok=%v", v, ok)
+	}
+	if v, _, ok := m.Get([]byte("k"), 10); !ok || string(v) != "new" {
+		t.Fatalf("read at seq 10: %q ok=%v", v, ok)
+	}
+	if _, _, ok := m.Get([]byte("k"), 4); ok {
+		t.Fatal("read below first version should miss")
+	}
+}
+
+func TestTombstoneVisible(t *testing.T) {
+	m := New()
+	m.Set([]byte("k"), 1, base.KindSet, []byte("v"))
+	m.Set([]byte("k"), 2, base.KindDelete, nil)
+
+	_, kind, ok := m.Get([]byte("k"), base.MaxSeqNum)
+	if !ok || kind != base.KindDelete {
+		t.Fatalf("tombstone read: kind=%v ok=%v", kind, ok)
+	}
+	// Below the tombstone the old value is visible.
+	v, kind, ok := m.Get([]byte("k"), 1)
+	if !ok || kind != base.KindSet || string(v) != "v" {
+		t.Fatal("pre-tombstone read failed")
+	}
+}
+
+func TestGetMissesSimilarKeys(t *testing.T) {
+	m := New()
+	m.Set([]byte("abc"), 1, base.KindSet, []byte("v"))
+	if _, _, ok := m.Get([]byte("ab"), base.MaxSeqNum); ok {
+		t.Fatal("prefix key should miss")
+	}
+	if _, _, ok := m.Get([]byte("abcd"), base.MaxSeqNum); ok {
+		t.Fatal("extension key should miss")
+	}
+}
+
+func TestIterYieldsInternalOrder(t *testing.T) {
+	m := New()
+	m.Set([]byte("a"), 1, base.KindSet, []byte("v1"))
+	m.Set([]byte("a"), 3, base.KindSet, []byte("v3"))
+	m.Set([]byte("b"), 2, base.KindSet, []byte("v2"))
+
+	it := m.NewIter()
+	var got []string
+	for it.First(); it.Valid(); it.Next() {
+		ukey, seq, _, _ := base.DecodeInternalKey(it.Key())
+		got = append(got, fmt.Sprintf("%s@%d", ukey, seq))
+	}
+	want := []string{"a@3", "a@1", "b@2"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestLenAndSize(t *testing.T) {
+	m := New()
+	if m.Len() != 0 {
+		t.Fatal("fresh memtable should be empty")
+	}
+	for i := 0; i < 100; i++ {
+		m.Set([]byte(fmt.Sprintf("k%03d", i)), base.SeqNum(i+1), base.KindSet, []byte("v"))
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len=%d", m.Len())
+	}
+	if m.ApproxSize() <= 0 {
+		t.Fatal("size should be positive")
+	}
+}

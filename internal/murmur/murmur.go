@@ -1,0 +1,53 @@
+// Package murmur implements MurmurHash64A, the computationally cheap hash
+// PebblesDB uses to decide whether an inserted key becomes a guard (§4.4).
+// The same hash seeds the sstable bloom filters.
+package murmur
+
+import "encoding/binary"
+
+// Hash64 computes MurmurHash64A of data with the given seed.
+func Hash64(data []byte, seed uint64) uint64 {
+	const m = 0xc6a4a7935bd1e995
+	const r = 47
+
+	h := seed ^ uint64(len(data))*m
+
+	for len(data) >= 8 {
+		k := binary.LittleEndian.Uint64(data)
+		k *= m
+		k ^= k >> r
+		k *= m
+		h ^= k
+		h *= m
+		data = data[8:]
+	}
+
+	switch len(data) {
+	case 7:
+		h ^= uint64(data[6]) << 48
+		fallthrough
+	case 6:
+		h ^= uint64(data[5]) << 40
+		fallthrough
+	case 5:
+		h ^= uint64(data[4]) << 32
+		fallthrough
+	case 4:
+		h ^= uint64(data[3]) << 24
+		fallthrough
+	case 3:
+		h ^= uint64(data[2]) << 16
+		fallthrough
+	case 2:
+		h ^= uint64(data[1]) << 8
+		fallthrough
+	case 1:
+		h ^= uint64(data[0])
+		h *= m
+	}
+
+	h ^= h >> r
+	h *= m
+	h ^= h >> r
+	return h
+}

@@ -1,0 +1,66 @@
+package murmur
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a := Hash64([]byte("hello world"), 1)
+	b := Hash64([]byte("hello world"), 1)
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if Hash64([]byte("hello world"), 2) == a {
+		t.Fatal("seed should change the hash")
+	}
+	if Hash64([]byte("hello worle"), 1) == a {
+		t.Fatal("different input should change the hash")
+	}
+}
+
+func TestHashAllLengths(t *testing.T) {
+	// Exercise every tail-switch branch (lengths 0..16).
+	seen := map[uint64]int{}
+	for n := 0; n <= 16; n++ {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i + 1)
+		}
+		h := Hash64(data, 0x9747b28c)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("length %d collides with length %d", n, prev)
+		}
+		seen[h] = n
+	}
+}
+
+func TestHashBitDistribution(t *testing.T) {
+	// Guard selection counts trailing set bits; verify the geometric
+	// distribution roughly holds: P(>= k trailing ones) ~ 2^-k.
+	const n = 200000
+	counts := make([]int, 12)
+	for i := 0; i < n; i++ {
+		h := Hash64([]byte(fmt.Sprintf("key%09d", i)), 0x9747b28c)
+		run := bits.TrailingZeros64(^h)
+		for k := 1; k <= run && k < len(counts); k++ {
+			counts[k]++
+		}
+	}
+	for k := 1; k <= 8; k++ {
+		expected := float64(n) / float64(uint64(1)<<uint(k))
+		got := float64(counts[k])
+		if got < expected*0.7 || got > expected*1.3 {
+			t.Fatalf("trailing-ones >= %d: got %.0f want ~%.0f", k, got, expected)
+		}
+	}
+}
+
+func BenchmarkHash64(b *testing.B) {
+	key := []byte("user9999999999999999")
+	b.SetBytes(int64(len(key)))
+	for i := 0; i < b.N; i++ {
+		Hash64(key, 0x9747b28c)
+	}
+}

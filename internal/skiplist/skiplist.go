@@ -1,0 +1,141 @@
+// Package skiplist provides the in-memory sorted structure underlying the
+// memtable (§2.2: "the put() operation writes the key-value pair ... to an
+// in-memory skip list"). The list supports a single writer with any number
+// of concurrent lock-free readers: next pointers are atomic, nodes are
+// immutable after linking, and nothing is ever unlinked.
+package skiplist
+
+import (
+	"sync/atomic"
+)
+
+const maxHeight = 12
+
+// Skiplist is an ordered map from byte-slice keys to byte-slice values.
+// Keys must be unique; the memtable guarantees this by suffixing every key
+// with a fresh sequence number.
+type Skiplist struct {
+	head   *node
+	height atomic.Int32
+	cmp    func(a, b []byte) int
+	size   atomic.Int64
+	count  atomic.Int64
+	rnd    uint64
+}
+
+type node struct {
+	key   []byte
+	value []byte
+	next  []atomic.Pointer[node]
+}
+
+// New returns an empty skiplist ordered by cmp.
+func New(cmp func(a, b []byte) int) *Skiplist {
+	s := &Skiplist{
+		head: &node{next: make([]atomic.Pointer[node], maxHeight)},
+		cmp:  cmp,
+		rnd:  0x2545f4914f6cdd1d,
+	}
+	s.height.Store(1)
+	return s
+}
+
+func (s *Skiplist) randomHeight() int {
+	// xorshift64*; p(level up) = 1/4 as in LevelDB.
+	x := s.rnd
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rnd = x
+	h := 1
+	for h < maxHeight && x&3 == 0 {
+		h++
+		x >>= 2
+	}
+	return h
+}
+
+// findGE returns the first node with key >= target, filling prev with the
+// rightmost node at each level whose key < target (when prev is non-nil).
+func (s *Skiplist) findGE(target []byte, prev *[maxHeight]*node) *node {
+	x := s.head
+	level := int(s.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && s.cmp(next.key, target) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Add inserts key with value. The caller must ensure the key is not already
+// present and that Add is never called concurrently with another Add.
+func (s *Skiplist) Add(key, value []byte) {
+	var prev [maxHeight]*node
+	s.findGE(key, &prev)
+
+	h := s.randomHeight()
+	if cur := int(s.height.Load()); h > cur {
+		for i := cur; i < h; i++ {
+			prev[i] = s.head
+		}
+		s.height.Store(int32(h))
+	}
+
+	n := &node{key: key, value: value, next: make([]atomic.Pointer[node], h)}
+	for i := 0; i < h; i++ {
+		n.next[i].Store(prev[i].next[i].Load())
+		prev[i].next[i].Store(n)
+	}
+	s.size.Add(int64(len(key) + len(value) + 64))
+	s.count.Add(1)
+}
+
+// ApproxSize returns the approximate memory footprint in bytes.
+func (s *Skiplist) ApproxSize() int64 { return s.size.Load() }
+
+// Len returns the number of entries.
+func (s *Skiplist) Len() int { return int(s.count.Load()) }
+
+// Iter is a cursor over the skiplist. It is valid to keep iterating while a
+// writer inserts; the iterator observes a consistent ordering, possibly
+// including concurrently inserted entries.
+type Iter struct {
+	list *Skiplist
+	node *node
+}
+
+// NewIter returns an unpositioned iterator.
+func (s *Skiplist) NewIter() *Iter { return &Iter{list: s} }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *Iter) Valid() bool { return it.node != nil }
+
+// Key returns the current key. Only valid when Valid().
+func (it *Iter) Key() []byte { return it.node.key }
+
+// Value returns the current value. Only valid when Valid().
+func (it *Iter) Value() []byte { return it.node.value }
+
+// First positions the iterator at the smallest entry.
+func (it *Iter) First() {
+	it.node = it.list.head.next[0].Load()
+}
+
+// SeekGE positions the iterator at the first entry with key >= target.
+func (it *Iter) SeekGE(target []byte) {
+	it.node = it.list.findGE(target, nil)
+}
+
+// Next advances to the next entry.
+func (it *Iter) Next() {
+	it.node = it.node.next[0].Load()
+}

@@ -1,0 +1,166 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestAddAndIterateSorted(t *testing.T) {
+	s := New(bytes.Compare)
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	keys := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%08d", rng.Intn(1<<30))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		s.Add([]byte(k), []byte("v"+k))
+	}
+	sort.Strings(keys)
+
+	it := s.NewIter()
+	i := 0
+	for it.First(); it.Valid(); it.Next() {
+		if string(it.Key()) != keys[i] {
+			t.Fatalf("position %d: got %q want %q", i, it.Key(), keys[i])
+		}
+		if string(it.Value()) != "v"+keys[i] {
+			t.Fatalf("value mismatch at %q", keys[i])
+		}
+		i++
+	}
+	if i != len(keys) {
+		t.Fatalf("iterated %d of %d keys", i, len(keys))
+	}
+	if s.Len() != len(keys) {
+		t.Fatalf("Len=%d want %d", s.Len(), len(keys))
+	}
+}
+
+func TestSeekGE(t *testing.T) {
+	s := New(bytes.Compare)
+	for i := 0; i < 100; i += 2 {
+		k := fmt.Sprintf("k%03d", i)
+		s.Add([]byte(k), nil)
+	}
+	it := s.NewIter()
+
+	it.SeekGE([]byte("k010")) // exact
+	if !it.Valid() || string(it.Key()) != "k010" {
+		t.Fatalf("exact seek: %q", it.Key())
+	}
+	it.SeekGE([]byte("k011")) // between
+	if !it.Valid() || string(it.Key()) != "k012" {
+		t.Fatalf("between seek: %q", it.Key())
+	}
+	it.SeekGE([]byte("")) // before all
+	if !it.Valid() || string(it.Key()) != "k000" {
+		t.Fatalf("before-all seek: %q", it.Key())
+	}
+	it.SeekGE([]byte("z")) // past all
+	if it.Valid() {
+		t.Fatal("past-all seek should be invalid")
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	s := New(bytes.Compare)
+	it := s.NewIter()
+	it.First()
+	if it.Valid() {
+		t.Fatal("empty list iterator should be invalid")
+	}
+	it.SeekGE([]byte("x"))
+	if it.Valid() {
+		t.Fatal("empty list seek should be invalid")
+	}
+	if s.Len() != 0 || s.ApproxSize() != 0 {
+		t.Fatal("empty list should report zero size")
+	}
+}
+
+func TestConcurrentReadDuringWrite(t *testing.T) {
+	// One writer inserts while readers iterate; readers must never observe
+	// out-of-order keys or crash. Run under -race to validate the memory
+	// model usage.
+	s := New(bytes.Compare)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := s.NewIter()
+				var prev []byte
+				for it.First(); it.Valid(); it.Next() {
+					if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+						panic("out of order during concurrent read")
+					}
+					prev = append(prev[:0], it.Key()...)
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < 20000; i++ {
+		s.Add([]byte(fmt.Sprintf("key%08d", i*7919%1000000)), []byte("v"))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestApproxSizeGrows(t *testing.T) {
+	s := New(bytes.Compare)
+	before := s.ApproxSize()
+	s.Add([]byte("key"), make([]byte, 1000))
+	if s.ApproxSize() <= before+1000 {
+		t.Fatal("size should grow by at least the value size")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	s := New(bytes.Compare)
+	key := make([]byte, 16)
+	for i := 0; i < b.N; i++ {
+		binaryPut(key, uint64(i)*2654435761)
+		s.Add(append([]byte(nil), key...), nil)
+	}
+}
+
+func BenchmarkSeekGE(b *testing.B) {
+	s := New(bytes.Compare)
+	key := make([]byte, 16)
+	for i := 0; i < 100000; i++ {
+		binaryPut(key, uint64(i)*7919)
+		s.Add(append([]byte(nil), key...), nil)
+	}
+	it := s.NewIter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binaryPut(key, uint64(i)*104729)
+		it.SeekGE(key)
+	}
+}
+
+// binaryPut writes v as big-endian into the first 8 bytes of dst.
+func binaryPut(dst []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		dst[i] = byte(v)
+		v >>= 8
+	}
+}

@@ -1,0 +1,285 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/block"
+	"pebblesdb/internal/bloom"
+	"pebblesdb/internal/cache"
+	"pebblesdb/internal/crc"
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/vfs"
+)
+
+// ErrCorrupt indicates a structurally invalid table or checksum failure.
+var ErrCorrupt = errors.New("sstable: corrupt table")
+
+// Reader provides random access to an sstable. The index block and bloom
+// filter stay resident for the Reader's lifetime (the paper stores guards
+// and bloom filters in memory, §3.7); data blocks go through the optional
+// shared block cache.
+type Reader struct {
+	f       vfs.File
+	fileNum base.FileNum
+	size    int64
+	index   []byte
+	filter  bloom.Filter
+	blocks  *cache.Cache // shared block cache; may be nil
+
+	// refs counts users of the Reader: the table cache holds one
+	// reference, and every caller of tablecache.Find holds another until
+	// it calls Unref. The file closes when the count reaches zero, so
+	// cache eviction never yanks a table out from under a reader.
+	refs atomic.Int32
+}
+
+// Ref acquires a reference.
+func (r *Reader) Ref() { r.refs.Add(1) }
+
+// Unref releases a reference, closing the file on the last one.
+func (r *Reader) Unref() error {
+	if r.refs.Add(-1) == 0 {
+		return r.f.Close()
+	}
+	return nil
+}
+
+// Open reads the table's footer, index and filter. The Reader owns f and
+// closes it on Close.
+func Open(f vfs.File, size int64, fileNum base.FileNum, blockCache *cache.Cache) (*Reader, error) {
+	if size < footerLen {
+		return nil, fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
+	}
+	var footer [footerLen]byte
+	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(footer[32:]) != tableMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r := &Reader{f: f, fileNum: fileNum, size: size, blocks: blockCache}
+	r.refs.Store(1)
+
+	filterH := blockHandle{binary.LittleEndian.Uint64(footer[0:]), binary.LittleEndian.Uint64(footer[8:])}
+	indexH := blockHandle{binary.LittleEndian.Uint64(footer[16:]), binary.LittleEndian.Uint64(footer[24:])}
+
+	idx, err := r.readBlockUncached(indexH)
+	if err != nil {
+		return nil, err
+	}
+	r.index = idx
+	if filterH.length > 0 {
+		flt, err := r.readBlockUncached(filterH)
+		if err != nil {
+			return nil, err
+		}
+		r.filter = bloom.Filter(flt)
+	}
+	return r, nil
+}
+
+func (r *Reader) readBlockUncached(h blockHandle) ([]byte, error) {
+	if h.offset+h.length+blockTrailerLen > uint64(r.size) {
+		return nil, fmt.Errorf("%w: block handle out of range", ErrCorrupt)
+	}
+	buf := make([]byte, h.length+blockTrailerLen)
+	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
+		return nil, err
+	}
+	payload := buf[:h.length]
+	want := binary.LittleEndian.Uint32(buf[h.length:])
+	if crc.Value(payload) != want {
+		return nil, fmt.Errorf("%w: block checksum mismatch at offset %d", ErrCorrupt, h.offset)
+	}
+	return payload, nil
+}
+
+func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
+	if r.blocks != nil {
+		if v, ok := r.blocks.Get(cache.Key{File: uint64(r.fileNum), Off: h.offset}); ok {
+			return v.([]byte), nil
+		}
+	}
+	payload, err := r.readBlockUncached(h)
+	if err != nil {
+		return nil, err
+	}
+	if r.blocks != nil {
+		r.blocks.Set(cache.Key{File: uint64(r.fileNum), Off: h.offset}, payload, int64(len(payload)))
+	}
+	return payload, nil
+}
+
+// MayContain consults the table's bloom filter for ukey. True when no
+// filter is present.
+func (r *Reader) MayContain(ukey []byte) bool {
+	if r.filter == nil {
+		return true
+	}
+	return r.filter.MayContain(ukey)
+}
+
+// FilterMemory returns the resident bloom-filter size in bytes (Table 5.4).
+func (r *Reader) FilterMemory() int { return len(r.filter) }
+
+// IndexMemory returns the resident index-block size in bytes.
+func (r *Reader) IndexMemory() int { return len(r.index) }
+
+// FileNum returns the table's file number.
+func (r *Reader) FileNum() base.FileNum { return r.fileNum }
+
+func decodeHandle(v []byte) (blockHandle, bool) {
+	off, n := binary.Uvarint(v)
+	if n <= 0 {
+		return blockHandle{}, false
+	}
+	length, m := binary.Uvarint(v[n:])
+	if m <= 0 {
+		return blockHandle{}, false
+	}
+	return blockHandle{off, length}, true
+}
+
+// Get returns the value of the smallest internal key >= search whose user
+// key equals the search's user key, i.e. the newest visible version.
+// found=false means this table holds no visible version.
+func (r *Reader) Get(search []byte) (ikey, value []byte, found bool, err error) {
+	it := r.NewIter()
+	defer it.Close()
+	it.SeekGE(search)
+	if err := it.Error(); err != nil {
+		return nil, nil, false, err
+	}
+	if !it.Valid() {
+		return nil, nil, false, nil
+	}
+	gotU := base.UserKey(it.Key())
+	wantU := base.UserKey(search)
+	if string(gotU) != string(wantU) {
+		return nil, nil, false, nil
+	}
+	k := append([]byte(nil), it.Key()...)
+	v := append([]byte(nil), it.Value()...)
+	return k, v, true, nil
+}
+
+// NewIter returns an iterator over the table's internal keys.
+func (r *Reader) NewIter() iterator.Iterator {
+	idx, err := block.NewIter(r.index, base.InternalCompare)
+	if err != nil {
+		return &iterator.Empty{Err: err}
+	}
+	return &tableIter{r: r, index: idx}
+}
+
+// Close drops the initial reference (held by the opener / table cache).
+func (r *Reader) Close() error { return r.Unref() }
+
+// tableIter is the two-level iterator: an index cursor selecting data
+// blocks, and a data cursor within the current block.
+type tableIter struct {
+	r     *Reader
+	index *block.Iter
+	data  *block.Iter
+	err   error
+}
+
+func (t *tableIter) loadBlock() bool {
+	t.data = nil
+	if !t.index.Valid() {
+		return false
+	}
+	h, ok := decodeHandle(t.index.Value())
+	if !ok {
+		t.err = fmt.Errorf("%w: bad index entry", ErrCorrupt)
+		return false
+	}
+	payload, err := t.r.readBlock(h)
+	if err != nil {
+		t.err = err
+		return false
+	}
+	d, err := block.NewIter(payload, base.InternalCompare)
+	if err != nil {
+		t.err = err
+		return false
+	}
+	t.data = d
+	return true
+}
+
+func (t *tableIter) SeekGE(target []byte) {
+	if t.err != nil {
+		return
+	}
+	// Index keys are each block's largest key, so the first index entry
+	// >= target points at the only block that can contain target.
+	t.index.SeekGE(target)
+	if !t.loadBlock() {
+		return
+	}
+	t.data.SeekGE(target)
+	t.skipForwardIfExhausted()
+}
+
+func (t *tableIter) First() {
+	if t.err != nil {
+		return
+	}
+	t.index.First()
+	if !t.loadBlock() {
+		return
+	}
+	t.data.First()
+	t.skipForwardIfExhausted()
+}
+
+func (t *tableIter) Next() {
+	if t.data == nil || t.err != nil {
+		return
+	}
+	t.data.Next()
+	t.skipForwardIfExhausted()
+}
+
+// skipForwardIfExhausted advances to the next data block when the current
+// one is exhausted. Blocks are never empty, so one step suffices, but loop
+// defensively.
+func (t *tableIter) skipForwardIfExhausted() {
+	for t.data != nil && !t.data.Valid() {
+		if err := t.data.Error(); err != nil {
+			t.err = err
+			return
+		}
+		t.index.Next()
+		if !t.loadBlock() {
+			return
+		}
+		t.data.First()
+	}
+}
+
+func (t *tableIter) Valid() bool {
+	return t.err == nil && t.data != nil && t.data.Valid()
+}
+
+func (t *tableIter) Key() []byte   { return t.data.Key() }
+func (t *tableIter) Value() []byte { return t.data.Value() }
+
+func (t *tableIter) Error() error {
+	if t.err != nil {
+		return t.err
+	}
+	if t.index != nil {
+		if err := t.index.Error(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *tableIter) Close() error { return t.Error() }

@@ -1,0 +1,206 @@
+// Package sstable implements the on-storage sorted table: data blocks, a
+// single table-level bloom filter (§4.1), an index block, and a fixed
+// footer. Every block carries a masked CRC-32C. PebblesDB keeps the
+// LevelDB table concept intact — guards are a layer above sstables — so
+// this package is shared untouched by the FLSM and leveled trees.
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/block"
+	"pebblesdb/internal/bloom"
+	"pebblesdb/internal/crc"
+	"pebblesdb/internal/vfs"
+)
+
+const (
+	footerLen   = 40
+	tableMagic  = 0x8773537fdb4eac2e
+	blockTrailerLen = 4 // crc32
+)
+
+type blockHandle struct {
+	offset uint64
+	length uint64 // payload length, excluding the crc trailer
+}
+
+// WriterOptions configures table construction.
+type WriterOptions struct {
+	BlockSize            int
+	BlockRestartInterval int
+	// BloomBitsPerKey sizes the table-level bloom filter; 0 disables it.
+	BloomBitsPerKey int
+}
+
+func (o *WriterOptions) ensureDefaults() {
+	if o.BlockSize == 0 {
+		o.BlockSize = 4 << 10
+	}
+	if o.BlockRestartInterval == 0 {
+		o.BlockRestartInterval = 16
+	}
+}
+
+// Writer builds an sstable from internal keys added in increasing order.
+type Writer struct {
+	f       vfs.File
+	opts    WriterOptions
+	data    *block.Builder
+	index   *block.Builder
+	offset  uint64
+	userKeys [][]byte // for the bloom filter
+	smallest []byte
+	largest  []byte
+	count    int
+	pendingIndexKey []byte
+	pendingHandle   blockHandle
+	hasPending      bool
+	err error
+}
+
+// NewWriter returns a Writer emitting to f.
+func NewWriter(f vfs.File, opts WriterOptions) *Writer {
+	opts.ensureDefaults()
+	return &Writer{
+		f:     f,
+		opts:  opts,
+		data:  block.NewBuilder(opts.BlockRestartInterval),
+		index: block.NewBuilder(1),
+	}
+}
+
+// Add appends an internal key and value. Keys must arrive in strictly
+// increasing base.InternalCompare order.
+func (w *Writer) Add(ikey, value []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.smallest == nil {
+		w.smallest = append([]byte(nil), ikey...)
+	}
+	w.largest = append(w.largest[:0], ikey...)
+	if w.opts.BloomBitsPerKey > 0 {
+		w.userKeys = append(w.userKeys, append([]byte(nil), base.UserKey(ikey)...))
+	}
+	w.flushPendingIndex()
+	w.data.Add(ikey, value)
+	w.count++
+	if w.data.EstimatedSize() >= w.opts.BlockSize {
+		w.err = w.finishDataBlock()
+	}
+	return w.err
+}
+
+// flushPendingIndex writes the queued index entry for the previous data
+// block. Deferred so the index key could be shortened against the next
+// block's first key; we use the exact last key, which is always correct.
+func (w *Writer) flushPendingIndex() {
+	if !w.hasPending {
+		return
+	}
+	var hv [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hv[:], w.pendingHandle.offset)
+	n += binary.PutUvarint(hv[n:], w.pendingHandle.length)
+	w.index.Add(w.pendingIndexKey, hv[:n])
+	w.hasPending = false
+}
+
+func (w *Writer) finishDataBlock() error {
+	if w.data.Empty() {
+		return nil
+	}
+	payload := w.data.Finish()
+	h, err := w.writeRawBlock(payload)
+	if err != nil {
+		return err
+	}
+	w.pendingIndexKey = append(w.pendingIndexKey[:0], w.largest...)
+	w.pendingHandle = h
+	w.hasPending = true
+	w.data.Reset()
+	return nil
+}
+
+func (w *Writer) writeRawBlock(payload []byte) (blockHandle, error) {
+	h := blockHandle{offset: w.offset, length: uint64(len(payload))}
+	if _, err := w.f.Write(payload); err != nil {
+		return h, err
+	}
+	var tr [blockTrailerLen]byte
+	binary.LittleEndian.PutUint32(tr[:], crc.Value(payload))
+	if _, err := w.f.Write(tr[:]); err != nil {
+		return h, err
+	}
+	w.offset += uint64(len(payload)) + blockTrailerLen
+	return h, nil
+}
+
+// TableInfo summarizes a finished table.
+type TableInfo struct {
+	Size     uint64
+	Smallest []byte // internal key
+	Largest  []byte // internal key
+	Count    int
+}
+
+// EstimatedSize returns the bytes written so far plus the pending block.
+func (w *Writer) EstimatedSize() uint64 {
+	return w.offset + uint64(w.data.EstimatedSize())
+}
+
+// Count returns the number of entries added so far.
+func (w *Writer) Count() int { return w.count }
+
+// Finish completes the table and returns its metadata. The caller owns
+// syncing and closing the file.
+func (w *Writer) Finish() (TableInfo, error) {
+	if w.err != nil {
+		return TableInfo{}, w.err
+	}
+	if w.count == 0 {
+		return TableInfo{}, fmt.Errorf("sstable: empty table")
+	}
+	if err := w.finishDataBlock(); err != nil {
+		return TableInfo{}, err
+	}
+	w.flushPendingIndex()
+
+	// Filter block.
+	var filterHandle blockHandle
+	if w.opts.BloomBitsPerKey > 0 {
+		f := bloom.Build(w.userKeys, w.opts.BloomBitsPerKey)
+		h, err := w.writeRawBlock(f)
+		if err != nil {
+			return TableInfo{}, err
+		}
+		filterHandle = h
+	}
+
+	// Index block.
+	indexHandle, err := w.writeRawBlock(w.index.Finish())
+	if err != nil {
+		return TableInfo{}, err
+	}
+
+	// Footer.
+	var footer [footerLen]byte
+	binary.LittleEndian.PutUint64(footer[0:], filterHandle.offset)
+	binary.LittleEndian.PutUint64(footer[8:], filterHandle.length)
+	binary.LittleEndian.PutUint64(footer[16:], indexHandle.offset)
+	binary.LittleEndian.PutUint64(footer[24:], indexHandle.length)
+	binary.LittleEndian.PutUint64(footer[32:], tableMagic)
+	if _, err := w.f.Write(footer[:]); err != nil {
+		return TableInfo{}, err
+	}
+	w.offset += footerLen
+
+	return TableInfo{
+		Size:     w.offset,
+		Smallest: w.smallest,
+		Largest:  append([]byte(nil), w.largest...),
+		Count:    w.count,
+	}, nil
+}

@@ -1,0 +1,124 @@
+package tablecache
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/sstable"
+	"pebblesdb/internal/vfs"
+)
+
+func makeTable(t *testing.T, fs vfs.FS, dir string, fn base.FileNum, nkeys int) uint64 {
+	t.Helper()
+	fs.MkdirAll(dir)
+	f, err := fs.Create(filepath.Join(dir, base.MakeFilename(base.FileTypeTable, fn)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := sstable.NewWriter(f, sstable.WriterOptions{BloomBitsPerKey: 10})
+	for i := 0; i < nkeys; i++ {
+		ik := base.MakeInternalKey(nil, []byte(fmt.Sprintf("key%06d", i)), base.SeqNum(i+1), base.KindSet)
+		if err := w.Add(ik, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	return info.Size
+}
+
+func TestFindCachesReaders(t *testing.T) {
+	fs := vfs.NewMem()
+	size := makeTable(t, fs, "db", 1, 100)
+	tc := New(fs, "db", 100, nil)
+	defer tc.Close()
+
+	r1, err := tc.Find(1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := tc.Find(1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("second Find should hit the cache")
+	}
+	m := tc.Metrics()
+	if m.Hits != 1 || m.Misses != 1 || m.OpenTables != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+	if m.FilterBytes == 0 || m.IndexBytes == 0 {
+		t.Fatalf("resident memory not reported: %+v", m)
+	}
+	r1.Unref()
+	r2.Unref()
+}
+
+func TestFindMissingFile(t *testing.T) {
+	fs := vfs.NewMem()
+	tc := New(fs, "db", 10, nil)
+	defer tc.Close()
+	if _, err := tc.Find(42, 100); err == nil {
+		t.Fatal("missing table should fail")
+	}
+}
+
+func TestEvictClosesWhenUnreferenced(t *testing.T) {
+	fs := vfs.NewMem()
+	size := makeTable(t, fs, "db", 1, 50)
+	tc := New(fs, "db", 10, nil)
+	defer tc.Close()
+
+	r, err := tc.Find(1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict while referenced: the reader must stay usable.
+	tc.Evict(1)
+	it := r.NewIter()
+	it.First()
+	if !it.Valid() {
+		t.Fatal("evicted-but-referenced reader unusable")
+	}
+	it.Close()
+	r.Unref()
+
+	// A new Find reopens the file.
+	r2, err := tc.Find(1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Unref()
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	fs := vfs.NewMem()
+	var sizes []uint64
+	for fn := base.FileNum(1); fn <= 64; fn++ {
+		sizes = append(sizes, makeTable(t, fs, "db", fn, 10))
+	}
+	tc := New(fs, "db", 16, nil) // tiny cache forces eviction
+	defer tc.Close()
+	for fn := base.FileNum(1); fn <= 64; fn++ {
+		r, err := tc.Find(fn, sizes[fn-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := r.NewIter()
+		it.First()
+		if !it.Valid() {
+			t.Fatalf("table %d unreadable", fn)
+		}
+		it.Close()
+		r.Unref()
+	}
+	if m := tc.Metrics(); m.OpenTables > 16 {
+		t.Fatalf("cache exceeded capacity: %+v", m)
+	}
+}

@@ -1,0 +1,116 @@
+// Package treebase holds machinery shared by the FLSM tree (the paper's
+// contribution) and the leveled LSM tree (the baseline): the compaction
+// iterator that applies snapshot-aware garbage collection, the output table
+// builder, and small shared types. Keeping this layer common makes the
+// FLSM-vs-LSM benchmarks an apples-to-apples comparison of the compaction
+// algorithms alone.
+package treebase
+
+import (
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/iterator"
+)
+
+// Host is the engine-side contract the trees depend on: snapshot
+// visibility for compaction GC, and obsolete-file reporting. Physical
+// deletion is centralized in the engine, which defers it while reads are
+// in flight; trees never unlink table files themselves.
+type Host interface {
+	// SmallestSnapshot reports the oldest sequence number any live
+	// snapshot can observe; compactions must retain the newest version at
+	// or below it for every key.
+	SmallestSnapshot() base.SeqNum
+	// NoteObsoleteTables queues table files that just left the live
+	// version for physical deletion.
+	NoteObsoleteTables(fns []base.FileNum)
+}
+
+// CompactionIter filters a merged input stream during compaction:
+//   - versions older than the newest version visible at the smallest
+//     snapshot are dropped ("keys marked for deletion are garbage collected
+//     during compaction", §4.3);
+//   - deletion tombstones are elided when compacting into the last level,
+//     where nothing older can hide beneath them.
+type CompactionIter struct {
+	in               iterator.Iterator
+	smallestSnapshot base.SeqNum
+	elideTombstones  bool
+
+	curUkey     []byte
+	seenBelowSS bool // emitted (or elided) the newest <= snapshot version of curUkey
+
+	key   []byte
+	value []byte
+	valid bool
+}
+
+// NewCompactionIter wraps in (which must yield internal keys in order).
+func NewCompactionIter(in iterator.Iterator, smallestSnapshot base.SeqNum, elideTombstones bool) *CompactionIter {
+	return &CompactionIter{in: in, smallestSnapshot: smallestSnapshot, elideTombstones: elideTombstones}
+}
+
+// First positions at the first surviving entry.
+func (c *CompactionIter) First() {
+	c.in.First()
+	c.curUkey = nil
+	c.seenBelowSS = false
+	c.findNext()
+}
+
+// Next advances to the next surviving entry.
+func (c *CompactionIter) Next() {
+	c.in.Next()
+	c.findNext()
+}
+
+func (c *CompactionIter) findNext() {
+	c.valid = false
+	for c.in.Valid() {
+		ikey := c.in.Key()
+		ukey, seq, kind, ok := base.DecodeInternalKey(ikey)
+		if !ok {
+			// Malformed keys cannot occur in tables we wrote; skip
+			// defensively.
+			c.in.Next()
+			continue
+		}
+		if c.curUkey == nil || string(ukey) != string(c.curUkey) {
+			c.curUkey = append(c.curUkey[:0], ukey...)
+			c.seenBelowSS = false
+		} else if c.seenBelowSS {
+			// An older version of a key whose newest <= snapshot version
+			// was already handled: shadowed for every possible reader.
+			c.in.Next()
+			continue
+		}
+		if seq <= c.smallestSnapshot {
+			c.seenBelowSS = true
+			if kind == base.KindDelete && c.elideTombstones {
+				// The tombstone is the newest visible version and nothing
+				// can live below the output level: drop it and everything
+				// older.
+				c.in.Next()
+				continue
+			}
+		}
+		c.key = ikey
+		c.value = c.in.Value()
+		c.valid = true
+		return
+	}
+}
+
+// Valid reports whether the iterator is positioned on a surviving entry.
+func (c *CompactionIter) Valid() bool { return c.valid }
+
+// Key returns the current internal key.
+func (c *CompactionIter) Key() []byte { return c.key }
+
+// Value returns the current value.
+func (c *CompactionIter) Value() []byte { return c.value }
+
+// Error returns the input's error.
+func (c *CompactionIter) Error() error { return c.in.Error() }
+
+// Close closes the input.
+func (c *CompactionIter) Close() error { return c.in.Close() }

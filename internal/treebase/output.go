@@ -1,0 +1,192 @@
+package treebase
+
+import (
+	"path/filepath"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/sstable"
+	"pebblesdb/internal/vfs"
+)
+
+// FileNumAllocator hands out fresh file numbers (the version set).
+type FileNumAllocator interface {
+	NewFileNum() base.FileNum
+}
+
+// PendingRegistry tracks files being written so the obsolete-file sweeper
+// never deletes in-flight compaction outputs.
+type PendingRegistry interface {
+	AddPending(base.FileNum)
+	RemovePending(base.FileNum)
+}
+
+// OutputBuilder streams compaction or flush output into a sequence of
+// sstables. The caller decides when to cut a table (guard boundary for
+// FLSM, size threshold for leveled compaction).
+type OutputBuilder struct {
+	fs      vfs.FS
+	dir     string
+	wopts   sstable.WriterOptions
+	alloc   FileNumAllocator
+	pending PendingRegistry
+
+	cur     *sstable.Writer
+	curFile vfs.File
+	curFn   base.FileNum
+
+	metas []*base.FileMetadata
+	err   error
+}
+
+// NewOutputBuilder returns a builder writing tables into dir.
+func NewOutputBuilder(fs vfs.FS, dir string, wopts sstable.WriterOptions, alloc FileNumAllocator, pending PendingRegistry) *OutputBuilder {
+	return &OutputBuilder{fs: fs, dir: dir, wopts: wopts, alloc: alloc, pending: pending}
+}
+
+// Add appends an entry to the current table, opening one if needed.
+func (o *OutputBuilder) Add(ikey, value []byte) error {
+	if o.err != nil {
+		return o.err
+	}
+	if o.cur == nil {
+		if err := o.open(); err != nil {
+			return err
+		}
+	}
+	return o.setErr(o.cur.Add(ikey, value))
+}
+
+func (o *OutputBuilder) open() error {
+	fn := o.alloc.NewFileNum()
+	if o.pending != nil {
+		o.pending.AddPending(fn)
+	}
+	f, err := o.fs.Create(filepath.Join(o.dir, base.MakeFilename(base.FileTypeTable, fn)))
+	if err != nil {
+		if o.pending != nil {
+			o.pending.RemovePending(fn)
+		}
+		return o.setErr(err)
+	}
+	o.cur = sstable.NewWriter(f, o.wopts)
+	o.curFile = f
+	o.curFn = fn
+	return nil
+}
+
+// HasOpen reports whether a table is currently being written.
+func (o *OutputBuilder) HasOpen() bool { return o.cur != nil }
+
+// CurrentSize returns the estimated size of the open table.
+func (o *OutputBuilder) CurrentSize() uint64 {
+	if o.cur == nil {
+		return 0
+	}
+	return o.cur.EstimatedSize()
+}
+
+// Cut finishes the open table, syncing it and recording its metadata.
+// No-op when no table is open.
+func (o *OutputBuilder) Cut() error {
+	if o.err != nil || o.cur == nil {
+		return o.err
+	}
+	info, err := o.cur.Finish()
+	if err == nil {
+		err = o.curFile.Sync()
+	}
+	if cerr := o.curFile.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		if o.pending != nil {
+			o.pending.RemovePending(o.curFn)
+		}
+		o.cur = nil
+		return o.setErr(err)
+	}
+	o.metas = append(o.metas, &base.FileMetadata{
+		FileNum:  o.curFn,
+		Size:     info.Size,
+		Smallest: info.Smallest,
+		Largest:  info.Largest,
+	})
+	o.cur, o.curFile = nil, nil
+	return nil
+}
+
+// Finish cuts any open table and returns the metadata of all tables
+// written. The caller must call ReleasePending after installing (or
+// abandoning) the outputs.
+func (o *OutputBuilder) Finish() ([]*base.FileMetadata, error) {
+	if err := o.Cut(); err != nil {
+		return nil, err
+	}
+	return o.metas, o.err
+}
+
+// ReleasePending unregisters every produced file from the pending set;
+// call after the version edit is durable (or after cleaning up a failure).
+func (o *OutputBuilder) ReleasePending() {
+	if o.pending == nil {
+		return
+	}
+	for _, m := range o.metas {
+		o.pending.RemovePending(m.FileNum)
+	}
+	if o.cur != nil {
+		o.pending.RemovePending(o.curFn)
+	}
+}
+
+// Abandon closes and removes any open table after a failure.
+func (o *OutputBuilder) Abandon() {
+	if o.cur != nil {
+		o.curFile.Close()
+		o.fs.Remove(filepath.Join(o.dir, base.MakeFilename(base.FileTypeTable, o.curFn)))
+		if o.pending != nil {
+			o.pending.RemovePending(o.curFn)
+		}
+		o.cur = nil
+	}
+	for _, m := range o.metas {
+		o.fs.Remove(filepath.Join(o.dir, base.MakeFilename(base.FileTypeTable, m.FileNum)))
+		if o.pending != nil {
+			o.pending.RemovePending(m.FileNum)
+		}
+	}
+	o.metas = nil
+}
+
+func (o *OutputBuilder) setErr(err error) error {
+	if o.err == nil {
+		o.err = err
+	}
+	return o.err
+}
+
+// Metrics aggregates tree-level statistics reported up through the engine.
+type Metrics struct {
+	// Compactions counts completed compaction units.
+	Compactions int64
+	// TrivialMoves counts leveled-tree metadata-only moves.
+	TrivialMoves int64
+	// InPlaceMerges counts FLSM last-level (and second-to-last) rewrites.
+	InPlaceMerges int64
+	// SeekCompactions counts compactions triggered by seek thresholds.
+	SeekCompactions int64
+	// BytesCompactedIn / BytesCompactedOut are compaction read/write IO.
+	BytesCompactedIn  int64
+	BytesCompactedOut int64
+	// BytesFlushed is memtable-flush write IO.
+	BytesFlushed int64
+	// LevelFiles / LevelBytes describe the current version.
+	LevelFiles []int
+	LevelBytes []int64
+	// GuardsPerLevel counts committed guards (FLSM only).
+	GuardsPerLevel []int
+	// EmptyGuards counts committed guards with no files (FLSM only).
+	EmptyGuards int
+	// TableFileSizes lists the sizes of all live sstables (Table 5.1).
+	TableFileSizes []uint64
+}

@@ -1,0 +1,25 @@
+package treebase
+
+import (
+	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/sstable"
+)
+
+// tableIterWithRef ties an sstable iterator's lifetime to the table-cache
+// reference that backs it: Close releases the reference.
+type tableIterWithRef struct {
+	iterator.Iterator
+	r *sstable.Reader
+}
+
+// NewTableIter returns an iterator over r that releases the caller's
+// table-cache reference on Close.
+func NewTableIter(r *sstable.Reader) iterator.Iterator {
+	return &tableIterWithRef{Iterator: r.NewIter(), r: r}
+}
+
+func (t *tableIterWithRef) Close() error {
+	err := t.Iterator.Close()
+	t.r.Unref()
+	return err
+}

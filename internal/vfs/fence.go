@@ -1,0 +1,116 @@
+package vfs
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrFenced is returned by every operation on a fenced filesystem.
+var ErrFenced = errors.New("vfs: filesystem fenced (simulated process death)")
+
+// FencedFS wraps an FS so that all IO through it can be cut off at once.
+// Crash tests pair it with CrashFS: fencing the old store instance models
+// the death of its process (its background goroutines can no longer touch
+// storage), and Crash() then discards unsynced data before the next
+// instance opens the surviving files directly.
+type FencedFS struct {
+	inner  FS
+	fenced atomic.Bool
+}
+
+// NewFenced wraps fs.
+func NewFenced(fs FS) *FencedFS { return &FencedFS{inner: fs} }
+
+// Fence cuts off all subsequent operations, including those on files
+// opened earlier through this wrapper.
+func (f *FencedFS) Fence() { f.fenced.Store(true) }
+
+func (f *FencedFS) check() error {
+	if f.fenced.Load() {
+		return ErrFenced
+	}
+	return nil
+}
+
+func (f *FencedFS) Create(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &fencedFile{File: file, fs: f}, nil
+}
+
+func (f *FencedFS) Open(name string) (File, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &fencedFile{File: file, fs: f}, nil
+}
+
+func (f *FencedFS) Remove(name string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FencedFS) Rename(oldname, newname string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+func (f *FencedFS) MkdirAll(dir string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FencedFS) List(dir string) ([]string, error) {
+	if err := f.check(); err != nil {
+		return nil, err
+	}
+	return f.inner.List(dir)
+}
+
+func (f *FencedFS) Stat(name string) (int64, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	return f.inner.Stat(name)
+}
+
+type fencedFile struct {
+	File
+	fs *FencedFS
+}
+
+func (f *fencedFile) Write(p []byte) (int, error) {
+	if err := f.fs.check(); err != nil {
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+func (f *fencedFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.check(); err != nil {
+		return 0, err
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *fencedFile) Sync() error {
+	if err := f.fs.check(); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}

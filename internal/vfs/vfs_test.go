@@ -1,0 +1,187 @@
+package vfs
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+func writeFile(t *testing.T, fs FS, name, content string, sync bool) {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, fs FS, name string) string {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	size, err := fs.Stat(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	}
+	return string(buf)
+}
+
+func TestMemFSBasics(t *testing.T) {
+	fs := NewMem()
+	writeFile(t, fs, "dir/a.txt", "hello", true)
+	if got := readAll(t, fs, "dir/a.txt"); got != "hello" {
+		t.Fatalf("read back %q", got)
+	}
+	if sz, _ := fs.Stat("dir/a.txt"); sz != 5 {
+		t.Fatalf("stat size %d", sz)
+	}
+	if err := fs.Rename("dir/a.txt", "dir/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("dir/a.txt"); err == nil {
+		t.Fatal("old name should be gone")
+	}
+	if got := readAll(t, fs, "dir/b.txt"); got != "hello" {
+		t.Fatalf("renamed read %q", got)
+	}
+	if err := fs.Remove("dir/b.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("dir/b.txt"); !os.IsNotExist(err) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestMemFSList(t *testing.T) {
+	fs := NewMem()
+	writeFile(t, fs, "db/1.sst", "x", false)
+	writeFile(t, fs, "db/2.sst", "y", false)
+	writeFile(t, fs, "other/3.sst", "z", false)
+	names, err := fs.List("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "1.sst" || names[1] != "2.sst" {
+		t.Fatalf("list: %v", names)
+	}
+}
+
+func TestMemFSAppendSemantics(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("f")
+	f.Write([]byte("ab"))
+	f.Write([]byte("cd"))
+	f.Close()
+	if got := readAll(t, fs, "f"); got != "abcd" {
+		t.Fatalf("appended content %q", got)
+	}
+}
+
+func TestMemFSReadAtPastEOF(t *testing.T) {
+	fs := NewMem()
+	writeFile(t, fs, "f", "abc", false)
+	f, _ := fs.Open("f")
+	defer f.Close()
+	buf := make([]byte, 10)
+	n, err := f.ReadAt(buf, 0)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("short read: n=%d err=%v", n, err)
+	}
+	if _, err := f.ReadAt(buf, 100); err != io.EOF {
+		t.Fatalf("read past EOF: %v", err)
+	}
+}
+
+func TestCountingFS(t *testing.T) {
+	fs := NewCounting(NewMem())
+	writeFile(t, fs, "db/000001.sst", "12345678", false)
+	writeFile(t, fs, "db/000002.log", "1234", false)
+	writeFile(t, fs, "db/MANIFEST-000003", "12", false)
+	readAll(t, fs, "db/000001.sst")
+
+	st := fs.Stats()
+	if st.BytesWritten[CatTable] != 8 {
+		t.Fatalf("table bytes %d", st.BytesWritten[CatTable])
+	}
+	if st.BytesWritten[CatLog] != 4 {
+		t.Fatalf("log bytes %d", st.BytesWritten[CatLog])
+	}
+	if st.BytesWritten[CatManifest] != 2 {
+		t.Fatalf("manifest bytes %d", st.BytesWritten[CatManifest])
+	}
+	if st.TotalWritten() != 14 {
+		t.Fatalf("total written %d", st.TotalWritten())
+	}
+	if st.BytesRead[CatTable] != 8 {
+		t.Fatalf("table read bytes %d", st.BytesRead[CatTable])
+	}
+
+	st2 := fs.Stats().Sub(st)
+	if st2.TotalWritten() != 0 || st2.TotalRead() != 0 {
+		t.Fatal("sub of identical snapshots should be zero")
+	}
+}
+
+func TestCrashFSDropsUnsynced(t *testing.T) {
+	fs := NewCrash()
+
+	// Synced data survives; unsynced tail lost.
+	f, _ := fs.Create("a")
+	f.Write([]byte("durable"))
+	f.Sync()
+	f.Write([]byte("-lost"))
+	f.Close()
+
+	// Never-synced file vanishes entirely.
+	g, _ := fs.Create("b")
+	g.Write([]byte("gone"))
+	g.Close()
+
+	fs.Crash()
+
+	af, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, _ := af.ReadAt(buf, 0)
+	if string(buf[:n]) != "durable" {
+		t.Fatalf("after crash: %q", buf[:n])
+	}
+	if _, err := fs.Open("b"); err == nil {
+		t.Fatal("unsynced file should vanish")
+	}
+}
+
+func TestCrashFSRenameDurable(t *testing.T) {
+	fs := NewCrash()
+	f, _ := fs.Create("tmp")
+	f.Write([]byte("MANIFEST-000001\n"))
+	f.Close()
+	if err := fs.Rename("tmp", "CURRENT"); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	if _, err := fs.Open("CURRENT"); err != nil {
+		t.Fatalf("renamed file should survive crash: %v", err)
+	}
+}

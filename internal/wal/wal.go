@@ -1,0 +1,195 @@
+// Package wal implements the write-ahead log in the LevelDB record format:
+// 32 KB blocks of chunks, each chunk carrying a masked CRC-32C, a length,
+// and a type (full / first / middle / last) so that records spanning blocks
+// are reassembled and torn tails are detected. The MANIFEST uses the same
+// format (§4.3.1: PebblesDB persists guard metadata in the MANIFEST, which
+// reuses the battle-tested LevelDB log machinery).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pebblesdb/internal/crc"
+	"pebblesdb/internal/vfs"
+)
+
+// BlockSize is the log block size in bytes.
+const BlockSize = 32 * 1024
+
+const headerSize = 7 // crc:4, length:2, type:1
+
+const (
+	chunkFull   = 1
+	chunkFirst  = 2
+	chunkMiddle = 3
+	chunkLast   = 4
+)
+
+// ErrCorrupt indicates a record that failed CRC or framing checks. Readers
+// treat it as end-of-log for the tail record (torn write) but surface it
+// for earlier records.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Writer appends length-prefixed records to a log file.
+type Writer struct {
+	f           vfs.File
+	blockOffset int
+	buf         [headerSize]byte
+}
+
+// NewWriter returns a Writer appending to f, which must be empty or have
+// been written only by a Writer whose final block offset is known to be 0.
+func NewWriter(f vfs.File) *Writer {
+	return &Writer{f: f}
+}
+
+// AddRecord appends one record.
+func (w *Writer) AddRecord(p []byte) error {
+	begin := true
+	for {
+		leftover := BlockSize - w.blockOffset
+		if leftover < headerSize {
+			// Pad the block tail with zeros.
+			if leftover > 0 {
+				var zeros [headerSize]byte
+				if _, err := w.f.Write(zeros[:leftover]); err != nil {
+					return err
+				}
+			}
+			w.blockOffset = 0
+			leftover = BlockSize
+		}
+		avail := leftover - headerSize
+		frag := p
+		if len(frag) > avail {
+			frag = frag[:avail]
+		}
+		end := len(frag) == len(p)
+
+		var typ byte
+		switch {
+		case begin && end:
+			typ = chunkFull
+		case begin:
+			typ = chunkFirst
+		case end:
+			typ = chunkLast
+		default:
+			typ = chunkMiddle
+		}
+		if err := w.emit(typ, frag); err != nil {
+			return err
+		}
+		p = p[len(frag):]
+		begin = false
+		if end {
+			return nil
+		}
+	}
+}
+
+func (w *Writer) emit(typ byte, frag []byte) error {
+	c := crc.ValueExtended([]byte{typ}, frag)
+	binary.LittleEndian.PutUint32(w.buf[0:4], c)
+	binary.LittleEndian.PutUint16(w.buf[4:6], uint16(len(frag)))
+	w.buf[6] = typ
+	if _, err := w.f.Write(w.buf[:]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frag); err != nil {
+		return err
+	}
+	w.blockOffset += headerSize + len(frag)
+	return nil
+}
+
+// Sync flushes the log to durable storage.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Close closes the underlying file.
+func (w *Writer) Close() error { return w.f.Close() }
+
+// Reader decodes records from a log file image.
+type Reader struct {
+	data []byte
+	off  int
+	rec  []byte
+}
+
+// NewReader reads the whole file (of the given size) and returns a Reader
+// over it. Log files are bounded by the memtable size, so slurping is fine.
+func NewReader(f vfs.File, size int64) (*Reader, error) {
+	data := make([]byte, size)
+	if size > 0 {
+		n, err := f.ReadAt(data, 0)
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		data = data[:n]
+	}
+	return &Reader{data: data}, nil
+}
+
+// NewReaderBytes returns a Reader over an in-memory log image.
+func NewReaderBytes(data []byte) *Reader { return &Reader{data: data} }
+
+// Next returns the next record, or io.EOF at the end of the log. A torn or
+// corrupt tail terminates the log with io.EOF (standard recovery
+// semantics); corruption followed by more valid data returns ErrCorrupt.
+func (r *Reader) Next() ([]byte, error) {
+	r.rec = r.rec[:0]
+	inFragmented := false
+	for {
+		blockLeft := BlockSize - r.off%BlockSize
+		if blockLeft < headerSize {
+			r.off += blockLeft // skip block padding
+		}
+		if r.off+headerSize > len(r.data) {
+			return nil, io.EOF
+		}
+		hdr := r.data[r.off : r.off+headerSize]
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+		length := int(binary.LittleEndian.Uint16(hdr[4:6]))
+		typ := hdr[6]
+		if typ == 0 && wantCRC == 0 && length == 0 {
+			return nil, io.EOF // zero padding / preallocated tail
+		}
+		if r.off+headerSize+length > len(r.data) {
+			return nil, io.EOF // torn tail
+		}
+		frag := r.data[r.off+headerSize : r.off+headerSize+length]
+		if crc.ValueExtended([]byte{typ}, frag) != wantCRC {
+			return nil, io.EOF // torn or corrupt tail record
+		}
+		r.off += headerSize + length
+
+		switch typ {
+		case chunkFull:
+			if inFragmented {
+				return nil, fmt.Errorf("%w: full chunk inside fragmented record", ErrCorrupt)
+			}
+			return frag, nil
+		case chunkFirst:
+			if inFragmented {
+				return nil, fmt.Errorf("%w: first chunk inside fragmented record", ErrCorrupt)
+			}
+			inFragmented = true
+			r.rec = append(r.rec, frag...)
+		case chunkMiddle:
+			if !inFragmented {
+				return nil, fmt.Errorf("%w: middle chunk outside fragmented record", ErrCorrupt)
+			}
+			r.rec = append(r.rec, frag...)
+		case chunkLast:
+			if !inFragmented {
+				return nil, fmt.Errorf("%w: last chunk outside fragmented record", ErrCorrupt)
+			}
+			return append(r.rec, frag...), nil
+		default:
+			return nil, fmt.Errorf("%w: unknown chunk type %d", ErrCorrupt, typ)
+		}
+	}
+}

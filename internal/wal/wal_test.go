@@ -1,0 +1,146 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"pebblesdb/internal/vfs"
+)
+
+func roundtrip(t *testing.T, records [][]byte) {
+	t.Helper()
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	for _, r := range records {
+		if err := w.AddRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	rf, _ := fs.Open("log")
+	size, _ := fs.Stat("log")
+	r, err := NewReader(rf, size)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range records {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestRoundtripSmallRecords(t *testing.T) {
+	roundtrip(t, [][]byte{
+		[]byte("one"), []byte("two"), []byte("three"), {}, []byte("after-empty"),
+	})
+}
+
+func TestRoundtripLargeRecords(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var records [][]byte
+	for _, size := range []int{BlockSize - headerSize, BlockSize, BlockSize + 1, 3 * BlockSize, 100000} {
+		r := make([]byte, size)
+		rng.Read(r)
+		records = append(records, r)
+	}
+	roundtrip(t, records)
+}
+
+func TestRoundtripManyMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var records [][]byte
+	for i := 0; i < 500; i++ {
+		r := make([]byte, rng.Intn(2000))
+		rng.Read(r)
+		records = append(records, r)
+	}
+	roundtrip(t, records)
+}
+
+func TestBlockBoundaryPadding(t *testing.T) {
+	// A record that leaves less than a header of space forces padding.
+	first := make([]byte, BlockSize-headerSize-3) // leaves 3 bytes
+	roundtrip(t, [][]byte{first, []byte("next")})
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	w.AddRecord([]byte("complete"))
+	w.AddRecord([]byte("will-be-torn"))
+	f.Close()
+
+	size, _ := fs.Stat("log")
+	rf, _ := fs.Open("log")
+	data := make([]byte, size)
+	rf.ReadAt(data, 0)
+	rf.Close()
+
+	// Chop bytes off the tail: the first record must still decode, the
+	// torn one must terminate the log cleanly.
+	for cut := 1; cut < 12; cut++ {
+		r := NewReaderBytes(data[:len(data)-cut])
+		got, err := r.Next()
+		if err != nil || string(got) != "complete" {
+			t.Fatalf("cut %d: first record: %q %v", cut, got, err)
+		}
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("cut %d: torn tail should read as EOF, got %v", cut, err)
+		}
+	}
+}
+
+func TestCorruptTailCRC(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	w.AddRecord([]byte("good"))
+	w.AddRecord([]byte("bad"))
+	f.Close()
+
+	size, _ := fs.Stat("log")
+	rf, _ := fs.Open("log")
+	data := make([]byte, size)
+	rf.ReadAt(data, 0)
+	rf.Close()
+
+	// Flip a payload byte in the second record.
+	data[len(data)-1] ^= 0xff
+	r := NewReaderBytes(data)
+	if got, err := r.Next(); err != nil || string(got) != "good" {
+		t.Fatalf("first record: %q %v", got, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("corrupt tail should read as EOF, got %v", err)
+	}
+}
+
+func TestReaderEmptyFile(t *testing.T) {
+	r := NewReaderBytes(nil)
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty log: %v", err)
+	}
+}
+
+func TestManyRecordsAcrossBlocks(t *testing.T) {
+	var records [][]byte
+	for i := 0; i < 2000; i++ {
+		records = append(records, []byte(fmt.Sprintf("record-%06d-%s", i, bytes.Repeat([]byte("x"), i%97))))
+	}
+	roundtrip(t, records)
+}

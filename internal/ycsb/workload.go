@@ -1,0 +1,258 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Store is the key-value interface the benchmark drives; pebblesdb.DB and
+// the application shims satisfy it via small adapters.
+type Store interface {
+	Put(key, value []byte) error
+	Get(key []byte) (value []byte, found bool, err error)
+	// Scan positions at start and iterates up to count entries, returning
+	// how many were read.
+	Scan(start []byte, count int) (int, error)
+}
+
+// OpKind enumerates YCSB operation types.
+type OpKind int
+
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+// Mix is an operation mix with proportions summing to 1.
+type Mix struct {
+	Read, Update, Insert, Scan, RMW float64
+}
+
+// Workload describes one YCSB workload (Table 5.3).
+type Workload struct {
+	// Name is the YCSB letter ("A".."F", "LoadA", "LoadE").
+	Name string
+	// Description matches Table 5.3's "Represents" column.
+	Description string
+	Mix         Mix
+	// Distribution picks keys: "zipfian", "latest", "uniform".
+	Distribution string
+	// MaxScanLen bounds scan lengths (workload E; uniform 1..MaxScanLen).
+	MaxScanLen int
+}
+
+// Workloads is the YCSB core suite as used in the paper (Table 5.3).
+// Workloads A–D and F are preceded by Load A; E is preceded by Load E.
+var Workloads = map[string]Workload{
+	"LoadA": {Name: "LoadA", Description: "insert data for A-D, F",
+		Mix: Mix{Insert: 1}, Distribution: "zipfian"},
+	"A": {Name: "A", Description: "session store recording recent actions: 50% reads, 50% updates",
+		Mix: Mix{Read: 0.5, Update: 0.5}, Distribution: "zipfian"},
+	"B": {Name: "B", Description: "photo tagging: 95% reads, 5% updates",
+		Mix: Mix{Read: 0.95, Update: 0.05}, Distribution: "zipfian"},
+	"C": {Name: "C", Description: "caches: 100% reads",
+		Mix: Mix{Read: 1}, Distribution: "zipfian"},
+	"D": {Name: "D", Description: "news feed: 95% reads of latest, 5% inserts",
+		Mix: Mix{Read: 0.95, Insert: 0.05}, Distribution: "latest"},
+	"LoadE": {Name: "LoadE", Description: "insert data for E",
+		Mix: Mix{Insert: 1}, Distribution: "zipfian"},
+	"E": {Name: "E", Description: "threaded conversations: 95% scans, 5% inserts",
+		Mix: Mix{Scan: 0.95, Insert: 0.05}, Distribution: "zipfian", MaxScanLen: 100},
+	"F": {Name: "F", Description: "database: 50% reads, 50% read-modify-writes",
+		Mix: Mix{Read: 0.5, RMW: 0.5}, Distribution: "zipfian"},
+}
+
+// RunnerOptions configures a workload execution.
+type RunnerOptions struct {
+	// RecordCount is the number of loaded records keys are drawn from.
+	RecordCount uint64
+	// OpCount is the total operations across all threads.
+	OpCount uint64
+	// Threads is the worker count (the paper uses 4, §5.3).
+	Threads int
+	// ValueSize is the value payload in bytes (YCSB default ~1 KB).
+	ValueSize int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Result summarizes one workload run.
+type Result struct {
+	Workload  string
+	Ops       uint64
+	Duration  time.Duration
+	OpsPerSec float64
+	Errors    int64
+}
+
+// Run executes the workload against store. The inserted-record counter is
+// shared across Load and Run phases via the Runner.
+type Runner struct {
+	store    Store
+	inserted atomic.Uint64
+}
+
+// NewRunner wraps store for benchmark execution.
+func NewRunner(store Store) *Runner { return &Runner{store: store} }
+
+// Inserted returns the number of records known to exist (loaded+inserted).
+func (r *Runner) Inserted() uint64 { return r.inserted.Load() }
+
+// SetInserted primes the record counter (e.g. when the store was loaded
+// out of band).
+func (r *Runner) SetInserted(n uint64) { r.inserted.Store(n) }
+
+// Run executes w with the given options and returns throughput.
+func (r *Runner) Run(w Workload, opts RunnerOptions) (Result, error) {
+	if opts.Threads <= 0 {
+		opts.Threads = 1
+	}
+	if opts.ValueSize <= 0 {
+		opts.ValueSize = 1024
+	}
+	if opts.RecordCount == 0 {
+		opts.RecordCount = r.inserted.Load()
+	}
+
+	makeGen := func() Generator {
+		switch w.Distribution {
+		case "latest":
+			return NewLatest(&r.inserted)
+		case "uniform":
+			return Uniform{N: opts.RecordCount}
+		default:
+			return NewScrambledZipfian(opts.RecordCount)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	var firstErr atomic.Value
+	perThread := opts.OpCount / uint64(opts.Threads)
+	start := time.Now()
+	for th := 0; th < opts.Threads; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(th)*7919))
+			gen := makeGen()
+			key := make([]byte, 0, 32)
+			value := make([]byte, opts.ValueSize)
+			rng.Read(value)
+			for i := uint64(0); i < perThread; i++ {
+				if err := r.oneOp(w, gen, rng, key, value, opts); err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+				}
+			}
+		}(th)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	res := Result{
+		Workload:  w.Name,
+		Ops:       perThread * uint64(opts.Threads),
+		Duration:  dur,
+		OpsPerSec: float64(perThread*uint64(opts.Threads)) / dur.Seconds(),
+		Errors:    errs.Load(),
+	}
+	if e := firstErr.Load(); e != nil {
+		return res, e.(error)
+	}
+	return res, nil
+}
+
+func (r *Runner) oneOp(w Workload, gen Generator, rng *rand.Rand, key, value []byte, opts RunnerOptions) error {
+	p := rng.Float64()
+	m := w.Mix
+	switch {
+	case p < m.Insert:
+		idx := r.inserted.Add(1) - 1
+		key = KeyForIndex(key, idx)
+		return r.store.Put(key, value)
+	case p < m.Insert+m.Read:
+		key = KeyForIndex(key, gen.Next(rng)%max1(opts.RecordCount))
+		_, _, err := r.store.Get(key)
+		return err
+	case p < m.Insert+m.Read+m.Update:
+		key = KeyForIndex(key, gen.Next(rng)%max1(opts.RecordCount))
+		return r.store.Put(key, value)
+	case p < m.Insert+m.Read+m.Update+m.Scan:
+		key = KeyForIndex(key, gen.Next(rng)%max1(opts.RecordCount))
+		n := 1
+		if w.MaxScanLen > 1 {
+			n = 1 + rng.Intn(w.MaxScanLen)
+		}
+		_, err := r.store.Scan(key, n)
+		return err
+	default: // read-modify-write
+		key = KeyForIndex(key, gen.Next(rng)%max1(opts.RecordCount))
+		if _, _, err := r.store.Get(key); err != nil {
+			return err
+		}
+		return r.store.Put(key, value)
+	}
+}
+
+func max1(n uint64) uint64 {
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// Load inserts records [0, n) with the given value size, using the
+// runner's threads; it primes the inserted counter.
+func (r *Runner) Load(n uint64, valueSize, threads int, seed int64) (Result, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+	var firstErr atomic.Value
+	per := n / uint64(threads)
+	start := time.Now()
+	for th := 0; th < threads; th++ {
+		lo := uint64(th) * per
+		hi := lo + per
+		if th == threads-1 {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi uint64, th int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(th)))
+			value := make([]byte, valueSize)
+			rng.Read(value)
+			key := make([]byte, 0, 32)
+			for i := lo; i < hi; i++ {
+				key = KeyForIndex(key, i)
+				if err := r.store.Put(key, value); err != nil {
+					errs.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(lo, hi, th)
+	}
+	wg.Wait()
+	r.inserted.Store(n)
+	dur := time.Since(start)
+	res := Result{
+		Workload:  fmt.Sprintf("load-%d", n),
+		Ops:       n,
+		Duration:  dur,
+		OpsPerSec: float64(n) / dur.Seconds(),
+		Errors:    errs.Load(),
+	}
+	if e := firstErr.Load(); e != nil {
+		return res, e.(error)
+	}
+	return res, nil
+}

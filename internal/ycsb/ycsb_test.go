@@ -1,0 +1,190 @@
+package ycsb
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestUniformInRange(t *testing.T) {
+	g := Uniform{N: 100}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if v := g.Next(rng); v >= 100 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(10000)
+	rng := rand.New(rand.NewSource(2))
+	counts := map[uint64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Next(rng)
+		if v >= 10000 {
+			t.Fatalf("zipfian out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Item 0 must dominate; the head (top 1%) should carry a large share.
+	if counts[0] < n/100 {
+		t.Fatalf("item 0 drawn only %d times", counts[0])
+	}
+	head := 0
+	for v, c := range counts {
+		if v < 100 {
+			head += c
+		}
+	}
+	if float64(head)/n < 0.3 {
+		t.Fatalf("zipfian head too light: %.2f", float64(head)/n)
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	s := NewScrambledZipfian(10000)
+	rng := rand.New(rand.NewSource(3))
+	var xs []uint64
+	for i := 0; i < 5000; i++ {
+		v := s.Next(rng)
+		if v >= 10000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		xs = append(xs, v)
+	}
+	// The hot keys must not all cluster at the low end of the keyspace.
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	if xs[len(xs)/2] < 1000 {
+		t.Fatalf("scrambled zipfian median %d suspiciously low", xs[len(xs)/2])
+	}
+}
+
+func TestLatestFavorsRecent(t *testing.T) {
+	var counter atomic.Uint64
+	counter.Store(10000)
+	l := NewLatest(&counter)
+	rng := rand.New(rand.NewSource(4))
+	recent := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := l.Next(rng)
+		if v >= 10000 {
+			t.Fatalf("latest out of range: %d", v)
+		}
+		if v >= 9000 {
+			recent++
+		}
+	}
+	if float64(recent)/n < 0.5 {
+		t.Fatalf("latest distribution not skewed to recent: %.2f", float64(recent)/n)
+	}
+}
+
+func TestKeyForIndexSortableAndFixed(t *testing.T) {
+	a := KeyForIndex(nil, 5)
+	b := KeyForIndex(nil, 50)
+	if len(a) != len(b) {
+		t.Fatal("keys must be fixed width")
+	}
+	if bytes.Compare(a, b) >= 0 {
+		t.Fatal("larger index must produce larger key")
+	}
+}
+
+// mapStore is an in-memory ycsb.Store for runner tests.
+type mapStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+func newMapStore() *mapStore { return &mapStore{m: map[string][]byte{}} }
+
+func (s *mapStore) Put(k, v []byte) error {
+	s.mu.Lock()
+	s.m[string(k)] = append([]byte(nil), v...)
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *mapStore) Get(k []byte) ([]byte, bool, error) {
+	s.mu.Lock()
+	v, ok := s.m[string(k)]
+	s.mu.Unlock()
+	return v, ok, nil
+}
+
+func (s *mapStore) Scan(start []byte, count int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for k := range s.m {
+		if k >= string(start) {
+			n++
+			if n >= count {
+				break
+			}
+		}
+	}
+	return n, nil
+}
+
+func TestLoadAndRunWorkloads(t *testing.T) {
+	store := newMapStore()
+	r := NewRunner(store)
+	if _, err := r.Load(1000, 64, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Inserted() != 1000 {
+		t.Fatalf("inserted %d", r.Inserted())
+	}
+	if len(store.m) != 1000 {
+		t.Fatalf("store holds %d records", len(store.m))
+	}
+
+	for _, name := range []string{"A", "B", "C", "D", "E", "F"} {
+		w := Workloads[name]
+		res, err := r.Run(w, RunnerOptions{
+			RecordCount: 1000, OpCount: 2000, Threads: 4, ValueSize: 64, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		if res.Ops == 0 || res.OpsPerSec <= 0 {
+			t.Fatalf("workload %s produced no throughput: %+v", name, res)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("workload %s had %d errors", name, res.Errors)
+		}
+	}
+	// Workload D and E insert, so the record counter must have advanced.
+	if r.Inserted() <= 1000 {
+		t.Fatal("inserting workloads did not advance the counter")
+	}
+}
+
+func TestWorkloadTableMatchesPaper(t *testing.T) {
+	// Table 5.3 checks.
+	if w := Workloads["A"]; w.Mix.Read != 0.5 || w.Mix.Update != 0.5 {
+		t.Fatal("workload A must be 50/50 read/update")
+	}
+	if w := Workloads["C"]; w.Mix.Read != 1 {
+		t.Fatal("workload C must be read-only")
+	}
+	if w := Workloads["D"]; w.Distribution != "latest" || w.Mix.Insert != 0.05 {
+		t.Fatal("workload D must read latest with 5% inserts")
+	}
+	if w := Workloads["E"]; w.Mix.Scan != 0.95 || w.MaxScanLen != 100 {
+		t.Fatal("workload E must be 95% scans up to 100")
+	}
+	if w := Workloads["F"]; w.Mix.RMW != 0.5 {
+		t.Fatal("workload F must be 50% read-modify-write")
+	}
+	if w := Workloads["LoadA"]; w.Mix.Insert != 1 {
+		t.Fatal("Load A must be pure inserts")
+	}
+}

@@ -1,0 +1,60 @@
+package pebblesdb
+
+import "pebblesdb/internal/engine"
+
+// Iterator walks live user keys in ascending order, hiding deleted keys
+// and old versions. It is not safe for concurrent use. Always Close it.
+//
+// Range queries follow the paper's pattern (§2.1): SeekGE to the start
+// key, then Next until past the end key.
+type Iterator struct {
+	it *engine.Iter
+}
+
+// NewIter returns an iterator over the latest committed state.
+func (d *DB) NewIter() (*Iterator, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	it, err := d.eng.NewIter(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{it: it}, nil
+}
+
+// NewIterAt returns an iterator over a snapshot.
+func (d *DB) NewIterAt(snap *Snapshot) (*Iterator, error) {
+	if d.closed.Load() {
+		return nil, ErrClosed
+	}
+	it, err := d.eng.NewIter(snap.s)
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{it: it}, nil
+}
+
+// First positions at the smallest key.
+func (i *Iterator) First() { i.it.First() }
+
+// SeekGE positions at the first key >= key.
+func (i *Iterator) SeekGE(key []byte) { i.it.SeekGE(key) }
+
+// Next advances to the next key.
+func (i *Iterator) Next() { i.it.Next() }
+
+// Valid reports whether the iterator is positioned on an entry.
+func (i *Iterator) Valid() bool { return i.it.Valid() }
+
+// Key returns the current key; valid until the next positioning call.
+func (i *Iterator) Key() []byte { return i.it.Key() }
+
+// Value returns the current value; valid until the next positioning call.
+func (i *Iterator) Value() []byte { return i.it.Value() }
+
+// Error returns the first error encountered.
+func (i *Iterator) Error() error { return i.it.Error() }
+
+// Close releases the iterator. Must be called exactly once.
+func (i *Iterator) Close() error { return i.it.Close() }

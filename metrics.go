@@ -1,0 +1,36 @@
+package pebblesdb
+
+import (
+	"pebblesdb/internal/engine"
+	"pebblesdb/internal/vfs"
+)
+
+// Metrics is a point-in-time summary of store behaviour, including the IO
+// accounting behind the paper's write-amplification results.
+type Metrics struct {
+	engine.Metrics
+
+	// IO is the byte-level filesystem accounting since Open.
+	IO vfs.IOStats
+	// UserBytesWritten is the total key+value payload the application has
+	// written; the denominator of write amplification.
+	UserBytesWritten int64
+}
+
+// WriteAmplification is total write IO divided by user data written
+// (Fig 1.1). Returns 0 before any writes.
+func (m Metrics) WriteAmplification() float64 {
+	if m.UserBytesWritten == 0 {
+		return 0
+	}
+	return float64(m.IO.TotalWritten()) / float64(m.UserBytesWritten)
+}
+
+// Metrics returns current statistics.
+func (d *DB) Metrics() Metrics {
+	return Metrics{
+		Metrics:          d.eng.Metrics(),
+		IO:               d.fs.Stats(),
+		UserBytesWritten: d.userBytes.Load(),
+	}
+}

@@ -1,0 +1,247 @@
+package pebblesdb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pebblesdb/internal/vfs"
+)
+
+// TestModelEquivalence applies a long random operation sequence to the
+// store and an in-memory model, checking gets, scans and snapshot reads
+// agree at every step boundary. This is the main end-to-end correctness
+// property for both engines.
+func TestModelEquivalence(t *testing.T) {
+	for _, preset := range []Preset{PresetPebblesDB, PresetHyperLevelDB, PresetPebblesDB1} {
+		preset := preset
+		t.Run(preset.String(), func(t *testing.T) {
+			db, err := Open("db", testOptions(preset))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+
+			rng := rand.New(rand.NewSource(1234))
+			model := map[string]string{}
+
+			type snapState struct {
+				snap  *Snapshot
+				model map[string]string
+			}
+			var snaps []snapState
+
+			checkScan := func() {
+				it, err := db.NewIter()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer it.Close()
+				var want []string
+				for k := range model {
+					want = append(want, k)
+				}
+				sort.Strings(want)
+				i := 0
+				for it.First(); it.Valid(); it.Next() {
+					if i >= len(want) {
+						t.Fatalf("scan yielded extra key %q", it.Key())
+					}
+					if string(it.Key()) != want[i] {
+						t.Fatalf("scan pos %d: got %q want %q", i, it.Key(), want[i])
+					}
+					if string(it.Value()) != model[want[i]] {
+						t.Fatalf("scan %q: value %q want %q", it.Key(), it.Value(), model[want[i]])
+					}
+					i++
+				}
+				if i != len(want) {
+					t.Fatalf("scan yielded %d keys, want %d", i, len(want))
+				}
+			}
+
+			const ops = 30000
+			for i := 0; i < ops; i++ {
+				k := fmt.Sprintf("key%05d", rng.Intn(4000))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3:
+					v := fmt.Sprintf("val%d", i)
+					model[k] = v
+					if err := db.Put([]byte(k), []byte(v)); err != nil {
+						t.Fatal(err)
+					}
+				case 4, 5:
+					delete(model, k)
+					if err := db.Delete([]byte(k)); err != nil {
+						t.Fatal(err)
+					}
+				case 6:
+					// Batched multi-op.
+					b := db.NewBatch()
+					for j := 0; j < 5; j++ {
+						kk := fmt.Sprintf("key%05d", rng.Intn(4000))
+						if rng.Intn(2) == 0 {
+							v := fmt.Sprintf("bval%d-%d", i, j)
+							model[kk] = v
+							b.Set([]byte(kk), []byte(v))
+						} else {
+							delete(model, kk)
+							b.Delete([]byte(kk))
+						}
+					}
+					if err := db.Apply(b); err != nil {
+						t.Fatal(err)
+					}
+				case 7:
+					got, ok, err := db.Get([]byte(k))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, wantOk := model[k]
+					if ok != wantOk || (ok && string(got) != want) {
+						t.Fatalf("op %d: get %q = (%q,%v), want (%q,%v)", i, k, got, ok, want, wantOk)
+					}
+				case 8:
+					if len(snaps) < 3 && rng.Intn(4) == 0 {
+						mc := make(map[string]string, len(model))
+						for mk, mv := range model {
+							mc[mk] = mv
+						}
+						snaps = append(snaps, snapState{db.NewSnapshot(), mc})
+					}
+				case 9:
+					if len(snaps) > 0 {
+						s := snaps[rng.Intn(len(snaps))]
+						got, ok, err := db.GetAt([]byte(k), s.snap)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want, wantOk := s.model[k]
+						if ok != wantOk || (ok && string(got) != want) {
+							t.Fatalf("op %d: snapshot get %q = (%q,%v), want (%q,%v)",
+								i, k, got, ok, want, wantOk)
+						}
+					}
+				}
+				if i%10000 == 9999 {
+					checkScan()
+				}
+			}
+			if err := db.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+			checkScan()
+			for _, s := range snaps {
+				s.snap.Close()
+			}
+		})
+	}
+}
+
+// TestQuickPutGetRoundtrip is a testing/quick property: any key/value pair
+// written is readable, including empty and binary keys.
+func TestQuickPutGetRoundtrip(t *testing.T) {
+	db, err := Open("db", testOptions(PresetPebblesDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	err = quick.Check(func(key, value []byte) bool {
+		if len(key) == 0 {
+			key = []byte{0} // empty user keys are legal but collide often
+		}
+		if err := db.Put(key, value); err != nil {
+			return false
+		}
+		got, ok, err := db.Get(key)
+		return err == nil && ok && bytes.Equal(got, value)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanOrdering is a testing/quick property: after inserting any
+// key set, a full scan yields exactly the distinct keys in sorted order.
+func TestQuickScanOrdering(t *testing.T) {
+	err := quick.Check(func(keys [][]byte) bool {
+		db, err := Open("db", testOptions(PresetPebblesDB))
+		if err != nil {
+			return false
+		}
+		defer db.Close()
+		want := map[string]bool{}
+		for _, k := range keys {
+			if len(k) == 0 {
+				continue
+			}
+			if err := db.Put(k, []byte("v")); err != nil {
+				return false
+			}
+			want[string(k)] = true
+		}
+		it, err := db.NewIter()
+		if err != nil {
+			return false
+		}
+		defer it.Close()
+		var got []string
+		for it.First(); it.Valid(); it.Next() {
+			got = append(got, string(it.Key()))
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i, k := range got {
+			if !want[k] {
+				return false
+			}
+			if i > 0 && got[i-1] >= k {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeekGESemantics verifies the iterator contract at boundaries.
+func TestSeekGESemantics(t *testing.T) {
+	db, err := Open("db", testOptions(PresetPebblesDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, k := range []string{"b", "d", "f"} {
+		db.Put([]byte(k), []byte("v"+k))
+	}
+	db.CompactAll()
+
+	it, err := db.NewIter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	cases := []struct{ seek, want string }{
+		{"a", "b"}, {"b", "b"}, {"c", "d"}, {"f", "f"},
+	}
+	for _, c := range cases {
+		it.SeekGE([]byte(c.seek))
+		if !it.Valid() || string(it.Key()) != c.want {
+			t.Fatalf("SeekGE(%q): got %q valid=%v, want %q", c.seek, it.Key(), it.Valid(), c.want)
+		}
+	}
+	it.SeekGE([]byte("g"))
+	if it.Valid() {
+		t.Fatal("SeekGE past the end should be invalid")
+	}
+}
+
+var _ = vfs.NewMem

@@ -1,0 +1,210 @@
+package pebblesdb
+
+import (
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/engine"
+	"pebblesdb/internal/vfs"
+)
+
+// Engine selects the on-storage data structure.
+type Engine int
+
+const (
+	// EngineFLSM is the fragmented log-structured merge tree (PebblesDB).
+	EngineFLSM Engine = iota
+	// EngineLeveled is the classic leveled LSM (LevelDB lineage).
+	EngineLeveled
+)
+
+// Preset names the store configurations used throughout the paper's
+// evaluation (§5.1). A preset expands to a full Options value that can be
+// further customized.
+type Preset int
+
+const (
+	// PresetPebblesDB: FLSM, 4 MB memtables, level0 slowdown/stop 8/12,
+	// sstable bloom filters, parallel seeks, seek-based and size-ratio
+	// compaction (the paper's default PebblesDB configuration).
+	PresetPebblesDB Preset = iota
+	// PresetHyperLevelDB: leveled tree, 4 MB memtables, 8/12 triggers,
+	// multi-threaded compaction, with sstable bloom filters added (§5.1:
+	// "all numbers presented for HyperLevelDB are with bloom filters").
+	PresetHyperLevelDB
+	// PresetLevelDB: leveled tree, 4 MB memtables, 8/12 triggers, a single
+	// compaction thread, 2 MB target files.
+	PresetLevelDB
+	// PresetRocksDB: leveled tree, 64 MB memtables, slowdown/stop 20/24,
+	// multi-threaded compaction, 64 MB target files.
+	PresetRocksDB
+	// PresetPebblesDB1 is PebblesDB with max_sstables_per_guard = 1, which
+	// makes FLSM behave like an LSM (§3.5; "PebblesDB-1" in Fig 5.1d).
+	PresetPebblesDB1
+)
+
+// String returns the preset's display name as used in the paper's figures.
+func (p Preset) String() string {
+	switch p {
+	case PresetPebblesDB:
+		return "PebblesDB"
+	case PresetHyperLevelDB:
+		return "HyperLevelDB"
+	case PresetLevelDB:
+		return "LevelDB"
+	case PresetRocksDB:
+		return "RocksDB"
+	case PresetPebblesDB1:
+		return "PebblesDB-1"
+	}
+	return "Unknown"
+}
+
+// Options configures a store. The zero value is not valid; start from a
+// Preset's Options and adjust.
+type Options struct {
+	// Engine selects FLSM or leveled storage.
+	Engine Engine
+
+	// InMemory, if true, backs the store with a process-local in-memory
+	// filesystem (deterministic benchmarking, tests). The directory name
+	// becomes a namespace within that filesystem.
+	InMemory bool
+
+	// MemtableSize is the flush threshold in bytes.
+	MemtableSize int
+	// L0CompactionTrigger / L0SlowdownTrigger / L0StopTrigger control
+	// level-0 behaviour (§5.1).
+	L0CompactionTrigger int
+	L0SlowdownTrigger   int
+	L0StopTrigger       int
+	// NumLevels is the level count including L0.
+	NumLevels int
+	// LevelBaseBytes / LevelMultiplier size the level capacities.
+	LevelBaseBytes  int64
+	LevelMultiplier int
+	// TargetFileSize bounds leveled-compaction outputs.
+	TargetFileSize int64
+	// BlockSize is the sstable block size.
+	BlockSize int
+	// BloomBitsPerKey sizes sstable bloom filters; negative disables them.
+	BloomBitsPerKey int
+	// BlockCacheSize / TableCacheSize bound cache memory (Fig 5.2b).
+	BlockCacheSize int64
+	TableCacheSize int
+
+	// TopLevelBits / BitDecrement control guard probability (§4.4).
+	TopLevelBits int
+	BitDecrement int
+	// MaxSSTablesPerGuard caps sstables per guard (§3.5); 1 = LSM-like.
+	MaxSSTablesPerGuard int
+	// SeekCompactionThreshold triggers guard/file compaction after this
+	// many seeks (§4.2); negative disables.
+	SeekCompactionThreshold int
+	// SizeRatioPct triggers aggressive level compaction (§4.2); negative
+	// disables.
+	SizeRatioPct int
+	// ParallelSeeks enables concurrent last-level sstable positioning
+	// (§4.2).
+	ParallelSeeks bool
+	// ParallelGuardCompaction enables guard-granular compaction
+	// parallelism (paper §7 future work, implemented here).
+	ParallelGuardCompaction bool
+	// MaxCompactionConcurrency is the background compaction thread count.
+	MaxCompactionConcurrency int
+	// WALSync forces an fsync per commit.
+	WALSync bool
+
+	// fs overrides the filesystem (tests).
+	fs vfs.FS
+}
+
+// sharedMemFS backs every InMemory store in the process, namespaced by
+// directory, so reopening an in-memory store by path works.
+var sharedMemFS = vfs.NewMem()
+
+// Options expands the preset into a concrete Options value.
+func (p Preset) Options() *Options {
+	o := &Options{
+		MemtableSize:             4 << 20,
+		L0CompactionTrigger:      4,
+		L0SlowdownTrigger:        8,
+		L0StopTrigger:            12,
+		NumLevels:                7,
+		LevelBaseBytes:           10 << 20,
+		LevelMultiplier:          10,
+		TargetFileSize:           2 << 20,
+		BloomBitsPerKey:          10,
+		MaxCompactionConcurrency: 3,
+	}
+	switch p {
+	case PresetPebblesDB, PresetPebblesDB1:
+		o.Engine = EngineFLSM
+		o.MaxSSTablesPerGuard = 4
+		o.TopLevelBits = 22
+		o.BitDecrement = 2
+		o.SeekCompactionThreshold = 10
+		o.SizeRatioPct = 25
+		o.ParallelSeeks = true
+		if p == PresetPebblesDB1 {
+			o.MaxSSTablesPerGuard = 1
+		}
+	case PresetHyperLevelDB:
+		o.Engine = EngineLeveled
+	case PresetLevelDB:
+		o.Engine = EngineLeveled
+		o.MaxCompactionConcurrency = 1
+	case PresetRocksDB:
+		o.Engine = EngineLeveled
+		o.MemtableSize = 64 << 20
+		o.L0SlowdownTrigger = 20
+		o.L0StopTrigger = 24
+		o.TargetFileSize = 64 << 20
+	}
+	return o
+}
+
+// WithFS overrides the backing filesystem; intended for tests and the
+// benchmark harness (e.g. crash-injecting filesystems).
+func (o *Options) WithFS(fs vfs.FS) *Options {
+	o.fs = fs
+	return o
+}
+
+// toConfig translates public options into the internal configuration.
+func (o *Options) toConfig() (*base.Config, engine.Kind, vfs.FS) {
+	cfg := &base.Config{
+		MemtableSize:             o.MemtableSize,
+		L0CompactionTrigger:      o.L0CompactionTrigger,
+		L0SlowdownTrigger:        o.L0SlowdownTrigger,
+		L0StopTrigger:            o.L0StopTrigger,
+		NumLevels:                o.NumLevels,
+		LevelBaseBytes:           o.LevelBaseBytes,
+		LevelMultiplier:          o.LevelMultiplier,
+		TargetFileSize:           o.TargetFileSize,
+		BlockSize:                o.BlockSize,
+		BloomBitsPerKey:          o.BloomBitsPerKey,
+		BlockCacheSize:           o.BlockCacheSize,
+		TableCacheSize:           o.TableCacheSize,
+		TopLevelBits:             o.TopLevelBits,
+		BitDecrement:             o.BitDecrement,
+		MaxSSTablesPerGuard:      o.MaxSSTablesPerGuard,
+		SeekCompactionThreshold:  o.SeekCompactionThreshold,
+		SizeRatioPct:             o.SizeRatioPct,
+		ParallelSeeks:            o.ParallelSeeks,
+		ParallelGuardCompaction:  o.ParallelGuardCompaction,
+		MaxCompactionConcurrency: o.MaxCompactionConcurrency,
+		WALSync:                  o.WALSync,
+	}
+	kind := engine.KindFLSM
+	if o.Engine == EngineLeveled {
+		kind = engine.KindLeveled
+	}
+	fs := o.fs
+	if fs == nil {
+		if o.InMemory {
+			fs = sharedMemFS
+		} else {
+			fs = vfs.Default
+		}
+	}
+	return cfg, kind, fs
+}
