@@ -26,14 +26,14 @@ func TestBatchReuseDoesNotCorrupt(t *testing.T) {
 		k := fmt.Sprintf("key%05d", i)
 		v := fmt.Sprintf("value-%08d", i)
 		b.Set([]byte(k), []byte(v))
-		if err := db.Apply(b); err != nil {
+		if err := db.Apply(b, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < n; i++ {
 		k := fmt.Sprintf("key%05d", i)
 		want := fmt.Sprintf("value-%08d", i)
-		got, ok, err := db.Get([]byte(k))
+		got, ok, err := db.Get([]byte(k), nil)
 		if err != nil || !ok || string(got) != want {
 			t.Fatalf("key %s: got %q ok=%v err=%v want %q", k, got, ok, err, want)
 		}
@@ -57,7 +57,7 @@ func TestValueBufferReuse(t *testing.T) {
 		}
 	}
 	for i := 0; i < 100; i++ {
-		got, ok, _ := db.Get([]byte(fmt.Sprintf("k%03d", i)))
+		got, ok, _ := db.Get([]byte(fmt.Sprintf("k%03d", i)), nil)
 		if !ok || string(got) != fmt.Sprintf("%016d", i) {
 			t.Fatalf("k%03d: %q", i, got)
 		}
@@ -75,7 +75,7 @@ func TestAllPresetsOpenWithDefaults(t *testing.T) {
 		if err := db.Put([]byte("k"), []byte("v")); err != nil {
 			t.Fatalf("%s put: %v", p, err)
 		}
-		if v, ok, _ := db.Get([]byte("k")); !ok || string(v) != "v" {
+		if v, ok, _ := db.Get([]byte("k"), nil); !ok || string(v) != "v" {
 			t.Fatalf("%s roundtrip failed", p)
 		}
 		if err := db.Close(); err != nil {
@@ -111,13 +111,13 @@ func TestClosedDBRejectsEverything(t *testing.T) {
 	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
 		t.Fatalf("put: %v", err)
 	}
-	if _, _, err := db.Get([]byte("k")); err != ErrClosed {
+	if _, _, err := db.Get([]byte("k"), nil); err != ErrClosed {
 		t.Fatalf("get: %v", err)
 	}
 	if err := db.Delete([]byte("k")); err != ErrClosed {
 		t.Fatalf("delete: %v", err)
 	}
-	if _, err := db.NewIter(); err != ErrClosed {
+	if _, err := db.NewIter(nil); err != ErrClosed {
 		t.Fatalf("iter: %v", err)
 	}
 	if err := db.Flush(); err != ErrClosed {
@@ -220,7 +220,7 @@ func TestParallelSeeksGiveSameResults(t *testing.T) {
 		}
 		db.CompactAll()
 
-		it, err := db.NewIter()
+		it, err := db.NewIter(nil)
 		if err != nil {
 			t.Fatal(err)
 		}

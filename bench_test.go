@@ -170,7 +170,7 @@ func BenchmarkGet(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key = harness.KeyAt(key, uint64(rng.Intn(n)))
-		if _, _, err := db.Get(key); err != nil {
+		if _, _, err := db.Get(key, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -192,11 +192,72 @@ func BenchmarkSeek(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		key = harness.KeyAt(key, uint64(rng.Intn(n)))
-		it, err := db.NewIter()
+		it, err := db.NewIter(nil)
 		if err != nil {
 			b.Fatal(err)
 		}
 		it.SeekGE(key)
+		it.Close()
+	}
+}
+
+// BenchmarkReverseScan measures reverse range queries (SeekLT + Prevs) on
+// a compacted FLSM store — the v2 API's mirror of the paper's
+// seek-then-nexts range query.
+func BenchmarkReverseScan(b *testing.B) {
+	db := openBenchDB(b, pebblesdb.PresetPebblesDB)
+	defer db.Close()
+	const n = 100_000
+	if err := harness.FillRandom(db, n, n, 128, 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CompactAll(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	key := make([]byte, 0, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key = harness.KeyAt(key, uint64(rng.Intn(n)))
+		it, err := db.NewIter(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		it.SeekLT(key)
+		for j := 0; j < 10 && it.Valid(); j++ {
+			it.Prev()
+		}
+		it.Close()
+	}
+}
+
+// BenchmarkBoundedScan measures short bounded range scans: the end key is
+// pushed into the iterator as an upper bound so guards and sstables past
+// it are pruned before IO.
+func BenchmarkBoundedScan(b *testing.B) {
+	db := openBenchDB(b, pebblesdb.PresetPebblesDB)
+	defer db.Close()
+	const n = 100_000
+	if err := harness.FillRandom(db, n, n, 128, 1); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CompactAll(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	lo := make([]byte, 0, 16)
+	hi := make([]byte, 0, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := uint64(rng.Intn(n))
+		lo = harness.KeyAt(lo, start)
+		hi = harness.KeyAt(hi, start+10)
+		it, err := db.NewIter(&pebblesdb.IterOptions{LowerBound: lo, UpperBound: hi})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for it.First(); it.Valid(); it.Next() {
+		}
 		it.Close()
 	}
 }

@@ -20,7 +20,7 @@ import (
 
 var (
 	store      = flag.String("store", "pebblesdb", "store preset: pebblesdb, hyperleveldb, leveldb, rocksdb, pebblesdb1")
-	benchmarks = flag.String("benchmarks", "fillrandom,readrandom,seekrandom", "comma-separated workloads: fillseq, fillrandom, readrandom, seekrandom, deleterandom")
+	benchmarks = flag.String("benchmarks", "fillrandom,readrandom,seekrandom", "comma-separated workloads: fillseq, fillrandom, readrandom, seekrandom, seekreverse, scanbounded, deleterandom")
 	num        = flag.Int("num", 1_000_000, "operations per workload")
 	valueSize  = flag.Int("value_size", 1024, "value size in bytes")
 	nexts      = flag.Int("nexts", 0, "next() calls per seek")
@@ -76,7 +76,7 @@ func main() {
 		if bench == "" {
 			continue
 		}
-		if !written && (bench == "readrandom" || bench == "seekrandom" || bench == "deleterandom") {
+		if !written && (bench == "readrandom" || bench == "seekrandom" || bench == "seekreverse" || bench == "scanbounded" || bench == "deleterandom") {
 			fmt.Fprintf(os.Stderr, "note: %s without a prior fill reads an empty store\n", bench)
 		}
 		run := func() error {
@@ -101,6 +101,19 @@ func main() {
 				return harness.Concurrent(*threads, func(th int) error {
 					return harness.SeekRandom(db, per, *num, *nexts, *seed+int64(th))
 				})
+			case "seekreverse":
+				return harness.Concurrent(*threads, func(th int) error {
+					return harness.SeekRandomReverse(db, per, *num, *nexts, *seed+int64(th))
+				})
+			case "scanbounded":
+				return harness.Concurrent(*threads, func(th int) error {
+					span := *nexts
+					if span < 1 {
+						span = 10
+					}
+					_, err := harness.ScanBounded(db, per, *num, span, *seed+int64(th))
+					return err
+				})
 			case "deleterandom":
 				return harness.Concurrent(*threads, func(th int) error {
 					return harness.DeleteRandom(db, per, *num, *seed+int64(th))
@@ -109,7 +122,7 @@ func main() {
 			return fmt.Errorf("unknown benchmark %q", bench)
 		}
 
-		if *compact && (bench == "readrandom" || bench == "seekrandom") {
+		if *compact && (bench == "readrandom" || bench == "seekrandom" || bench == "seekreverse" || bench == "scanbounded") {
 			if err := db.CompactAll(); err != nil {
 				fmt.Fprintf(os.Stderr, "compact: %v\n", err)
 				os.Exit(1)

@@ -39,7 +39,7 @@ func TestCrashRecoveryAtRandomPoints(t *testing.T) {
 				}
 				// Everything durable so far must be present.
 				for k, v := range durable {
-					got, ok, err := db.Get([]byte(k))
+					got, ok, err := db.Get([]byte(k), nil)
 					if err != nil || !ok || string(got) != v {
 						t.Fatalf("round %d: durable key %q lost (got %q ok=%v err=%v)",
 							round, k, got, ok, err)
@@ -60,7 +60,7 @@ func TestCrashRecoveryAtRandomPoints(t *testing.T) {
 						}
 						durable[k] = v
 					} else {
-						if err := db.Apply(b); err != nil {
+						if err := db.Apply(b, nil); err != nil {
 							t.Fatal(err)
 						}
 						// Unsynced writes that land before a later synced
@@ -114,7 +114,7 @@ func TestCrashDuringCompactionWindow(t *testing.T) {
 	}
 	defer db2.Close()
 	// The store must be readable and consistent: iterate everything.
-	it, err := db2.NewIter()
+	it, err := db2.NewIter(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestRepeatedCrashReopenCycles(t *testing.T) {
 		if err != nil {
 			t.Fatalf("cycle %d: %v", cycle, err)
 		}
-		if v, ok, _ := db.Get([]byte("counter")); ok {
+		if v, ok, _ := db.Get([]byte("counter"), nil); ok {
 			var got int
 			fmt.Sscanf(string(v), "%d", &got)
 			if got < last {

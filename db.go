@@ -16,7 +16,18 @@
 //	if err != nil { ... }
 //	defer db.Close()
 //	_ = db.Put([]byte("key"), []byte("value"))
-//	v, ok, _ := db.Get([]byte("key"))
+//	v, ok, _ := db.Get([]byte("key"), nil)
+//
+// Reads and writes take per-operation options (nil selects the defaults):
+// ReadOptions pin a Get to a Snapshot, WriteOptions control per-commit
+// durability, and IterOptions bound an iterator and let it scan in either
+// direction:
+//
+//	it, _ := db.NewIter(&pebblesdb.IterOptions{
+//		LowerBound: []byte("user:"), UpperBound: []byte("user;"),
+//	})
+//	for it.Last(); it.Valid(); it.Prev() { ... }
+//	_ = it.Close()
 package pebblesdb
 
 import (
@@ -75,39 +86,43 @@ func (d *DB) Delete(key []byte) error {
 }
 
 // Get returns the value of key. found is false when the key is absent or
-// deleted. The returned slice must not be modified; it remains valid until
-// the DB is closed.
-func (d *DB) Get(key []byte) (value []byte, found bool, err error) {
+// deleted. A nil opts reads the latest committed state; opts.Snapshot pins
+// the read to a point-in-time view. The returned slice must not be
+// modified; it remains valid until the DB is closed.
+func (d *DB) Get(key []byte, opts *ReadOptions) (value []byte, found bool, err error) {
 	if d.closed.Load() {
 		return nil, false, ErrClosed
 	}
-	return d.eng.Get(key, nil)
+	var snap *engine.Snapshot
+	if opts != nil && opts.Snapshot != nil {
+		snap = opts.Snapshot.s
+	}
+	return d.eng.Get(key, snap)
 }
 
 // GetAt is Get against a snapshot.
+//
+// Deprecated: use Get(key, &ReadOptions{Snapshot: snap}).
 func (d *DB) GetAt(key []byte, snap *Snapshot) (value []byte, found bool, err error) {
-	if d.closed.Load() {
-		return nil, false, ErrClosed
-	}
-	return d.eng.Get(key, snap.s)
+	return d.Get(key, &ReadOptions{Snapshot: snap})
 }
 
-// Apply atomically commits a batch of writes.
-func (d *DB) Apply(b *Batch) error {
+// Apply atomically commits a batch of writes. A nil opts commits without
+// an fsync; opts.Sync makes this commit durable against machine crashes
+// before Apply returns.
+func (d *DB) Apply(b *Batch, opts *WriteOptions) error {
 	if d.closed.Load() {
 		return ErrClosed
 	}
 	d.userBytes.Add(int64(b.userBytes))
-	return d.eng.Apply(b.b, false)
+	return d.eng.Apply(b.b, opts != nil && opts.Sync)
 }
 
 // ApplySync commits a batch and syncs the WAL before returning.
+//
+// Deprecated: use Apply(b, pebblesdb.Sync).
 func (d *DB) ApplySync(b *Batch) error {
-	if d.closed.Load() {
-		return ErrClosed
-	}
-	d.userBytes.Add(int64(b.userBytes))
-	return d.eng.Apply(b.b, true)
+	return d.Apply(b, Sync)
 }
 
 // Snapshot pins a point-in-time view of the store.

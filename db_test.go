@@ -53,7 +53,7 @@ func TestPutGetAllPresets(t *testing.T) {
 				t.Fatal(err)
 			}
 			for k, v := range want {
-				got, ok, err := db.Get([]byte(k))
+				got, ok, err := db.Get([]byte(k), nil)
 				if err != nil {
 					t.Fatalf("get %q: %v", k, err)
 				}
@@ -65,7 +65,7 @@ func TestPutGetAllPresets(t *testing.T) {
 				}
 			}
 			// Absent key.
-			if _, ok, _ := db.Get([]byte("nonexistent")); ok {
+			if _, ok, _ := db.Get([]byte("nonexistent"), nil); ok {
 				t.Fatal("found nonexistent key")
 			}
 		})
@@ -104,7 +104,7 @@ func TestIterateMatchesModel(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			it, err := db.NewIter()
+			it, err := db.NewIter(nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -165,7 +165,7 @@ func TestReopenRecoversData(t *testing.T) {
 			defer db2.Close()
 			for i := 0; i < 3000; i++ {
 				k := fmt.Sprintf("key%05d", i)
-				v, ok, err := db2.Get([]byte(k))
+				v, ok, err := db2.Get([]byte(k), nil)
 				if err != nil || !ok {
 					t.Fatalf("get %q after reopen: ok=%v err=%v", k, ok, err)
 				}

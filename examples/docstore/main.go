@@ -40,12 +40,12 @@ func (s *Store) Insert(collection, id string, doc Doc, indexed ...string) error 
 			b.Set(idxKey(collection, field, v, id), nil)
 		}
 	}
-	return s.db.Apply(b)
+	return s.db.Apply(b, nil)
 }
 
 // Get fetches one document.
 func (s *Store) Get(collection, id string) (Doc, bool, error) {
-	body, ok, err := s.db.Get(docKey(collection, id))
+	body, ok, err := s.db.Get(docKey(collection, id), nil)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
@@ -57,21 +57,22 @@ func (s *Store) Get(collection, id string) (Doc, bool, error) {
 }
 
 // FindBy returns the ids of documents whose indexed field equals value,
-// using a prefix range scan (the range_query operation of §2.1).
+// using a bounded prefix range scan (the range_query operation of §2.1):
+// the prefix's end becomes the iterator's upper bound, so the scan needs
+// no manual prefix check and never touches sstables past the prefix.
 func (s *Store) FindBy(collection, field, value string) ([]string, error) {
 	prefix := "idx/" + collection + "/" + field + "/" + value + "/"
-	it, err := s.db.NewIter()
+	it, err := s.db.NewIter(&pebblesdb.IterOptions{
+		LowerBound: []byte(prefix),
+		UpperBound: append([]byte(prefix[:len(prefix)-1]), '/'+1),
+	})
 	if err != nil {
 		return nil, err
 	}
 	defer it.Close()
 	var ids []string
-	for it.SeekGE([]byte(prefix)); it.Valid(); it.Next() {
-		k := string(it.Key())
-		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
-			break
-		}
-		ids = append(ids, k[len(prefix):])
+	for it.First(); it.Valid(); it.Next() {
+		ids = append(ids, string(it.Key()[len(prefix):]))
 	}
 	return ids, it.Error()
 }
@@ -87,8 +88,8 @@ func main() {
 	store := &Store{db: db}
 
 	people := []struct {
-		id   string
-		doc  Doc
+		id  string
+		doc Doc
 	}{
 		{"u1", Doc{"name": "ada", "city": "london", "role": "engineer"}},
 		{"u2", Doc{"name": "grace", "city": "nyc", "role": "admiral"}},

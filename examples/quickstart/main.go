@@ -26,15 +26,17 @@ func main() {
 	if err := db.Put([]byte("user:1:name"), []byte("ada")); err != nil {
 		log.Fatal(err)
 	}
-	if v, ok, _ := db.Get([]byte("user:1:name")); ok {
+	if v, ok, _ := db.Get([]byte("user:1:name"), nil); ok {
 		fmt.Printf("user:1:name = %s\n", v)
 	}
 
-	// Atomic batches: both writes commit or neither does.
+	// Atomic batches: both writes commit or neither does. WriteOptions
+	// control per-commit durability — pebblesdb.Sync fsyncs the WAL before
+	// returning.
 	b := db.NewBatch()
 	b.Set([]byte("user:2:name"), []byte("grace"))
 	b.Set([]byte("user:2:email"), []byte("grace@example.com"))
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(b, pebblesdb.Sync); err != nil {
 		log.Fatal(err)
 	}
 
@@ -43,10 +45,10 @@ func main() {
 	if err := db.Put([]byte("user:1:name"), []byte("ada lovelace")); err != nil {
 		log.Fatal(err)
 	}
-	if v, ok, _ := db.GetAt([]byte("user:1:name"), snap); ok {
+	if v, ok, _ := db.Get([]byte("user:1:name"), &pebblesdb.ReadOptions{Snapshot: snap}); ok {
 		fmt.Printf("snapshot still sees: %s\n", v)
 	}
-	if v, ok, _ := db.Get([]byte("user:1:name")); ok {
+	if v, ok, _ := db.Get([]byte("user:1:name"), nil); ok {
 		fmt.Printf("latest read sees:    %s\n", v)
 	}
 	snap.Close()
@@ -56,13 +58,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Range scan: seek to a prefix and iterate (§2.1's range query).
-	it, err := db.NewIter()
+	// Range scan: bound the iterator to the prefix (§2.1's range query);
+	// keys at or past the upper bound are never surfaced, and sstables
+	// outside the bounds are pruned before any IO.
+	it, err := db.NewIter(&pebblesdb.IterOptions{
+		LowerBound: []byte("user:"),
+		UpperBound: []byte("user;"), // ';' is ':'+1 — the end of the prefix
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("all user keys:")
-	for it.SeekGE([]byte("user:")); it.Valid(); it.Next() {
+	for it.First(); it.Valid(); it.Next() {
+		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+	}
+	// Iterators are bidirectional: walk the same range backward.
+	fmt.Println("in reverse:")
+	for it.Last(); it.Valid(); it.Prev() {
 		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
 	}
 	if err := it.Close(); err != nil {

@@ -56,13 +56,31 @@ func main() {
 		start = time.Now()
 		hits := 0
 		for i := 0; i < readsPerWindow; i++ {
-			if _, ok, err := db.Get(eventKey(w, rng.Intn(eventsPerWin))); err != nil {
+			if _, ok, err := db.Get(eventKey(w, rng.Intn(eventsPerWin)), nil); err != nil {
 				log.Fatal(err)
 			} else if ok {
 				hits++
 			}
 		}
 		readDur := time.Since(start)
+
+		// "Most recent events" query: a reverse scan bounded to the live
+		// window — Last/Prev walk the window from its newest key without
+		// touching older windows' sstables.
+		it, err := db.NewIter(&pebblesdb.IterOptions{
+			LowerBound: eventKey(w, 0),
+			UpperBound: eventKey(w+1, 0),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recent := 0
+		for it.Last(); it.Valid() && recent < 5; it.Prev() {
+			recent++
+		}
+		if err := it.Close(); err != nil {
+			log.Fatal(err)
+		}
 
 		// Retention: drop the previous window entirely.
 		if w > 0 {

@@ -1,0 +1,3 @@
+module pebblesdb
+
+go 1.24

@@ -83,9 +83,9 @@ func (s *Server) Get(key []byte) ([]byte, bool, error) {
 }
 
 // Scan implements ycsb.Store.
-func (s *Server) Scan(start []byte, count int) (int, error) {
+func (s *Server) Scan(start, end []byte, count int) (int, error) {
 	s.simulateAppWork()
-	return s.store.Scan(start, count)
+	return s.store.Scan(start, end, count)
 }
 
 var _ ycsb.Store = (*Server)(nil)

@@ -10,10 +10,10 @@ import (
 
 // countingStore records operations for behaviour assertions.
 type countingStore struct {
-	mu            sync.Mutex
-	gets, puts    int
-	scans         int
-	m             map[string][]byte
+	mu         sync.Mutex
+	gets, puts int
+	scans      int
+	m          map[string][]byte
 }
 
 func newCountingStore() *countingStore { return &countingStore{m: map[string][]byte{}} }
@@ -34,7 +34,7 @@ func (s *countingStore) Get(k []byte) ([]byte, bool, error) {
 	return v, ok, nil
 }
 
-func (s *countingStore) Scan(start []byte, count int) (int, error) {
+func (s *countingStore) Scan(start, end []byte, count int) (int, error) {
 	s.mu.Lock()
 	s.scans++
 	s.mu.Unlock()

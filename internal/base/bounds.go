@@ -1,0 +1,65 @@
+package base
+
+import "bytes"
+
+// Bounds restricts iteration to user keys in [Lower, Upper). A nil side is
+// unbounded. Bounds let the iterator stack prune guards and sstables whose
+// key ranges cannot intersect the scan before any IO is issued.
+type Bounds struct {
+	// Lower is the inclusive lower user-key bound; nil = unbounded.
+	Lower []byte
+	// Upper is the exclusive upper user-key bound; nil = unbounded.
+	Upper []byte
+}
+
+// Unbounded reports whether no bound is set on either side.
+func (b Bounds) Unbounded() bool { return b.Lower == nil && b.Upper == nil }
+
+// ContainsUserKey reports whether ukey lies within the bounds.
+func (b Bounds) ContainsUserKey(ukey []byte) bool {
+	if b.Lower != nil && bytes.Compare(ukey, b.Lower) < 0 {
+		return false
+	}
+	if b.Upper != nil && bytes.Compare(ukey, b.Upper) >= 0 {
+		return false
+	}
+	return true
+}
+
+// Overlaps reports whether the file's user-key range [smallest, largest]
+// can contain a key within the bounds.
+func (b Bounds) Overlaps(f *FileMetadata) bool {
+	if b.Upper != nil && bytes.Compare(f.SmallestUserKey(), b.Upper) >= 0 {
+		return false
+	}
+	if b.Lower != nil && bytes.Compare(f.LargestUserKey(), b.Lower) < 0 {
+		return false
+	}
+	return true
+}
+
+// FilterFiles returns the files overlapping the bounds, preserving order.
+// When every file overlaps (the common unbounded case) the input slice is
+// returned without copying.
+func (b Bounds) FilterFiles(files []*FileMetadata) []*FileMetadata {
+	if b.Unbounded() {
+		return files
+	}
+	all := true
+	for _, f := range files {
+		if !b.Overlaps(f) {
+			all = false
+			break
+		}
+	}
+	if all {
+		return files
+	}
+	out := make([]*FileMetadata, 0, len(files))
+	for _, f := range files {
+		if b.Overlaps(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -92,15 +92,15 @@ func appendUvarint(dst []byte, v uint64) []byte {
 
 // Iter is a cursor over an encoded block.
 type Iter struct {
-	cmp         func(a, b []byte) int
-	data        []byte // entries region only
-	restarts    []uint32
-	off         int // offset of current entry in data
-	nextOff     int
-	key         []byte
-	val         []byte
-	valid       bool
-	err         error
+	cmp      func(a, b []byte) int
+	data     []byte // entries region only
+	restarts []uint32
+	off      int // offset of current entry in data
+	nextOff  int
+	key      []byte
+	val      []byte
+	valid    bool
+	err      error
 }
 
 // NewIter returns an iterator over an encoded block using cmp.
@@ -187,6 +187,82 @@ func (i *Iter) Next() {
 		return
 	}
 	i.nextOff = next
+}
+
+// Last positions at the final entry.
+func (i *Iter) Last() {
+	if len(i.data) == 0 {
+		i.valid = false
+		return
+	}
+	off := int(i.restarts[len(i.restarts)-1])
+	next := i.decodeAt(off, nil)
+	if next < 0 {
+		i.corrupt()
+		return
+	}
+	for next < len(i.data) {
+		off = next
+		if next = i.decodeAt(off, i.key); next < 0 {
+			i.corrupt()
+			return
+		}
+	}
+	i.off, i.nextOff = off, next
+	i.valid = true
+}
+
+// Prev moves back one entry. Prefix compression only chains forward, so
+// this restarts from the nearest restart point before the current entry and
+// walks up to it.
+func (i *Iter) Prev() {
+	if !i.valid {
+		return
+	}
+	if i.off == 0 {
+		i.valid = false
+		return
+	}
+	// Find the last restart strictly before the current entry; restarts[0]
+	// is 0, so one always exists.
+	lo, hi := 0, len(i.restarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(i.restarts[mid]) < i.off {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	target := i.off
+	off := int(i.restarts[lo])
+	next := i.decodeAt(off, nil)
+	if next < 0 {
+		i.corrupt()
+		return
+	}
+	for next < target {
+		off = next
+		if next = i.decodeAt(off, i.key); next < 0 {
+			i.corrupt()
+			return
+		}
+	}
+	i.off, i.nextOff = off, next
+}
+
+// SeekLT positions at the last entry with key < target.
+func (i *Iter) SeekLT(target []byte) {
+	i.SeekGE(target)
+	if i.err != nil {
+		return
+	}
+	if i.valid {
+		i.Prev()
+	} else {
+		// Every entry is < target (or the block is empty).
+		i.Last()
+	}
 }
 
 // SeekGE positions at the first entry with key >= target.

@@ -1,0 +1,103 @@
+package block
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestReverseMatchesForward(t *testing.T) {
+	keys := sortedKeys(500, 2)
+	for _, ri := range []int{1, 2, 16, 1000} {
+		data := buildBlock(t, keys, ri)
+		it, err := NewIter(data, bytes.Compare)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := len(keys) - 1
+		for it.Last(); it.Valid(); it.Prev() {
+			if string(it.Key()) != keys[i] {
+				t.Fatalf("ri=%d pos=%d: got %q want %q", ri, i, it.Key(), keys[i])
+			}
+			if string(it.Value()) != "val:"+keys[i] {
+				t.Fatalf("ri=%d: value mismatch at %q", ri, it.Key())
+			}
+			i--
+		}
+		if err := it.Error(); err != nil {
+			t.Fatal(err)
+		}
+		if i != -1 {
+			t.Fatalf("ri=%d: reverse iterated %d of %d", ri, len(keys)-1-i, len(keys))
+		}
+	}
+}
+
+func TestSeekLT(t *testing.T) {
+	keys := sortedKeys(300, 3)
+	for _, ri := range []int{1, 3, 16} {
+		data := buildBlock(t, keys, ri)
+		it, err := NewIter(data, bytes.Compare)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(4))
+		for trial := 0; trial < 200; trial++ {
+			target := fmt.Sprintf("key%08d", rng.Intn(1<<28))
+			want := sort.SearchStrings(keys, target) - 1
+			it.SeekLT([]byte(target))
+			if want < 0 {
+				if it.Valid() {
+					t.Fatalf("ri=%d SeekLT(%q): got %q, want invalid", ri, target, it.Key())
+				}
+				continue
+			}
+			if !it.Valid() || string(it.Key()) != keys[want] {
+				t.Fatalf("ri=%d SeekLT(%q): got %v, want %q", ri, target, string(it.Key()), keys[want])
+			}
+		}
+		// Exact-key targets: SeekLT is strict.
+		for _, i := range []int{0, 1, len(keys) / 2, len(keys) - 1} {
+			it.SeekLT([]byte(keys[i]))
+			if i == 0 {
+				if it.Valid() {
+					t.Fatalf("SeekLT(first) should be invalid, got %q", it.Key())
+				}
+			} else if !it.Valid() || string(it.Key()) != keys[i-1] {
+				t.Fatalf("SeekLT(%q): got %v want %q", keys[i], string(it.Key()), keys[i-1])
+			}
+		}
+	}
+}
+
+func TestNextPrevInterleaved(t *testing.T) {
+	keys := sortedKeys(100, 5)
+	data := buildBlock(t, keys, 4)
+	it, err := NewIter(data, bytes.Compare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 50
+	it.SeekGE([]byte(keys[pos]))
+	rng := rand.New(rand.NewSource(6))
+	for step := 0; step < 500 && it.Valid(); step++ {
+		if rng.Intn(2) == 0 {
+			it.Next()
+			pos++
+		} else {
+			it.Prev()
+			pos--
+		}
+		if pos < 0 || pos >= len(keys) {
+			if it.Valid() {
+				t.Fatalf("expected invalid at pos %d", pos)
+			}
+			break
+		}
+		if !it.Valid() || string(it.Key()) != keys[pos] {
+			t.Fatalf("step %d: got %v want %q", step, string(it.Key()), keys[pos])
+		}
+	}
+}

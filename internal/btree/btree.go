@@ -472,8 +472,9 @@ func (s *Store) Get(key []byte) (value []byte, found bool, err error) {
 }
 
 // Scan reads up to count entries starting at the first key >= start,
-// returning how many it visited.
-func (s *Store) Scan(start []byte, count int) (int, error) {
+// returning how many it visited. A non-nil end is an exclusive upper
+// bound.
+func (s *Store) Scan(start, end []byte, count int) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -490,6 +491,9 @@ func (s *Store) Scan(start []byte, count int) (int, error) {
 			})
 		}
 		for ; i < len(l.keys) && n < count; i++ {
+			if end != nil && bytes.Compare(l.keys[i], end) >= 0 {
+				return n, nil
+			}
 			n++
 		}
 	}

@@ -66,12 +66,12 @@ func TestScan(t *testing.T) {
 	for i := 0; i < 1000; i++ {
 		s.Put([]byte(fmt.Sprintf("key%05d", i)), []byte("v"))
 	}
-	n, err := s.Scan([]byte("key00500"), 100)
+	n, err := s.Scan([]byte("key00500"), nil, 100)
 	if err != nil || n != 100 {
 		t.Fatalf("scan: %d %v", n, err)
 	}
 	// Scan near the end returns fewer.
-	n, err = s.Scan([]byte("key00990"), 100)
+	n, err = s.Scan([]byte("key00990"), nil, 100)
 	if err != nil || n != 10 {
 		t.Fatalf("tail scan: %d %v", n, err)
 	}

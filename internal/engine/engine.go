@@ -51,7 +51,7 @@ type Tree interface {
 	Ingest(ukey []byte)
 	Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.SeqNum) error
 	Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err error)
-	NewIters() ([]iterator.Iterator, error)
+	NewIters(bounds base.Bounds) ([]iterator.Iterator, error)
 	NeedsCompaction() bool
 	CompactOnce() (bool, error)
 	CompactAll() error
@@ -109,14 +109,14 @@ type Engine struct {
 	obsolete []base.FileNum
 
 	stats struct {
-		slowdowns     atomic.Int64
-		stops         atomic.Int64
-		memWaits      atomic.Int64
-		flushes       atomic.Int64
-		walBytes      atomic.Int64
-		gets          atomic.Int64
-		writes        atomic.Int64
-		iterators     atomic.Int64
+		slowdowns atomic.Int64
+		stops     atomic.Int64
+		memWaits  atomic.Int64
+		flushes   atomic.Int64
+		walBytes  atomic.Int64
+		gets      atomic.Int64
+		writes    atomic.Int64
+		iterators atomic.Int64
 	}
 }
 

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"pebblesdb/internal/vfs"
+)
+
+// fillLayers spreads keys k00..k29 across the memtable, L0 and deeper
+// levels, with some overwritten and some deleted, returning the live set.
+func fillLayers(t *testing.T, e *Engine) map[string]string {
+	t.Helper()
+	live := map[string]string{}
+	put := func(k, v string) {
+		if err := e.Set([]byte(k), []byte(v), false); err != nil {
+			t.Fatal(err)
+		}
+		live[k] = v
+	}
+	del := func(k string) {
+		if err := e.Delete([]byte(k), false); err != nil {
+			t.Fatal(err)
+		}
+		delete(live, k)
+	}
+	for i := 0; i < 30; i++ {
+		put(fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i))
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i += 3 {
+		put(fmt.Sprintf("k%02d", i), fmt.Sprintf("w%02d", i))
+	}
+	for i := 1; i < 30; i += 5 {
+		del(fmt.Sprintf("k%02d", i))
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	put("k07", "x07") // memtable only
+	del("k08")
+	return live
+}
+
+func sortedLive(live map[string]string) []string {
+	var keys []string
+	for k := range live {
+		keys = append(keys, k)
+	}
+	// keys are fixed width, so lexicographic == numeric
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func TestIterReverseMatchesForward(t *testing.T) {
+	for _, kind := range []Kind{KindFLSM, KindLeveled} {
+		e := openEngine(t, vfs.NewMem(), kind)
+		live := fillLayers(t, e)
+		keys := sortedLive(live)
+
+		it, err := e.NewIter(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := len(keys) - 1
+		for it.Last(); it.Valid(); it.Prev() {
+			if string(it.Key()) != keys[i] || string(it.Value()) != live[keys[i]] {
+				t.Fatalf("kind=%d pos %d: got %q=%q want %q=%q",
+					kind, i, it.Key(), it.Value(), keys[i], live[keys[i]])
+			}
+			i--
+		}
+		if err := it.Error(); err != nil {
+			t.Fatal(err)
+		}
+		if i != -1 {
+			t.Fatalf("kind=%d: reverse visited %d of %d", kind, len(keys)-1-i, len(keys))
+		}
+		it.Close()
+		e.Close()
+	}
+}
+
+func TestIterSeekLTSkipsTombstones(t *testing.T) {
+	e := openEngine(t, vfs.NewMem(), KindFLSM)
+	defer e.Close()
+	live := fillLayers(t, e)
+	keys := sortedLive(live)
+
+	it, err := e.NewIter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	// SeekLT over every key boundary, including deleted keys.
+	for i := 0; i < 30; i++ {
+		target := fmt.Sprintf("k%02d", i)
+		want := ""
+		for _, k := range keys {
+			if k < target {
+				want = k
+			}
+		}
+		it.SeekLT([]byte(target))
+		if want == "" {
+			if it.Valid() {
+				t.Fatalf("SeekLT(%q): got %q want invalid", target, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != want {
+			t.Fatalf("SeekLT(%q): got %v want %q", target, string(it.Key()), want)
+		}
+	}
+}
+
+func TestIterDirectionSwitches(t *testing.T) {
+	e := openEngine(t, vfs.NewMem(), KindFLSM)
+	defer e.Close()
+	live := fillLayers(t, e)
+	keys := sortedLive(live)
+
+	it, err := e.NewIter(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	pos := len(keys) / 2
+	it.SeekGE([]byte(keys[pos]))
+	// Deterministic zig-zag: N,P,P,N,N,P...
+	moves := []int{+1, -1, -1, +1, +1, -1, +1, +1, +1, -1, -1, -1, -1, +1}
+	for step, d := range moves {
+		if d > 0 {
+			it.Next()
+		} else {
+			it.Prev()
+		}
+		pos += d
+		if pos < 0 || pos >= len(keys) {
+			if it.Valid() {
+				t.Fatalf("step %d: expected invalid at %d", step, pos)
+			}
+			return
+		}
+		if !it.Valid() || string(it.Key()) != keys[pos] || string(it.Value()) != live[keys[pos]] {
+			t.Fatalf("step %d: got %q=%q want %q=%q", step, it.Key(), it.Value(), keys[pos], live[keys[pos]])
+		}
+	}
+}
+
+func TestIterBounds(t *testing.T) {
+	for _, kind := range []Kind{KindFLSM, KindLeveled} {
+		e := openEngine(t, vfs.NewMem(), kind)
+		live := fillLayers(t, e)
+		keys := sortedLive(live)
+
+		lower, upper := []byte("k05"), []byte("k21")
+		var want []string
+		for _, k := range keys {
+			if k >= string(lower) && k < string(upper) {
+				want = append(want, k)
+			}
+		}
+
+		it, err := e.NewIter(&IterOptions{Lower: lower, Upper: upper})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fwd []string
+		for it.First(); it.Valid(); it.Next() {
+			fwd = append(fwd, string(it.Key()))
+		}
+		if fmt.Sprint(fwd) != fmt.Sprint(want) {
+			t.Fatalf("kind=%d forward bounded: got %v want %v", kind, fwd, want)
+		}
+		var rev []string
+		for it.Last(); it.Valid(); it.Prev() {
+			rev = append(rev, string(it.Key()))
+		}
+		for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+			rev[l], rev[r] = rev[r], rev[l]
+		}
+		if fmt.Sprint(rev) != fmt.Sprint(want) {
+			t.Fatalf("kind=%d reverse bounded: got %v want %v", kind, rev, want)
+		}
+
+		// Seeks clamp to the bounds.
+		it.SeekGE([]byte("k00"))
+		if !it.Valid() || string(it.Key()) != want[0] {
+			t.Fatalf("kind=%d SeekGE below lower: got %v", kind, string(it.Key()))
+		}
+		it.SeekLT([]byte("k99"))
+		if !it.Valid() || string(it.Key()) != want[len(want)-1] {
+			t.Fatalf("kind=%d SeekLT above upper: got %v", kind, string(it.Key()))
+		}
+		it.Close()
+		e.Close()
+	}
+}
+
+func TestIterReverseSnapshot(t *testing.T) {
+	e := openEngine(t, vfs.NewMem(), KindFLSM)
+	defer e.Close()
+
+	e.Set([]byte("a"), []byte("old-a"), false)
+	e.Set([]byte("b"), []byte("old-b"), false)
+	snap := e.NewSnapshot()
+	defer snap.Close()
+	e.Set([]byte("a"), []byte("new-a"), false)
+	e.Set([]byte("c"), []byte("later"), false)
+	e.Delete([]byte("b"), false)
+
+	it, err := e.NewIter(&IterOptions{Snapshot: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got []string
+	for it.Last(); it.Valid(); it.Prev() {
+		got = append(got, string(it.Key())+"="+string(it.Value()))
+	}
+	if fmt.Sprint(got) != "[b=old-b a=old-a]" {
+		t.Fatalf("reverse snapshot scan: %v", got)
+	}
+}

@@ -88,7 +88,7 @@ func TestIterSnapshotIgnoresLaterVersions(t *testing.T) {
 	e.Set([]byte("a"), []byte("new"), false)
 	e.Set([]byte("b"), []byte("later"), false)
 
-	it, err := e.NewIter(snap)
+	it, err := e.NewIter(&IterOptions{Snapshot: snap})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"bytes"
+
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
 )
@@ -36,29 +38,52 @@ func (e *Engine) Get(key []byte, snap *Snapshot) (value []byte, found bool, err 
 	return e.tree.Get(key, seq)
 }
 
-// Iter is the user-facing iterator: it yields live user keys in ascending
-// order, collapsing versions and hiding tombstones at the read sequence.
+// IterOptions configures an engine iterator.
+type IterOptions struct {
+	// Lower is the inclusive lower user-key bound; nil = unbounded.
+	Lower []byte
+	// Upper is the exclusive upper user-key bound; nil = unbounded.
+	Upper []byte
+	// Snapshot pins the read sequence; nil observes the latest committed
+	// state as of iterator creation.
+	Snapshot *Snapshot
+}
+
+// Iter is the user-facing iterator: it yields live user keys in key order,
+// forward or backward, collapsing versions and hiding tombstones at the
+// read sequence, and never strays outside its bounds.
 type Iter struct {
 	e       *Engine
 	merged  iterator.Iterator
 	readSeq base.SeqNum
+	bounds  base.Bounds
 	ukey    []byte
 	value   []byte
-	valid   bool
-	closed  bool
-	err     error
+	valBuf  []byte
+	prevBuf []byte
+	// dir is +1 while iterating forward (merged sits on the entry backing
+	// ukey/value) and -1 while iterating backward (merged sits just before
+	// the current user key's entries, mirroring LevelDB's DBIter).
+	dir    int
+	valid  bool
+	closed bool
+	err    error
 }
 
-// NewIter returns an iterator over the store. A nil snapshot observes the
-// latest committed state as of creation. The iterator holds resources;
-// Close it promptly.
-func (e *Engine) NewIter(snap *Snapshot) (*Iter, error) {
+// NewIter returns an iterator over the store. Bounds prune guards and
+// sstables before any table IO. The iterator holds resources; Close it
+// promptly.
+func (e *Engine) NewIter(opts *IterOptions) (*Iter, error) {
+	var o IterOptions
+	if opts != nil {
+		o = *opts
+	}
 	e.stats.iterators.Add(1)
 	e.opLock.RLock()
 
 	seq := base.SeqNum(e.seq.Load())
-	if snap != nil {
-		seq = snap.seq
+	if o.Snapshot != nil {
+		seq = o.Snapshot.seq
 	}
 
 	e.mu.Lock()
@@ -70,11 +95,20 @@ func (e *Engine) NewIter(snap *Snapshot) (*Iter, error) {
 	mem, imm := e.mem, e.imm
 	e.mu.Unlock()
 
+	// Copy the bounds: the iterator outlives the caller's buffers.
+	bounds := base.Bounds{}
+	if o.Lower != nil {
+		bounds.Lower = append([]byte(nil), o.Lower...)
+	}
+	if o.Upper != nil {
+		bounds.Upper = append([]byte(nil), o.Upper...)
+	}
+
 	iters := []iterator.Iterator{mem.NewIter()}
 	if imm != nil {
 		iters = append(iters, imm.NewIter())
 	}
-	treeIters, err := e.tree.NewIters()
+	treeIters, err := e.tree.NewIters(bounds)
 	if err != nil {
 		e.opLock.RUnlock()
 		return nil, err
@@ -84,26 +118,74 @@ func (e *Engine) NewIter(snap *Snapshot) (*Iter, error) {
 		e:       e,
 		merged:  iterator.NewMerging(base.InternalCompare, iters...),
 		readSeq: seq,
+		bounds:  bounds,
+		dir:     1,
 	}, nil
 }
 
-// SeekGE positions the iterator at the first live user key >= key.
+// SeekGE positions the iterator at the first live user key >= key (clamped
+// to the lower bound).
 func (it *Iter) SeekGE(key []byte) {
 	if it.closed {
 		return
 	}
+	if it.bounds.Lower != nil && bytes.Compare(key, it.bounds.Lower) < 0 {
+		key = it.bounds.Lower
+	}
 	search := base.MakeSearchKey(make([]byte, 0, len(key)+base.TrailerLen), key, it.readSeq)
+	it.dir = 1
 	it.merged.SeekGE(search)
 	it.findNext(nil)
+	it.checkUpper()
 }
 
-// First positions the iterator at the smallest live user key.
+// SeekLT positions the iterator at the last live user key < key (clamped
+// to the upper bound).
+func (it *Iter) SeekLT(key []byte) {
+	if it.closed {
+		return
+	}
+	if it.bounds.Upper != nil && bytes.Compare(key, it.bounds.Upper) > 0 {
+		key = it.bounds.Upper
+	}
+	// A search key at MaxSeqNum sorts before every entry of key, so
+	// SeekLT lands on the last entry of a strictly smaller user key.
+	search := base.MakeSearchKey(make([]byte, 0, len(key)+base.TrailerLen), key, base.MaxSeqNum)
+	it.dir = -1
+	it.merged.SeekLT(search)
+	it.findPrev()
+	it.checkLower()
+}
+
+// First positions the iterator at the smallest live user key within
+// bounds.
 func (it *Iter) First() {
 	if it.closed {
 		return
 	}
+	if it.bounds.Lower != nil {
+		it.SeekGE(it.bounds.Lower)
+		return
+	}
+	it.dir = 1
 	it.merged.First()
 	it.findNext(nil)
+	it.checkUpper()
+}
+
+// Last positions the iterator at the largest live user key within bounds.
+func (it *Iter) Last() {
+	if it.closed {
+		return
+	}
+	if it.bounds.Upper != nil {
+		it.SeekLT(it.bounds.Upper)
+		return
+	}
+	it.dir = -1
+	it.merged.Last()
+	it.findPrev()
+	it.checkLower()
 }
 
 // Next advances to the next live user key.
@@ -111,14 +193,45 @@ func (it *Iter) Next() {
 	if it.closed || !it.valid {
 		return
 	}
-	prev := append([]byte(nil), it.ukey...)
-	it.merged.Next()
+	it.prevBuf = append(it.prevBuf[:0], it.ukey...)
+	prev := it.prevBuf
+	if it.dir < 0 {
+		// merged sits just before the current key's entries; step onto
+		// them and let findNext skip the rest of the run.
+		if !it.merged.Valid() {
+			it.merged.First()
+		} else {
+			it.merged.Next()
+		}
+		it.dir = 1
+	} else {
+		it.merged.Next()
+	}
 	it.findNext(prev)
+	it.checkUpper()
 }
 
-// findNext scans the merged stream for the newest visible version of the
-// next user key after skipUkey, skipping invisible sequence numbers,
-// shadowed versions and tombstones.
+// Prev moves back to the previous live user key.
+func (it *Iter) Prev() {
+	if it.closed || !it.valid {
+		return
+	}
+	if it.dir > 0 {
+		// merged sits on the current entry. One reseek to the last entry
+		// of the previous user key hops over the rest of the current
+		// key's run — including newer-than-snapshot versions, which sort
+		// before it — the same construction SeekLT uses.
+		search := base.MakeSearchKey(make([]byte, 0, len(it.ukey)+base.TrailerLen), it.ukey, base.MaxSeqNum)
+		it.merged.SeekLT(search)
+		it.dir = -1
+	}
+	it.findPrev()
+	it.checkLower()
+}
+
+// findNext scans the merged stream forward for the newest visible version
+// of the next user key after skipUkey, skipping invisible sequence
+// numbers, shadowed versions and tombstones.
 func (it *Iter) findNext(skipUkey []byte) {
 	it.valid = false
 	for it.merged.Valid() {
@@ -149,6 +262,56 @@ func (it *Iter) findNext(skipUkey []byte) {
 	}
 	if err := it.merged.Error(); err != nil && it.err == nil {
 		it.err = err
+	}
+}
+
+// findPrev scans the merged stream backward for the newest visible version
+// of the largest user key at or before the current position. Reverse order
+// yields a key's versions oldest-first, so each visible version overwrites
+// the saved candidate and the newest visible one wins; a tombstone clears
+// the candidate and the scan moves on to smaller keys. The scan stops on
+// the first entry of a yet-smaller key, leaving merged "just before" the
+// result's run, which is what Prev and Next-after-Prev rely on.
+func (it *Iter) findPrev() {
+	it.valid = false
+	kind := base.KindDelete // nothing saved yet
+	for it.merged.Valid() {
+		ukey, seq, k, ok := base.DecodeInternalKey(it.merged.Key())
+		if ok && seq <= it.readSeq {
+			if kind != base.KindDelete && bytes.Compare(ukey, it.ukey) < 0 {
+				// Entered the run of a smaller user key with a live
+				// candidate saved: the candidate is the answer.
+				it.valid = true
+				return
+			}
+			kind = k
+			if k != base.KindDelete {
+				it.ukey = append(it.ukey[:0], ukey...)
+				// Copy: merged keeps moving, so the current value's backing
+				// buffer won't stay put. valBuf never aliases block data.
+				it.valBuf = append(it.valBuf[:0], it.merged.Value()...)
+				it.value = it.valBuf
+			}
+		}
+		it.merged.Prev()
+	}
+	if err := it.merged.Error(); err != nil && it.err == nil {
+		it.err = err
+	}
+	if kind != base.KindDelete {
+		it.valid = true
+	}
+}
+
+func (it *Iter) checkUpper() {
+	if it.valid && it.bounds.Upper != nil && bytes.Compare(it.ukey, it.bounds.Upper) >= 0 {
+		it.valid = false
+	}
+}
+
+func (it *Iter) checkLower() {
+	if it.valid && it.bounds.Lower != nil && bytes.Compare(it.ukey, it.bounds.Lower) < 0 {
+		it.valid = false
 	}
 }
 

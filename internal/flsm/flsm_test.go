@@ -183,7 +183,7 @@ func TestIteratorSeesAllKeysInOrder(t *testing.T) {
 	}
 	tree.CompactAll()
 
-	iters, err := tree.NewIters()
+	iters, err := tree.NewIters(base.Bounds{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func TestGuardLevelIterSeek(t *testing.T) {
 	}
 	tree.CompactAll()
 
-	iters, err := tree.NewIters()
+	iters, err := tree.NewIters(base.Bounds{})
 	if err != nil {
 		t.Fatal(err)
 	}

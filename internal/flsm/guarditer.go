@@ -9,10 +9,13 @@ import (
 	"pebblesdb/internal/treebase"
 )
 
-// guardLevelIter iterates one FLSM level in key order: the sentinel's
-// files, then each guard's files. Within a guard (where sstables may
-// overlap) a merging iterator combines the tables; across guards plain
-// concatenation suffices because guard intervals are disjoint (§3.1).
+// guardLevelIter iterates one FLSM level in key order, forward or backward:
+// the sentinel's files, then each guard's files. Within a guard (where
+// sstables may overlap) a merging iterator combines the tables; across
+// guards plain concatenation suffices because guard intervals are disjoint
+// (§3.1). Reverse iteration positions every sstable within a guard at its
+// bound (Merging.SeekLT / Last) and drains guards from the end of the
+// level.
 type guardLevelIter struct {
 	tree     *Tree
 	level    int
@@ -23,21 +26,36 @@ type guardLevelIter struct {
 	err      error
 }
 
-func newGuardLevelIter(t *Tree, level int, gl *guardedLevel, parallel bool) *guardLevelIter {
+// newGuardLevelIter builds the level iterator, pruning files outside
+// bounds before any table is opened. Guards left with no files are dropped
+// (except the sentinel slot, which anchors group indexing); FindGuard on
+// the thinned guard list still lands scans on the correct remaining group
+// because every file lies within its own guard interval.
+func newGuardLevelIter(t *Tree, level int, gl *guardedLevel, parallel bool, bounds base.Bounds) *guardLevelIter {
 	groups := make([]guard.Guard, 0, len(gl.guards)+1)
-	groups = append(groups, guard.Guard{Files: gl.sentinel})
-	groups = append(groups, gl.guards...)
+	groups = append(groups, guard.Guard{Files: bounds.FilterFiles(gl.sentinel)})
+	for i := range gl.guards {
+		files := bounds.FilterFiles(gl.guards[i].Files)
+		if len(files) == 0 && !bounds.Unbounded() {
+			continue
+		}
+		groups = append(groups, guard.Guard{Key: gl.guards[i].Key, Files: files})
+	}
 	return &guardLevelIter{tree: t, level: level, groups: groups, idx: -1, parallel: parallel}
 }
 
-// openGroup builds the merged iterator over group i's files; returns false
-// at end of level or on error.
-func (g *guardLevelIter) openGroup(i int, seekTarget []byte) bool {
+// openGroup builds the merged iterator over group i's files without
+// positioning it; returns false past either end of the level or on error.
+func (g *guardLevelIter) openGroup(i int) bool {
 	if g.cur != nil {
 		g.cur.Close()
 		g.cur = nil
 	}
-	if i < 0 || i >= len(g.groups) {
+	if i < 0 {
+		g.idx = -1
+		return false
+	}
+	if i >= len(g.groups) {
 		g.idx = len(g.groups)
 		return false
 	}
@@ -60,36 +78,55 @@ func (g *guardLevelIter) openGroup(i int, seekTarget []byte) bool {
 		kids = append(kids, treebase.NewTableIter(r))
 	}
 	m := iterator.NewMerging(base.InternalCompare, kids...)
-	if seekTarget != nil {
-		// Parallel seeks (§4.2): position each sstable iterator on its own
-		// goroutine, then assemble the heap. Only profitable when the
-		// tables are likely uncached — the tree enables it for the last
-		// level only.
-		if g.parallel && len(kids) > 1 {
-			var wg sync.WaitGroup
-			for _, k := range kids {
-				wg.Add(1)
-				go func(k iterator.Iterator) {
-					defer wg.Done()
-					k.SeekGE(seekTarget)
-				}(k)
-			}
-			wg.Wait()
-			m.InitPositioned()
-		} else {
-			m.SeekGE(seekTarget)
-		}
-	}
 	g.cur = m
 	return true
 }
 
-// SeekGE positions at the first entry >= target (an internal key).
-func (g *guardLevelIter) SeekGE(target []byte) {
-	if g.err != nil {
-		return
+// seekGroup opens group i and positions it at target. Parallel seeks
+// (§4.2): position each sstable iterator on its own goroutine, then
+// assemble the heap. Only profitable when the tables are likely uncached —
+// the tree enables it for the last level only. reverse selects SeekLT.
+func (g *guardLevelIter) seekGroup(i int, target []byte, reverse bool) bool {
+	if !g.openGroup(i) {
+		return false
 	}
-	ukey := base.UserKey(target)
+	m, ok := g.cur.(*iterator.Merging)
+	if !ok { // empty group
+		return true
+	}
+	kids := g.groups[i].Files
+	if g.parallel && len(kids) > 1 {
+		var wg sync.WaitGroup
+		for ki := 0; ki < len(kids); ki++ {
+			wg.Add(1)
+			go func(ki int) {
+				defer wg.Done()
+				if reverse {
+					m.Kid(ki).SeekLT(target)
+				} else {
+					m.Kid(ki).SeekGE(target)
+				}
+			}(ki)
+		}
+		wg.Wait()
+		if reverse {
+			m.InitPositionedReverse()
+		} else {
+			m.InitPositioned()
+		}
+		return true
+	}
+	if reverse {
+		m.SeekLT(target)
+	} else {
+		m.SeekGE(target)
+	}
+	return true
+}
+
+// findGroup locates the group whose guard interval contains ukey and
+// charges its seek budget.
+func (g *guardLevelIter) findGroup(ukey []byte) int {
 	// groups[0] is the sentinel; guards start at index 1.
 	gi := guard.FindGuard(g.groups[1:], ukey) + 1
 	if gi >= 1 {
@@ -98,10 +135,31 @@ func (g *guardLevelIter) SeekGE(target []byte) {
 		gi = 0
 		g.tree.recordSeek(g.level, nil, len(g.groups[0].Files))
 	}
-	if !g.openGroup(gi, target) {
+	return gi
+}
+
+// SeekGE positions at the first entry >= target (an internal key).
+func (g *guardLevelIter) SeekGE(target []byte) {
+	if g.err != nil {
+		return
+	}
+	if !g.seekGroup(g.findGroup(base.UserKey(target)), target, false) {
 		return
 	}
 	g.skipEmpty()
+}
+
+// SeekLT positions at the last entry < target (an internal key). Entries
+// below target live in the guard containing target's user key or in
+// earlier guards.
+func (g *guardLevelIter) SeekLT(target []byte) {
+	if g.err != nil {
+		return
+	}
+	if !g.seekGroup(g.findGroup(base.UserKey(target)), target, true) {
+		return
+	}
+	g.skipEmptyBackward()
 }
 
 // First positions at the level's first entry.
@@ -109,11 +167,23 @@ func (g *guardLevelIter) First() {
 	if g.err != nil {
 		return
 	}
-	if !g.openGroup(0, nil) {
+	if !g.openGroup(0) {
 		return
 	}
 	g.cur.First()
 	g.skipEmpty()
+}
+
+// Last positions at the level's last entry.
+func (g *guardLevelIter) Last() {
+	if g.err != nil {
+		return
+	}
+	if !g.openGroup(len(g.groups) - 1) {
+		return
+	}
+	g.cur.Last()
+	g.skipEmptyBackward()
 }
 
 // Next advances, crossing guard boundaries as needed.
@@ -125,16 +195,38 @@ func (g *guardLevelIter) Next() {
 	g.skipEmpty()
 }
 
+// Prev moves back, crossing guard boundaries as needed.
+func (g *guardLevelIter) Prev() {
+	if g.cur == nil || g.err != nil {
+		return
+	}
+	g.cur.Prev()
+	g.skipEmptyBackward()
+}
+
 func (g *guardLevelIter) skipEmpty() {
 	for g.cur != nil && !g.cur.Valid() {
 		if err := g.cur.Error(); err != nil {
 			g.err = err
 			return
 		}
-		if !g.openGroup(g.idx+1, nil) {
+		if !g.openGroup(g.idx + 1) {
 			return
 		}
 		g.cur.First()
+	}
+}
+
+func (g *guardLevelIter) skipEmptyBackward() {
+	for g.cur != nil && !g.cur.Valid() {
+		if err := g.cur.Error(); err != nil {
+			g.err = err
+			return
+		}
+		if !g.openGroup(g.idx - 1) {
+			return
+		}
+		g.cur.Last()
 	}
 }
 

@@ -330,11 +330,15 @@ func userKeyInRange(ukey []byte, f *base.FileMetadata) bool {
 }
 
 // NewIters returns one iterator per L0 table plus a guard-aware iterator
-// per populated level.
-func (t *Tree) NewIters() ([]iterator.Iterator, error) {
+// per populated level. Guards and tables whose key ranges fall outside
+// bounds are pruned before any table is opened.
+func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, error) {
 	v := t.currentVersion()
 	var iters []iterator.Iterator
 	for _, f := range v.l0 {
+		if !bounds.Overlaps(f) {
+			continue
+		}
 		r, err := t.tc.Find(f.FileNum, f.Size)
 		if err != nil {
 			for _, it := range iters {
@@ -350,7 +354,7 @@ func (t *Tree) NewIters() ([]iterator.Iterator, error) {
 			continue
 		}
 		parallel := t.cfg.ParallelSeeks && l == t.cfg.NumLevels-1
-		iters = append(iters, newGuardLevelIter(t, l, gl, parallel))
+		iters = append(iters, newGuardLevelIter(t, l, gl, parallel, bounds))
 	}
 	return iters, nil
 }

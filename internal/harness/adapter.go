@@ -14,11 +14,17 @@ type DBAdapter struct {
 func (a DBAdapter) Put(key, value []byte) error { return a.DB.Put(key, value) }
 
 // Get implements ycsb.Store.
-func (a DBAdapter) Get(key []byte) ([]byte, bool, error) { return a.DB.Get(key) }
+func (a DBAdapter) Get(key []byte) ([]byte, bool, error) { return a.DB.Get(key, nil) }
 
-// Scan implements ycsb.Store: a seek followed by next()s (§2.1).
-func (a DBAdapter) Scan(start []byte, count int) (int, error) {
-	it, err := a.DB.NewIter()
+// Scan implements ycsb.Store: a seek followed by next()s (§2.1). A non-nil
+// end becomes the iterator's upper bound, so the store prunes guards and
+// sstables past it before any IO.
+func (a DBAdapter) Scan(start, end []byte, count int) (int, error) {
+	var opts *pebblesdb.IterOptions
+	if end != nil {
+		opts = &pebblesdb.IterOptions{UpperBound: end}
+	}
+	it, err := a.DB.NewIter(opts)
 	if err != nil {
 		return 0, err
 	}

@@ -196,7 +196,7 @@ func ReadRange(db *pebblesdb.DB, lo, hi uint64, n int, seed int64) (hits int, er
 	span := int64(hi - lo)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, lo+uint64(rng.Int63n(span)))
-		_, ok, gerr := db.Get(key)
+		_, ok, gerr := db.Get(key, nil)
 		if gerr != nil {
 			return hits, gerr
 		}
@@ -225,7 +225,7 @@ func ReadRandom(db *pebblesdb.DB, n, keySpace int, seed int64) (hits int, err er
 	key := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
-		_, ok, gerr := db.Get(key)
+		_, ok, gerr := db.Get(key, nil)
 		if gerr != nil {
 			return hits, gerr
 		}
@@ -243,7 +243,7 @@ func SeekRandom(db *pebblesdb.DB, n, keySpace, nexts int, seed int64) error {
 	key := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
-		it, err := db.NewIter()
+		it, err := db.NewIter(nil)
 		if err != nil {
 			return err
 		}
@@ -256,6 +256,53 @@ func SeekRandom(db *pebblesdb.DB, n, keySpace, nexts int, seed int64) error {
 		}
 	}
 	return nil
+}
+
+// SeekRandomReverse performs n reverse range queries: SeekLT to a random
+// key, then prevs Prev calls (the v2 API's mirror of SeekRandom).
+func SeekRandomReverse(db *pebblesdb.DB, n, keySpace, prevs int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	key := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		key = KeyAt(key, uint64(rng.Intn(keySpace)))
+		it, err := db.NewIter(nil)
+		if err != nil {
+			return err
+		}
+		it.SeekLT(key)
+		for j := 0; j < prevs && it.Valid(); j++ {
+			it.Prev()
+		}
+		if err := it.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanBounded performs n bounded range queries of span keys each: the end
+// key is pushed into the iterator as an upper bound so the store prunes
+// sstables past it before IO.
+func ScanBounded(db *pebblesdb.DB, n, keySpace, span int, seed int64) (read int, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	lo := make([]byte, 0, 16)
+	hi := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		start := uint64(rng.Intn(keySpace))
+		lo = KeyAt(lo, start)
+		hi = KeyAt(hi, start+uint64(span))
+		it, err := db.NewIter(&pebblesdb.IterOptions{LowerBound: lo, UpperBound: hi})
+		if err != nil {
+			return read, err
+		}
+		for it.First(); it.Valid(); it.Next() {
+			read++
+		}
+		if err := it.Close(); err != nil {
+			return read, err
+		}
+	}
+	return read, nil
 }
 
 // DeleteRandom deletes n keys drawn uniformly from keySpace.
@@ -322,9 +369,9 @@ func Age(db *pebblesdb.DB, inserts, deletes, updates, keySpace, valueSize int, s
 
 // SizeDistribution summarizes sstable sizes in MB (Table 5.1).
 type SizeDistribution struct {
-	Count                    int
-	MeanMB, MedianMB         float64
-	P90MB, P95MB             float64
+	Count            int
+	MeanMB, MedianMB float64
+	P90MB, P95MB     float64
 }
 
 // SSTableSizes computes the live sstable size distribution.

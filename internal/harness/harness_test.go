@@ -131,11 +131,11 @@ func TestDBAdapterScan(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		a.Put(KeyAt(nil, uint64(i)), []byte("v"))
 	}
-	n, err := a.Scan(KeyAt(nil, 50), 20)
+	n, err := a.Scan(KeyAt(nil, 50), nil, 20)
 	if err != nil || n != 20 {
 		t.Fatalf("scan: %d %v", n, err)
 	}
-	n, _ = a.Scan(KeyAt(nil, 95), 20)
+	n, _ = a.Scan(KeyAt(nil, 95), nil, 20)
 	if n != 5 {
 		t.Fatalf("tail scan: %d", n)
 	}

@@ -4,16 +4,30 @@
 // level iterators").
 package iterator
 
-// Iterator is a forward cursor over internal keys in sorted order
+// Iterator is a bidirectional cursor over internal keys in sorted order
 // (base.InternalCompare). Implementations are not safe for concurrent use.
+//
+// Positioning contract: SeekGE/SeekLT/First/Last may be called in any
+// state. Next and Prev must only be called when Valid, and may follow any
+// positioning call — an iterator positioned by SeekLT supports Next and
+// vice versa (the merging iterator relies on this when it switches
+// direction).
 type Iterator interface {
 	// SeekGE positions the iterator at the first entry with key >= target
 	// (an internal key).
 	SeekGE(target []byte)
+	// SeekLT positions the iterator at the last entry with key < target
+	// (an internal key).
+	SeekLT(target []byte)
 	// First positions the iterator at the smallest entry.
 	First()
+	// Last positions the iterator at the largest entry.
+	Last()
 	// Next advances the iterator. It must only be called when Valid.
 	Next()
+	// Prev moves the iterator back one entry. It must only be called when
+	// Valid.
+	Prev()
 	// Valid reports whether the iterator is positioned on an entry.
 	Valid() bool
 	// Key returns the current internal key. The slice is only valid until
@@ -31,8 +45,11 @@ type Iterator interface {
 type Empty struct{ Err error }
 
 func (e *Empty) SeekGE([]byte) {}
+func (e *Empty) SeekLT([]byte) {}
 func (e *Empty) First()        {}
+func (e *Empty) Last()         {}
 func (e *Empty) Next()         {}
+func (e *Empty) Prev()         {}
 func (e *Empty) Valid() bool   { return false }
 func (e *Empty) Key() []byte   { return nil }
 func (e *Empty) Value() []byte { return nil }

@@ -3,23 +3,33 @@ package iterator
 // Merging merges any number of child iterators into one sorted stream. It
 // is the merge procedure the paper describes for range queries (§3.4):
 // identifying the next smallest key without performing a full sort. A
-// binary min-heap keyed by the children's current keys gives O(log n)
-// advancement.
+// binary heap keyed by the children's current keys gives O(log n)
+// advancement. The heap is a min-heap while iterating forward and a
+// max-heap while iterating backward; direction switches reposition every
+// child around the current key.
 type Merging struct {
 	cmp  func(a, b []byte) int
 	kids []Iterator
-	heap []int // indices into kids, heap-ordered; kids[heap[0]] is smallest
-	err  error
+	heap []int // indices into kids, heap-ordered; kids[heap[0]] is the root
+	// dir is +1 when the heap is a min-heap (forward iteration) and -1
+	// when it is a max-heap (reverse iteration).
+	dir int
+	err error
 }
 
 // NewMerging returns a merging iterator over kids ordered by cmp. The
 // merging iterator takes ownership: Close closes every child.
 func NewMerging(cmp func(a, b []byte) int, kids ...Iterator) *Merging {
-	return &Merging{cmp: cmp, kids: kids}
+	return &Merging{cmp: cmp, kids: kids, dir: 1}
 }
 
+// less orders the heap: smallest key at the root going forward, largest
+// going backward.
 func (m *Merging) less(i, j int) bool {
-	return m.cmp(m.kids[i].Key(), m.kids[j].Key()) < 0
+	if m.dir > 0 {
+		return m.cmp(m.kids[i].Key(), m.kids[j].Key()) < 0
+	}
+	return m.cmp(m.kids[i].Key(), m.kids[j].Key()) > 0
 }
 
 func (m *Merging) initHeap() {
@@ -56,34 +66,72 @@ func (m *Merging) siftDown(i int) {
 }
 
 // InitPositioned rebuilds the heap from the children's current positions
-// without repositioning them. PebblesDB's parallel seeks (§4.2) position
-// the sstable iterators of a last-level guard concurrently, then call this
-// to assemble the merged view.
-func (m *Merging) InitPositioned() { m.initHeap() }
+// without repositioning them, assuming forward iteration. PebblesDB's
+// parallel seeks (§4.2) position the sstable iterators of a last-level
+// guard concurrently, then call this to assemble the merged view.
+func (m *Merging) InitPositioned() {
+	m.dir = 1
+	m.initHeap()
+}
+
+// Kid returns the i'th child iterator, for callers (parallel seeks) that
+// position children directly before InitPositioned*.
+func (m *Merging) Kid(i int) Iterator { return m.kids[i] }
+
+// InitPositionedReverse is InitPositioned for reverse iteration: the
+// children have already been positioned (e.g. by concurrent SeekLT calls)
+// and the heap is assembled as a max-heap.
+func (m *Merging) InitPositionedReverse() {
+	m.dir = -1
+	m.initHeap()
+}
 
 // SeekGE positions every child at target and rebuilds the heap.
 func (m *Merging) SeekGE(target []byte) {
+	m.dir = 1
 	for _, k := range m.kids {
 		k.SeekGE(target)
 	}
 	m.initHeap()
 }
 
+// SeekLT positions every child at its last entry < target and rebuilds the
+// heap for reverse iteration.
+func (m *Merging) SeekLT(target []byte) {
+	m.dir = -1
+	for _, k := range m.kids {
+		k.SeekLT(target)
+	}
+	m.initHeap()
+}
+
 // First positions every child at its first entry and rebuilds the heap.
 func (m *Merging) First() {
+	m.dir = 1
 	for _, k := range m.kids {
 		k.First()
 	}
 	m.initHeap()
 }
 
-// Next advances the child currently at the heap root.
-func (m *Merging) Next() {
-	if len(m.heap) == 0 {
-		return
+// Last positions every child at its last entry and rebuilds the heap for
+// reverse iteration.
+func (m *Merging) Last() {
+	m.dir = -1
+	for _, k := range m.kids {
+		k.Last()
 	}
+	m.initHeap()
+}
+
+// advanceRoot moves the root child one step and restores the heap.
+func (m *Merging) advanceRoot() {
 	top := m.heap[0]
-	m.kids[top].Next()
+	if m.dir > 0 {
+		m.kids[top].Next()
+	} else {
+		m.kids[top].Prev()
+	}
 	if m.kids[top].Valid() {
 		m.siftDown(0)
 		return
@@ -99,10 +147,57 @@ func (m *Merging) Next() {
 	}
 }
 
+// switchDirection repositions every child around the current key when Next
+// is called while iterating backward or Prev while iterating forward.
+// Children other than the root are parked on the far side of the current
+// key, so each must be re-seeked.
+func (m *Merging) switchDirection(dir int) {
+	key := append([]byte(nil), m.Key()...)
+	m.dir = dir
+	for _, k := range m.kids {
+		if dir > 0 {
+			k.SeekGE(key)
+			// SeekGE is inclusive: the old root lands back on key itself.
+			if k.Valid() && m.cmp(k.Key(), key) == 0 {
+				k.Next()
+			}
+		} else {
+			// SeekLT is exclusive, so no same-key adjustment is needed.
+			k.SeekLT(key)
+		}
+	}
+	m.initHeap()
+}
+
+// Next advances the merged stream to the next larger key.
+func (m *Merging) Next() {
+	if len(m.heap) == 0 {
+		return
+	}
+	if m.dir < 0 {
+		m.switchDirection(1)
+		return
+	}
+	m.advanceRoot()
+}
+
+// Prev moves the merged stream back to the next smaller key.
+func (m *Merging) Prev() {
+	if len(m.heap) == 0 {
+		return
+	}
+	if m.dir > 0 {
+		m.switchDirection(-1)
+		return
+	}
+	m.advanceRoot()
+}
+
 // Valid reports whether the merged stream has a current entry.
 func (m *Merging) Valid() bool { return len(m.heap) > 0 && m.err == nil }
 
-// Key returns the smallest current key across children.
+// Key returns the current extreme key across children (smallest going
+// forward, largest going backward).
 func (m *Merging) Key() []byte { return m.kids[m.heap[0]].Key() }
 
 // Value returns the value paired with Key.

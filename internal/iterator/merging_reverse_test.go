@@ -1,0 +1,126 @@
+package iterator
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func buildChildren(t *testing.T, rng *rand.Rand, numChildren, perChild int) ([]Iterator, []string) {
+	t.Helper()
+	var children []Iterator
+	var all []string
+	for c := 0; c < numChildren; c++ {
+		var keys []string
+		for i := 0; i < perChild; i++ {
+			k := fmt.Sprintf("key%08d", rng.Intn(1<<20)*numChildren+c) // disjoint per child
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		keys = dedupe(keys)
+		all = append(all, keys...)
+		children = append(children, newSliceIter(keys))
+	}
+	sort.Strings(all)
+	return children, all
+}
+
+func TestMergingReverseMatchesSortedUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	children, all := buildChildren(t, rng, 5, 200)
+	m := NewMerging(bytes.Compare, children...)
+	defer m.Close()
+
+	i := len(all) - 1
+	for m.Last(); m.Valid(); m.Prev() {
+		if string(m.Key()) != all[i] {
+			t.Fatalf("pos %d: got %q want %q", i, m.Key(), all[i])
+		}
+		i--
+	}
+	if i != -1 {
+		t.Fatalf("reverse merged %d of %d", len(all)-1-i, len(all))
+	}
+}
+
+func TestMergingSeekLT(t *testing.T) {
+	a := newSliceIter([]string{"a", "d", "g"})
+	b := newSliceIter([]string{"b", "e", "h"})
+	c := newSliceIter([]string{"c", "f", "i"})
+	m := NewMerging(bytes.Compare, a, b, c)
+	defer m.Close()
+
+	m.SeekLT([]byte("f"))
+	var got []string
+	for ; m.Valid(); m.Prev() {
+		got = append(got, string(m.Key()))
+	}
+	if fmt.Sprint(got) != "[e d c b a]" {
+		t.Fatalf("got %v", got)
+	}
+
+	m.SeekLT([]byte("a"))
+	if m.Valid() {
+		t.Fatal("SeekLT(smallest) should be invalid")
+	}
+	m.SeekLT([]byte("zzz"))
+	if !m.Valid() || string(m.Key()) != "i" {
+		t.Fatal("SeekLT(past end) should land on largest")
+	}
+}
+
+func TestMergingDirectionSwitch(t *testing.T) {
+	a := newSliceIter([]string{"a", "c", "e"})
+	b := newSliceIter([]string{"b", "d", "f"})
+	m := NewMerging(bytes.Compare, a, b)
+	defer m.Close()
+
+	m.SeekGE([]byte("c"))
+	if string(m.Key()) != "c" {
+		t.Fatalf("got %q", m.Key())
+	}
+	m.Prev() // forward -> reverse
+	if !m.Valid() || string(m.Key()) != "b" {
+		t.Fatalf("Prev after SeekGE: got %v", string(m.Key()))
+	}
+	m.Next() // reverse -> forward
+	if !m.Valid() || string(m.Key()) != "c" {
+		t.Fatalf("Next after Prev: got %v", string(m.Key()))
+	}
+	m.Next()
+	if string(m.Key()) != "d" {
+		t.Fatalf("got %q", m.Key())
+	}
+}
+
+// TestMergingRandomWalk drives the merged stream with a random Next/Prev
+// walk and checks every position against the sorted union.
+func TestMergingRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	children, all := buildChildren(t, rng, 4, 100)
+	m := NewMerging(bytes.Compare, children...)
+	defer m.Close()
+
+	pos := len(all) / 2
+	m.SeekGE([]byte(all[pos]))
+	for step := 0; step < 2000 && m.Valid(); step++ {
+		if rng.Intn(2) == 0 {
+			m.Next()
+			pos++
+		} else {
+			m.Prev()
+			pos--
+		}
+		if pos < 0 || pos >= len(all) {
+			if m.Valid() {
+				t.Fatalf("step %d: expected invalid at pos %d, got %q", step, pos, m.Key())
+			}
+			break
+		}
+		if !m.Valid() || string(m.Key()) != all[pos] {
+			t.Fatalf("step %d pos %d: got %v want %q", step, pos, string(m.Key()), all[pos])
+		}
+	}
+}

@@ -29,8 +29,15 @@ func (s *sliceIter) SeekGE(target []byte) {
 		return bytes.Compare(s.keys[i], target) >= 0
 	})
 }
+func (s *sliceIter) SeekLT(target []byte) {
+	s.idx = sort.Search(len(s.keys), func(i int) bool {
+		return bytes.Compare(s.keys[i], target) >= 0
+	}) - 1
+}
 func (s *sliceIter) First()        { s.idx = 0 }
+func (s *sliceIter) Last()         { s.idx = len(s.keys) - 1 }
 func (s *sliceIter) Next()         { s.idx++ }
+func (s *sliceIter) Prev()         { s.idx-- }
 func (s *sliceIter) Valid() bool   { return s.idx >= 0 && s.idx < len(s.keys) }
 func (s *sliceIter) Key() []byte   { return s.keys[s.idx] }
 func (s *sliceIter) Value() []byte { return s.vals[s.idx] }

@@ -8,7 +8,8 @@ import (
 )
 
 // levelIter concatenates the (disjoint, sorted) sstables of one level into
-// a single iterator, opening tables lazily through the table cache.
+// a single bidirectional iterator, opening tables lazily through the table
+// cache.
 type levelIter struct {
 	tc    *tablecache.TableCache
 	files []*base.FileMetadata
@@ -26,7 +27,11 @@ func (l *levelIter) openFile(i int) bool {
 		l.cur.Close()
 		l.cur = nil
 	}
-	if i < 0 || i >= len(l.files) {
+	if i < 0 {
+		l.idx = -1
+		return false
+	}
+	if i >= len(l.files) {
 		l.idx = len(l.files)
 		return false
 	}
@@ -62,6 +67,34 @@ func (l *levelIter) SeekGE(target []byte) {
 	l.skipEmpty()
 }
 
+// SeekLT positions at the last entry < target.
+func (l *levelIter) SeekLT(target []byte) {
+	if l.err != nil {
+		return
+	}
+	// Find the first file whose largest key is >= target; it is the only
+	// file that can straddle target. Everything before it is entirely
+	// smaller.
+	lo, hi := 0, len(l.files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if base.InternalCompare(l.files[mid].Largest, target) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(l.files) {
+		l.Last()
+		return
+	}
+	if !l.openFile(lo) {
+		return
+	}
+	l.cur.SeekLT(target)
+	l.skipEmptyBackward()
+}
+
 // First positions at the level's first entry.
 func (l *levelIter) First() {
 	if l.err != nil {
@@ -74,6 +107,18 @@ func (l *levelIter) First() {
 	l.skipEmpty()
 }
 
+// Last positions at the level's last entry.
+func (l *levelIter) Last() {
+	if l.err != nil {
+		return
+	}
+	if !l.openFile(len(l.files) - 1) {
+		return
+	}
+	l.cur.Last()
+	l.skipEmptyBackward()
+}
+
 // Next advances, moving to the next file as needed.
 func (l *levelIter) Next() {
 	if l.cur == nil || l.err != nil {
@@ -81,6 +126,15 @@ func (l *levelIter) Next() {
 	}
 	l.cur.Next()
 	l.skipEmpty()
+}
+
+// Prev moves back, crossing file boundaries as needed.
+func (l *levelIter) Prev() {
+	if l.cur == nil || l.err != nil {
+		return
+	}
+	l.cur.Prev()
+	l.skipEmptyBackward()
 }
 
 func (l *levelIter) skipEmpty() {
@@ -93,6 +147,19 @@ func (l *levelIter) skipEmpty() {
 			return
 		}
 		l.cur.First()
+	}
+}
+
+func (l *levelIter) skipEmptyBackward() {
+	for l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Error(); err != nil {
+			l.err = err
+			return
+		}
+		if !l.openFile(l.idx - 1) {
+			return
+		}
+		l.cur.Last()
 	}
 }
 

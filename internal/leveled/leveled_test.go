@@ -168,7 +168,7 @@ func TestLevelIterConcatenates(t *testing.T) {
 	}
 	tree.CompactAll()
 
-	iters, err := tree.NewIters()
+	iters, err := tree.NewIters(base.Bounds{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -279,11 +279,15 @@ func (t *Tree) chargeSeek(f *base.FileMetadata, level int) {
 }
 
 // NewIters returns one iterator per L0 table plus one concatenating
-// iterator per deeper level.
-func (t *Tree) NewIters() ([]iterator.Iterator, error) {
+// iterator per deeper level. Tables whose key ranges fall outside bounds
+// are pruned before any table is opened.
+func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, error) {
 	v := t.currentVersion()
 	var iters []iterator.Iterator
 	for _, f := range v.files[0] {
+		if !bounds.Overlaps(f) {
+			continue
+		}
 		r, err := t.tc.Find(f.FileNum, f.Size)
 		if err != nil {
 			return closeAll(iters, err)
@@ -291,10 +295,11 @@ func (t *Tree) NewIters() ([]iterator.Iterator, error) {
 		iters = append(iters, treebase.NewTableIter(r))
 	}
 	for l := 1; l < t.cfg.NumLevels; l++ {
-		if len(v.files[l]) == 0 {
+		files := bounds.FilterFiles(v.files[l])
+		if len(files) == 0 {
 			continue
 		}
-		iters = append(iters, newLevelIter(t.tc, v.files[l]))
+		iters = append(iters, newLevelIter(t.tc, files))
 	}
 	return iters, nil
 }

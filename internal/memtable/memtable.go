@@ -65,8 +65,11 @@ type memIter struct {
 }
 
 func (i *memIter) SeekGE(target []byte) { i.it.SeekGE(target) }
+func (i *memIter) SeekLT(target []byte) { i.it.SeekLT(target) }
 func (i *memIter) First()               { i.it.First() }
+func (i *memIter) Last()                { i.it.Last() }
 func (i *memIter) Next()                { i.it.Next() }
+func (i *memIter) Prev()                { i.it.Prev() }
 func (i *memIter) Valid() bool          { return i.it.Valid() }
 func (i *memIter) Key() []byte          { return i.it.Key() }
 func (i *memIter) Value() []byte        { return i.it.Value() }

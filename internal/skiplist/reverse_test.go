@@ -1,0 +1,85 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func buildList(n int, seed int64) (*Skiplist, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(bytes.Compare)
+	seen := map[string]bool{}
+	for len(seen) < n {
+		k := fmt.Sprintf("key%08d", rng.Intn(1<<28))
+		if !seen[k] {
+			seen[k] = true
+			s.Add([]byte(k), []byte("v:"+k))
+		}
+	}
+	keys := make([]string, 0, n)
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return s, keys
+}
+
+func TestIterReverse(t *testing.T) {
+	s, keys := buildList(500, 1)
+	it := s.NewIter()
+	i := len(keys) - 1
+	for it.Last(); it.Valid(); it.Prev() {
+		if string(it.Key()) != keys[i] {
+			t.Fatalf("pos %d: got %q want %q", i, it.Key(), keys[i])
+		}
+		i--
+	}
+	if i != -1 {
+		t.Fatalf("reverse visited %d of %d", len(keys)-1-i, len(keys))
+	}
+}
+
+func TestIterSeekLT(t *testing.T) {
+	s, keys := buildList(300, 2)
+	it := s.NewIter()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		target := fmt.Sprintf("key%08d", rng.Intn(1<<28))
+		want := sort.SearchStrings(keys, target) - 1
+		it.SeekLT([]byte(target))
+		if want < 0 {
+			if it.Valid() {
+				t.Fatalf("SeekLT(%q): got %q want invalid", target, it.Key())
+			}
+			continue
+		}
+		if !it.Valid() || string(it.Key()) != keys[want] {
+			t.Fatalf("SeekLT(%q): got %v want %q", target, string(it.Key()), keys[want])
+		}
+	}
+	// Strictness on exact keys.
+	it.SeekLT([]byte(keys[0]))
+	if it.Valid() {
+		t.Fatal("SeekLT(first) should be invalid")
+	}
+	it.SeekLT([]byte(keys[10]))
+	if !it.Valid() || string(it.Key()) != keys[9] {
+		t.Fatalf("SeekLT(keys[10]): got %v", string(it.Key()))
+	}
+}
+
+func TestIterEmptyReverse(t *testing.T) {
+	s := New(bytes.Compare)
+	it := s.NewIter()
+	it.Last()
+	if it.Valid() {
+		t.Fatal("Last on empty list should be invalid")
+	}
+	it.SeekLT([]byte("x"))
+	if it.Valid() {
+		t.Fatal("SeekLT on empty list should be invalid")
+	}
+}

@@ -76,6 +76,47 @@ func (s *Skiplist) findGE(target []byte, prev *[maxHeight]*node) *node {
 	}
 }
 
+// findLT returns the rightmost node with key < target, or nil when every
+// node's key is >= target.
+func (s *Skiplist) findLT(target []byte) *node {
+	x := s.head
+	level := int(s.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil && s.cmp(next.key, target) < 0 {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == s.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// findLast returns the last node, or nil when the list is empty.
+func (s *Skiplist) findLast() *node {
+	x := s.head
+	level := int(s.height.Load()) - 1
+	for {
+		next := x.next[level].Load()
+		if next != nil {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == s.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
 // Add inserts key with value. The caller must ensure the key is not already
 // present and that Add is never called concurrently with another Add.
 func (s *Skiplist) Add(key, value []byte) {
@@ -135,7 +176,23 @@ func (it *Iter) SeekGE(target []byte) {
 	it.node = it.list.findGE(target, nil)
 }
 
+// SeekLT positions the iterator at the last entry with key < target.
+func (it *Iter) SeekLT(target []byte) {
+	it.node = it.list.findLT(target)
+}
+
+// Last positions the iterator at the largest entry.
+func (it *Iter) Last() {
+	it.node = it.list.findLast()
+}
+
 // Next advances to the next entry.
 func (it *Iter) Next() {
 	it.node = it.node.next[0].Load()
+}
+
+// Prev moves back one entry. The list is singly linked, so this re-descends
+// from the head (O(log n), as in LevelDB's skiplist).
+func (it *Iter) Prev() {
+	it.node = it.list.findLT(it.node.key)
 }

@@ -226,6 +226,27 @@ func (t *tableIter) SeekGE(target []byte) {
 	t.skipForwardIfExhausted()
 }
 
+// SeekLT positions at the last entry with key < target.
+func (t *tableIter) SeekLT(target []byte) {
+	if t.err != nil {
+		return
+	}
+	// The first index entry >= target points at the only block that can
+	// contain keys in [target's block lower edge, target); earlier blocks
+	// hold strictly smaller keys.
+	t.index.SeekGE(target)
+	if !t.index.Valid() {
+		// target is beyond every key in the table.
+		t.Last()
+		return
+	}
+	if !t.loadBlock() {
+		return
+	}
+	t.data.SeekLT(target)
+	t.skipBackwardIfExhausted()
+}
+
 func (t *tableIter) First() {
 	if t.err != nil {
 		return
@@ -238,12 +259,32 @@ func (t *tableIter) First() {
 	t.skipForwardIfExhausted()
 }
 
+func (t *tableIter) Last() {
+	if t.err != nil {
+		return
+	}
+	t.index.Last()
+	if !t.loadBlock() {
+		return
+	}
+	t.data.Last()
+	t.skipBackwardIfExhausted()
+}
+
 func (t *tableIter) Next() {
 	if t.data == nil || t.err != nil {
 		return
 	}
 	t.data.Next()
 	t.skipForwardIfExhausted()
+}
+
+func (t *tableIter) Prev() {
+	if t.data == nil || t.err != nil {
+		return
+	}
+	t.data.Prev()
+	t.skipBackwardIfExhausted()
 }
 
 // skipForwardIfExhausted advances to the next data block when the current
@@ -260,6 +301,22 @@ func (t *tableIter) skipForwardIfExhausted() {
 			return
 		}
 		t.data.First()
+	}
+}
+
+// skipBackwardIfExhausted steps to the previous data block when the
+// current one has no entry at or before the position.
+func (t *tableIter) skipBackwardIfExhausted() {
+	for t.data != nil && !t.data.Valid() {
+		if err := t.data.Error(); err != nil {
+			t.err = err
+			return
+		}
+		t.index.Prev()
+		if !t.loadBlock() {
+			return
+		}
+		t.data.Last()
 	}
 }
 

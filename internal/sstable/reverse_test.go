@@ -1,0 +1,108 @@
+package sstable
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/vfs"
+)
+
+func TestIterReverseMatchesForward(t *testing.T) {
+	fs := vfs.NewMem()
+	entries := sortedEntries(2000, 7)
+	// Small blocks so the reverse path crosses many block boundaries.
+	buildTable(t, fs, "t.sst", entries, WriterOptions{BlockSize: 256, BloomBitsPerKey: 10})
+
+	r := openTable(t, fs, "t.sst", nil)
+	defer r.Close()
+	it := r.NewIter()
+	defer it.Close()
+
+	i := len(entries) - 1
+	for it.Last(); it.Valid(); it.Prev() {
+		if !bytes.Equal(it.Key(), entries[i].ikey) {
+			t.Fatalf("pos %d key mismatch: got %s want %s",
+				i, base.InternalKeyString(it.Key()), base.InternalKeyString(entries[i].ikey))
+		}
+		if !bytes.Equal(it.Value(), entries[i].value) {
+			t.Fatalf("pos %d value mismatch", i)
+		}
+		i--
+	}
+	if it.Error() != nil {
+		t.Fatal(it.Error())
+	}
+	if i != -1 {
+		t.Fatalf("reverse visited %d of %d", len(entries)-1-i, len(entries))
+	}
+}
+
+func TestIterSeekLT(t *testing.T) {
+	fs := vfs.NewMem()
+	entries := sortedEntries(500, 8)
+	buildTable(t, fs, "t.sst", entries, WriterOptions{BlockSize: 256})
+
+	r := openTable(t, fs, "t.sst", nil)
+	defer r.Close()
+	it := r.NewIter()
+	defer it.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		i := rng.Intn(len(entries))
+		target := entries[i].ikey
+		it.SeekLT(target)
+		if i == 0 {
+			if it.Valid() {
+				t.Fatalf("SeekLT(first) returned %s", base.InternalKeyString(it.Key()))
+			}
+			continue
+		}
+		if !it.Valid() || !bytes.Equal(it.Key(), entries[i-1].ikey) {
+			t.Fatalf("SeekLT(%s): got %s want %s", base.InternalKeyString(target),
+				base.InternalKeyString(it.Key()), base.InternalKeyString(entries[i-1].ikey))
+		}
+	}
+
+	// Past-the-end target lands on the last entry.
+	it.SeekLT(base.MakeInternalKey(nil, []byte("zzzz"), 1, base.KindSet))
+	if !it.Valid() || !bytes.Equal(it.Key(), entries[len(entries)-1].ikey) {
+		t.Fatal("SeekLT(past end) should land on last entry")
+	}
+}
+
+func TestIterNextPrevAcrossBlocks(t *testing.T) {
+	fs := vfs.NewMem()
+	entries := sortedEntries(300, 10)
+	buildTable(t, fs, "t.sst", entries, WriterOptions{BlockSize: 128})
+
+	r := openTable(t, fs, "t.sst", nil)
+	defer r.Close()
+	it := r.NewIter()
+	defer it.Close()
+
+	pos := 150
+	it.SeekGE(entries[pos].ikey)
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 1000 && it.Valid(); step++ {
+		if rng.Intn(2) == 0 {
+			it.Next()
+			pos++
+		} else {
+			it.Prev()
+			pos--
+		}
+		if pos < 0 || pos >= len(entries) {
+			if it.Valid() {
+				t.Fatalf("expected invalid at pos %d", pos)
+			}
+			break
+		}
+		if !it.Valid() || !bytes.Equal(it.Key(), entries[pos].ikey) {
+			t.Fatalf("step %d pos %d: got %s want %s", step, pos,
+				base.InternalKeyString(it.Key()), base.InternalKeyString(entries[pos].ikey))
+		}
+	}
+}

@@ -24,8 +24,14 @@ func (e *entriesIter) SeekGE(target []byte) {
 		return base.InternalCompare(e.keys[i], target) >= 0
 	})
 }
+func (e *entriesIter) SeekLT(target []byte) {
+	e.SeekGE(target)
+	e.idx--
+}
 func (e *entriesIter) First()        { e.idx = 0 }
+func (e *entriesIter) Last()         { e.idx = len(e.keys) - 1 }
 func (e *entriesIter) Next()         { e.idx++ }
+func (e *entriesIter) Prev()         { e.idx-- }
 func (e *entriesIter) Valid() bool   { return e.idx >= 0 && e.idx < len(e.keys) }
 func (e *entriesIter) Key() []byte   { return e.keys[e.idx] }
 func (e *entriesIter) Value() []byte { return e.vals[e.idx] }

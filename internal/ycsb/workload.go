@@ -14,8 +14,10 @@ type Store interface {
 	Put(key, value []byte) error
 	Get(key []byte) (value []byte, found bool, err error)
 	// Scan positions at start and iterates up to count entries, returning
-	// how many were read.
-	Scan(start []byte, count int) (int, error)
+	// how many were read. A non-nil end is an exclusive upper bound the
+	// scan must not cross (stores with bounded iterators push it down so
+	// non-overlapping sstables are pruned before IO).
+	Scan(start, end []byte, count int) (int, error)
 }
 
 // OpKind enumerates YCSB operation types.
@@ -45,6 +47,9 @@ type Workload struct {
 	Distribution string
 	// MaxScanLen bounds scan lengths (workload E; uniform 1..MaxScanLen).
 	MaxScanLen int
+	// BoundedScans passes an exclusive end key (start + scan length) to
+	// every scan, exercising the store's bounded-iterator path ("Ebound").
+	BoundedScans bool
 }
 
 // Workloads is the YCSB core suite as used in the paper (Table 5.3).
@@ -64,6 +69,8 @@ var Workloads = map[string]Workload{
 		Mix: Mix{Insert: 1}, Distribution: "zipfian"},
 	"E": {Name: "E", Description: "threaded conversations: 95% scans, 5% inserts",
 		Mix: Mix{Scan: 0.95, Insert: 0.05}, Distribution: "zipfian", MaxScanLen: 100},
+	"Ebound": {Name: "Ebound", Description: "workload E with bounded scans: the end key is pushed into the iterator",
+		Mix: Mix{Scan: 0.95, Insert: 0.05}, Distribution: "zipfian", MaxScanLen: 100, BoundedScans: true},
 	"F": {Name: "F", Description: "database: 50% reads, 50% read-modify-writes",
 		Mix: Mix{Read: 0.5, RMW: 0.5}, Distribution: "zipfian"},
 }
@@ -184,12 +191,17 @@ func (r *Runner) oneOp(w Workload, gen Generator, rng *rand.Rand, key, value []b
 		key = KeyForIndex(key, gen.Next(rng)%max1(opts.RecordCount))
 		return r.store.Put(key, value)
 	case p < m.Insert+m.Read+m.Update+m.Scan:
-		key = KeyForIndex(key, gen.Next(rng)%max1(opts.RecordCount))
+		idx := gen.Next(rng) % max1(opts.RecordCount)
+		key = KeyForIndex(key, idx)
 		n := 1
 		if w.MaxScanLen > 1 {
 			n = 1 + rng.Intn(w.MaxScanLen)
 		}
-		_, err := r.store.Scan(key, n)
+		var end []byte
+		if w.BoundedScans {
+			end = KeyForIndex(nil, idx+uint64(n))
+		}
+		_, err := r.store.Scan(key, end, n)
 		return err
 	default: // read-modify-write
 		key = KeyForIndex(key, gen.Next(rng)%max1(opts.RecordCount))

@@ -118,12 +118,12 @@ func (s *mapStore) Get(k []byte) ([]byte, bool, error) {
 	return v, ok, nil
 }
 
-func (s *mapStore) Scan(start []byte, count int) (int, error) {
+func (s *mapStore) Scan(start, end []byte, count int) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := 0
 	for k := range s.m {
-		if k >= string(start) {
+		if k >= string(start) && (end == nil || k < string(end)) {
 			n++
 			if n >= count {
 				break

@@ -1,0 +1,222 @@
+package pebblesdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestIterDifferentialFLSMvsLeveled drives the same randomized
+// Put/Delete/flush/compact sequence through the FLSM engine and the
+// leveled engine, and asserts that forward, reverse and bounded iteration
+// return byte-identical results on both — and that both match an
+// in-memory model. This is the v2 iterator contract's acceptance test: the
+// two engines produce their streams through completely different iterator
+// stacks (guard merges vs. level concatenation), so agreement here pins
+// the whole contract.
+func TestIterDifferentialFLSMvsLeveled(t *testing.T) {
+	flsm, err := Open("diff-flsm", testOptions(PresetPebblesDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flsm.Close()
+	leveled, err := Open("diff-leveled", testOptions(PresetHyperLevelDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leveled.Close()
+
+	dbs := []*DB{flsm, leveled}
+	names := []string{"FLSM", "Leveled"}
+	model := map[string]string{}
+	rng := rand.New(rand.NewSource(99))
+
+	sortedModel := func() []string {
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	collect := func(db *DB, opts *IterOptions, reverse bool) []string {
+		t.Helper()
+		it, err := db.NewIter(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		var out []string
+		if reverse {
+			for it.Last(); it.Valid(); it.Prev() {
+				out = append(out, string(it.Key())+"="+string(it.Value()))
+			}
+		} else {
+			for it.First(); it.Valid(); it.Next() {
+				out = append(out, string(it.Key())+"="+string(it.Value()))
+			}
+		}
+		if err := it.Error(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	reversed := func(s []string) []string {
+		out := make([]string, len(s))
+		for i, v := range s {
+			out[len(s)-1-i] = v
+		}
+		return out
+	}
+
+	check := func(step int) {
+		t.Helper()
+		keys := sortedModel()
+		want := make([]string, len(keys))
+		for i, k := range keys {
+			want[i] = k + "=" + model[k]
+		}
+
+		// Random bounds: sometimes nil, sometimes a sub-range.
+		var lower, upper []byte
+		if rng.Intn(2) == 0 {
+			lower = []byte(fmt.Sprintf("key%05d", rng.Intn(4000)))
+		}
+		if rng.Intn(2) == 0 {
+			upper = []byte(fmt.Sprintf("key%05d", rng.Intn(4000)))
+		}
+		var bounded []string
+		for i, k := range keys {
+			if (lower == nil || k >= string(lower)) && (upper == nil || k < string(upper)) {
+				bounded = append(bounded, want[i])
+			}
+		}
+
+		for d, db := range dbs {
+			fwd := collect(db, nil, false)
+			if fmt.Sprint(fwd) != fmt.Sprint(want) {
+				t.Fatalf("step %d %s forward: got %d keys, want %d\ngot  %.300v\nwant %.300v",
+					step, names[d], len(fwd), len(want), fwd, want)
+			}
+			rev := collect(db, nil, true)
+			if fmt.Sprint(reversed(rev)) != fmt.Sprint(want) {
+				t.Fatalf("step %d %s reverse: not the exact reverse of forward\nrev  %.300v",
+					step, names[d], rev)
+			}
+			opts := &IterOptions{LowerBound: lower, UpperBound: upper}
+			bf := collect(db, opts, false)
+			if fmt.Sprint(bf) != fmt.Sprint(bounded) {
+				t.Fatalf("step %d %s bounded [%q,%q) forward: got %d want %d\ngot  %.300v\nwant %.300v",
+					step, names[d], lower, upper, len(bf), len(bounded), bf, bounded)
+			}
+			br := collect(db, opts, true)
+			if fmt.Sprint(reversed(br)) != fmt.Sprint(bounded) {
+				t.Fatalf("step %d %s bounded [%q,%q) reverse mismatch\ngot  %.300v\nwant %.300v",
+					step, names[d], lower, upper, reversed(br), bounded)
+			}
+		}
+	}
+
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		k := fmt.Sprintf("key%05d", rng.Intn(4000))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			v := fmt.Sprintf("val%d", i)
+			model[k] = v
+			for _, db := range dbs {
+				if err := db.Put([]byte(k), []byte(v)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 5, 6:
+			delete(model, k)
+			for _, db := range dbs {
+				if err := db.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 7:
+			if rng.Intn(20) == 0 {
+				for _, db := range dbs {
+					if err := db.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		default:
+			// mutate-heavy phases between checks
+		}
+		if i%2500 == 2499 {
+			check(i)
+		}
+	}
+
+	// Fully compact both stores and re-verify: reverse iteration over a
+	// compacted multi-guard FLSM store must return exactly the reverse of
+	// forward iteration.
+	for _, db := range dbs {
+		if err := db.CompactAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := flsm.Metrics()
+	guards := 0
+	for _, g := range m.Tree.GuardsPerLevel {
+		guards += g
+	}
+	if guards < 2 {
+		t.Fatalf("FLSM store not multi-guard after compaction (guards=%d); test is too weak", guards)
+	}
+	check(ops)
+}
+
+// TestIterBoundsPruneIO checks the "bounds prune before IO" property: a
+// tightly bounded scan over a fully compacted store must read far fewer
+// sstable bytes than an unbounded one.
+func TestIterBoundsPruneIO(t *testing.T) {
+	for _, preset := range []Preset{PresetPebblesDB, PresetHyperLevelDB} {
+		t.Run(preset.String(), func(t *testing.T) {
+			db, err := Open("prune", testOptions(preset))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			val := make([]byte, 256)
+			for i := 0; i < 20000; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key%06d", i)), val); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+
+			scan := func(opts *IterOptions) int64 {
+				before := db.Metrics().IO.TotalRead()
+				it, err := db.NewIter(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := 0
+				for it.First(); it.Valid() && n < 100; it.Next() {
+					n++
+				}
+				it.Close()
+				return int64(db.Metrics().IO.TotalRead() - before)
+			}
+
+			full := scan(nil)
+			bounded := scan(&IterOptions{
+				LowerBound: []byte("key010000"),
+				UpperBound: []byte("key010100"),
+			})
+			if bounded >= full {
+				t.Fatalf("bounded scan read %d bytes, unbounded %d — bounds did not prune IO", bounded, full)
+			}
+		})
+	}
+}

@@ -2,21 +2,36 @@ package pebblesdb
 
 import "pebblesdb/internal/engine"
 
-// Iterator walks live user keys in ascending order, hiding deleted keys
-// and old versions. It is not safe for concurrent use. Always Close it.
+// Iterator walks live user keys in key order — forward or backward —
+// hiding deleted keys and old versions, and staying within the bounds it
+// was created with. It is not safe for concurrent use. Always Close it.
 //
-// Range queries follow the paper's pattern (§2.1): SeekGE to the start
-// key, then Next until past the end key.
+// Forward range queries follow the paper's pattern (§2.1): SeekGE to the
+// start key, then Next until past the end key (or set UpperBound and run
+// until !Valid()). Reverse scans mirror it: SeekLT (or Last) then Prev.
+// Next and Prev may be freely interleaved; direction switches are handled
+// by the merging iterator underneath.
 type Iterator struct {
 	it *engine.Iter
 }
 
-// NewIter returns an iterator over the latest committed state.
-func (d *DB) NewIter() (*Iterator, error) {
+// NewIter returns an iterator over the latest committed state. A nil opts
+// iterates everything; bounds restrict the iterator to [LowerBound,
+// UpperBound) and prune non-overlapping guards and sstables before any IO;
+// opts.Snapshot pins the view.
+func (d *DB) NewIter(opts *IterOptions) (*Iterator, error) {
 	if d.closed.Load() {
 		return nil, ErrClosed
 	}
-	it, err := d.eng.NewIter(nil)
+	var eo engine.IterOptions
+	if opts != nil {
+		eo.Lower = opts.LowerBound
+		eo.Upper = opts.UpperBound
+		if opts.Snapshot != nil {
+			eo.Snapshot = opts.Snapshot.s
+		}
+	}
+	it, err := d.eng.NewIter(&eo)
 	if err != nil {
 		return nil, err
 	}
@@ -24,25 +39,29 @@ func (d *DB) NewIter() (*Iterator, error) {
 }
 
 // NewIterAt returns an iterator over a snapshot.
+//
+// Deprecated: use NewIter(&IterOptions{Snapshot: snap}).
 func (d *DB) NewIterAt(snap *Snapshot) (*Iterator, error) {
-	if d.closed.Load() {
-		return nil, ErrClosed
-	}
-	it, err := d.eng.NewIter(snap.s)
-	if err != nil {
-		return nil, err
-	}
-	return &Iterator{it: it}, nil
+	return d.NewIter(&IterOptions{Snapshot: snap})
 }
 
-// First positions at the smallest key.
+// First positions at the smallest key within bounds.
 func (i *Iterator) First() { i.it.First() }
 
-// SeekGE positions at the first key >= key.
+// Last positions at the largest key within bounds.
+func (i *Iterator) Last() { i.it.Last() }
+
+// SeekGE positions at the first key >= key (clamped to LowerBound).
 func (i *Iterator) SeekGE(key []byte) { i.it.SeekGE(key) }
 
-// Next advances to the next key.
+// SeekLT positions at the last key < key (clamped to UpperBound).
+func (i *Iterator) SeekLT(key []byte) { i.it.SeekLT(key) }
+
+// Next advances to the next key. It must only be called when Valid.
 func (i *Iterator) Next() { i.it.Next() }
+
+// Prev moves back to the previous key. It must only be called when Valid.
+func (i *Iterator) Prev() { i.it.Prev() }
 
 // Valid reports whether the iterator is positioned on an entry.
 func (i *Iterator) Valid() bool { return i.it.Valid() }

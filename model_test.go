@@ -35,7 +35,7 @@ func TestModelEquivalence(t *testing.T) {
 			var snaps []snapState
 
 			checkScan := func() {
-				it, err := db.NewIter()
+				it, err := db.NewIter(nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -92,11 +92,11 @@ func TestModelEquivalence(t *testing.T) {
 							b.Delete([]byte(kk))
 						}
 					}
-					if err := db.Apply(b); err != nil {
+					if err := db.Apply(b, nil); err != nil {
 						t.Fatal(err)
 					}
 				case 7:
-					got, ok, err := db.Get([]byte(k))
+					got, ok, err := db.Get([]byte(k), nil)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -157,7 +157,7 @@ func TestQuickPutGetRoundtrip(t *testing.T) {
 		if err := db.Put(key, value); err != nil {
 			return false
 		}
-		got, ok, err := db.Get(key)
+		got, ok, err := db.Get(key, nil)
 		return err == nil && ok && bytes.Equal(got, value)
 	}, &quick.Config{MaxCount: 300})
 	if err != nil {
@@ -184,7 +184,7 @@ func TestQuickScanOrdering(t *testing.T) {
 			}
 			want[string(k)] = true
 		}
-		it, err := db.NewIter()
+		it, err := db.NewIter(nil)
 		if err != nil {
 			return false
 		}
@@ -223,7 +223,7 @@ func TestSeekGESemantics(t *testing.T) {
 	}
 	db.CompactAll()
 
-	it, err := db.NewIter()
+	it, err := db.NewIter(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

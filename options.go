@@ -117,6 +117,48 @@ type Options struct {
 	fs vfs.FS
 }
 
+// ReadOptions configures a single Get. A nil *ReadOptions uses the
+// defaults: read the latest committed state.
+type ReadOptions struct {
+	// Snapshot pins the read to a point-in-time view; nil reads the latest
+	// committed state.
+	Snapshot *Snapshot
+}
+
+// WriteOptions configures a single commit. A nil *WriteOptions uses the
+// defaults: the commit is written to the WAL but not fsynced (it survives
+// process crashes, not machine crashes), unless Options.WALSync forces
+// syncs globally.
+type WriteOptions struct {
+	// Sync fsyncs the WAL before the commit returns, making it durable
+	// against machine crashes (per-commit durability; the paper's
+	// benchmarks distinguish sync and no-sync writes, §5.1).
+	Sync bool
+}
+
+// Sync and NoSync are the common WriteOptions, for call-site readability:
+//
+//	db.Apply(b, pebblesdb.Sync)
+var (
+	Sync   = &WriteOptions{Sync: true}
+	NoSync = &WriteOptions{Sync: false}
+)
+
+// IterOptions configures an iterator. A nil *IterOptions uses the
+// defaults: unbounded, latest committed state.
+type IterOptions struct {
+	// LowerBound restricts the iterator to keys >= LowerBound (inclusive);
+	// nil = unbounded. The bound is enforced on every positioning call and
+	// lets the iterator prune guards and sstables before any IO.
+	LowerBound []byte
+	// UpperBound restricts the iterator to keys < UpperBound (exclusive);
+	// nil = unbounded.
+	UpperBound []byte
+	// Snapshot pins the iterator to a point-in-time view; nil observes the
+	// latest committed state as of iterator creation.
+	Snapshot *Snapshot
+}
+
 // sharedMemFS backs every InMemory store in the process, namespaced by
 // directory, so reopening an in-memory store by path works.
 var sharedMemFS = vfs.NewMem()
