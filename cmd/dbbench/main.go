@@ -15,20 +15,22 @@ import (
 	"strings"
 
 	"pebblesdb"
+	"pebblesdb/internal/engine"
 	"pebblesdb/internal/harness"
 )
 
 var (
-	store      = flag.String("store", "pebblesdb", "store preset: pebblesdb, hyperleveldb, leveldb, rocksdb, pebblesdb1")
-	benchmarks = flag.String("benchmarks", "fillrandom,readrandom,seekrandom", "comma-separated workloads: fillseq, fillrandom, readrandom, seekrandom, seekreverse, scanbounded, deleterandom")
-	num        = flag.Int("num", 1_000_000, "operations per workload")
-	valueSize  = flag.Int("value_size", 1024, "value size in bytes")
-	nexts      = flag.Int("nexts", 0, "next() calls per seek")
-	threads    = flag.Int("threads", 1, "concurrent worker threads")
-	storeScale = flag.Int("store_scale", 1, "divide store size parameters (memtable, level budgets) by this factor")
-	dir        = flag.String("dir", "", "store directory on the OS filesystem; empty = in-memory")
-	compact    = flag.Bool("compact_before_reads", true, "fully compact before read/seek workloads")
-	seed       = flag.Int64("seed", 1, "workload RNG seed")
+	store       = flag.String("store", "pebblesdb", "store preset: pebblesdb, hyperleveldb, leveldb, rocksdb, pebblesdb1")
+	benchmarks  = flag.String("benchmarks", "fillrandom,readrandom,seekrandom", "comma-separated workloads: fillseq, fillrandom, fillsync, readrandom, seekrandom, seekreverse, scanbounded, deleterandom")
+	num         = flag.Int("num", 1_000_000, "operations per workload")
+	valueSize   = flag.Int("value_size", 1024, "value size in bytes")
+	nexts       = flag.Int("nexts", 0, "next() calls per seek")
+	threads     = flag.Int("threads", 1, "concurrent worker threads")
+	concurrency = flag.Int("concurrency", 0, "concurrent write clients for fill/delete workloads; 0 = same as -threads (multi-client write mode exercising the group-commit pipeline)")
+	storeScale  = flag.Int("store_scale", 1, "divide store size parameters (memtable, level budgets) by this factor")
+	dir         = flag.String("dir", "", "store directory on the OS filesystem; empty = in-memory")
+	compact     = flag.Bool("compact_before_reads", true, "fully compact before read/seek workloads")
+	seed        = flag.Int64("seed", 1, "workload RNG seed")
 )
 
 func presetByName(name string) (pebblesdb.Preset, bool) {
@@ -79,18 +81,31 @@ func main() {
 		if !written && (bench == "readrandom" || bench == "seekrandom" || bench == "seekreverse" || bench == "scanbounded" || bench == "deleterandom") {
 			fmt.Fprintf(os.Stderr, "note: %s without a prior fill reads an empty store\n", bench)
 		}
+		// Write workloads take their client count from -concurrency when
+		// set, so the group-commit speedup is measurable from the CLI
+		// without touching the read-side thread count.
+		writeClients := *threads
+		if *concurrency > 0 {
+			writeClients = *concurrency
+		}
 		run := func() error {
 			per := *num / *threads
+			perW := *num / writeClients
 			switch bench {
 			case "fillseq":
 				written = true
-				return harness.Concurrent(*threads, func(th int) error {
-					return harness.FillSeq(db, per, *valueSize, *seed+int64(th))
+				return harness.Concurrent(writeClients, func(th int) error {
+					return harness.FillSeq(db, perW, *valueSize, *seed+int64(th))
 				})
 			case "fillrandom":
 				written = true
-				return harness.Concurrent(*threads, func(th int) error {
-					return harness.FillRandom(db, per, *num, *valueSize, *seed+int64(th))
+				return harness.Concurrent(writeClients, func(th int) error {
+					return harness.FillRandom(db, perW, *num, *valueSize, *seed+int64(th))
+				})
+			case "fillsync":
+				written = true
+				return harness.Concurrent(writeClients, func(th int) error {
+					return harness.FillSync(db, perW, *num, *valueSize, *seed+int64(th))
 				})
 			case "readrandom":
 				return harness.Concurrent(*threads, func(th int) error {
@@ -115,8 +130,8 @@ func main() {
 					return err
 				})
 			case "deleterandom":
-				return harness.Concurrent(*threads, func(th int) error {
-					return harness.DeleteRandom(db, per, *num, *seed+int64(th))
+				return harness.Concurrent(writeClients, func(th int) error {
+					return harness.DeleteRandom(db, perW, *num, *seed+int64(th))
 				})
 			}
 			return fmt.Errorf("unknown benchmark %q", bench)
@@ -154,5 +169,18 @@ func main() {
 		m.Tree.Compactions, m.Tree.InPlaceMerges, m.Tree.TrivialMoves, m.Tree.SeekCompactions, m.Flushes)
 	fmt.Printf("stalls: slowdown %d, stop %d, memtable waits %d\n",
 		m.SlowdownWrites, m.StoppedWrites, m.MemtableWaits)
-	fmt.Printf("total write amplification: %.2f\n", m.WriteAmplification())
+	fmt.Printf("commit pipeline: %d groups, %.2f batches/group, %d fsyncs / %d sync commits (%.3f syncs/commit)\n",
+		m.CommitGroups, m.CommitGroupSize(), m.WALSyncs, m.SyncCommits, m.SyncsPerCommit())
+	fmt.Printf("commit waits:")
+	for i, c := range m.CommitWaitHist {
+		if c == 0 {
+			continue
+		}
+		if i < len(engine.CommitWaitBuckets) {
+			fmt.Printf("  <=%v %d", engine.CommitWaitBuckets[i], c)
+		} else {
+			fmt.Printf("  >%v %d", engine.CommitWaitBuckets[len(engine.CommitWaitBuckets)-1], c)
+		}
+	}
+	fmt.Printf("\ntotal write amplification: %.2f\n", m.WriteAmplification())
 }

@@ -109,7 +109,11 @@ func (d *DB) GetAt(key []byte, snap *Snapshot) (value []byte, found bool, err er
 
 // Apply atomically commits a batch of writes. A nil opts commits without
 // an fsync; opts.Sync makes this commit durable against machine crashes
-// before Apply returns.
+// before Apply returns. Concurrent Apply calls are group-committed:
+// simultaneous batches share one WAL write and — for Sync commits — one
+// amortized fsync, so per-commit durability costs far less under
+// concurrency than commits × fsync latency. Sync semantics are
+// unchanged: when Apply returns, the commit is durable.
 func (d *DB) Apply(b *Batch, opts *WriteOptions) error {
 	if d.closed.Load() {
 		return ErrClosed

@@ -19,11 +19,15 @@ var ErrCorrupt = errors.New("batch: corrupt repr")
 type Batch struct {
 	data  []byte
 	count uint32
+	// trusted marks batches whose framing is well-formed by construction
+	// (built through Set/Delete); batches wrapped from external bytes
+	// (FromRepr) are untrusted until validated.
+	trusted bool
 }
 
 // New returns an empty batch.
 func New() *Batch {
-	return &Batch{data: make([]byte, headerLen)}
+	return &Batch{data: make([]byte, headerLen), trusted: true}
 }
 
 // FromRepr wraps a serialized batch (e.g. recovered from the WAL).
@@ -34,13 +38,15 @@ func FromRepr(repr []byte) (*Batch, error) {
 	return &Batch{data: repr, count: binary.LittleEndian.Uint32(repr[8:12])}, nil
 }
 
-// Reset clears the batch for reuse.
+// Reset clears the batch for reuse. The emptied batch is well-formed, so
+// it is trusted regardless of provenance.
 func (b *Batch) Reset() {
 	b.data = b.data[:headerLen]
 	for i := range b.data {
 		b.data[i] = 0
 	}
 	b.count = 0
+	b.trusted = true
 }
 
 // Set queues a put of key to value.
@@ -96,6 +102,41 @@ func (b *Batch) ApproxSize() int { return len(b.data) }
 func (b *Batch) Append(other *Batch) {
 	b.data = append(b.data, other.data[headerLen:]...)
 	b.count += other.count
+	b.trusted = b.trusted && other.trusted
+}
+
+// Validate checks the batch's framing without visiting the mutations. The
+// engine rejects malformed batches before sequencing them, so a corrupt
+// repr can never be applied partially. Batches built through Set/Delete
+// are well-formed by construction and return immediately; only externally
+// sourced reprs (FromRepr) pay the full walk.
+func (b *Batch) Validate() error {
+	if b.trusted {
+		return nil
+	}
+	p := b.data[headerLen:]
+	for i := uint32(0); i < b.count; i++ {
+		if len(p) < 1 {
+			return ErrCorrupt
+		}
+		kind := base.Kind(p[0])
+		p = p[1:]
+		var ok bool
+		if _, p, ok = readBytes(p); !ok {
+			return ErrCorrupt
+		}
+		if kind == base.KindSet {
+			if _, p, ok = readBytes(p); !ok {
+				return ErrCorrupt
+			}
+		} else if kind != base.KindDelete {
+			return ErrCorrupt
+		}
+	}
+	if len(p) != 0 {
+		return ErrCorrupt
+	}
+	return nil
 }
 
 // Iterate decodes the batch, invoking fn for each mutation with the

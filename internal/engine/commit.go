@@ -1,0 +1,528 @@
+// Commit pipeline: a LevelDB/Pebble-style group commit replacing the old
+// fully-serialized write path. A leader drains the queue of concurrently
+// arriving batches, assigns them a contiguous sequence range, appends them
+// to the WAL as one record group and hands each batch back to its owning
+// goroutine, which applies it to the (concurrent) memtable in parallel
+// with the other committers. Visibility is published strictly in sequence
+// order through a pending-commit queue that ratchets the visible sequence
+// number, and a single fsync — shared through the WAL's sync-request
+// queue — satisfies every sync waiter in the group. See DESIGN.md's
+// "Commit pipeline" section.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/batch"
+	"pebblesdb/internal/memtable"
+	"pebblesdb/internal/wal"
+)
+
+// commitRequest tracks one batch through the pipeline. The struct is the
+// only per-commit allocation the pipeline makes: scheduling and
+// publication signal through engine-wide conds, not per-request channels,
+// so the uncontended path stays allocation-lean.
+type commitRequest struct {
+	b    *batch.Batch
+	sync bool
+
+	// Filled by the leader before scheduled is set.
+	err    error
+	mem    *memtable.Memtable // nil when the commit failed before scheduling
+	endSeq base.SeqNum
+	group  *commitGroup
+	// solo is set when the request was scheduled as a group of one: with
+	// no concurrent appliers, guard ingestion runs inline (the mutex is
+	// uncontended and guard selection stays deterministically in step
+	// with the writes, as in the serial write path).
+	solo bool
+
+	// scheduled is set (with release semantics) once the fields above are
+	// final; followers whose batch was taken by another leader poll it
+	// (never parking on commitMu — see Apply).
+	scheduled atomic.Bool
+	// applied is set by the owner once the memtable holds the batch.
+	applied atomic.Bool
+	// published is guarded by Engine.pendMu; publishLocked sets it when
+	// the visible sequence number passes endSeq.
+	published bool
+}
+
+// commitGroup carries the state shared by every request the same leader
+// scheduled: whether any of them asked for durability, and the result of
+// the single fsync that covers them all.
+type commitGroup struct {
+	needSync bool
+	syncErr  error
+	syncDone chan struct{} // closed by the leader after the group fsync
+}
+
+// commitQueue collects batches waiting for a leader. Two backing arrays
+// alternate between "being filled" and "being scheduled", so steady-state
+// commits allocate no queue memory.
+type commitQueue struct {
+	mu   sync.Mutex
+	reqs []*commitRequest
+	// spare is the array handed out by the previous drain. It is touched
+	// only inside drain, and drain callers are serialized by commitMu:
+	// by the time the next drain recycles it, the previous leader has
+	// finished scheduling out of it.
+	spare []*commitRequest
+}
+
+func (q *commitQueue) enqueue(r *commitRequest) {
+	q.mu.Lock()
+	q.reqs = append(q.reqs, r)
+	q.mu.Unlock()
+}
+
+// drain is only called with commitMu held.
+func (q *commitQueue) drain() []*commitRequest {
+	q.mu.Lock()
+	reqs := q.reqs
+	q.reqs = q.spare[:0]
+	q.mu.Unlock()
+	q.spare = reqs
+	return reqs
+}
+
+// Apply commits a batch atomically: one WAL record, consecutive sequence
+// numbers, and memtable application. Concurrent callers are group-
+// committed: whichever writer wins the commit lock schedules every queued
+// batch (its own included), all of them apply to the memtable in parallel,
+// and sync waiters share one fsync.
+func (e *Engine) Apply(b *batch.Batch, sync bool) error {
+	if b.Empty() {
+		return nil
+	}
+	if e.cfg.WALSync {
+		sync = true
+	}
+	// Reject malformed batches before they are sequenced: once scheduled,
+	// a batch that failed to decode midway through application would
+	// still have to publish (the ratchet cannot skip it), exposing a
+	// partial batch to readers. Validation runs outside all locks.
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	start := time.Now()
+	if sync {
+		e.stats.syncCommits.Add(1)
+	}
+
+	var req *commitRequest
+	var ledGroup *commitGroup
+	var ledWal *wal.Writer
+	if e.commitMu.TryLock() {
+		group := e.cq.drain()
+		if len(group) == 0 && e.pendCount.Load() == 0 {
+			// Serial fast path: no leader was active, nothing is queued
+			// and nothing is in flight, so there is no concurrency to
+			// pipeline — commit inline under the lock, exactly like the
+			// classic serial write path, with zero pipeline bookkeeping.
+			err := e.commitSerialLocked(b, sync)
+			e.commitMu.Unlock()
+			e.observeCommitWait(time.Since(start))
+			return err
+		}
+		// Writers are queued or still applying: lead them together with
+		// our own batch through the pipeline.
+		req = newCommitRequest(b, sync)
+		group = append(group, req)
+		ledGroup, ledWal = e.leadCommitLocked(group)
+		e.commitMu.Unlock()
+	} else {
+		// A leader is active; queue up so it (or the next leader) groups
+		// us. CRITICAL: never *block* on commitMu here. Once a leader
+		// schedules this request it holds a memtable writer reservation
+		// on its behalf, and a rotation inside commitMu waits for that
+		// reservation to drain — a follower parked on commitMu.Lock
+		// would deadlock the engine. So poll with TryLock, yielding (and
+		// eventually sleeping, for write stalls that hold commitMu for
+		// seconds) until either scheduled or able to lead.
+		req = newCommitRequest(b, sync)
+		e.cq.enqueue(req)
+		led := false
+		for spins := 0; !req.scheduled.Load(); spins++ {
+			if !led && e.commitMu.TryLock() {
+				if req.scheduled.Load() {
+					// Scheduled between the check and the lock: we hold
+					// a reservation now, and leading could rotate and
+					// wait on ourselves. Queued writers lead themselves.
+					e.commitMu.Unlock()
+					break
+				}
+				if group := e.cq.drain(); len(group) > 0 {
+					// Our own request is either in this group (we
+					// enqueued before draining) or was already taken by
+					// another leader; either way it gets scheduled. Lead
+					// at most one group so a second TryLock round cannot
+					// overwrite an unfinished fsync duty.
+					ledGroup, ledWal = e.leadCommitLocked(group)
+					led = true
+				}
+				e.commitMu.Unlock()
+				continue
+			}
+			if spins < 16 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+
+	// Apply our own batch concurrently with the other group members.
+	// applyBatch cannot fail for a validated batch; the error handling is
+	// a backstop.
+	applyErr := false
+	if req.err == nil && req.mem != nil {
+		if err := e.applyBatch(req); err != nil {
+			req.err = err
+			applyErr = true
+		}
+	}
+	if req.mem != nil {
+		req.applied.Store(true)
+		req.mem.WriterDone()
+	}
+
+	// Leader duty: one fsync covers every sync waiter in the led group
+	// (ledGroup is only allocated when the group needs one), deduplicated
+	// against concurrent groups by the WAL sync queue.
+	if ledGroup != nil {
+		ledGroup.syncErr = ledWal.SyncWait()
+		close(ledGroup.syncDone)
+		ledWal.Unref()
+	}
+	// Error reporting only after WriterDone and Unref: setBgErr takes
+	// e.mu, and a rotation holding e.mu may be spinning on this very
+	// writer reservation (QuiesceWriters) or waiting inside the old WAL's
+	// Close for this very reference.
+	if applyErr {
+		e.setBgErr(req.err)
+	}
+	if ledGroup != nil && ledGroup.syncErr != nil {
+		e.setBgErr(ledGroup.syncErr)
+	}
+
+	if req.mem != nil {
+		e.publishAndWait(req)
+	}
+	if req.sync && req.group != nil && req.group.needSync {
+		<-req.group.syncDone
+		if req.err == nil {
+			req.err = req.group.syncErr
+		}
+	}
+	if req.err == nil {
+		e.stats.writes.Add(int64(b.Count()))
+	}
+	e.observeCommitWait(time.Since(start))
+	// The owner is the last goroutine holding the request: the leader's
+	// group slice is dead after scheduling, the commit queue slot was
+	// drained, and the publication queue nils its slot before setting
+	// published (which the owner has already observed). Clear the object
+	// references so the pool does not pin retired memtables or batches.
+	err := req.err
+	req.b, req.mem, req.group = nil, nil, nil
+	commitRequestPool.Put(req)
+	return err
+}
+
+var commitRequestPool = sync.Pool{New: func() any { return &commitRequest{} }}
+
+func newCommitRequest(b *batch.Batch, sync bool) *commitRequest {
+	req := commitRequestPool.Get().(*commitRequest)
+	req.b, req.sync = b, sync
+	req.err, req.mem, req.endSeq, req.group, req.solo = nil, nil, 0, nil, false
+	req.scheduled.Store(false)
+	req.applied.Store(false)
+	req.published = false
+	return req
+}
+
+// commitSerialLocked is the zero-concurrency commit: commitMu is held, the
+// queue is empty and no scheduled commit is unpublished, so room check,
+// sequencing, WAL append, memtable application, inline guard ingestion,
+// publication and (for sync) the fsync all run serially — the pre-pipeline
+// write path, kept byte-for-byte in behavior for single-writer workloads.
+// Rotation needs commitMu, so the memtable and WAL cannot change under us,
+// and publishing is a plain store: with the pipeline empty, the visible
+// sequence number equals the allocated one.
+func (e *Engine) commitSerialLocked(b *batch.Batch, sync bool) error {
+	if err := e.makeRoomForWrite(b.ApproxSize()); err != nil {
+		return err
+	}
+	b.SetSeqNum(base.SeqNum(e.logSeq + 1))
+	e.logSeq += uint64(b.Count())
+	repr := b.Repr()
+	if err := e.walW.AddRecord(repr); err != nil {
+		e.setBgErr(err)
+		return err
+	}
+	e.stats.walBytes.Add(int64(len(repr)))
+	err := b.Iterate(func(kind base.Kind, ukey, value []byte, s base.SeqNum) error {
+		e.mem.Set(ukey, s, kind, value)
+		if e.tree.WantGuard(ukey) {
+			e.tree.Ingest(ukey)
+		}
+		return nil
+	})
+	if err != nil {
+		e.setBgErr(err)
+		return err
+	}
+	// Publish visibility only after the memtable holds every entry.
+	e.seq.Store(e.logSeq)
+	e.stats.commitGroups.Add(1)
+	e.stats.commitBatches.Add(1)
+	if sync {
+		// Holding commitMu through the fsync mirrors the serial path;
+		// writers arriving meanwhile queue up and enter the pipeline.
+		if err := e.walW.SyncWait(); err != nil {
+			e.setBgErr(err)
+			return err
+		}
+	}
+	e.stats.writes.Add(int64(b.Count()))
+	return nil
+}
+
+// leadCommitLocked schedules a group: room check, contiguous sequence
+// assignment, memtable writer reservations, publication-queue enqueue and
+// the WAL record-group append. Called with commitMu held. Returns the
+// group state and the pinned WAL writer when the group needs an fsync, so
+// the caller can perform that duty after releasing the lock.
+func (e *Engine) leadCommitLocked(group []*commitRequest) (*commitGroup, *wal.Writer) {
+	needSync := false
+	var total int
+	for _, r := range group {
+		if r.sync {
+			needSync = true
+		}
+		total += r.b.ApproxSize()
+	}
+	// Async-only groups never touch the group state, so don't allocate it.
+	var g *commitGroup
+	if needSync {
+		g = &commitGroup{needSync: true, syncDone: make(chan struct{})}
+	}
+
+	if err := e.makeRoomForWrite(total); err != nil {
+		// Fail the whole group before any of it was scheduled.
+		if g != nil {
+			g.syncErr = err
+			close(g.syncDone)
+		}
+		for _, r := range group {
+			r.err = err
+			r.group = g
+			r.scheduled.Store(true)
+		}
+		return nil, nil
+	}
+
+	// Pin the memtable and WAL for the group. Rotation only happens under
+	// commitMu, so these stay valid until every reservation drains.
+	mem := e.mem
+	w := e.walW
+	if g != nil {
+		w.Ref()
+	}
+	solo := len(group) == 1
+	for _, r := range group {
+		r.group = g
+		r.mem = mem
+		r.solo = solo
+		r.b.SetSeqNum(base.SeqNum(e.logSeq + 1))
+		e.logSeq += uint64(r.b.Count())
+		r.endSeq = base.SeqNum(e.logSeq)
+		mem.ReserveWriter()
+	}
+
+	// Enqueue for in-order publication before anyone can apply.
+	e.pendMu.Lock()
+	e.pend = append(e.pend, group...)
+	e.pendMu.Unlock()
+	e.pendCount.Add(int64(len(group)))
+
+	// One record per batch, appended back-to-back as a record group; the
+	// single fsync that follows (if requested) covers all of them.
+	var walErr error
+	for _, r := range group {
+		if walErr != nil {
+			r.err = walErr
+			continue
+		}
+		repr := r.b.Repr()
+		if err := w.AddRecord(repr); err != nil {
+			walErr = err
+			r.err = err
+			e.setBgErr(err)
+			continue
+		}
+		e.stats.walBytes.Add(int64(len(repr)))
+	}
+	// On a WAL error the requests are already scheduled; let them flow
+	// through publication so the pipeline drains (bgErr fails every
+	// subsequent commit anyway).
+
+	e.stats.commitGroups.Add(1)
+	e.stats.commitBatches.Add(int64(len(group)))
+	for _, r := range group {
+		r.scheduled.Store(true)
+	}
+	return g, w
+}
+
+// applyBatch inserts the request's batch into its pinned memtable and
+// routes guard candidates to the tree: inline for solo groups (no
+// concurrent appliers to contend with), via the ingest sidecar otherwise.
+func (e *Engine) applyBatch(req *commitRequest) error {
+	var guardKeys [][]byte
+	err := req.b.Iterate(func(kind base.Kind, ukey, value []byte, s base.SeqNum) error {
+		req.mem.Set(ukey, s, kind, value)
+		if e.tree.WantGuard(ukey) {
+			if req.solo {
+				e.tree.Ingest(ukey)
+			} else {
+				guardKeys = append(guardKeys, append([]byte(nil), ukey...))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		// No setBgErr here: the caller still holds a memtable writer
+		// reservation, and setBgErr needs e.mu, which rotation holds
+		// while waiting for reservations (Apply reports it after
+		// WriterDone).
+		return err
+	}
+	if len(guardKeys) > 0 {
+		e.queueIngest(guardKeys)
+	}
+	return nil
+}
+
+// publishAndWait ratchets the publication queue and blocks until the
+// caller's own commit is visible. Publication strictly follows sequence
+// order: the head of the queue publishes only once applied, so a reader
+// can never observe commit k+1 without commit k. Whichever applier
+// finishes last publishes the whole applied prefix and wakes the rest.
+func (e *Engine) publishAndWait(req *commitRequest) {
+	e.pendMu.Lock()
+	e.publishLocked()
+	for !req.published {
+		e.pubCond.Wait()
+	}
+	e.pendMu.Unlock()
+}
+
+func (e *Engine) publishLocked() {
+	n := 0
+	for e.pendHead < len(e.pend) && e.pend[e.pendHead].applied.Load() {
+		r := e.pend[e.pendHead]
+		e.pend[e.pendHead] = nil
+		e.pendHead++
+		e.seq.Store(uint64(r.endSeq))
+		r.published = true
+		n++
+	}
+	if e.pendHead == len(e.pend) {
+		// Fully drained: rewind onto the same backing array so the
+		// steady state appends without allocating.
+		e.pend = e.pend[:0]
+		e.pendHead = 0
+	} else if e.pendHead >= 64 {
+		// Saturated pipelines may never fully drain; compact the live
+		// tail (bounded by the in-flight commit count) so the dead
+		// prefix cannot grow without bound.
+		n := copy(e.pend, e.pend[e.pendHead:])
+		for i := n; i < len(e.pend); i++ {
+			e.pend[i] = nil
+		}
+		e.pend = e.pend[:n]
+		e.pendHead = 0
+	}
+	if n > 0 {
+		e.pendCount.Add(int64(-n))
+		e.pubCond.Broadcast()
+	}
+}
+
+// ingestQueue is the guard-ingestion sidecar: appliers drop copied guard
+// candidates here (already filtered by Tree.WantGuard, so almost all keys
+// skip it) and a single background goroutine feeds them to Tree.Ingest,
+// keeping the tree's mutex off the commit critical path.
+type ingestQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	keys   [][]byte
+	active bool
+}
+
+func (e *Engine) queueIngest(keys [][]byte) {
+	e.ing.mu.Lock()
+	e.ing.keys = append(e.ing.keys, keys...)
+	if !e.ing.active {
+		e.ing.active = true
+		go e.ingestWorker()
+	}
+	e.ing.mu.Unlock()
+}
+
+func (e *Engine) ingestWorker() {
+	for {
+		e.ing.mu.Lock()
+		keys := e.ing.keys
+		e.ing.keys = nil
+		if len(keys) == 0 {
+			e.ing.active = false
+			e.ing.cond.Broadcast()
+			e.ing.mu.Unlock()
+			return
+		}
+		e.ing.mu.Unlock()
+		for _, k := range keys {
+			e.tree.Ingest(k)
+		}
+	}
+}
+
+// drainIngest waits until the sidecar has consumed every queued guard
+// candidate (Flush and Close, so guard selection keeps pace with the data
+// it came from).
+func (e *Engine) drainIngest() {
+	e.ing.mu.Lock()
+	for e.ing.active || len(e.ing.keys) > 0 {
+		e.ing.cond.Wait()
+	}
+	e.ing.mu.Unlock()
+}
+
+// CommitWaitBuckets are the upper bounds of the commit-wait histogram
+// buckets; the last histogram slot counts waits above the final bound.
+var CommitWaitBuckets = [...]time.Duration{
+	time.Microsecond,
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+}
+
+func (e *Engine) observeCommitWait(d time.Duration) {
+	for i, b := range CommitWaitBuckets {
+		if d <= b {
+			e.stats.commitWaitHist[i].Add(1)
+			return
+		}
+	}
+	e.stats.commitWaitHist[len(CommitWaitBuckets)].Add(1)
+}

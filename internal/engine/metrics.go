@@ -8,7 +8,8 @@ import (
 
 // Metrics is a point-in-time summary of store activity, sized for the
 // paper's reporting needs (write amplification, stall counts, sstable size
-// distributions, memory consumption).
+// distributions, memory consumption) plus the commit-pipeline health
+// counters (group sizes, fsync amortization, commit waits).
 type Metrics struct {
 	// Tree describes the on-storage structure.
 	Tree treebase.Metrics
@@ -23,6 +24,22 @@ type Metrics struct {
 	Flushes int64
 	// WALBytes counts bytes appended to the write-ahead log.
 	WALBytes int64
+	// WALSyncs counts physical WAL fsyncs. With group commit this is far
+	// below SyncCommits under concurrency: one fsync covers every sync
+	// commit whose record reached the log before it.
+	WALSyncs int64
+	// SyncCommits counts commits that requested durability (WriteOptions
+	// Sync or Options.WALSync).
+	SyncCommits int64
+	// CommitGroups counts commit groups formed by leaders; CommitBatches
+	// counts the batches scheduled across them, so CommitBatches /
+	// CommitGroups is the mean group-commit size.
+	CommitGroups  int64
+	CommitBatches int64
+	// CommitWaitHist is the commit-latency histogram: bucket i counts
+	// commits that completed within CommitWaitBuckets[i]; the final slot
+	// counts the overflow.
+	CommitWaitHist [len(CommitWaitBuckets) + 1]int64
 	// Gets / Writes / Iterators count operations.
 	Gets      int64
 	Writes    int64
@@ -31,6 +48,24 @@ type Metrics struct {
 	MemtableBytes int64
 	// LastSeq is the last committed sequence number.
 	LastSeq base.SeqNum
+}
+
+// CommitGroupSize is the mean number of batches per commit group (1.0
+// means no grouping occurred).
+func (m Metrics) CommitGroupSize() float64 {
+	if m.CommitGroups == 0 {
+		return 0
+	}
+	return float64(m.CommitBatches) / float64(m.CommitGroups)
+}
+
+// SyncsPerCommit is physical fsyncs divided by durability-requesting
+// commits; well below 1.0 under concurrent sync writers.
+func (m Metrics) SyncsPerCommit() float64 {
+	if m.SyncCommits == 0 {
+		return 0
+	}
+	return float64(m.WALSyncs) / float64(m.SyncCommits)
 }
 
 // Metrics returns a snapshot of store statistics.
@@ -43,10 +78,17 @@ func (e *Engine) Metrics() Metrics {
 		MemtableWaits:  e.stats.memWaits.Load(),
 		Flushes:        e.stats.flushes.Load(),
 		WALBytes:       e.stats.walBytes.Load(),
+		WALSyncs:       e.stats.walSyncs.Load(),
+		SyncCommits:    e.stats.syncCommits.Load(),
+		CommitGroups:   e.stats.commitGroups.Load(),
+		CommitBatches:  e.stats.commitBatches.Load(),
 		Gets:           e.stats.gets.Load(),
 		Writes:         e.stats.writes.Load(),
 		Iterators:      e.stats.iterators.Load(),
 		LastSeq:        base.SeqNum(e.seq.Load()),
+	}
+	for i := range e.stats.commitWaitHist {
+		m.CommitWaitHist[i] = e.stats.commitWaitHist[i].Load()
 	}
 	e.mu.Lock()
 	m.MemtableBytes = e.mem.ApproxSize()

@@ -22,51 +22,6 @@ func (e *Engine) Delete(key []byte, sync bool) error {
 	return e.Apply(b, sync)
 }
 
-// Apply commits a batch atomically: one WAL record, consecutive sequence
-// numbers, and memtable application. Concurrent callers serialize on the
-// commit mutex (LevelDB's writer queue collapses to this under Go's mutex
-// FIFO-ish scheduling).
-func (e *Engine) Apply(b *batch.Batch, sync bool) error {
-	if b.Empty() {
-		return nil
-	}
-	e.commitMu.Lock()
-	defer e.commitMu.Unlock()
-
-	if err := e.makeRoomForWrite(b.ApproxSize()); err != nil {
-		return err
-	}
-
-	seq := base.SeqNum(e.seq.Load()) + 1
-	b.SetSeqNum(seq)
-	repr := b.Repr()
-	if err := e.walW.AddRecord(repr); err != nil {
-		e.setBgErr(err)
-		return err
-	}
-	e.stats.walBytes.Add(int64(len(repr)))
-	if sync || e.cfg.WALSync {
-		if err := e.walFile.Sync(); err != nil {
-			e.setBgErr(err)
-			return err
-		}
-	}
-
-	err := b.Iterate(func(kind base.Kind, ukey, value []byte, s base.SeqNum) error {
-		e.mem.Set(ukey, s, kind, value)
-		e.tree.Ingest(ukey)
-		return nil
-	})
-	if err != nil {
-		e.setBgErr(err)
-		return err
-	}
-	// Publish visibility only after the memtable holds every entry.
-	e.seq.Store(uint64(seq) + uint64(b.Count()) - 1)
-	e.stats.writes.Add(int64(b.Count()))
-	return nil
-}
-
 func (e *Engine) setBgErr(err error) {
 	e.mu.Lock()
 	if e.bgErr == nil {
@@ -108,19 +63,36 @@ func (e *Engine) makeRoomForWrite(n int) error {
 			e.stats.stops.Add(1)
 			e.cond.Wait()
 		default:
-			// Rotate: freeze the memtable, start a new WAL, flush in the
-			// background.
-			if err := e.startNewWAL(); err != nil {
+			if err := e.rotateMemtableLocked(); err != nil {
 				e.bgErr = err
 				return err
 			}
-			e.imm = e.mem
-			e.mem = memtable.New()
-			e.flushing = true
-			flushSeq := base.SeqNum(e.seq.Load())
-			go e.flushWorker(e.imm, e.walNum, flushSeq)
 		}
 	}
+}
+
+// rotateMemtableLocked freezes the current memtable behind a fresh WAL and
+// flushes it in the background. Called with commitMu and mu held (so no
+// new writer reservations can arrive); it waits for in-flight appliers to
+// drain before freezing, and stamps the flush with the last *allocated*
+// sequence number — after the quiesce, every allocated commit is in the
+// frozen memtable even if not yet published.
+func (e *Engine) rotateMemtableLocked() error {
+	if err := e.startNewWAL(); err != nil {
+		return err
+	}
+	e.mem.QuiesceWriters()
+	// Bound guard-ingestion lag to one memtable: the sidecar is empty
+	// whenever a memtable freezes, so the guards selected from its keys
+	// exist before any compaction can consume them. (The ingest worker
+	// only needs the tree mutex, which is never held across engine
+	// callbacks, so draining under commitMu+mu cannot deadlock.)
+	e.drainIngest()
+	e.imm = e.mem
+	e.mem = memtable.New()
+	e.flushing = true
+	go e.flushWorker(e.imm, e.walNum, base.SeqNum(e.logSeq))
+	return nil
 }
 
 // flushWorker writes one immutable memtable to level 0.
@@ -145,38 +117,32 @@ func (e *Engine) flushWorker(imm *memtable.Memtable, newLogNum base.FileNum, las
 // Flush forces the current memtable to storage and waits for it.
 func (e *Engine) Flush() error {
 	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	// No new commits can be scheduled while commitMu is held (rotation and
+	// scheduling both require it, so e.mem is stable here); wait out the
+	// in-flight appliers and the guard sidecar so the flushed table and
+	// its guards match.
+	e.mem.QuiesceWriters()
+	e.drainIngest()
+
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	for e.imm != nil && e.bgErr == nil {
 		e.cond.Wait()
 	}
 	if e.bgErr != nil {
-		err := e.bgErr
-		e.mu.Unlock()
-		e.commitMu.Unlock()
-		return err
+		return e.bgErr
 	}
 	if e.mem.Len() == 0 {
-		e.mu.Unlock()
-		e.commitMu.Unlock()
 		return nil
 	}
-	if err := e.startNewWAL(); err != nil {
-		e.mu.Unlock()
-		e.commitMu.Unlock()
+	if err := e.rotateMemtableLocked(); err != nil {
 		return err
 	}
-	e.imm = e.mem
-	e.mem = memtable.New()
-	e.flushing = true
-	flushSeq := base.SeqNum(e.seq.Load())
-	go e.flushWorker(e.imm, e.walNum, flushSeq)
 	for e.imm != nil && e.bgErr == nil {
 		e.cond.Wait()
 	}
-	err := e.bgErr
-	e.mu.Unlock()
-	e.commitMu.Unlock()
-	return err
+	return e.bgErr
 }
 
 // CompactAll flushes and then drives compaction to quiescence on the

@@ -132,6 +132,14 @@ func (t *Tree) RecoveryLogNum() base.FileNum { return t.vs.LogNum() }
 // PersistedLastSeq returns the sequence watermark from the manifest.
 func (t *Tree) PersistedLastSeq() base.SeqNum { return t.vs.LastSeq() }
 
+// WantGuard reports whether ukey would be selected as a guard at any
+// level. It is a pure hash check — no locks — so the engine's commit
+// pipeline can filter keys before paying Ingest's copy and mutex costs.
+func (t *Tree) WantGuard(ukey []byte) bool {
+	_, ok := t.picker.GuardLevel(ukey)
+	return ok
+}
+
 // Ingest hashes every inserted key and records new uncommitted guards
 // (§3.2: guards are selected probabilistically from inserted keys; §4.4:
 // via the key's hash). A key selected at level l is an uncommitted guard

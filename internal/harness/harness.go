@@ -168,6 +168,26 @@ func FillRandom(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64) error 
 	return nil
 }
 
+// FillSync inserts n keys drawn uniformly from keySpace, each as its own
+// durable (Sync) commit — the workload where the commit pipeline's fsync
+// amortization shows up directly.
+func FillSync(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	val := make([]byte, valueSize)
+	rng.Read(val)
+	key := make([]byte, 0, 16)
+	b := db.NewBatch()
+	for i := 0; i < n; i++ {
+		b.Reset()
+		key = KeyAt(key, uint64(rng.Intn(keySpace)))
+		b.Set(key, val)
+		if err := db.Apply(b, pebblesdb.Sync); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FillSeqUnique inserts exactly the keys [0, n), each once, in order
 // (space-amplification experiments need unique keys).
 func FillSeqUnique(db *pebblesdb.DB, n, valueSize int, seed int64) error {

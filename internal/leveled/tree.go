@@ -98,6 +98,10 @@ func (t *Tree) RecoveryLogNum() base.FileNum { return t.vs.LogNum() }
 // PersistedLastSeq returns the sequence watermark from the manifest.
 func (t *Tree) PersistedLastSeq() base.SeqNum { return t.vs.LastSeq() }
 
+// WantGuard reports whether the engine should route ukey to Ingest; the
+// leveled tree has no guards, so never.
+func (t *Tree) WantGuard(ukey []byte) bool { return false }
+
 // Ingest is the per-key write hook; the leveled tree has no guards, so it
 // is a no-op.
 func (t *Tree) Ingest(ukey []byte) {}

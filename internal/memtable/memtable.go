@@ -4,15 +4,26 @@
 package memtable
 
 import (
+	"runtime"
+	"sync/atomic"
+
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/skiplist"
 )
 
-// Memtable is an in-memory write buffer. A single writer (the engine's
-// commit pipeline) calls Set; readers are lock-free.
+// Memtable is an in-memory write buffer. Set is safe for concurrent use
+// (the engine's group-commit pipeline lets every committer apply its own
+// batch in parallel); readers are lock-free.
+//
+// The writer-reservation counter coordinates memtable rotation: the commit
+// leader reserves a writer slot for every batch it schedules onto this
+// memtable, each applier releases its slot when done, and rotation waits
+// for the count to drain before freezing the memtable, so no insert can
+// land on a memtable that is being flushed.
 type Memtable struct {
-	list *skiplist.Skiplist
+	list    *skiplist.Skiplist
+	writers atomic.Int64
 }
 
 // New returns an empty memtable.
@@ -20,14 +31,36 @@ func New() *Memtable {
 	return &Memtable{list: skiplist.New(base.InternalCompare)}
 }
 
+// ReserveWriter registers an in-flight batch application. Called by the
+// commit leader while it holds the commit lock, so a reservation can never
+// race with rotation.
+func (m *Memtable) ReserveWriter() { m.writers.Add(1) }
+
+// WriterDone releases a reservation taken by ReserveWriter.
+func (m *Memtable) WriterDone() { m.writers.Add(-1) }
+
+// QuiesceWriters spins until every reserved writer has finished. Appliers
+// do no IO, so the wait is short; the caller must hold the commit lock so
+// no new reservations arrive.
+func (m *Memtable) QuiesceWriters() {
+	for m.writers.Load() > 0 {
+		runtime.Gosched()
+	}
+}
+
 // Set records a mutation of kind (KindSet or KindDelete) at seq. Both key
-// and value are copied: callers (the commit pipeline) own and may reuse
-// their buffers — batches in particular are reusable after Apply.
+// and value are copied into a single allocation: callers (the commit
+// pipeline) own and may reuse their buffers — batches in particular are
+// reusable after Apply. Safe for concurrent use.
 func (m *Memtable) Set(ukey []byte, seq base.SeqNum, kind base.Kind, value []byte) {
-	ikey := base.MakeInternalKey(make([]byte, 0, len(ukey)+base.TrailerLen), ukey, seq, kind)
+	n := len(ukey) + base.TrailerLen
+	buf := base.MakeInternalKey(make([]byte, 0, n+len(value)), ukey, seq, kind)
+	ikey := buf
 	var v []byte
 	if len(value) > 0 {
-		v = append(make([]byte, 0, len(value)), value...)
+		buf = append(buf, value...)
+		ikey = buf[:n:n]
+		v = buf[n:]
 	}
 	m.list.Add(ikey, v)
 }

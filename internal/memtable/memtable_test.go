@@ -1,6 +1,7 @@
 package memtable
 
 import (
+	"encoding/binary"
 	"fmt"
 	"testing"
 
@@ -97,5 +98,70 @@ func TestLenAndSize(t *testing.T) {
 	}
 	if m.ApproxSize() <= 0 {
 		t.Fatal("size should be positive")
+	}
+}
+
+// TestSetAllocs pins the per-entry allocation budget: one combined
+// key+value buffer, one skiplist node, one next-pointer slice. A fourth
+// allocation means the old separate key/value make+append pattern crept
+// back in.
+func TestSetAllocs(t *testing.T) {
+	m := New()
+	key := []byte("alloc-test-key")
+	val := make([]byte, 128)
+	seq := base.SeqNum(0)
+	got := testing.AllocsPerRun(200, func() {
+		seq++
+		m.Set(key, seq, base.KindSet, val)
+	})
+	if got > 3 {
+		t.Fatalf("Set allocates %.1f objects per entry, want <= 3", got)
+	}
+}
+
+// TestSetConcurrent sanity-checks the concurrent-writer contract at the
+// memtable layer: distinct (key, seq) entries inserted from multiple
+// goroutines must all be retrievable.
+func TestSetConcurrent(t *testing.T) {
+	m := New()
+	done := make(chan struct{})
+	const writers, per = 4, 500
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				k := []byte(fmt.Sprintf("w%d-%04d", w, i))
+				m.Set(k, base.SeqNum(w*per+i+1), base.KindSet, []byte("v"))
+			}
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		<-done
+	}
+	if m.Len() != writers*per {
+		t.Fatalf("Len = %d, want %d", m.Len(), writers*per)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < per; i++ {
+			k := []byte(fmt.Sprintf("w%d-%04d", w, i))
+			if _, _, found := m.Get(k, base.SeqNum(writers*per+1)); !found {
+				t.Fatalf("key %q lost", k)
+			}
+		}
+	}
+}
+
+// BenchmarkMemtableSet tracks the per-entry insert cost and allocation
+// count (run with -benchmem; the alloc budget is asserted by
+// TestSetAllocs).
+func BenchmarkMemtableSet(b *testing.B) {
+	m := New()
+	key := make([]byte, 16)
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(key) + len(val)))
+	for i := 0; i < b.N; i++ {
+		binary.BigEndian.PutUint64(key, uint64(i))
+		m.Set(key, base.SeqNum(i+1), base.KindSet, val)
 	}
 }

@@ -1,8 +1,10 @@
 // Package skiplist provides the in-memory sorted structure underlying the
 // memtable (§2.2: "the put() operation writes the key-value pair ... to an
-// in-memory skip list"). The list supports a single writer with any number
-// of concurrent lock-free readers: next pointers are atomic, nodes are
-// immutable after linking, and nothing is ever unlinked.
+// in-memory skip list"). The list supports any number of concurrent
+// writers and lock-free readers: next pointers are spliced with
+// compare-and-swap, nodes are immutable after linking, and nothing is ever
+// unlinked. This is what lets the engine's group-commit pipeline apply
+// concurrent writers' batches to the memtable in parallel.
 package skiplist
 
 import (
@@ -20,7 +22,7 @@ type Skiplist struct {
 	cmp    func(a, b []byte) int
 	size   atomic.Int64
 	count  atomic.Int64
-	rnd    uint64
+	rnd    atomic.Uint64
 }
 
 type node struct {
@@ -34,19 +36,21 @@ func New(cmp func(a, b []byte) int) *Skiplist {
 	s := &Skiplist{
 		head: &node{next: make([]atomic.Pointer[node], maxHeight)},
 		cmp:  cmp,
-		rnd:  0x2545f4914f6cdd1d,
 	}
 	s.height.Store(1)
 	return s
 }
 
+// randomHeight derives per-insert random state from a wait-free counter
+// pushed through a splitmix64 finalizer, so concurrent inserts never
+// contend on a shared PRNG; p(level up) = 1/4 as in LevelDB.
 func (s *Skiplist) randomHeight() int {
-	// xorshift64*; p(level up) = 1/4 as in LevelDB.
-	x := s.rnd
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	s.rnd = x
+	x := s.rnd.Add(1) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
 	h := 1
 	for h < maxHeight && x&3 == 0 {
 		h++
@@ -117,24 +121,63 @@ func (s *Skiplist) findLast() *node {
 	}
 }
 
-// Add inserts key with value. The caller must ensure the key is not already
-// present and that Add is never called concurrently with another Add.
-func (s *Skiplist) Add(key, value []byte) {
-	var prev [maxHeight]*node
-	s.findGE(key, &prev)
-
-	h := s.randomHeight()
-	if cur := int(s.height.Load()); h > cur {
-		for i := cur; i < h; i++ {
-			prev[i] = s.head
+// findSplice fills prev/next with the splice points for key at every
+// level: prev[i].key < key <= next[i].key (next[i] may be nil). It scans
+// from maxHeight-1 so a concurrent height increase cannot be missed.
+func (s *Skiplist) findSplice(key []byte, prev, next *[maxHeight]*node) {
+	x := s.head
+	for level := maxHeight - 1; level >= 0; level-- {
+		nx := x.next[level].Load()
+		for nx != nil && s.cmp(nx.key, key) < 0 {
+			x = nx
+			nx = x.next[level].Load()
 		}
-		s.height.Store(int32(h))
+		prev[level] = x
+		next[level] = nx
 	}
+}
+
+// findSpliceForLevel recomputes the splice at one level after a CAS
+// failure, walking forward from start (whose key is known to be < key).
+func (s *Skiplist) findSpliceForLevel(key []byte, level int, start *node) (prev, next *node) {
+	prev = start
+	for {
+		next = prev.next[level].Load()
+		if next == nil || s.cmp(next.key, key) >= 0 {
+			return prev, next
+		}
+		prev = next
+	}
+}
+
+// Add inserts key with value. The caller must ensure the key is not already
+// present. Add is safe for concurrent use: each next pointer is spliced
+// with a CAS, retrying from a recomputed splice point on contention.
+func (s *Skiplist) Add(key, value []byte) {
+	h := s.randomHeight()
+	for {
+		cur := s.height.Load()
+		if int(cur) >= h || s.height.CompareAndSwap(cur, int32(h)) {
+			break
+		}
+	}
+
+	var prev, next [maxHeight]*node
+	s.findSplice(key, &prev, &next)
 
 	n := &node{key: key, value: value, next: make([]atomic.Pointer[node], h)}
 	for i := 0; i < h; i++ {
-		n.next[i].Store(prev[i].next[i].Load())
-		prev[i].next[i].Store(n)
+		p, nx := prev[i], next[i]
+		for {
+			n.next[i].Store(nx)
+			if p.next[i].CompareAndSwap(nx, n) {
+				break
+			}
+			// Lost the race at this level: another insert landed between
+			// p and nx. Re-search from p (its key is still < ours; nodes
+			// are never unlinked) and retry the splice.
+			p, nx = s.findSpliceForLevel(key, i, p)
+		}
 	}
 	s.size.Add(int64(len(key) + len(value) + 64))
 	s.count.Add(1)
@@ -146,8 +189,8 @@ func (s *Skiplist) ApproxSize() int64 { return s.size.Load() }
 // Len returns the number of entries.
 func (s *Skiplist) Len() int { return int(s.count.Load()) }
 
-// Iter is a cursor over the skiplist. It is valid to keep iterating while a
-// writer inserts; the iterator observes a consistent ordering, possibly
+// Iter is a cursor over the skiplist. It is valid to keep iterating while
+// writers insert; the iterator observes a consistent ordering, possibly
 // including concurrently inserted entries.
 type Iter struct {
 	list *Skiplist

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"pebblesdb/internal/crc"
 	"pebblesdb/internal/vfs"
@@ -33,17 +35,43 @@ const (
 // for earlier records.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Writer appends length-prefixed records to a log file.
+// ErrWriterClosed is returned by SyncWait on a closed Writer.
+var ErrWriterClosed = errors.New("wal: writer is closed")
+
+// Writer appends length-prefixed records to a log file. AddRecord callers
+// must serialize among themselves (the engine's commit leader does); the
+// sync-request queue (SyncWait) may run concurrently with appends.
 type Writer struct {
 	f           vfs.File
 	blockOffset int
 	buf         [headerSize]byte
+
+	// SyncCounter, when non-nil, is incremented once per physical fsync;
+	// the engine points it at its syncs-per-commit metric. Set it before
+	// the first SyncWait.
+	SyncCounter *atomic.Int64
+
+	// The sync-request queue, generation-style: each completed fsync
+	// round increments syncGen, and a caller is satisfied by any round
+	// that *started* at or after its request. Whoever finds no round in
+	// flight leads exactly one round and then hands off, so one fsync
+	// satisfies every commit whose record reached the log before it while
+	// no single caller is captured doing fsyncs for later arrivals.
+	syncMu   sync.Mutex
+	syncCond *sync.Cond
+	syncGen  uint64
+	syncErr  error
+	syncing  bool
+	refs     int
+	closed   bool
 }
 
 // NewWriter returns a Writer appending to f, which must be empty or have
 // been written only by a Writer whose final block offset is known to be 0.
 func NewWriter(f vfs.File) *Writer {
-	return &Writer{f: f}
+	w := &Writer{f: f}
+	w.syncCond = sync.NewCond(&w.syncMu)
+	return w
 }
 
 // AddRecord appends one record.
@@ -106,11 +134,87 @@ func (w *Writer) emit(typ byte, frag []byte) error {
 	return nil
 }
 
-// Sync flushes the log to durable storage.
+// Sync flushes the log to durable storage immediately, bypassing the
+// sync-request queue. Use SyncWait on the commit path.
 func (w *Writer) Sync() error { return w.f.Sync() }
 
-// Close closes the underlying file.
-func (w *Writer) Close() error { return w.f.Close() }
+// SyncWait makes every record appended before the call durable, sharing
+// fsyncs with concurrent callers: all requests outstanding when a round
+// starts are satisfied by that one fsync. An in-flight round may have
+// started before this call's records hit the log, so such a caller waits
+// for the round after it. Leadership rotates per round, so no caller is
+// held beyond the first round that covers it.
+func (w *Writer) SyncWait() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.closed {
+		return ErrWriterClosed
+	}
+	target := w.syncGen + 1
+	if w.syncing {
+		target++
+	}
+	for w.syncGen < target {
+		if w.closed {
+			return ErrWriterClosed
+		}
+		if !w.syncing {
+			// Lead one round for everyone currently waiting.
+			w.syncing = true
+			w.syncMu.Unlock()
+			err := w.f.Sync()
+			if w.SyncCounter != nil {
+				w.SyncCounter.Add(1)
+			}
+			w.syncMu.Lock()
+			w.syncing = false
+			w.syncGen++
+			// Sticky: once an fsync fails, records covered by that round
+			// may never have reached storage even if a later round
+			// succeeds, so every subsequent SyncWait reports the failure.
+			if err != nil && w.syncErr == nil {
+				w.syncErr = err
+			}
+			w.syncCond.Broadcast()
+		} else {
+			w.syncCond.Wait()
+		}
+	}
+	return w.syncErr
+}
+
+// Ref pins the Writer against Close. The engine's commit leader takes a
+// reference (under the commit lock) before it releases the lock and later
+// calls SyncWait, so a WAL rotation cannot close the file out from under a
+// pending sync.
+func (w *Writer) Ref() {
+	w.syncMu.Lock()
+	w.refs++
+	w.syncMu.Unlock()
+}
+
+// Unref releases a Ref.
+func (w *Writer) Unref() {
+	w.syncMu.Lock()
+	w.refs--
+	if w.refs == 0 {
+		w.syncCond.Broadcast()
+	}
+	w.syncMu.Unlock()
+}
+
+// Close closes the underlying file after draining references and pending
+// sync rounds.
+func (w *Writer) Close() error {
+	w.syncMu.Lock()
+	for w.syncing || w.refs > 0 {
+		w.syncCond.Wait()
+	}
+	w.closed = true
+	w.syncCond.Broadcast()
+	w.syncMu.Unlock()
+	return w.f.Close()
+}
 
 // Reader decodes records from a log file image.
 type Reader struct {

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"pebblesdb/internal/vfs"
 )
@@ -143,4 +146,93 @@ func TestManyRecordsAcrossBlocks(t *testing.T) {
 		records = append(records, []byte(fmt.Sprintf("record-%06d-%s", i, bytes.Repeat([]byte("x"), i%97))))
 	}
 	roundtrip(t, records)
+}
+
+// countingSyncFile wraps a vfs.File and counts (slow) fsyncs.
+type countingSyncFile struct {
+	vfs.File
+	syncs atomic.Int64
+}
+
+func (f *countingSyncFile) Sync() error {
+	f.syncs.Add(1)
+	time.Sleep(200 * time.Microsecond)
+	return f.File.Sync()
+}
+
+// TestSyncWaitAmortizes checks the sync-request queue: concurrent
+// SyncWait callers share fsyncs, and every caller still gets durability
+// (an fsync that started at or after its request).
+func TestSyncWaitAmortizes(t *testing.T) {
+	fs := vfs.NewMem()
+	raw, _ := fs.Create("log")
+	f := &countingSyncFile{File: raw}
+	w := NewWriter(f)
+	var counted atomic.Int64
+	w.SyncCounter = &counted
+
+	const callers = 16
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				mu.Lock()
+				err := w.AddRecord([]byte(fmt.Sprintf("rec-%d-%d", c, i)))
+				mu.Unlock()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.SyncWait(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	total := int64(callers * 10)
+	if f.syncs.Load() != counted.Load() {
+		t.Fatalf("SyncCounter %d != physical syncs %d", counted.Load(), f.syncs.Load())
+	}
+	if got := f.syncs.Load(); got >= total {
+		t.Fatalf("no amortization: %d fsyncs for %d SyncWait calls", got, total)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SyncWait(); err != ErrWriterClosed {
+		t.Fatalf("SyncWait after Close = %v, want ErrWriterClosed", err)
+	}
+}
+
+// TestCloseWaitsForRefs checks that Close drains references: a pinned
+// writer must stay usable for SyncWait until Unref.
+func TestCloseWaitsForRefs(t *testing.T) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("log")
+	w := NewWriter(f)
+	if err := w.AddRecord([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	w.Ref()
+	closed := make(chan error, 1)
+	go func() { closed <- w.Close() }()
+	// Close must not complete while the ref is held.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while ref held", err)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if err := w.SyncWait(); err != nil {
+		t.Fatalf("SyncWait on referenced writer: %v", err)
+	}
+	w.Unref()
+	if err := <-closed; err != nil {
+		t.Fatal(err)
+	}
 }

@@ -110,7 +110,9 @@ type Options struct {
 	ParallelGuardCompaction bool
 	// MaxCompactionConcurrency is the background compaction thread count.
 	MaxCompactionConcurrency int
-	// WALSync forces an fsync per commit.
+	// WALSync makes every commit durable before it returns, as if each
+	// carried WriteOptions{Sync: true}; concurrent commits still share
+	// amortized fsyncs.
 	WALSync bool
 
 	// fs overrides the filesystem (tests).
@@ -132,7 +134,10 @@ type ReadOptions struct {
 type WriteOptions struct {
 	// Sync fsyncs the WAL before the commit returns, making it durable
 	// against machine crashes (per-commit durability; the paper's
-	// benchmarks distinguish sync and no-sync writes, §5.1).
+	// benchmarks distinguish sync and no-sync writes, §5.1). Concurrent
+	// sync commits share fsyncs through the group-commit pipeline — the
+	// guarantee is per-commit, the cost is amortized across however many
+	// commits reached the log before the fsync (see Metrics.SyncsPerCommit).
 	Sync bool
 }
 
