@@ -31,6 +31,7 @@ var (
 	dir         = flag.String("dir", "", "store directory on the OS filesystem; empty = in-memory")
 	compact     = flag.Bool("compact_before_reads", true, "fully compact before read/seek workloads")
 	seed        = flag.Int64("seed", 1, "workload RNG seed")
+	compression = flag.String("compression", "snappy", "sstable block compression: none, snappy (values are ~50% compressible, like LevelDB db_bench)")
 )
 
 func presetByName(name string) (pebblesdb.Preset, bool) {
@@ -57,6 +58,15 @@ func main() {
 		os.Exit(2)
 	}
 	opts := preset.Options()
+	switch strings.ToLower(*compression) {
+	case "none":
+		opts.Compression = pebblesdb.CompressionNone
+	case "snappy", "":
+		opts.Compression = pebblesdb.CompressionSnappy
+	default:
+		fmt.Fprintf(os.Stderr, "unknown compression %q\n", *compression)
+		os.Exit(2)
+	}
 	harness.Scale(opts, *storeScale)
 
 	var db *pebblesdb.DB
@@ -171,6 +181,12 @@ func main() {
 		m.SlowdownWrites, m.StoppedWrites, m.MemtableWaits)
 	fmt.Printf("commit pipeline: %d groups, %.2f batches/group, %d fsyncs / %d sync commits (%.3f syncs/commit)\n",
 		m.CommitGroups, m.CommitGroupSize(), m.WALSyncs, m.SyncCommits, m.SyncsPerCommit())
+	cs := m.Tree.Compression
+	fmt.Printf("compression (%s): logical %.1f MB -> physical %.1f MB (ratio %.3f), %d/%d blocks compressed, encode %.1f ms\n",
+		opts.Compression, float64(cs.LogicalDataBytes)/(1<<20), float64(cs.PhysicalDataBytes)/(1<<20),
+		cs.Ratio(), cs.CompressedBlocks, cs.DataBlocks, float64(cs.CompressNanos)/1e6)
+	fmt.Printf("decompression: %d blocks, %.1f MB inflated, %.1f ms (block-cache hits skip the codec)\n",
+		m.Cache.BlocksDecompressed, float64(m.Cache.BytesDecompressed)/(1<<20), float64(m.Cache.DecompressNanos)/1e6)
 	fmt.Printf("commit waits:")
 	for i, c := range m.CommitWaitHist {
 		if c == 0 {

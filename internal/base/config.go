@@ -1,6 +1,10 @@
 package base
 
-import "fmt"
+import (
+	"fmt"
+
+	"pebblesdb/internal/compress"
+)
 
 // Config carries every tunable shared by the engine and the two tree
 // implementations. The public package translates user-facing Options and
@@ -37,7 +41,15 @@ type Config struct {
 	// (ablation: §5.2 reports reads improve 63% with them).
 	BloomBitsPerKey int
 
+	// Compression selects the sstable data-block codec (sstable format
+	// v2). The zero value (compress.None) writes raw blocks; the public
+	// Options layer defaults stores to Snappy. Blocks that compress by
+	// less than 12.5% are stored raw regardless.
+	Compression compress.Kind
+
 	// BlockCacheSize is the capacity in bytes of the shared block cache.
+	// The cache holds decompressed payloads, so capacity is charged in
+	// post-inflation bytes.
 	BlockCacheSize int64
 	// TableCacheSize is the number of open sstables (and their index
 	// blocks/bloom filters) kept cached. The paper notes the stores cache a

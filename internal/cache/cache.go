@@ -2,7 +2,10 @@
 // backs both the block cache (decoded sstable data blocks) and, via
 // eviction callbacks, the table cache. The paper's evaluation repeatedly
 // turns on cache effects (Fig 5.1d cached datasets, Fig 5.2b low memory),
-// so capacity must be byte-exact.
+// so capacity must be byte-exact. Charges are the caller's to choose; the
+// block cache charges the decompressed payload size (sstable format v2
+// stores blocks snappy-compressed, and hits must skip the codec), so
+// capacity bounds resident memory, not on-storage bytes.
 package cache
 
 import (

@@ -11,9 +11,12 @@ import (
 // distributions, memory consumption) plus the commit-pipeline health
 // counters (group sizes, fsync amortization, commit waits).
 type Metrics struct {
-	// Tree describes the on-storage structure.
+	// Tree describes the on-storage structure, including the write-side
+	// block-compression accounting (Tree.Compression: logical vs physical
+	// data bytes, encoder time).
 	Tree treebase.Metrics
-	// Cache describes the table cache (Table 5.4 memory accounting).
+	// Cache describes the table cache (Table 5.4 memory accounting) and
+	// the read-side decompression counters.
 	Cache tablecache.Metrics
 
 	// SlowdownWrites / StoppedWrites / MemtableWaits count write stalls.

@@ -191,15 +191,17 @@ func (t *Tree) pickLocked(claim bool) *compaction {
 }
 
 // findGroup returns the files of the guard identified by key ("" sentinel).
+// Guards are sorted by key, so the interval lookup is guard.FindGuard's
+// binary search; an exact-key check distinguishes "this guard" from "a key
+// inside some other guard's interval".
 func (t *Tree) findGroup(v *version, level int, key string) []*base.FileMetadata {
 	gl := &v.levels[level]
 	if key == "" {
 		return gl.sentinel
 	}
-	for i := range gl.guards {
-		if string(gl.guards[i].Key) == key {
-			return gl.guards[i].Files
-		}
+	idx := guard.FindGuard(gl.guards, []byte(key))
+	if idx >= 0 && string(gl.guards[idx].Key) == key {
+		return gl.guards[idx].Files
 	}
 	return nil
 }
@@ -412,6 +414,9 @@ func (t *Tree) runCompaction(c *compaction) error {
 	}
 	t.metrics.BytesCompactedIn += bytesIn
 	t.metrics.BytesCompactedOut += bytesOut
+	for _, o := range outputs {
+		t.metrics.Compression.Merge(o.builder.CompressionStats())
+	}
 	for _, s := range c.sources {
 		id := guardID{Level: c.level, Key: string(s.key)}
 		delete(t.seekCounts, id)
@@ -462,7 +467,7 @@ func (t *Tree) mergeAndPartition(files []*base.FileMetadata, partitionKeys [][]b
 			}
 			return out, err
 		}
-		iters = append(iters, treebase.NewTableIter(r))
+		iters = append(iters, treebase.NewSequentialTableIter(r))
 	}
 	merged := iterator.NewMerging(base.InternalCompare, iters...)
 	ci := treebase.NewCompactionIter(merged, smallestSnapshot, elideTombstones)

@@ -1,0 +1,64 @@
+package flsm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/memtable"
+	"pebblesdb/internal/vfs"
+)
+
+// BenchmarkTreeGet measures the FLSM point-lookup path (bloom checks,
+// userKeyInRange, guard binary search) against a multi-level tree. Run
+// with -benchmem: it pins the allocs/op of Get so hot-path regressions
+// (like a range check that starts allocating) show up immediately.
+// Before/after numbers for the userKeyInRange bytes.Compare change are in
+// EXPERIMENTS.md: go1.24 already optimizes the old string-conversion
+// comparison, so both forms measure 10 allocs/op — the bytes.Compare form
+// just stops depending on that optimization.
+func BenchmarkTreeGet(b *testing.B) {
+	host := &fakeHost{smallest: base.MaxSeqNum}
+	tree, err := Open(testConfig(), vfs.NewMem(), "bench", host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tree.Close()
+
+	const numKeys = 20000
+	var seq base.SeqNum
+	keys := make([][]byte, numKeys)
+	// Several flush batches so lookups traverse L0 files and guarded
+	// levels, then compact into steady state.
+	for batch := 0; batch < 10; batch++ {
+		mem := memtable.New()
+		for i := batch; i < numKeys; i += 10 {
+			k := []byte(fmt.Sprintf("user%08d", i))
+			keys[i] = k
+			seq++
+			mem.Set(k, seq, base.KindSet, []byte(fmt.Sprintf("val%08d", i)))
+			tree.Ingest(k)
+		}
+		if err := tree.Flush(mem.NewIter(), 0, seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tree.CompactAll(); err != nil {
+		b.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[rng.Intn(numKeys)]
+		_, found, err := tree.Get(k, base.MaxSeqNum)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !found {
+			b.Fatalf("key %s missing", k)
+		}
+	}
+}

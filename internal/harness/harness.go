@@ -138,15 +138,76 @@ func KeyAt(dst []byte, i uint64) []byte {
 	return append(dst, buf[:]...)
 }
 
+// CompressibleFraction is the default fraction of each benchmark value that
+// is unique random data; the rest repeats it. 0.5 matches LevelDB
+// db_bench's compression_ratio default, so fill workloads exercise the
+// block codec with a realistic ~2x-compressible payload.
+const CompressibleFraction = 0.5
+
+// ValueSource produces semi-compressible benchmark values, mirroring
+// LevelDB db_bench's RandomGenerator: a ~1MB pool assembled from 100-byte
+// pieces that are `fraction` random data repeated to full size, served as
+// a sliding window so successive values differ.
+type ValueSource struct {
+	pool []byte
+	size int
+	pos  int
+}
+
+// NewValueSource returns a generator of size-byte values of which roughly
+// fraction is incompressible.
+func NewValueSource(size int, fraction float64, seed int64) *ValueSource {
+	rng := rand.New(rand.NewSource(seed))
+	if size < 1 {
+		size = 1
+	}
+	if fraction <= 0 || fraction > 1 {
+		fraction = 1
+	}
+	raw := int(100 * fraction)
+	if raw < 1 {
+		raw = 1
+	}
+	// The pool must hold at least one full value, so oversized values
+	// (> 1MiB) still get genuine semi-compressible content.
+	target := 1 << 20
+	if size > target {
+		target = size
+	}
+	pool := make([]byte, 0, target+size+100)
+	frag := make([]byte, raw)
+	for len(pool) < target {
+		for i := range frag {
+			frag[i] = byte(' ' + rng.Intn(95))
+		}
+		piece := len(pool) + 100
+		for len(pool) < piece {
+			pool = append(pool, frag...)
+		}
+	}
+	// Tail pad so every window of size bytes stays in range.
+	pool = append(pool, pool[:size]...)
+	return &ValueSource{pool: pool, size: size}
+}
+
+// Next returns the next value. The returned slice aliases the pool: copy it
+// if it must outlive the following call (db.Put copies internally).
+func (v *ValueSource) Next() []byte {
+	if v.pos+v.size > len(v.pool) {
+		v.pos = 0
+	}
+	b := v.pool[v.pos : v.pos+v.size]
+	v.pos += v.size
+	return b
+}
+
 // FillSeq inserts n keys in ascending order.
 func FillSeq(db *pebblesdb.DB, n int, valueSize int, seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
-	val := make([]byte, valueSize)
-	rng.Read(val)
+	vals := NewValueSource(valueSize, CompressibleFraction, seed)
 	key := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(i))
-		if err := db.Put(key, val); err != nil {
+		if err := db.Put(key, vals.Next()); err != nil {
 			return err
 		}
 	}
@@ -156,12 +217,11 @@ func FillSeq(db *pebblesdb.DB, n int, valueSize int, seed int64) error {
 // FillRandom inserts n keys drawn uniformly from keySpace.
 func FillRandom(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
-	val := make([]byte, valueSize)
-	rng.Read(val)
+	vals := NewValueSource(valueSize, CompressibleFraction, seed)
 	key := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
-		if err := db.Put(key, val); err != nil {
+		if err := db.Put(key, vals.Next()); err != nil {
 			return err
 		}
 	}
@@ -173,14 +233,13 @@ func FillRandom(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64) error 
 // amortization shows up directly.
 func FillSync(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
-	val := make([]byte, valueSize)
-	rng.Read(val)
+	vals := NewValueSource(valueSize, CompressibleFraction, seed)
 	key := make([]byte, 0, 16)
 	b := db.NewBatch()
 	for i := 0; i < n; i++ {
 		b.Reset()
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
-		b.Set(key, val)
+		b.Set(key, vals.Next())
 		if err := db.Apply(b, pebblesdb.Sync); err != nil {
 			return err
 		}
@@ -196,13 +255,11 @@ func FillSeqUnique(db *pebblesdb.DB, n, valueSize int, seed int64) error {
 
 // FillRange inserts every key in [lo, hi) once.
 func FillRange(db *pebblesdb.DB, lo, hi uint64, valueSize int, seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
-	val := make([]byte, valueSize)
-	rng.Read(val)
+	vals := NewValueSource(valueSize, CompressibleFraction, seed)
 	key := make([]byte, 0, 16)
 	for i := lo; i < hi; i++ {
 		key = KeyAt(key, i)
-		if err := db.Put(key, val); err != nil {
+		if err := db.Put(key, vals.Next()); err != nil {
 			return err
 		}
 	}
@@ -362,12 +419,11 @@ func Concurrent(threads int, worker func(th int) error) error {
 func Age(db *pebblesdb.DB, inserts, deletes, updates, keySpace, valueSize int, seed int64) error {
 	return Concurrent(4, func(th int) error {
 		rng := rand.New(rand.NewSource(seed + int64(th)))
-		val := make([]byte, valueSize)
-		rng.Read(val)
+		vals := NewValueSource(valueSize, CompressibleFraction, seed+int64(th))
 		key := make([]byte, 0, 16)
 		for i := 0; i < inserts/4; i++ {
 			key = KeyAt(key, uint64(rng.Intn(keySpace)))
-			if err := db.Put(key, val); err != nil {
+			if err := db.Put(key, vals.Next()); err != nil {
 				return err
 			}
 		}
@@ -379,7 +435,7 @@ func Age(db *pebblesdb.DB, inserts, deletes, updates, keySpace, valueSize int, s
 		}
 		for i := 0; i < updates/4; i++ {
 			key = KeyAt(key, uint64(rng.Intn(keySpace)))
-			if err := db.Put(key, val); err != nil {
+			if err := db.Put(key, vals.Next()); err != nil {
 				return err
 			}
 		}

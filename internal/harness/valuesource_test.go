@@ -1,0 +1,33 @@
+package harness
+
+import (
+	"testing"
+
+	"pebblesdb/internal/compress"
+)
+
+func TestValueSourceOversizedValuesStayCompressible(t *testing.T) {
+	for _, size := range []int{64, 4096, 1 << 20, 2 << 20, 3<<20 + 17} {
+		vs := NewValueSource(size, CompressibleFraction, 42)
+		v1 := append([]byte(nil), vs.Next()...)
+		v2 := vs.Next()
+		if len(v1) != size || len(v2) != size {
+			t.Fatalf("size %d: got %d/%d", size, len(v1), len(v2))
+		}
+		// No zero-padding tail: the pool must be real generated content.
+		zeros := 0
+		for _, b := range v1 {
+			if b == 0 {
+				zeros++
+			}
+		}
+		if zeros > 0 {
+			t.Fatalf("size %d: %d zero bytes leaked into the value", size, zeros)
+		}
+		enc := compress.Encode(nil, v1)
+		ratio := float64(len(enc)) / float64(len(v1))
+		if size >= 4096 && (ratio < 0.3 || ratio > 0.8) {
+			t.Fatalf("size %d: snappy ratio %.3f outside semi-compressible band", size, ratio)
+		}
+	}
+}

@@ -167,7 +167,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 			}
 			return err
 		}
-		iters = append(iters, treebase.NewTableIter(r))
+		iters = append(iters, treebase.NewSequentialTableIter(r))
 		bytesIn += int64(f.Size)
 	}
 	merged := iterator.NewMerging(base.InternalCompare, iters...)
@@ -243,6 +243,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 	}
 	t.metrics.BytesCompactedIn += bytesIn
 	t.metrics.BytesCompactedOut += bytesOut
+	t.metrics.Compression.Merge(ob.CompressionStats())
 	if len(c.inputs) > 0 {
 		t.compactPtr[c.level] = append([]byte(nil), c.inputs[len(c.inputs)-1].LargestUserKey()...)
 	}

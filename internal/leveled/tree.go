@@ -1,6 +1,7 @@
 package leveled
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sync"
@@ -131,6 +132,7 @@ func (t *Tree) writerOptions() sstable.WriterOptions {
 		BlockSize:            t.cfg.BlockSize,
 		BlockRestartInterval: t.cfg.BlockRestartInterval,
 		BloomBitsPerKey:      t.cfg.BloomBitsPerKey,
+		Compression:          t.cfg.Compression,
 	}
 }
 
@@ -169,6 +171,7 @@ func (t *Tree) Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.Seq
 	ob.ReleasePending()
 	t.mu.Lock()
 	t.metrics.BytesFlushed += flushed
+	t.metrics.Compression.Merge(ob.CompressionStats())
 	t.mu.Unlock()
 	return nil
 }
@@ -261,8 +264,12 @@ func (t *Tree) Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err 
 	return nil, false, err
 }
 
+// userKeyInRange sits on the Get hot path for every candidate file.
+// bytes.Compare guarantees the range check stays allocation-free instead
+// of relying on the compiler's string-comparison conversion optimization.
 func userKeyInRange(ukey []byte, f *base.FileMetadata) bool {
-	return string(ukey) >= string(f.SmallestUserKey()) && string(ukey) <= string(f.LargestUserKey())
+	return bytes.Compare(ukey, f.SmallestUserKey()) >= 0 &&
+		bytes.Compare(ukey, f.LargestUserKey()) <= 0
 }
 
 // chargeSeek decrements a file's seek budget, scheduling a seek-triggered

@@ -1,0 +1,11 @@
+//go:build race
+
+// Package race exposes whether the race detector is compiled in, so slow
+// tests can scale themselves down: race instrumentation slows the
+// CPU-bound paths (snappy encoding, checksums, skiplist walks) by an
+// order of magnitude, and a fixed workload that is comfortable un-raced
+// can blow clean through `go test`'s default 10-minute timeout with -race.
+package race
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = true

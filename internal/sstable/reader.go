@@ -4,12 +4,15 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"sync/atomic"
+	"time"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/block"
 	"pebblesdb/internal/bloom"
 	"pebblesdb/internal/cache"
+	"pebblesdb/internal/compress"
 	"pebblesdb/internal/crc"
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/vfs"
@@ -18,17 +21,38 @@ import (
 // ErrCorrupt indicates a structurally invalid table or checksum failure.
 var ErrCorrupt = errors.New("sstable: corrupt table")
 
+// CodecStats aggregates the read-side codec work across every Reader that
+// shares it (one instance per table cache). Cache hits on decompressed
+// blocks bypass the codec entirely and are invisible here — that is the
+// point of caching decompressed payloads.
+type CodecStats struct {
+	// BlocksDecompressed counts compressed blocks inflated on read.
+	BlocksDecompressed atomic.Int64
+	// BytesDecompressed is decompressed payload bytes produced.
+	BytesDecompressed atomic.Int64
+	// DecompressNanos is time spent inside the codec's decoder.
+	DecompressNanos atomic.Int64
+}
+
+// ReadaheadSize is the chunk size prefetched by sequential iterators
+// (compaction inputs, full-table scans): one ReadAt per ~256KiB of table
+// instead of one per block.
+const ReadaheadSize = 256 << 10
+
 // Reader provides random access to an sstable. The index block and bloom
 // filter stay resident for the Reader's lifetime (the paper stores guards
 // and bloom filters in memory, §3.7); data blocks go through the optional
-// shared block cache.
+// shared block cache, which stores the *decompressed* payload so cache
+// hits never pay the codec.
 type Reader struct {
 	f       vfs.File
 	fileNum base.FileNum
 	size    int64
+	version int // formatV1 or formatV2
 	index   []byte
 	filter  bloom.Filter
 	blocks  *cache.Cache // shared block cache; may be nil
+	codec   *CodecStats  // shared decompression counters; may be nil
 
 	// refs counts users of the Reader: the table cache holds one
 	// reference, and every caller of tablecache.Find holds another until
@@ -49,31 +73,54 @@ func (r *Reader) Unref() error {
 }
 
 // Open reads the table's footer, index and filter. The Reader owns f and
-// closes it on Close.
-func Open(f vfs.File, size int64, fileNum base.FileNum, blockCache *cache.Cache) (*Reader, error) {
-	if size < footerLen {
+// closes it on Close. codec, when non-nil, receives decompression counters
+// shared across readers.
+func Open(f vfs.File, size int64, fileNum base.FileNum, blockCache *cache.Cache, codec *CodecStats) (*Reader, error) {
+	if size < footerLenV1 {
 		return nil, fmt.Errorf("%w: file too small (%d bytes)", ErrCorrupt, size)
 	}
-	var footer [footerLen]byte
-	if _, err := f.ReadAt(footer[:], size-footerLen); err != nil {
+	var magicBuf [8]byte
+	if _, err := f.ReadAt(magicBuf[:], size-8); err != nil {
 		return nil, err
 	}
-	if binary.LittleEndian.Uint64(footer[32:]) != tableMagic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	r := &Reader{f: f, fileNum: fileNum, size: size, blocks: blockCache}
+	r := &Reader{f: f, fileNum: fileNum, size: size, blocks: blockCache, codec: codec}
 	r.refs.Store(1)
 
-	filterH := blockHandle{binary.LittleEndian.Uint64(footer[0:]), binary.LittleEndian.Uint64(footer[8:])}
-	indexH := blockHandle{binary.LittleEndian.Uint64(footer[16:]), binary.LittleEndian.Uint64(footer[24:])}
+	var filterH, indexH blockHandle
+	switch binary.LittleEndian.Uint64(magicBuf[:]) {
+	case tableMagicV2:
+		if size < footerLenV2 {
+			return nil, fmt.Errorf("%w: v2 file too small (%d bytes)", ErrCorrupt, size)
+		}
+		var footer [footerLenV2]byte
+		if _, err := f.ReadAt(footer[:], size-footerLenV2); err != nil {
+			return nil, err
+		}
+		if v := footer[32]; v != formatV2 {
+			return nil, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, v)
+		}
+		r.version = formatV2
+		filterH = blockHandle{binary.LittleEndian.Uint64(footer[0:]), binary.LittleEndian.Uint64(footer[8:])}
+		indexH = blockHandle{binary.LittleEndian.Uint64(footer[16:]), binary.LittleEndian.Uint64(footer[24:])}
+	case tableMagicV1:
+		var footer [footerLenV1]byte
+		if _, err := f.ReadAt(footer[:], size-footerLenV1); err != nil {
+			return nil, err
+		}
+		r.version = formatV1
+		filterH = blockHandle{binary.LittleEndian.Uint64(footer[0:]), binary.LittleEndian.Uint64(footer[8:])}
+		indexH = blockHandle{binary.LittleEndian.Uint64(footer[16:]), binary.LittleEndian.Uint64(footer[24:])}
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
 
-	idx, err := r.readBlockUncached(indexH)
+	idx, err := r.readBlockUncached(indexH, nil)
 	if err != nil {
 		return nil, err
 	}
 	r.index = idx
 	if filterH.length > 0 {
-		flt, err := r.readBlockUncached(filterH)
+		flt, err := r.readBlockUncached(filterH, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -82,36 +129,131 @@ func Open(f vfs.File, size int64, fileNum base.FileNum, blockCache *cache.Cache)
 	return r, nil
 }
 
-func (r *Reader) readBlockUncached(h blockHandle) ([]byte, error) {
-	if h.offset+h.length+blockTrailerLen > uint64(r.size) {
+// trailerLen returns the block trailer length for the table's format.
+func (r *Reader) trailerLen() uint64 {
+	if r.version == formatV1 {
+		return blockTrailerLenV1
+	}
+	return blockTrailerLenV2
+}
+
+// readBlockUncached reads, verifies and decompresses the block at h,
+// bypassing the cache. ra, when non-nil, supplies the bytes through a
+// readahead buffer instead of a per-block ReadAt.
+func (r *Reader) readBlockUncached(h blockHandle, ra *readahead) ([]byte, error) {
+	trailer := r.trailerLen()
+	if h.offset+h.length+trailer > uint64(r.size) {
 		return nil, fmt.Errorf("%w: block handle out of range", ErrCorrupt)
 	}
-	buf := make([]byte, h.length+blockTrailerLen)
-	if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
+	buf := make([]byte, h.length+trailer)
+	if ra != nil {
+		if err := ra.readAt(buf, int64(h.offset)); err != nil {
+			return nil, err
+		}
+	} else if _, err := r.f.ReadAt(buf, int64(h.offset)); err != nil {
 		return nil, err
 	}
 	payload := buf[:h.length]
-	want := binary.LittleEndian.Uint32(buf[h.length:])
-	if crc.Value(payload) != want {
+
+	if r.version == formatV1 {
+		want := binary.LittleEndian.Uint32(buf[h.length:])
+		if crc.Value(payload) != want {
+			return nil, fmt.Errorf("%w: block checksum mismatch at offset %d", ErrCorrupt, h.offset)
+		}
+		return payload, nil
+	}
+
+	typ := buf[h.length]
+	want := binary.LittleEndian.Uint32(buf[h.length+1:])
+	if crc.ValueExtended(payload, buf[h.length:h.length+1]) != want {
 		return nil, fmt.Errorf("%w: block checksum mismatch at offset %d", ErrCorrupt, h.offset)
 	}
-	return payload, nil
+	switch typ {
+	case blockTypeNone:
+		return payload, nil
+	case blockTypeSnappy:
+		start := time.Now()
+		decoded, err := compress.Decode(nil, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: snappy block at offset %d: %v", ErrCorrupt, h.offset, err)
+		}
+		if r.codec != nil {
+			r.codec.BlocksDecompressed.Add(1)
+			r.codec.BytesDecompressed.Add(int64(len(decoded)))
+			r.codec.DecompressNanos.Add(time.Since(start).Nanoseconds())
+		}
+		return decoded, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown block type %d at offset %d", ErrCorrupt, typ, h.offset)
+	}
 }
 
-func (r *Reader) readBlock(h blockHandle) ([]byte, error) {
+// readBlock returns the decompressed payload of the block at h. Random
+// reads (ra == nil) fill the shared cache, charging the decompressed size;
+// sequential reads consult the cache but never populate it, so one-pass
+// compaction scans cannot evict the read path's working set.
+func (r *Reader) readBlock(h blockHandle, ra *readahead) ([]byte, error) {
 	if r.blocks != nil {
 		if v, ok := r.blocks.Get(cache.Key{File: uint64(r.fileNum), Off: h.offset}); ok {
 			return v.([]byte), nil
 		}
 	}
-	payload, err := r.readBlockUncached(h)
+	payload, err := r.readBlockUncached(h, ra)
 	if err != nil {
 		return nil, err
 	}
-	if r.blocks != nil {
+	if r.blocks != nil && ra == nil {
 		r.blocks.Set(cache.Key{File: uint64(r.fileNum), Off: h.offset}, payload, int64(len(payload)))
 	}
 	return payload, nil
+}
+
+// readahead is the sequential-read buffer: a sliding ~256KiB window over
+// the file served from a single ReadAt, refilled as the iterator walks
+// forward. Reads outside the window (backward iteration after a reposition,
+// oversized blocks) fall through untouched.
+type readahead struct {
+	f    vfs.File
+	size int64
+	buf  []byte
+	off  int64 // file offset of buf[0]
+}
+
+func (ra *readahead) readAt(p []byte, off int64) error {
+	if off < ra.off || off+int64(len(p)) > ra.off+int64(len(ra.buf)) {
+		if int64(len(p)) >= ReadaheadSize {
+			// Block larger than the window: read it directly.
+			return fullReadAt(ra.f, p, off)
+		}
+		want := int64(ReadaheadSize)
+		if off+want > ra.size {
+			want = ra.size - off
+		}
+		if want < int64(len(p)) {
+			return fmt.Errorf("%w: read beyond file end", ErrCorrupt)
+		}
+		if cap(ra.buf) < int(want) {
+			ra.buf = make([]byte, want)
+		}
+		ra.buf = ra.buf[:want]
+		if err := fullReadAt(ra.f, ra.buf, off); err != nil {
+			ra.buf = ra.buf[:0]
+			return err
+		}
+		ra.off = off
+	}
+	copy(p, ra.buf[off-ra.off:])
+	return nil
+}
+
+// fullReadAt is ReadAt tolerating the io.EOF that a read ending exactly at
+// the file end may legally return alongside full data.
+func fullReadAt(f vfs.File, p []byte, off int64) error {
+	n, err := f.ReadAt(p, off)
+	if err == io.EOF && n == len(p) {
+		return nil
+	}
+	return err
 }
 
 // MayContain consults the table's bloom filter for ukey. True when no
@@ -131,6 +273,9 @@ func (r *Reader) IndexMemory() int { return len(r.index) }
 
 // FileNum returns the table's file number.
 func (r *Reader) FileNum() base.FileNum { return r.fileNum }
+
+// FormatVersion returns the table's on-storage format (1 or 2).
+func (r *Reader) FormatVersion() int { return r.version }
 
 func decodeHandle(v []byte) (blockHandle, bool) {
 	off, n := binary.Uvarint(v)
@@ -167,13 +312,28 @@ func (r *Reader) Get(search []byte) (ikey, value []byte, found bool, err error) 
 	return k, v, true, nil
 }
 
-// NewIter returns an iterator over the table's internal keys.
+// NewIter returns a random-access iterator over the table's internal keys.
 func (r *Reader) NewIter() iterator.Iterator {
+	return r.newIter(false)
+}
+
+// NewSequentialIter returns an iterator for one-pass scans (compaction
+// inputs): it prefetches ReadaheadSize chunks instead of issuing one ReadAt
+// per block, and does not populate the block cache.
+func (r *Reader) NewSequentialIter() iterator.Iterator {
+	return r.newIter(true)
+}
+
+func (r *Reader) newIter(sequential bool) iterator.Iterator {
 	idx, err := block.NewIter(r.index, base.InternalCompare)
 	if err != nil {
 		return &iterator.Empty{Err: err}
 	}
-	return &tableIter{r: r, index: idx}
+	t := &tableIter{r: r, index: idx}
+	if sequential {
+		t.ra = &readahead{f: r.f, size: r.size}
+	}
+	return t
 }
 
 // Close drops the initial reference (held by the opener / table cache).
@@ -185,6 +345,7 @@ type tableIter struct {
 	r     *Reader
 	index *block.Iter
 	data  *block.Iter
+	ra    *readahead // non-nil in sequential mode
 	err   error
 }
 
@@ -198,7 +359,7 @@ func (t *tableIter) loadBlock() bool {
 		t.err = fmt.Errorf("%w: bad index entry", ErrCorrupt)
 		return false
 	}
-	payload, err := t.r.readBlock(h)
+	payload, err := t.r.readBlock(h, t.ra)
 	if err != nil {
 		t.err = err
 		return false

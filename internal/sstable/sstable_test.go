@@ -68,7 +68,7 @@ func openTable(t *testing.T, fs vfs.FS, name string, c *cache.Cache) *Reader {
 		t.Fatal(err)
 	}
 	size, _ := fs.Stat(name)
-	r, err := Open(f, size, 1, c)
+	r, err := Open(f, size, 1, c, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +255,7 @@ func TestCorruptionDetected(t *testing.T) {
 	fw.Close()
 
 	bf, _ := fs.Open("bad.sst")
-	r, err := Open(bf, size, 2, nil)
+	r, err := Open(bf, size, 2, nil, nil)
 	if err != nil {
 		return // index/footer corruption detected at open: fine
 	}
@@ -275,7 +275,7 @@ func TestTruncatedFileRejected(t *testing.T) {
 	f.Write([]byte("not a table"))
 	f.Close()
 	rf, _ := fs.Open("t.sst")
-	if _, err := Open(rf, 11, 1, nil); err == nil {
+	if _, err := Open(rf, 11, 1, nil, nil); err == nil {
 		t.Fatal("tiny file should be rejected")
 	}
 }
@@ -324,7 +324,7 @@ func BenchmarkTableGet(b *testing.B) {
 	bf.Close()
 	f, _ := fs.Open("bench.sst")
 	size, _ := fs.Stat("bench.sst")
-	r, err := Open(f, size, 1, cache.New(64<<20, nil))
+	r, err := Open(f, size, 1, cache.New(64<<20, nil), nil)
 	if err != nil {
 		b.Fatal(err)
 	}

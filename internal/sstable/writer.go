@@ -3,28 +3,55 @@
 // footer. Every block carries a masked CRC-32C. PebblesDB keeps the
 // LevelDB table concept intact — guards are a layer above sstables — so
 // this package is shared untouched by the FLSM and leveled trees.
+//
+// Two on-storage formats exist:
+//
+//   - Format v1 (legacy, read-only): 4-byte block trailer holding only the
+//     crc32 of the payload, 40-byte footer ending in magicV1. Blocks are
+//     always raw.
+//   - Format v2 (written by this code): 5-byte block trailer — a 1-byte
+//     block-type tag (none/snappy) followed by the crc32 of payload+type —
+//     and a 48-byte footer carrying a format-version byte and ending in
+//     magicV2. Data blocks are compressed when the codec saves at least
+//     12.5%; filter and index blocks are always raw (they stay resident in
+//     memory, so compressing them would buy nothing after open).
 package sstable
 
 import (
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/block"
 	"pebblesdb/internal/bloom"
+	"pebblesdb/internal/compress"
 	"pebblesdb/internal/crc"
 	"pebblesdb/internal/vfs"
 )
 
 const (
-	footerLen   = 40
-	tableMagic  = 0x8773537fdb4eac2e
-	blockTrailerLen = 4 // crc32
+	footerLenV1 = 40
+	footerLenV2 = 48
+
+	tableMagicV1 = 0x8773537fdb4eac2e
+	tableMagicV2 = 0xf09f95ccdb4eac2e
+
+	formatV1 = 1
+	formatV2 = 2
+
+	blockTrailerLenV1 = 4 // crc32(payload)
+	blockTrailerLenV2 = 5 // type byte + crc32(payload ++ type)
+
+	// blockTypeNone / blockTypeSnappy are the v2 trailer type tags
+	// (LevelDB-compatible values).
+	blockTypeNone   = 0
+	blockTypeSnappy = 1
 )
 
 type blockHandle struct {
 	offset uint64
-	length uint64 // payload length, excluding the crc trailer
+	length uint64 // physical payload length, excluding the trailer
 }
 
 // WriterOptions configures table construction.
@@ -33,6 +60,9 @@ type WriterOptions struct {
 	BlockRestartInterval int
 	// BloomBitsPerKey sizes the table-level bloom filter; 0 disables it.
 	BloomBitsPerKey int
+	// Compression selects the data-block codec. Blocks that fail to shrink
+	// by at least 1/8th are stored raw regardless.
+	Compression compress.Kind
 }
 
 func (o *WriterOptions) ensureDefaults() {
@@ -44,21 +74,59 @@ func (o *WriterOptions) ensureDefaults() {
 	}
 }
 
-// Writer builds an sstable from internal keys added in increasing order.
+// CompressionStats accounts the writer side of the block codec: logical
+// bytes are data-block payloads before compression, physical bytes are
+// what actually reached storage. The gap is IO saved on every future read
+// and compaction of the table.
+type CompressionStats struct {
+	// LogicalDataBytes / PhysicalDataBytes cover data blocks only
+	// (excluding trailers, filter, index and footer).
+	LogicalDataBytes  int64
+	PhysicalDataBytes int64
+	// DataBlocks / CompressedBlocks count data blocks written vs those
+	// that were stored compressed.
+	DataBlocks       int64
+	CompressedBlocks int64
+	// CompressNanos is time spent inside the codec's encoder.
+	CompressNanos int64
+}
+
+// Merge accumulates o into s.
+func (s *CompressionStats) Merge(o CompressionStats) {
+	s.LogicalDataBytes += o.LogicalDataBytes
+	s.PhysicalDataBytes += o.PhysicalDataBytes
+	s.DataBlocks += o.DataBlocks
+	s.CompressedBlocks += o.CompressedBlocks
+	s.CompressNanos += o.CompressNanos
+}
+
+// Ratio returns physical/logical data bytes (1.0 = incompressible, 0 before
+// any data is written).
+func (s CompressionStats) Ratio() float64 {
+	if s.LogicalDataBytes == 0 {
+		return 0
+	}
+	return float64(s.PhysicalDataBytes) / float64(s.LogicalDataBytes)
+}
+
+// Writer builds a format-v2 sstable from internal keys added in increasing
+// order.
 type Writer struct {
-	f       vfs.File
-	opts    WriterOptions
-	data    *block.Builder
-	index   *block.Builder
-	offset  uint64
-	userKeys [][]byte // for the bloom filter
-	smallest []byte
-	largest  []byte
-	count    int
+	f               vfs.File
+	opts            WriterOptions
+	data            *block.Builder
+	index           *block.Builder
+	offset          uint64
+	userKeys        [][]byte // for the bloom filter
+	smallest        []byte
+	largest         []byte
+	count           int
 	pendingIndexKey []byte
 	pendingHandle   blockHandle
 	hasPending      bool
-	err error
+	cbuf            []byte // reusable compression output buffer
+	stats           CompressionStats
+	err             error
 }
 
 // NewWriter returns a Writer emitting to f.
@@ -113,7 +181,7 @@ func (w *Writer) finishDataBlock() error {
 		return nil
 	}
 	payload := w.data.Finish()
-	h, err := w.writeRawBlock(payload)
+	h, err := w.writeDataBlock(payload)
 	if err != nil {
 		return err
 	}
@@ -124,17 +192,40 @@ func (w *Writer) finishDataBlock() error {
 	return nil
 }
 
-func (w *Writer) writeRawBlock(payload []byte) (blockHandle, error) {
+// writeDataBlock writes one data block, compressing it when the configured
+// codec shrinks the payload by at least 12.5% (LevelDB's threshold: below
+// that, the decompression cost on every future read outweighs the IO
+// saved).
+func (w *Writer) writeDataBlock(payload []byte) (blockHandle, error) {
+	stored, typ := payload, byte(blockTypeNone)
+	if w.opts.Compression == compress.Snappy {
+		start := time.Now()
+		w.cbuf = compress.Encode(w.cbuf[:cap(w.cbuf)], payload)
+		w.stats.CompressNanos += time.Since(start).Nanoseconds()
+		if len(w.cbuf) < len(payload)-len(payload)/8 {
+			stored, typ = w.cbuf, blockTypeSnappy
+			w.stats.CompressedBlocks++
+		}
+	}
+	w.stats.DataBlocks++
+	w.stats.LogicalDataBytes += int64(len(payload))
+	w.stats.PhysicalDataBytes += int64(len(stored))
+	return w.writeRawBlock(stored, typ)
+}
+
+// writeRawBlock writes an already-encoded payload with its v2 trailer.
+func (w *Writer) writeRawBlock(payload []byte, typ byte) (blockHandle, error) {
 	h := blockHandle{offset: w.offset, length: uint64(len(payload))}
 	if _, err := w.f.Write(payload); err != nil {
 		return h, err
 	}
-	var tr [blockTrailerLen]byte
-	binary.LittleEndian.PutUint32(tr[:], crc.Value(payload))
+	var tr [blockTrailerLenV2]byte
+	tr[0] = typ
+	binary.LittleEndian.PutUint32(tr[1:], crc.ValueExtended(payload, tr[:1]))
 	if _, err := w.f.Write(tr[:]); err != nil {
 		return h, err
 	}
-	w.offset += uint64(len(payload)) + blockTrailerLen
+	w.offset += uint64(len(payload)) + blockTrailerLenV2
 	return h, nil
 }
 
@@ -144,6 +235,8 @@ type TableInfo struct {
 	Smallest []byte // internal key
 	Largest  []byte // internal key
 	Count    int
+	// Compression accounts the data-block codec work for this table.
+	Compression CompressionStats
 }
 
 // EstimatedSize returns the bytes written so far plus the pending block.
@@ -168,39 +261,41 @@ func (w *Writer) Finish() (TableInfo, error) {
 	}
 	w.flushPendingIndex()
 
-	// Filter block.
+	// Filter block (never compressed: resident for the Reader's lifetime).
 	var filterHandle blockHandle
 	if w.opts.BloomBitsPerKey > 0 {
 		f := bloom.Build(w.userKeys, w.opts.BloomBitsPerKey)
-		h, err := w.writeRawBlock(f)
+		h, err := w.writeRawBlock(f, blockTypeNone)
 		if err != nil {
 			return TableInfo{}, err
 		}
 		filterHandle = h
 	}
 
-	// Index block.
-	indexHandle, err := w.writeRawBlock(w.index.Finish())
+	// Index block (never compressed, same reason).
+	indexHandle, err := w.writeRawBlock(w.index.Finish(), blockTypeNone)
 	if err != nil {
 		return TableInfo{}, err
 	}
 
-	// Footer.
-	var footer [footerLen]byte
+	// Footer: handles, format version, magic.
+	var footer [footerLenV2]byte
 	binary.LittleEndian.PutUint64(footer[0:], filterHandle.offset)
 	binary.LittleEndian.PutUint64(footer[8:], filterHandle.length)
 	binary.LittleEndian.PutUint64(footer[16:], indexHandle.offset)
 	binary.LittleEndian.PutUint64(footer[24:], indexHandle.length)
-	binary.LittleEndian.PutUint64(footer[32:], tableMagic)
+	footer[32] = formatV2
+	binary.LittleEndian.PutUint64(footer[40:], tableMagicV2)
 	if _, err := w.f.Write(footer[:]); err != nil {
 		return TableInfo{}, err
 	}
-	w.offset += footerLen
+	w.offset += footerLenV2
 
 	return TableInfo{
-		Size:     w.offset,
-		Smallest: w.smallest,
-		Largest:  append([]byte(nil), w.largest...),
-		Count:    w.count,
+		Size:        w.offset,
+		Smallest:    w.smallest,
+		Largest:     append([]byte(nil), w.largest...),
+		Count:       w.count,
+		Compression: w.stats,
 	}, nil
 }

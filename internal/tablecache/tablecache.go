@@ -21,6 +21,9 @@ type TableCache struct {
 	dir        string
 	blockCache *cache.Cache
 	readers    *cache.Cache
+	// codec aggregates block-decompression work across all readers opened
+	// through this cache (sstable format v2 compressed blocks).
+	codec sstable.CodecStats
 }
 
 // New returns a table cache over dir holding up to size open tables.
@@ -52,7 +55,7 @@ func (tc *TableCache) Find(fn base.FileNum, size uint64) (*sstable.Reader, error
 	if err != nil {
 		return nil, err
 	}
-	r, err := sstable.Open(f, int64(size), fn, tc.blockCache)
+	r, err := sstable.Open(f, int64(size), fn, tc.blockCache, &tc.codec)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -73,12 +76,19 @@ func (tc *TableCache) Evict(fn base.FileNum) {
 	}
 }
 
-// Metrics summarizes resident memory for Table 5.4.
+// Metrics summarizes resident memory for Table 5.4 plus read-side codec
+// work.
 type Metrics struct {
 	OpenTables   int
 	FilterBytes  int64
 	IndexBytes   int64
 	Hits, Misses int64
+	// BlocksDecompressed / BytesDecompressed / DecompressNanos account
+	// compressed data blocks inflated on read; block-cache hits skip the
+	// codec and do not appear here.
+	BlocksDecompressed int64
+	BytesDecompressed  int64
+	DecompressNanos    int64
 }
 
 // Metrics walks the cached readers. Approximate: concurrent evictions may
@@ -86,9 +96,12 @@ type Metrics struct {
 func (tc *TableCache) Metrics() Metrics {
 	st := tc.readers.Stats()
 	m := Metrics{
-		OpenTables: st.Entries,
-		Hits:       st.Hits,
-		Misses:     st.Misses,
+		OpenTables:         st.Entries,
+		Hits:               st.Hits,
+		Misses:             st.Misses,
+		BlocksDecompressed: tc.codec.BlocksDecompressed.Load(),
+		BytesDecompressed:  tc.codec.BytesDecompressed.Load(),
+		DecompressNanos:    tc.codec.DecompressNanos.Load(),
 	}
 	tc.readers.Range(func(_ cache.Key, v interface{}) {
 		r := v.(*sstable.Reader)

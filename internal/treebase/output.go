@@ -35,6 +35,7 @@ type OutputBuilder struct {
 	curFn   base.FileNum
 
 	metas []*base.FileMetadata
+	stats sstable.CompressionStats
 	err   error
 }
 
@@ -111,9 +112,14 @@ func (o *OutputBuilder) Cut() error {
 		Smallest: info.Smallest,
 		Largest:  info.Largest,
 	})
+	o.stats.Merge(info.Compression)
 	o.cur, o.curFile = nil, nil
 	return nil
 }
+
+// CompressionStats returns the accumulated data-block codec accounting of
+// every table finished so far.
+func (o *OutputBuilder) CompressionStats() sstable.CompressionStats { return o.stats }
 
 // Finish cuts any open table and returns the metadata of all tables
 // written. The caller must call ReleasePending after installing (or
@@ -189,4 +195,8 @@ type Metrics struct {
 	EmptyGuards int
 	// TableFileSizes lists the sizes of all live sstables (Table 5.1).
 	TableFileSizes []uint64
+	// Compression accounts the write-side block codec across flushes and
+	// compactions: logical (pre-compression) vs physical data-block bytes,
+	// block counts, and encoder time.
+	Compression sstable.CompressionStats
 }

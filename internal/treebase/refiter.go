@@ -18,6 +18,13 @@ func NewTableIter(r *sstable.Reader) iterator.Iterator {
 	return &tableIterWithRef{Iterator: r.NewIter(), r: r}
 }
 
+// NewSequentialTableIter is NewTableIter in sequential-read mode: the
+// iterator prefetches ~256KiB chunks and skips block-cache population.
+// Compaction inputs use it — they read every block exactly once.
+func NewSequentialTableIter(r *sstable.Reader) iterator.Iterator {
+	return &tableIterWithRef{Iterator: r.NewSequentialIter(), r: r}
+}
+
 func (t *tableIterWithRef) Close() error {
 	err := t.Iterator.Close()
 	t.r.Unref()

@@ -2,9 +2,31 @@ package pebblesdb
 
 import (
 	"pebblesdb/internal/base"
+	"pebblesdb/internal/compress"
 	"pebblesdb/internal/engine"
 	"pebblesdb/internal/vfs"
 )
+
+// Compression selects the sstable data-block codec.
+type Compression int
+
+const (
+	// CompressionDefault uses the store default, Snappy: per-block
+	// compression is a default-on throughput optimization in every
+	// production LSM (LevelDB, RocksDB, Pebble) — it cuts write IO during
+	// flush/compaction and read IO on cold lookups.
+	CompressionDefault Compression = iota
+	// CompressionNone stores blocks raw.
+	CompressionNone
+	// CompressionSnappy compresses data blocks with the pure-Go Snappy
+	// codec when a block shrinks by at least 12.5%.
+	CompressionSnappy
+)
+
+// String returns the display name of the codec the value selects. It
+// follows kind(), so reporting always matches behavior — including for
+// out-of-range values, which behave as the default.
+func (c Compression) String() string { return c.kind().String() }
 
 // Engine selects the on-storage data structure.
 type Engine int
@@ -83,8 +105,11 @@ type Options struct {
 	LevelMultiplier int
 	// TargetFileSize bounds leveled-compaction outputs.
 	TargetFileSize int64
-	// BlockSize is the sstable block size.
+	// BlockSize is the sstable block size (uncompressed).
 	BlockSize int
+	// Compression selects the sstable data-block codec; the zero value
+	// (CompressionDefault) is Snappy.
+	Compression Compression
 	// BloomBitsPerKey sizes sstable bloom filters; negative disables them.
 	BloomBitsPerKey int
 	// BlockCacheSize / TableCacheSize bound cache memory (Fig 5.2b).
@@ -164,6 +189,15 @@ type IterOptions struct {
 	Snapshot *Snapshot
 }
 
+// kind maps the public Compression to the internal codec selector.
+// Values outside the defined constants behave as CompressionDefault.
+func (c Compression) kind() compress.Kind {
+	if c == CompressionNone {
+		return compress.None
+	}
+	return compress.Snappy
+}
+
 // sharedMemFS backs every InMemory store in the process, namespaced by
 // directory, so reopening an in-memory store by path works.
 var sharedMemFS = vfs.NewMem()
@@ -228,6 +262,7 @@ func (o *Options) toConfig() (*base.Config, engine.Kind, vfs.FS) {
 		LevelMultiplier:          o.LevelMultiplier,
 		TargetFileSize:           o.TargetFileSize,
 		BlockSize:                o.BlockSize,
+		Compression:              o.Compression.kind(),
 		BloomBitsPerKey:          o.BloomBitsPerKey,
 		BlockCacheSize:           o.BlockCacheSize,
 		TableCacheSize:           o.TableCacheSize,
