@@ -1,0 +1,126 @@
+package pebblesdb_test
+
+import (
+	"testing"
+
+	"pebblesdb"
+	"pebblesdb/internal/harness"
+	"pebblesdb/internal/race"
+	"pebblesdb/internal/vfs"
+)
+
+// openWarmDB builds a compacted store whose block cache holds the whole
+// dataset, then warms every structure a point read touches.
+func openWarmDB(t testing.TB, engine pebblesdb.Engine, n int) *pebblesdb.DB {
+	t.Helper()
+	o := pebblesdb.PresetPebblesDB.Options()
+	o.Engine = engine
+	harness.Scale(o, 16)
+	o.BlockCacheSize = 64 << 20 // hold the entire dataset decompressed
+	o.WithFS(vfs.NewMem())
+	db, err := pebblesdb.Open("allocbench", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := harness.FillRandom(db, n, n, 128, 1); err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	if err := db.CompactAll(); err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	// Warm the table cache, block cache and bloom filters.
+	key := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		key = harness.KeyAt(key, uint64(i))
+		if _, _, err := db.Get(key, nil); err != nil {
+			db.Close()
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestGetAllocs pins the end-to-end point-read allocation budgets: on a
+// warm cache, DB.GetTo with a reusable destination buffer is allocation
+// free, and DB.Get pays only the value copy. CI fails when a regression
+// pushes either over budget.
+func TestGetAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 20_000
+	for _, eng := range []struct {
+		name   string
+		engine pebblesdb.Engine
+	}{{"flsm", pebblesdb.EngineFLSM}, {"leveled", pebblesdb.EngineLeveled}} {
+		t.Run(eng.name, func(t *testing.T) {
+			db := openWarmDB(t, eng.engine, n)
+			defer db.Close()
+
+			key := harness.KeyAt(nil, 42)
+			buf := make([]byte, 0, 256)
+
+			// GetTo with a caller buffer: the entire read stack reuses
+			// pooled scratch state, so the steady state is zero allocations.
+			allocs := testing.AllocsPerRun(200, func() {
+				v, ok, err := db.GetTo(key, buf, nil)
+				if err != nil || !ok {
+					t.Fatalf("GetTo: ok=%v err=%v", ok, err)
+				}
+				buf = v[:0]
+			})
+			if allocs > 0 {
+				t.Errorf("DB.GetTo allocs/op = %v, want 0", allocs)
+			}
+
+			// Plain Get allocates only the caller-owned value copy
+			// (budget 2 leaves slack for one pool refill under GC).
+			allocs = testing.AllocsPerRun(200, func() {
+				if _, ok, err := db.Get(key, nil); err != nil || !ok {
+					t.Fatalf("Get: ok=%v err=%v", ok, err)
+				}
+			})
+			if allocs > 2 {
+				t.Errorf("DB.Get allocs/op = %v, want <= 2", allocs)
+			}
+
+			// A missing key (bloom filters rule every table out) must also
+			// be allocation-free with a caller buffer.
+			missing := harness.KeyAt(nil, uint64(n)*10+7)
+			allocs = testing.AllocsPerRun(200, func() {
+				if _, ok, err := db.GetTo(missing, buf, nil); err != nil || ok {
+					t.Fatalf("GetTo(missing): ok=%v err=%v", ok, err)
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("DB.GetTo(miss) allocs/op = %v, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkGetTo is the allocation-free read loop: reusing the destination
+// buffer across calls exercises the pooled scratch end to end.
+func BenchmarkGetTo(b *testing.B) {
+	db := openWarmDB(b, pebblesdb.EngineFLSM, 20_000)
+	defer db.Close()
+	key := make([]byte, 0, 16)
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key = harness.KeyAt(key, uint64(i%20_000))
+		v, _, err := db.GetTo(key, buf, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(v) > 0 {
+			buf = v[:0]
+		}
+	}
+}

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"pebblesdb"
 	"pebblesdb/internal/engine"
@@ -32,7 +35,82 @@ var (
 	compact     = flag.Bool("compact_before_reads", true, "fully compact before read/seek workloads")
 	seed        = flag.Int64("seed", 1, "workload RNG seed")
 	compression = flag.String("compression", "snappy", "sstable block compression: none, snappy (values are ~50% compressible, like LevelDB db_bench)")
+	jsonPath    = flag.String("json", "", "write a machine-readable result file to this path (perf trajectory tracking; see BENCH_pr4.json)")
 )
+
+// jsonLatency is per-workload latency in microseconds, from the harness's
+// log-scale histogram (bucket resolution ~19%).
+type jsonLatency struct {
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
+	MaxMicros  float64 `json:"max_us"`
+}
+
+type jsonWorkload struct {
+	Name       string  `json:"name"`
+	Ops        int64   `json:"ops"`
+	DurationNS int64   `json:"duration_ns"`
+	KOpsPerSec float64 `json:"kops_per_sec"`
+	WriteGB    float64 `json:"write_gb"`
+	ReadGB     float64 `json:"read_gb"`
+	WriteAmp   float64 `json:"write_amp"`
+	// AllocsPerOp is the process-wide heap-allocation delta divided by
+	// ops — it includes background flush/compaction work, so read it as a
+	// trend line, not a per-call truth (the AllocsPerRun regression tests
+	// pin those).
+	AllocsPerOp float64      `json:"allocs_per_op"`
+	Latency     *jsonLatency `json:"latency,omitempty"`
+}
+
+type jsonReport struct {
+	Store       string         `json:"store"`
+	Compression string         `json:"compression"`
+	Num         int            `json:"num"`
+	ValueSize   int            `json:"value_size"`
+	Threads     int            `json:"threads"`
+	Concurrency int            `json:"concurrency"`
+	StoreScale  int            `json:"store_scale"`
+	Seed        int64          `json:"seed"`
+	GoVersion   string         `json:"go_version"`
+	Timestamp   string         `json:"timestamp"`
+	Workloads   []jsonWorkload `json:"workloads"`
+
+	WriteAmplification float64 `json:"write_amplification"`
+	Flushes            int64   `json:"flushes"`
+	Compactions        int64   `json:"compactions"`
+	CommitGroups       int64   `json:"commit_groups"`
+	BatchesPerGroup    float64 `json:"batches_per_group"`
+	WALSyncs           int64   `json:"wal_syncs"`
+	SyncCommits        int64   `json:"sync_commits"`
+	CompressionRatio   float64 `json:"compression_ratio"`
+
+	Gets                   int64   `json:"gets"`
+	GetTablesProbed        int64   `json:"get_tables_probed"`
+	TablesProbedPerGet     float64 `json:"tables_probed_per_get"`
+	GetBloomNegatives      int64   `json:"get_bloom_negatives"`
+	GetBloomFalsePositives int64   `json:"get_bloom_false_positives"`
+	GetBlockCacheHits      int64   `json:"get_block_cache_hits"`
+	GetBlockCacheMisses    int64   `json:"get_block_cache_misses"`
+	GetBlockCacheHitRatio  float64 `json:"get_block_cache_hit_ratio"`
+}
+
+func latencyJSON(rec *harness.LatencyRecorder) *jsonLatency {
+	if rec == nil || rec.Count() == 0 {
+		return nil
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return &jsonLatency{
+		MeanMicros: us(rec.Mean()),
+		P50Micros:  us(rec.Percentile(0.50)),
+		P90Micros:  us(rec.Percentile(0.90)),
+		P99Micros:  us(rec.Percentile(0.99)),
+		P999Micros: us(rec.Percentile(0.999)),
+		MaxMicros:  us(rec.Max()),
+	}
+}
 
 func presetByName(name string) (pebblesdb.Preset, bool) {
 	switch strings.ToLower(name) {
@@ -82,6 +160,7 @@ func main() {
 	}
 	defer db.Close()
 
+	var results []jsonWorkload
 	written := false
 	for _, bench := range strings.Split(*benchmarks, ",") {
 		bench = strings.TrimSpace(bench)
@@ -98,6 +177,7 @@ func main() {
 		if *concurrency > 0 {
 			writeClients = *concurrency
 		}
+		rec := &harness.LatencyRecorder{}
 		run := func() error {
 			per := *num / *threads
 			perW := *num / writeClients
@@ -105,30 +185,30 @@ func main() {
 			case "fillseq":
 				written = true
 				return harness.Concurrent(writeClients, func(th int) error {
-					return harness.FillSeq(db, perW, *valueSize, *seed+int64(th))
+					return harness.FillSeq(db, perW, *valueSize, *seed+int64(th), rec)
 				})
 			case "fillrandom":
 				written = true
 				return harness.Concurrent(writeClients, func(th int) error {
-					return harness.FillRandom(db, perW, *num, *valueSize, *seed+int64(th))
+					return harness.FillRandom(db, perW, *num, *valueSize, *seed+int64(th), rec)
 				})
 			case "fillsync":
 				written = true
 				return harness.Concurrent(writeClients, func(th int) error {
-					return harness.FillSync(db, perW, *num, *valueSize, *seed+int64(th))
+					return harness.FillSync(db, perW, *num, *valueSize, *seed+int64(th), rec)
 				})
 			case "readrandom":
 				return harness.Concurrent(*threads, func(th int) error {
-					_, err := harness.ReadRandom(db, per, *num, *seed+int64(th))
+					_, err := harness.ReadRandom(db, per, *num, *seed+int64(th), rec)
 					return err
 				})
 			case "seekrandom":
 				return harness.Concurrent(*threads, func(th int) error {
-					return harness.SeekRandom(db, per, *num, *nexts, *seed+int64(th))
+					return harness.SeekRandom(db, per, *num, *nexts, *seed+int64(th), rec)
 				})
 			case "seekreverse":
 				return harness.Concurrent(*threads, func(th int) error {
-					return harness.SeekRandomReverse(db, per, *num, *nexts, *seed+int64(th))
+					return harness.SeekRandomReverse(db, per, *num, *nexts, *seed+int64(th), rec)
 				})
 			case "scanbounded":
 				return harness.Concurrent(*threads, func(th int) error {
@@ -136,12 +216,12 @@ func main() {
 					if span < 1 {
 						span = 10
 					}
-					_, err := harness.ScanBounded(db, per, *num, span, *seed+int64(th))
+					_, err := harness.ScanBounded(db, per, *num, span, *seed+int64(th), rec)
 					return err
 				})
 			case "deleterandom":
 				return harness.Concurrent(writeClients, func(th int) error {
-					return harness.DeleteRandom(db, perW, *num, *seed+int64(th))
+					return harness.DeleteRandom(db, perW, *num, *seed+int64(th), rec)
 				})
 			}
 			return fmt.Errorf("unknown benchmark %q", bench)
@@ -153,18 +233,38 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		res, err := harness.Measure(db, preset.String(), bench, int64(*num), func() error {
 			if err := run(); err != nil {
 				return err
 			}
 			return db.WaitIdle()
 		})
+		runtime.ReadMemStats(&msAfter)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", bench, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%-14s %12d ops  %10.1f KOps/s  %8.3f GB written  writeAmp %6.2f\n",
-			bench, res.Ops, res.KOpsPerSec, res.WriteGB, res.WriteAmp)
+		allocsPerOp := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Ops)
+		lat := latencyJSON(rec)
+		results = append(results, jsonWorkload{
+			Name:        bench,
+			Ops:         res.Ops,
+			DurationNS:  res.Duration.Nanoseconds(),
+			KOpsPerSec:  res.KOpsPerSec,
+			WriteGB:     res.WriteGB,
+			ReadGB:      res.ReadGB,
+			WriteAmp:    res.WriteAmp,
+			AllocsPerOp: allocsPerOp,
+			Latency:     lat,
+		})
+		fmt.Printf("%-14s %12d ops  %10.1f KOps/s  %8.3f GB written  writeAmp %6.2f  %7.2f allocs/op",
+			bench, res.Ops, res.KOpsPerSec, res.WriteGB, res.WriteAmp, allocsPerOp)
+		if lat != nil {
+			fmt.Printf("  p50 %.1fus p99 %.1fus", lat.P50Micros, lat.P99Micros)
+		}
+		fmt.Println()
 	}
 
 	m := db.Metrics()
@@ -187,6 +287,9 @@ func main() {
 		cs.Ratio(), cs.CompressedBlocks, cs.DataBlocks, float64(cs.CompressNanos)/1e6)
 	fmt.Printf("decompression: %d blocks, %.1f MB inflated, %.1f ms (block-cache hits skip the codec)\n",
 		m.Cache.BlocksDecompressed, float64(m.Cache.BytesDecompressed)/(1<<20), float64(m.Cache.DecompressNanos)/1e6)
+	fmt.Printf("read path: %d gets, %.2f tables probed/get, bloom %d negative / %d false positive, block cache %d/%d hits (%.1f%%)\n",
+		m.Gets, m.TablesProbedPerGet(), m.GetBloomNegatives, m.GetBloomFalsePositives,
+		m.GetBlockCacheHits, m.GetBlockCacheHits+m.GetBlockCacheMisses, 100*m.GetBlockCacheHitRatio())
 	fmt.Printf("commit waits:")
 	for i, c := range m.CommitWaitHist {
 		if c == 0 {
@@ -199,4 +302,49 @@ func main() {
 		}
 	}
 	fmt.Printf("\ntotal write amplification: %.2f\n", m.WriteAmplification())
+
+	if *jsonPath != "" {
+		report := jsonReport{
+			Store:       preset.String(),
+			Compression: opts.Compression.String(),
+			Num:         *num,
+			ValueSize:   *valueSize,
+			Threads:     *threads,
+			Concurrency: *concurrency,
+			StoreScale:  *storeScale,
+			Seed:        *seed,
+			GoVersion:   runtime.Version(),
+			Timestamp:   time.Now().UTC().Format(time.RFC3339),
+			Workloads:   results,
+
+			WriteAmplification: m.WriteAmplification(),
+			Flushes:            m.Flushes,
+			Compactions:        m.Tree.Compactions,
+			CommitGroups:       m.CommitGroups,
+			BatchesPerGroup:    m.CommitGroupSize(),
+			WALSyncs:           m.WALSyncs,
+			SyncCommits:        m.SyncCommits,
+			CompressionRatio:   cs.Ratio(),
+
+			Gets:                   m.Gets,
+			GetTablesProbed:        m.GetTablesProbed,
+			TablesProbedPerGet:     m.TablesProbedPerGet(),
+			GetBloomNegatives:      m.GetBloomNegatives,
+			GetBloomFalsePositives: m.GetBloomFalsePositives,
+			GetBlockCacheHits:      m.GetBlockCacheHits,
+			GetBlockCacheMisses:    m.GetBlockCacheMisses,
+			GetBlockCacheHitRatio:  m.GetBlockCacheHitRatio(),
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }

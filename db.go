@@ -87,9 +87,23 @@ func (d *DB) Delete(key []byte) error {
 
 // Get returns the value of key. found is false when the key is absent or
 // deleted. A nil opts reads the latest committed state; opts.Snapshot pins
-// the read to a point-in-time view. The returned slice must not be
-// modified; it remains valid until the DB is closed.
+// the read to a point-in-time view. The caller owns the returned slice: it
+// is written into opts.Buf when one is supplied with sufficient capacity
+// (making a steady-state Get allocation-free), and freshly allocated
+// otherwise.
 func (d *DB) Get(key []byte, opts *ReadOptions) (value []byte, found bool, err error) {
+	var buf []byte
+	if opts != nil {
+		buf = opts.Buf
+	}
+	return d.GetTo(key, buf, opts)
+}
+
+// GetTo is Get with an explicit destination buffer: the value is appended
+// to dst[:0] and returned (dst may be nil). Reusing a buffer with enough
+// capacity across calls makes point reads allocation-free — the dbbench
+// readrandom loop and other hot read paths use this.
+func (d *DB) GetTo(key, dst []byte, opts *ReadOptions) (value []byte, found bool, err error) {
 	if d.closed.Load() {
 		return nil, false, ErrClosed
 	}
@@ -97,7 +111,7 @@ func (d *DB) Get(key []byte, opts *ReadOptions) (value []byte, found bool, err e
 	if opts != nil && opts.Snapshot != nil {
 		snap = opts.Snapshot.s
 	}
-	return d.eng.Get(key, snap)
+	return d.eng.Get(key, snap, dst)
 }
 
 // GetAt is Get against a snapshot.

@@ -90,38 +90,86 @@ func appendUvarint(dst []byte, v uint64) []byte {
 	return append(dst, tmp[:n]...)
 }
 
-// Iter is a cursor over an encoded block.
+// Iter is a cursor over an encoded block. The zero value is not positioned;
+// Init (or NewIter) must run first. An Iter is reusable across blocks via
+// Init, which retains the internal key buffer — the point-read path keeps a
+// pooled Iter per Get so steady-state block probes allocate nothing.
 type Iter struct {
-	cmp      func(a, b []byte) int
-	data     []byte // entries region only
-	restarts []uint32
-	off      int // offset of current entry in data
-	nextOff  int
-	key      []byte
-	val      []byte
-	valid    bool
-	err      error
+	cmp  func(a, b []byte) int
+	data []byte // entries region only
+	// restarts is the raw restart array (4 bytes per entry), read lazily so
+	// Init never allocates a decoded []uint32.
+	restarts    []byte
+	numRestarts int
+	off         int // offset of current entry in data
+	nextOff     int
+	key         []byte
+	val         []byte
+	valid       bool
+	err         error
 }
 
 // NewIter returns an iterator over an encoded block using cmp.
 func NewIter(data []byte, cmp func(a, b []byte) int) (*Iter, error) {
+	it := &Iter{}
+	if err := it.Init(data, cmp); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// Init points the iterator at a new block, retaining the key buffer's
+// capacity. It validates the restart array structurally; on error the
+// iterator is invalid and Error reports ErrCorrupt.
+func (i *Iter) Init(data []byte, cmp func(a, b []byte) int) error {
+	return i.init(data, cmp, true)
+}
+
+// InitValidated is Init without the O(restarts) bounds scan, for blocks the
+// caller has validated before — a table's resident index block (restart
+// interval 1, so the scan is O(entries)) is checked once at Open and then
+// probed on every Get.
+func (i *Iter) InitValidated(data []byte, cmp func(a, b []byte) int) error {
+	return i.init(data, cmp, false)
+}
+
+func (i *Iter) init(data []byte, cmp func(a, b []byte) int, validate bool) error {
+	*i = Iter{cmp: cmp, key: i.key[:0]}
 	if len(data) < 4 {
-		return nil, ErrCorrupt
+		i.err = ErrCorrupt
+		return i.err
 	}
 	n := int(binary.LittleEndian.Uint32(data[len(data)-4:]))
 	restartsEnd := len(data) - 4
 	restartsStart := restartsEnd - 4*n
 	if n < 1 || restartsStart < 0 {
-		return nil, ErrCorrupt
+		i.err = ErrCorrupt
+		return i.err
 	}
-	restarts := make([]uint32, n)
-	for i := 0; i < n; i++ {
-		restarts[i] = binary.LittleEndian.Uint32(data[restartsStart+4*i:])
-		if int(restarts[i]) > restartsStart {
-			return nil, ErrCorrupt
+	if validate {
+		for j := 0; j < n; j++ {
+			if int(binary.LittleEndian.Uint32(data[restartsStart+4*j:])) > restartsStart {
+				i.err = ErrCorrupt
+				return i.err
+			}
 		}
 	}
-	return &Iter{cmp: cmp, data: data[:restartsStart], restarts: restarts}, nil
+	i.data = data[:restartsStart]
+	i.restarts = data[restartsStart:restartsEnd]
+	i.numRestarts = n
+	return nil
+}
+
+// Release drops the iterator's references into the current block, so a
+// pooled iterator does not pin block payloads while idle. The key buffer's
+// capacity is retained for the next Init.
+func (i *Iter) Release() {
+	*i = Iter{key: i.key[:0]}
+}
+
+// restart returns the entry offset of restart point j.
+func (i *Iter) restart(j int) int {
+	return int(binary.LittleEndian.Uint32(i.restarts[4*j:]))
 }
 
 // decodeAt decodes the entry at off, returning the next entry's offset.
@@ -195,7 +243,7 @@ func (i *Iter) Last() {
 		i.valid = false
 		return
 	}
-	off := int(i.restarts[len(i.restarts)-1])
+	off := i.restart(i.numRestarts - 1)
 	next := i.decodeAt(off, nil)
 	if next < 0 {
 		i.corrupt()
@@ -223,19 +271,19 @@ func (i *Iter) Prev() {
 		i.valid = false
 		return
 	}
-	// Find the last restart strictly before the current entry; restarts[0]
-	// is 0, so one always exists.
-	lo, hi := 0, len(i.restarts)-1
+	// Find the last restart strictly before the current entry; restart 0
+	// is offset 0, so one always exists.
+	lo, hi := 0, i.numRestarts-1
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if int(i.restarts[mid]) < i.off {
+		if i.restart(mid) < i.off {
 			lo = mid
 		} else {
 			hi = mid - 1
 		}
 	}
 	target := i.off
-	off := int(i.restarts[lo])
+	off := i.restart(lo)
 	next := i.decodeAt(off, nil)
 	if next < 0 {
 		i.corrupt()
@@ -265,30 +313,38 @@ func (i *Iter) SeekLT(target []byte) {
 	}
 }
 
-// SeekGE positions at the first entry with key >= target.
+// SeekGE positions at the first entry with key >= target. This is also the
+// point-probe entry: when the restart binary search ends on the chosen
+// restart (its entry already sits in the iterator's buffers), the final
+// re-decode of that entry is skipped.
 func (i *Iter) SeekGE(target []byte) {
 	// Binary search the restart points: find the last restart whose key is
 	// < target, then scan forward.
-	lo, hi := 0, len(i.restarts)-1
+	lo, hi := 0, i.numRestarts-1
+	haveLo := false // i.key/i.val hold restart(lo)'s entry
+	var loNext int
 	for lo < hi {
 		mid := (lo + hi + 1) / 2
-		if i.decodeAt(int(i.restarts[mid]), nil) < 0 {
+		next := i.decodeAt(i.restart(mid), nil)
+		if next < 0 {
 			i.corrupt()
 			return
 		}
 		if i.cmp(i.key, target) < 0 {
-			lo = mid
+			lo, haveLo, loNext = mid, true, next
 		} else {
-			hi = mid - 1
+			// The decode overwrote the buffers; lo's entry is gone.
+			hi, haveLo = mid-1, false
 		}
 	}
-	i.off = int(i.restarts[lo])
-	next := i.decodeAt(i.off, nil)
-	if next < 0 {
-		i.corrupt()
-		return
+	i.off = i.restart(lo)
+	if !haveLo {
+		if loNext = i.decodeAt(i.off, nil); loNext < 0 {
+			i.corrupt()
+			return
+		}
 	}
-	i.nextOff = next
+	i.nextOff = loNext
 	i.valid = true
 	for i.valid && i.cmp(i.key, target) < 0 {
 		i.Next()

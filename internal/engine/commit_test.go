@@ -74,7 +74,7 @@ func TestCommitPipelineStress(t *testing.T) {
 
 					// Completed commits must be visible.
 					if done := lastDone[w].Load(); done >= 0 {
-						if _, found, err := e.Get(key(w, int(done), "a"), nil); err != nil {
+						if _, found, err := e.Get(key(w, int(done), "a"), nil, nil); err != nil {
 							t.Errorf("get: %v", err)
 							return
 						} else if !found {
@@ -88,12 +88,12 @@ func TestCommitPipelineStress(t *testing.T) {
 					// commits in order; visibility publishes in sequence
 					// order).
 					i := 1 + rng.Intn(commits-1)
-					if _, found, _ := e.Get(key(w, i, "a"), nil); found {
-						if _, f2, _ := e.Get(key(w, i, "b"), nil); !f2 {
+					if _, found, _ := e.Get(key(w, i, "a"), nil, nil); found {
+						if _, f2, _ := e.Get(key(w, i, "b"), nil, nil); !f2 {
 							t.Errorf("writer %d commit %d: saw half a batch", w, i)
 							return
 						}
-						if _, f3, _ := e.Get(key(w, i-1, "a"), nil); !f3 {
+						if _, f3, _ := e.Get(key(w, i-1, "a"), nil, nil); !f3 {
 							t.Errorf("writer %d: commit %d visible before commit %d", w, i, i-1)
 							return
 						}
@@ -150,7 +150,7 @@ func TestCommitPipelineStress(t *testing.T) {
 		// Everything committed must be durable in the final state.
 		for w := 0; w < writers; w++ {
 			for i := 0; i < commits; i++ {
-				if _, found, _ := e.Get(key(w, i, "a"), nil); !found {
+				if _, found, _ := e.Get(key(w, i, "a"), nil, nil); !found {
 					t.Fatalf("writer %d commit %d missing after quiesce", w, i)
 				}
 			}
@@ -319,7 +319,7 @@ func TestCommitPipelineTinyMemtable(t *testing.T) {
 		}
 		for w := 0; w < writers; w++ {
 			for i := 0; i < commits; i++ {
-				if _, found, err := e.Get([]byte(fmt.Sprintf("t%02d-%04d", w, i)), nil); err != nil || !found {
+				if _, found, err := e.Get([]byte(fmt.Sprintf("t%02d-%04d", w, i)), nil, nil); err != nil || !found {
 					t.Fatalf("writer %d commit %d: found=%v err=%v", w, i, found, err)
 				}
 			}
@@ -352,7 +352,7 @@ func TestCorruptBatchRejected(t *testing.T) {
 	if err := e.Set([]byte("ok"), []byte("v"), false); err != nil {
 		t.Fatalf("store poisoned by rejected batch: %v", err)
 	}
-	if _, found, _ := e.Get([]byte("ok"), nil); !found {
+	if _, found, _ := e.Get([]byte("ok"), nil, nil); !found {
 		t.Fatal("write after rejected batch not visible")
 	}
 }

@@ -15,7 +15,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/batch"
@@ -23,6 +22,7 @@ import (
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/leveled"
 	"pebblesdb/internal/memtable"
+	"pebblesdb/internal/sstable"
 	"pebblesdb/internal/tablecache"
 	"pebblesdb/internal/treebase"
 	"pebblesdb/internal/vfs"
@@ -54,7 +54,18 @@ type Tree interface {
 	WantGuard(ukey []byte) bool
 	Ingest(ukey []byte)
 	Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.SeqNum) error
-	Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err error)
+	// Get returns the newest visible version of ukey at seq. latest, when
+	// non-nil, is the engine's committed-sequence counter: the tree must
+	// pin its current version first and only then load the read sequence
+	// from it, so a concurrent compaction can never collapse every version
+	// <= seq out of the probed view (versions are only dropped when a
+	// newer, also-committed version shadows them — which the later seq
+	// load then makes visible). Snapshot reads pass latest=nil: registered
+	// snapshots are protected from collapse by SmallestSnapshot. s, when
+	// non-nil, supplies the reusable point-read working set; the returned
+	// value aliases immutable storage (block payloads, cache entries) and
+	// must be copied by the caller if it outlives the read.
+	Get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstable.GetScratch) (value []byte, found bool, err error)
 	NewIters(bounds base.Bounds) ([]iterator.Iterator, error)
 	NeedsCompaction() bool
 	CompactOnce() (bool, error)
@@ -115,6 +126,13 @@ type Engine struct {
 	compacting int
 	bgErr      error
 	closed     bool
+	// stallClear is closed and replaced when a compaction unit brings the
+	// L0 count back under the slowdown trigger. Slowdown-stalled writers
+	// select on it with a timeout: they wake the instant the stall
+	// condition clears, but still sleep out the full backpressure tick
+	// while L0 remains high (the 1ms delay is deliberate throttling, not
+	// a poll interval — waking on arbitrary progress would defeat it).
+	stallClear chan struct{}
 
 	// seq is the volatile last-committed (visible) sequence number.
 	seq atomic.Uint64
@@ -148,6 +166,13 @@ type Engine struct {
 		gets           atomic.Int64
 		writes         atomic.Int64
 		iterators      atomic.Int64
+
+		// Point-read path counters, folded in from per-Get scratches.
+		getTablesProbed        atomic.Int64
+		getBloomNegatives      atomic.Int64
+		getBloomFalsePositives atomic.Int64
+		getBlockHits           atomic.Int64
+		getBlockMisses         atomic.Int64
 	}
 }
 
@@ -162,6 +187,7 @@ func Open(cfg *base.Config, fs vfs.FS, dir string, kind Kind) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, fs: fs, dir: dir, snaps: make(map[base.SeqNum]int)}
 	e.cond = sync.NewCond(&e.mu)
+	e.stallClear = make(chan struct{})
 	e.ing.cond = sync.NewCond(&e.ing.mu)
 	e.pubCond = sync.NewCond(&e.pendMu)
 
@@ -448,6 +474,17 @@ func (e *Engine) maybeScheduleCompactionLocked() {
 	}
 }
 
+// signalStallClearLocked wakes slowdown-stalled writers when the L0 count
+// has dropped back under the slowdown trigger. Called with mu held after
+// background work completes a unit.
+func (e *Engine) signalStallClearLocked() {
+	if e.tree.L0Count() >= e.cfg.L0SlowdownTrigger && e.bgErr == nil {
+		return
+	}
+	close(e.stallClear)
+	e.stallClear = make(chan struct{})
+}
+
 func (e *Engine) compactWorker() {
 	for {
 		did, err := e.tree.CompactOnce()
@@ -456,18 +493,21 @@ func (e *Engine) compactWorker() {
 			e.bgErr = err
 			e.compacting--
 			e.cond.Broadcast()
+			e.signalStallClearLocked()
 			e.mu.Unlock()
 			return
 		}
 		if !did {
 			e.compacting--
 			e.cond.Broadcast()
+			e.signalStallClearLocked()
 			e.mu.Unlock()
 			e.cleanup()
 			return
 		}
 		// A unit completed: wake stalled writers, look for more work.
 		e.cond.Broadcast()
+		e.signalStallClearLocked()
 		e.maybeScheduleCompactionLocked()
 		e.mu.Unlock()
 		e.cleanup()
@@ -476,26 +516,29 @@ func (e *Engine) compactWorker() {
 
 // WaitIdle blocks until no flush or compaction is running or pending. The
 // paper's "fully compacted" read benchmarks (Fig 5.1b seeks) use this.
+// Waiters park on the engine condition variable — every flush/compaction
+// transition broadcasts it — instead of polling on a timer, so they wake
+// the moment the store goes quiescent.
 func (e *Engine) WaitIdle() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for {
-		e.mu.Lock()
 		if e.bgErr != nil {
-			err := e.bgErr
-			e.mu.Unlock()
-			return err
+			return e.bgErr
 		}
-		busy := e.flushing || e.imm != nil || e.compacting > 0
-		e.mu.Unlock()
-		if !busy {
-			e.maybeScheduleCompaction()
-			e.mu.Lock()
-			busy = e.compacting > 0
-			e.mu.Unlock()
-			if !busy && !e.tree.NeedsCompaction() {
-				return nil
-			}
+		if e.flushing || e.imm != nil || e.compacting > 0 {
+			e.cond.Wait()
+			continue
 		}
-		time.Sleep(time.Millisecond)
+		if e.closed || !e.tree.NeedsCompaction() {
+			return nil
+		}
+		e.maybeScheduleCompactionLocked()
+		if e.compacting == 0 {
+			// Nothing startable (closed or bgErr raced in); re-check above.
+			continue
+		}
+		e.cond.Wait()
 	}
 }
 

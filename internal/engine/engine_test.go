@@ -45,14 +45,14 @@ func TestBasicCRUD(t *testing.T) {
 		if err := e.Set([]byte("k"), []byte("v"), false); err != nil {
 			t.Fatal(err)
 		}
-		v, ok, err := e.Get([]byte("k"), nil)
+		v, ok, err := e.Get([]byte("k"), nil, nil)
 		if err != nil || !ok || string(v) != "v" {
 			t.Fatalf("get: %q %v %v", v, ok, err)
 		}
 		if err := e.Delete([]byte("k"), false); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok, _ := e.Get([]byte("k"), nil); ok {
+		if _, ok, _ := e.Get([]byte("k"), nil, nil); ok {
 			t.Fatal("deleted key visible")
 		}
 	})
@@ -69,10 +69,10 @@ func TestBatchAtomicSequencing(t *testing.T) {
 	if err := e.Apply(b, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := e.Get([]byte("a"), nil); ok {
+	if _, ok, _ := e.Get([]byte("a"), nil, nil); ok {
 		t.Fatal("within-batch delete should win (higher seq)")
 	}
-	if v, ok, _ := e.Get([]byte("b"), nil); !ok || string(v) != "2" {
+	if v, ok, _ := e.Get([]byte("b"), nil, nil); !ok || string(v) != "2" {
 		t.Fatal("batch set lost")
 	}
 }
@@ -88,13 +88,13 @@ func TestSnapshotIsolation(t *testing.T) {
 		e.Set([]byte("k"), []byte("v2"), false)
 		e.Set([]byte("only-after"), []byte("x"), false)
 
-		if v, ok, _ := e.Get([]byte("k"), snap); !ok || string(v) != "v1" {
+		if v, ok, _ := e.Get([]byte("k"), snap, nil); !ok || string(v) != "v1" {
 			t.Fatalf("snapshot read: %q %v", v, ok)
 		}
-		if _, ok, _ := e.Get([]byte("only-after"), snap); ok {
+		if _, ok, _ := e.Get([]byte("only-after"), snap, nil); ok {
 			t.Fatal("snapshot sees later write")
 		}
-		if v, _, _ := e.Get([]byte("k"), nil); string(v) != "v2" {
+		if v, _, _ := e.Get([]byte("k"), nil, nil); string(v) != "v2" {
 			t.Fatal("latest read wrong")
 		}
 	})
@@ -118,7 +118,7 @@ func TestSnapshotSurvivesFlushAndCompaction(t *testing.T) {
 	if err := e.CompactAll(); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, _ := e.Get([]byte("k"), snap); !ok || string(v) != "v1" {
+	if v, ok, _ := e.Get([]byte("k"), snap, nil); !ok || string(v) != "v1" {
 		t.Fatalf("snapshot read after compaction: %q %v", v, ok)
 	}
 }
@@ -150,7 +150,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 				rng := rand.New(rand.NewSource(int64(r)))
 				for i := 0; i < 2000; i++ {
 					k := fmt.Sprintf("w%d-key%05d", rng.Intn(4), rng.Intn(2000))
-					v, ok, err := e.Get([]byte(k), nil)
+					v, ok, err := e.Get([]byte(k), nil, nil)
 					if err != nil {
 						errs <- err
 						return
@@ -174,7 +174,7 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 		for w := 0; w < 4; w++ {
 			for i := 0; i < 2000; i++ {
 				k := fmt.Sprintf("w%d-key%05d", w, i)
-				v, ok, err := e.Get([]byte(k), nil)
+				v, ok, err := e.Get([]byte(k), nil, nil)
 				if err != nil || !ok || string(v) != "value-"+k {
 					t.Fatalf("verify %s: %q %v %v", k, v, ok, err)
 				}
@@ -236,7 +236,7 @@ func TestRecoveryFromWALOnly(t *testing.T) {
 		defer e2.Close()
 		for i := 0; i < 100; i++ {
 			k := fmt.Sprintf("k%03d", i)
-			v, ok, err := e2.Get([]byte(k), nil)
+			v, ok, err := e2.Get([]byte(k), nil, nil)
 			if err != nil || !ok || string(v) != "v" {
 				t.Fatalf("recovered get %s: %q %v %v", k, v, ok, err)
 			}
@@ -276,7 +276,7 @@ func TestCrashRecoveryDurability(t *testing.T) {
 		defer e2.Close()
 		for i := 0; i < 50; i++ {
 			k := fmt.Sprintf("synced%03d", i)
-			if _, ok, err := e2.Get([]byte(k), nil); err != nil || !ok {
+			if _, ok, err := e2.Get([]byte(k), nil, nil); err != nil || !ok {
 				t.Fatalf("synced key %s lost after crash (ok=%v err=%v)", k, ok, err)
 			}
 		}
@@ -318,11 +318,11 @@ func TestCrashDuringHeavyWrites(t *testing.T) {
 		t.Fatalf("reopen after crash: %v", err)
 	}
 	defer e2.Close()
-	if _, ok, err := e2.Get([]byte("marker"), nil); err != nil || !ok {
+	if _, ok, err := e2.Get([]byte("marker"), nil, nil); err != nil || !ok {
 		t.Fatalf("marker lost: ok=%v err=%v", ok, err)
 	}
 	for _, k := range syncedKeys {
-		if _, ok, err := e2.Get([]byte(k), nil); err != nil || !ok {
+		if _, ok, err := e2.Get([]byte(k), nil, nil); err != nil || !ok {
 			t.Fatalf("synced key %s lost: ok=%v err=%v", k, ok, err)
 		}
 	}
@@ -392,7 +392,7 @@ func TestCloseRejectsFurtherOps(t *testing.T) {
 	if err := e.Set([]byte("k2"), []byte("v"), false); err == nil {
 		t.Fatal("write after close should fail")
 	}
-	if _, _, err := e.Get([]byte("k"), nil); err == nil {
+	if _, _, err := e.Get([]byte("k"), nil, nil); err == nil {
 		t.Fatal("get after close should fail")
 	}
 	if err := e.Close(); err != ErrClosed {
@@ -423,7 +423,7 @@ func TestFlushIsDurableWithoutWAL(t *testing.T) {
 	defer e2.Close()
 	for i := 0; i < 500; i++ {
 		k := fmt.Sprintf("k%04d", i)
-		if _, ok, err := e2.Get([]byte(k), nil); err != nil || !ok {
+		if _, ok, err := e2.Get([]byte(k), nil, nil); err != nil || !ok {
 			t.Fatalf("flushed key %s lost: ok=%v err=%v", k, ok, err)
 		}
 	}

@@ -47,6 +47,17 @@ type Metrics struct {
 	Gets      int64
 	Writes    int64
 	Iterators int64
+	// Point-read path accounting (the paper's read-cost trade-off, §3.4):
+	// GetTablesProbed counts sstables whose blocks were searched on the Get
+	// path; GetBloomNegatives counts tables the bloom filters excluded;
+	// GetBloomFalsePositives counts probes a filter let through that found
+	// nothing; GetBlockCacheHits/Misses are block-cache outcomes on Gets
+	// only (iterators and compactions excluded).
+	GetTablesProbed        int64
+	GetBloomNegatives      int64
+	GetBloomFalsePositives int64
+	GetBlockCacheHits      int64
+	GetBlockCacheMisses    int64
 	// MemtableBytes is the live memtable footprint.
 	MemtableBytes int64
 	// LastSeq is the last committed sequence number.
@@ -71,24 +82,49 @@ func (m Metrics) SyncsPerCommit() float64 {
 	return float64(m.WALSyncs) / float64(m.SyncCommits)
 }
 
+// TablesProbedPerGet is the mean number of sstables actually searched per
+// Get — the FLSM read-cost number the bloom filters are meant to keep near
+// the leveled baseline's.
+func (m Metrics) TablesProbedPerGet() float64 {
+	if m.Gets == 0 {
+		return 0
+	}
+	return float64(m.GetTablesProbed) / float64(m.Gets)
+}
+
+// GetBlockCacheHitRatio is the block-cache hit ratio on the point-read
+// path only.
+func (m Metrics) GetBlockCacheHitRatio() float64 {
+	total := m.GetBlockCacheHits + m.GetBlockCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.GetBlockCacheHits) / float64(total)
+}
+
 // Metrics returns a snapshot of store statistics.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
-		Tree:           e.tree.Metrics(),
-		Cache:          e.tree.CacheMetrics(),
-		SlowdownWrites: e.stats.slowdowns.Load(),
-		StoppedWrites:  e.stats.stops.Load(),
-		MemtableWaits:  e.stats.memWaits.Load(),
-		Flushes:        e.stats.flushes.Load(),
-		WALBytes:       e.stats.walBytes.Load(),
-		WALSyncs:       e.stats.walSyncs.Load(),
-		SyncCommits:    e.stats.syncCommits.Load(),
-		CommitGroups:   e.stats.commitGroups.Load(),
-		CommitBatches:  e.stats.commitBatches.Load(),
-		Gets:           e.stats.gets.Load(),
-		Writes:         e.stats.writes.Load(),
-		Iterators:      e.stats.iterators.Load(),
-		LastSeq:        base.SeqNum(e.seq.Load()),
+		Tree:                   e.tree.Metrics(),
+		Cache:                  e.tree.CacheMetrics(),
+		SlowdownWrites:         e.stats.slowdowns.Load(),
+		StoppedWrites:          e.stats.stops.Load(),
+		MemtableWaits:          e.stats.memWaits.Load(),
+		Flushes:                e.stats.flushes.Load(),
+		WALBytes:               e.stats.walBytes.Load(),
+		WALSyncs:               e.stats.walSyncs.Load(),
+		SyncCommits:            e.stats.syncCommits.Load(),
+		CommitGroups:           e.stats.commitGroups.Load(),
+		CommitBatches:          e.stats.commitBatches.Load(),
+		Gets:                   e.stats.gets.Load(),
+		Writes:                 e.stats.writes.Load(),
+		Iterators:              e.stats.iterators.Load(),
+		GetTablesProbed:        e.stats.getTablesProbed.Load(),
+		GetBloomNegatives:      e.stats.getBloomNegatives.Load(),
+		GetBloomFalsePositives: e.stats.getBloomFalsePositives.Load(),
+		GetBlockCacheHits:      e.stats.getBlockHits.Load(),
+		GetBlockCacheMisses:    e.stats.getBlockMisses.Load(),
+		LastSeq:                base.SeqNum(e.seq.Load()),
 	}
 	for i := range e.stats.commitWaitHist {
 		m.CommitWaitHist[i] = e.stats.commitWaitHist[i].Load()

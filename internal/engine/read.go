@@ -2,14 +2,19 @@ package engine
 
 import (
 	"bytes"
+	"sync/atomic"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/sstable"
 )
 
 // Get returns the value of key, or found=false if absent or deleted. A nil
-// snapshot reads the latest committed state.
-func (e *Engine) Get(key []byte, snap *Snapshot) (value []byte, found bool, err error) {
+// snapshot reads the latest committed state. The value is appended to
+// dst[:0] and returned: passing a buffer with sufficient capacity makes the
+// whole read allocation-free; passing nil allocates exactly the value copy.
+// The caller owns the returned slice.
+func (e *Engine) Get(key []byte, snap *Snapshot, dst []byte) (value []byte, found bool, err error) {
 	e.stats.gets.Add(1)
 	e.opLock.RLock()
 	defer e.releaseOp()
@@ -27,15 +32,65 @@ func (e *Engine) Get(key []byte, snap *Snapshot) (value []byte, found bool, err 
 	mem, imm := e.mem, e.imm
 	e.mu.Unlock()
 
-	if v, kind, ok := mem.Get(key, seq); ok {
-		return v, kind == base.KindSet, nil
+	// The pooled scratch (search-key buffer, block cursors) makes the
+	// steady-state Get O(1) allocations: the only unavoidable one is the
+	// value copy into dst when the caller supplies no buffer.
+	s := sstable.AcquireGetScratch()
+	defer e.releaseGetScratch(s)
+
+	s.SearchKey = base.MakeSearchKey(s.SearchKey[:0], key, seq)
+	if v, kind, ok := mem.GetSearch(s.SearchKey); ok {
+		if kind != base.KindSet {
+			return nil, false, nil
+		}
+		return append(dst[:0], v...), true, nil
 	}
 	if imm != nil {
-		if v, kind, ok := imm.Get(key, seq); ok {
-			return v, kind == base.KindSet, nil
+		if v, kind, ok := imm.GetSearch(s.SearchKey); ok {
+			if kind != base.KindSet {
+				return nil, false, nil
+			}
+			return append(dst[:0], v...), true, nil
 		}
 	}
-	return e.tree.Get(key, seq)
+	// Nil-snapshot reads hand the tree the live sequence counter instead of
+	// the frozen seq: the tree pins its version first, then re-resolves the
+	// read sequence, closing the window where a concurrent compaction
+	// collapses every version <= seq into a successor that seq cannot see.
+	// (Memtables never drop versions, so probing them at the earlier seq
+	// above is safe; registered snapshots are protected by
+	// SmallestSnapshot and keep their fixed seq.)
+	var latest *atomic.Uint64
+	if snap == nil {
+		latest = &e.seq
+	}
+	v, found, err := e.tree.Get(key, seq, latest, s)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	return append(dst[:0], v...), true, nil
+}
+
+// releaseGetScratch folds the scratch's read-path counters into the
+// engine's metrics and returns it to the shared pool.
+func (e *Engine) releaseGetScratch(s *sstable.GetScratch) {
+	st := &s.Stats
+	if st.TablesProbed != 0 {
+		e.stats.getTablesProbed.Add(st.TablesProbed)
+	}
+	if st.BloomNegatives != 0 {
+		e.stats.getBloomNegatives.Add(st.BloomNegatives)
+	}
+	if st.BloomFalsePositives != 0 {
+		e.stats.getBloomFalsePositives.Add(st.BloomFalsePositives)
+	}
+	if st.BlockHits != 0 {
+		e.stats.getBlockHits.Add(st.BlockHits)
+	}
+	if st.BlockMisses != 0 {
+		e.stats.getBlockMisses.Add(st.BlockMisses)
+	}
+	sstable.ReleaseGetScratch(s)
 }
 
 // IterOptions configures an engine iterator.
@@ -81,11 +136,6 @@ func (e *Engine) NewIter(opts *IterOptions) (*Iter, error) {
 	e.stats.iterators.Add(1)
 	e.opLock.RLock()
 
-	seq := base.SeqNum(e.seq.Load())
-	if o.Snapshot != nil {
-		seq = o.Snapshot.seq
-	}
-
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
@@ -114,6 +164,14 @@ func (e *Engine) NewIter(opts *IterOptions) (*Iter, error) {
 		return nil, err
 	}
 	iters = append(iters, treeIters...)
+
+	// Choose the read sequence only after every source is pinned (same
+	// collapse-safe ordering as Get): versions dropped by a concurrent
+	// compaction are then always shadowed by a version this seq can see.
+	seq := base.SeqNum(e.seq.Load())
+	if o.Snapshot != nil {
+		seq = o.Snapshot.seq
+	}
 	return &Iter{
 		e:       e,
 		merged:  iterator.NewMerging(base.InternalCompare, iters...),

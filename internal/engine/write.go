@@ -45,11 +45,19 @@ func (e *Engine) makeRoomForWrite(n int) error {
 		case e.bgErr != nil:
 			return e.bgErr
 		case !delayed && e.tree.L0Count() >= e.cfg.L0SlowdownTrigger && e.tree.L0Count() < e.cfg.L0StopTrigger:
-			// Soft limit: delay this write once by 1ms, ceding CPU and IO
-			// to compaction.
+			// Soft limit: delay this write once by 1ms of deliberate
+			// backpressure, ceding CPU and IO to compaction — but wake
+			// immediately if compaction brings L0 back under the trigger,
+			// at which point the rest of the sleep would throttle nothing.
 			e.stats.slowdowns.Add(1)
+			clear := e.stallClear
 			e.mu.Unlock()
-			time.Sleep(time.Millisecond)
+			timer := time.NewTimer(time.Millisecond)
+			select {
+			case <-clear:
+			case <-timer.C:
+			}
+			timer.Stop()
 			e.mu.Lock()
 			delayed = true
 		case e.mem.ApproxSize()+int64(n) <= int64(e.cfg.MemtableSize):

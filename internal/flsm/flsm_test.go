@@ -111,11 +111,11 @@ func TestFlushAndGet(t *testing.T) {
 	seq := base.SeqNum(0)
 	flushBatch(t, tree, map[string]string{"a": "1", "b": "2", "c": "3"}, &seq)
 
-	v, found, err := tree.Get([]byte("b"), base.MaxSeqNum)
+	v, found, err := tree.Get([]byte("b"), base.MaxSeqNum, nil, nil)
 	if err != nil || !found || string(v) != "2" {
 		t.Fatalf("get b: %q %v %v", v, found, err)
 	}
-	if _, found, _ := tree.Get([]byte("x"), base.MaxSeqNum); found {
+	if _, found, _ := tree.Get([]byte("x"), base.MaxSeqNum, nil, nil); found {
 		t.Fatal("absent key found")
 	}
 	if tree.L0Count() != 1 {
@@ -159,7 +159,7 @@ func TestCompactionPartitionsByGuards(t *testing.T) {
 
 	// Everything still readable.
 	for k, v := range expect {
-		got, found, err := tree.Get([]byte(k), base.MaxSeqNum)
+		got, found, err := tree.Get([]byte(k), base.MaxSeqNum, nil, nil)
 		if err != nil || !found || string(got) != v {
 			t.Fatalf("get %q: %q found=%v err=%v (want %q)", k, got, found, err, v)
 		}
@@ -266,14 +266,14 @@ func TestDeletesAreHonoredAcrossCompaction(t *testing.T) {
 	if err := tree.Flush(mem.NewIter(), tree.NewFileNum(), seq); err != nil {
 		t.Fatal(err)
 	}
-	if _, found, _ := tree.Get([]byte("k1"), base.MaxSeqNum); found {
+	if _, found, _ := tree.Get([]byte("k1"), base.MaxSeqNum, nil, nil); found {
 		t.Fatal("deleted key visible before compaction")
 	}
 	tree.CompactAll()
-	if _, found, _ := tree.Get([]byte("k1"), base.MaxSeqNum); found {
+	if _, found, _ := tree.Get([]byte("k1"), base.MaxSeqNum, nil, nil); found {
 		t.Fatal("deleted key visible after compaction")
 	}
-	if v, found, _ := tree.Get([]byte("k2"), base.MaxSeqNum); !found || string(v) != "v2" {
+	if v, found, _ := tree.Get([]byte("k2"), base.MaxSeqNum, nil, nil); !found || string(v) != "v2" {
 		t.Fatal("surviving key lost")
 	}
 }
@@ -293,10 +293,10 @@ func TestSnapshotVisibleThroughCompaction(t *testing.T) {
 	flushBatch(t, tree, map[string]string{"k": "new"}, &seq)
 	tree.CompactAll()
 
-	if v, found, _ := tree.Get([]byte("k"), snapSeq); !found || string(v) != "old" {
+	if v, found, _ := tree.Get([]byte("k"), snapSeq, nil, nil); !found || string(v) != "old" {
 		t.Fatalf("snapshot read after compaction: %q found=%v", v, found)
 	}
-	if v, found, _ := tree.Get([]byte("k"), base.MaxSeqNum); !found || string(v) != "new" {
+	if v, found, _ := tree.Get([]byte("k"), base.MaxSeqNum, nil, nil); !found || string(v) != "new" {
 		t.Fatalf("latest read: %q", v)
 	}
 }
@@ -368,7 +368,7 @@ func TestEmptyGuardsAreHarmless(t *testing.T) {
 	checkInvariants(t, tree)
 
 	// Reads and iteration still work with (possibly) empty guards.
-	if _, found, _ := tree.Get([]byte("key000100"), base.MaxSeqNum); found {
+	if _, found, _ := tree.Get([]byte("key000100"), base.MaxSeqNum, nil, nil); found {
 		t.Fatal("deleted key visible")
 	}
 }
@@ -474,7 +474,7 @@ func TestGuardDeletionEdit(t *testing.T) {
 	}
 	checkInvariants(t, tree)
 	// All data still readable.
-	if _, _, err := tree.Get([]byte("key000001"), base.MaxSeqNum); err != nil {
+	if _, _, err := tree.Get([]byte("key000001"), base.MaxSeqNum, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/cache"
@@ -263,51 +264,30 @@ func removeKey(keys [][]byte, key []byte) [][]byte {
 // Get implements the FLSM read path (§3.4): per level, binary-search the
 // single guard that can hold the key, then examine every sstable in that
 // guard that passes the bloom filter, returning the match with the highest
-// sequence number at or below the read snapshot.
-func (t *Tree) Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err error) {
-	v := t.currentVersion()
-	search := base.MakeSearchKey(make([]byte, 0, len(ukey)+base.TrailerLen), ukey, seq)
-
-	// examine returns the best (newest visible) entry across files.
-	examine := func(files []*base.FileMetadata) (val []byte, kind base.Kind, bestSeq base.SeqNum, ok bool, err error) {
-		bestSeq = 0
-		for _, f := range files {
-			if !userKeyInRange(ukey, f) {
-				continue
-			}
-			r, ferr := t.tc.Find(f.FileNum, f.Size)
-			if ferr != nil {
-				return nil, 0, 0, false, ferr
-			}
-			if !r.MayContain(ukey) {
-				r.Unref()
-				continue
-			}
-			ikey, v, hit, gerr := r.Get(search)
-			r.Unref()
-			if gerr != nil {
-				return nil, 0, 0, false, gerr
-			}
-			if !hit {
-				continue
-			}
-			_, s, k, _ := base.DecodeInternalKey(ikey)
-			if !ok || s > bestSeq {
-				val, kind, bestSeq, ok = v, k, s, true
-			}
-		}
-		return val, kind, bestSeq, ok, nil
+// sequence number at or below the read snapshot. latest, when non-nil,
+// overrides seq with its value loaded *after* the version is pinned — the
+// engine's collapse-safe ordering for latest-state reads (see
+// engine.Tree.Get). s, when non-nil, supplies the reusable per-call working
+// set (a steady-state Get allocates nothing in this layer); nil acquires
+// one from the shared pool. The returned value aliases an immutable block
+// payload or cache entry.
+func (t *Tree) Get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstable.GetScratch) (value []byte, found bool, err error) {
+	if s == nil {
+		s = sstable.AcquireGetScratch()
+		defer sstable.ReleaseGetScratch(s)
 	}
+	v := t.currentVersion()
+	if latest != nil {
+		seq = base.SeqNum(latest.Load())
+	}
+	s.SearchKey = base.MakeSearchKey(s.SearchKey[:0], ukey, seq)
 
 	// Level 0: newest file first; flush order guarantees newer files hold
 	// newer versions, so the first visible hit wins.
 	for _, f := range v.l0 {
-		if !userKeyInRange(ukey, f) {
-			continue
-		}
-		val, kind, _, ok, err := examine([]*base.FileMetadata{f})
-		if err != nil {
-			return nil, false, err
+		val, kind, ok, gerr := t.probeFile(f, ukey, s)
+		if gerr != nil {
+			return nil, false, gerr
 		}
 		if ok {
 			return val, kind == base.KindSet, nil
@@ -325,15 +305,68 @@ func (t *Tree) Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err 
 		if len(files) == 0 {
 			continue // empty guards are skipped (§3.3)
 		}
-		val, kind, _, ok, err := examine(files)
-		if err != nil {
-			return nil, false, err
+		val, kind, ok, gerr := t.examineGuard(files, ukey, s)
+		if gerr != nil {
+			return nil, false, gerr
 		}
 		if ok {
 			return val, kind == base.KindSet, nil
 		}
 	}
 	return nil, false, nil
+}
+
+// examineGuard probes every candidate sstable within one guard and returns
+// the newest visible entry. Values returned by the probes alias immutable
+// block payloads, so tracking the best candidate across files requires no
+// copies — materialization is deferred until the winner is known.
+func (t *Tree) examineGuard(files []*base.FileMetadata, ukey []byte, s *sstable.GetScratch) (val []byte, kind base.Kind, ok bool, err error) {
+	var bestSeq base.SeqNum
+	for _, f := range files {
+		if !userKeyInRange(ukey, f) {
+			continue
+		}
+		r, ferr := t.tc.Find(f.FileNum, f.Size)
+		if ferr != nil {
+			return nil, 0, false, ferr
+		}
+		if !r.MayContain(ukey) {
+			s.Stats.BloomNegatives++
+			r.Unref()
+			continue
+		}
+		v, fseq, k, hit, gerr := r.GetScratched(s.SearchKey, s)
+		r.Unref()
+		if gerr != nil {
+			return nil, 0, false, gerr
+		}
+		if !hit {
+			continue
+		}
+		if !ok || fseq > bestSeq {
+			val, kind, bestSeq, ok = v, k, fseq, true
+		}
+	}
+	return val, kind, ok, nil
+}
+
+// probeFile checks a single level-0 sstable for ukey.
+func (t *Tree) probeFile(f *base.FileMetadata, ukey []byte, s *sstable.GetScratch) (val []byte, kind base.Kind, ok bool, err error) {
+	if !userKeyInRange(ukey, f) {
+		return nil, 0, false, nil
+	}
+	r, ferr := t.tc.Find(f.FileNum, f.Size)
+	if ferr != nil {
+		return nil, 0, false, ferr
+	}
+	if !r.MayContain(ukey) {
+		s.Stats.BloomNegatives++
+		r.Unref()
+		return nil, 0, false, nil
+	}
+	v, _, k, hit, gerr := r.GetScratched(s.SearchKey, s)
+	r.Unref()
+	return v, k, hit, gerr
 }
 
 // userKeyInRange sits on the Get hot path for every candidate file.

@@ -202,12 +202,13 @@ func (v *ValueSource) Next() []byte {
 }
 
 // FillSeq inserts n keys in ascending order.
-func FillSeq(db *pebblesdb.DB, n int, valueSize int, seed int64) error {
+func FillSeq(db *pebblesdb.DB, n int, valueSize int, seed int64, recs ...*LatencyRecorder) error {
 	vals := NewValueSource(valueSize, CompressibleFraction, seed)
+	rec := recOf(recs)
 	key := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(i))
-		if err := db.Put(key, vals.Next()); err != nil {
+		if err := timedPut(db, key, vals.Next(), rec); err != nil {
 			return err
 		}
 	}
@@ -215,34 +216,46 @@ func FillSeq(db *pebblesdb.DB, n int, valueSize int, seed int64) error {
 }
 
 // FillRandom inserts n keys drawn uniformly from keySpace.
-func FillRandom(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64) error {
+func FillRandom(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64, recs ...*LatencyRecorder) error {
 	rng := rand.New(rand.NewSource(seed))
 	vals := NewValueSource(valueSize, CompressibleFraction, seed)
+	rec := recOf(recs)
 	key := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
-		if err := db.Put(key, vals.Next()); err != nil {
+		if err := timedPut(db, key, vals.Next(), rec); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// timedPut is Put with optional (nil-safe) per-op latency recording.
+func timedPut(db *pebblesdb.DB, key, value []byte, rec *LatencyRecorder) error {
+	start := rec.Start()
+	err := db.Put(key, value)
+	rec.Done(start)
+	return err
+}
+
 // FillSync inserts n keys drawn uniformly from keySpace, each as its own
 // durable (Sync) commit — the workload where the commit pipeline's fsync
 // amortization shows up directly.
-func FillSync(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64) error {
+func FillSync(db *pebblesdb.DB, n, keySpace, valueSize int, seed int64, recs ...*LatencyRecorder) error {
 	rng := rand.New(rand.NewSource(seed))
 	vals := NewValueSource(valueSize, CompressibleFraction, seed)
+	rec := recOf(recs)
 	key := make([]byte, 0, 16)
 	b := db.NewBatch()
 	for i := 0; i < n; i++ {
 		b.Reset()
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
 		b.Set(key, vals.Next())
+		start := rec.Start()
 		if err := db.Apply(b, pebblesdb.Sync); err != nil {
 			return err
 		}
+		rec.Done(start)
 	}
 	return nil
 }
@@ -296,18 +309,25 @@ func DeleteRange(db *pebblesdb.DB, lo, hi uint64) error {
 	return nil
 }
 
-// ReadRandom performs n gets over keySpace; returns the hit count.
-func ReadRandom(db *pebblesdb.DB, n, keySpace int, seed int64) (hits int, err error) {
+// ReadRandom performs n gets over keySpace; returns the hit count. The
+// loop reuses one destination buffer through DB.GetTo, so on a warm cache
+// it runs allocation-free end to end.
+func ReadRandom(db *pebblesdb.DB, n, keySpace int, seed int64, recs ...*LatencyRecorder) (hits int, err error) {
 	rng := rand.New(rand.NewSource(seed))
+	rec := recOf(recs)
 	key := make([]byte, 0, 16)
+	buf := make([]byte, 0, 4096)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
-		_, ok, gerr := db.Get(key, nil)
+		start := rec.Start()
+		v, ok, gerr := db.GetTo(key, buf, nil)
+		rec.Done(start)
 		if gerr != nil {
 			return hits, gerr
 		}
 		if ok {
 			hits++
+			buf = v[:0]
 		}
 	}
 	return hits, nil
@@ -315,11 +335,13 @@ func ReadRandom(db *pebblesdb.DB, n, keySpace int, seed int64) (hits int, err er
 
 // SeekRandom performs n seeks, each followed by nexts Next calls (the
 // paper's range query: a seek() then next()s, §5.2).
-func SeekRandom(db *pebblesdb.DB, n, keySpace, nexts int, seed int64) error {
+func SeekRandom(db *pebblesdb.DB, n, keySpace, nexts int, seed int64, recs ...*LatencyRecorder) error {
 	rng := rand.New(rand.NewSource(seed))
+	rec := recOf(recs)
 	key := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
+		start := rec.Start()
 		it, err := db.NewIter(nil)
 		if err != nil {
 			return err
@@ -331,17 +353,20 @@ func SeekRandom(db *pebblesdb.DB, n, keySpace, nexts int, seed int64) error {
 		if err := it.Close(); err != nil {
 			return err
 		}
+		rec.Done(start)
 	}
 	return nil
 }
 
 // SeekRandomReverse performs n reverse range queries: SeekLT to a random
 // key, then prevs Prev calls (the v2 API's mirror of SeekRandom).
-func SeekRandomReverse(db *pebblesdb.DB, n, keySpace, prevs int, seed int64) error {
+func SeekRandomReverse(db *pebblesdb.DB, n, keySpace, prevs int, seed int64, recs ...*LatencyRecorder) error {
 	rng := rand.New(rand.NewSource(seed))
+	rec := recOf(recs)
 	key := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
+		start := rec.Start()
 		it, err := db.NewIter(nil)
 		if err != nil {
 			return err
@@ -353,6 +378,7 @@ func SeekRandomReverse(db *pebblesdb.DB, n, keySpace, prevs int, seed int64) err
 		if err := it.Close(); err != nil {
 			return err
 		}
+		rec.Done(start)
 	}
 	return nil
 }
@@ -360,14 +386,16 @@ func SeekRandomReverse(db *pebblesdb.DB, n, keySpace, prevs int, seed int64) err
 // ScanBounded performs n bounded range queries of span keys each: the end
 // key is pushed into the iterator as an upper bound so the store prunes
 // sstables past it before IO.
-func ScanBounded(db *pebblesdb.DB, n, keySpace, span int, seed int64) (read int, err error) {
+func ScanBounded(db *pebblesdb.DB, n, keySpace, span int, seed int64, recs ...*LatencyRecorder) (read int, err error) {
 	rng := rand.New(rand.NewSource(seed))
+	rec := recOf(recs)
 	lo := make([]byte, 0, 16)
 	hi := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
-		start := uint64(rng.Intn(keySpace))
-		lo = KeyAt(lo, start)
-		hi = KeyAt(hi, start+uint64(span))
+		first := uint64(rng.Intn(keySpace))
+		lo = KeyAt(lo, first)
+		hi = KeyAt(hi, first+uint64(span))
+		start := rec.Start()
 		it, err := db.NewIter(&pebblesdb.IterOptions{LowerBound: lo, UpperBound: hi})
 		if err != nil {
 			return read, err
@@ -378,19 +406,23 @@ func ScanBounded(db *pebblesdb.DB, n, keySpace, span int, seed int64) (read int,
 		if err := it.Close(); err != nil {
 			return read, err
 		}
+		rec.Done(start)
 	}
 	return read, nil
 }
 
 // DeleteRandom deletes n keys drawn uniformly from keySpace.
-func DeleteRandom(db *pebblesdb.DB, n, keySpace int, seed int64) error {
+func DeleteRandom(db *pebblesdb.DB, n, keySpace int, seed int64, recs ...*LatencyRecorder) error {
 	rng := rand.New(rand.NewSource(seed))
+	rec := recOf(recs)
 	key := make([]byte, 0, 16)
 	for i := 0; i < n; i++ {
 		key = KeyAt(key, uint64(rng.Intn(keySpace)))
+		start := rec.Start()
 		if err := db.Delete(key); err != nil {
 			return err
 		}
+		rec.Done(start)
 	}
 	return nil
 }

@@ -93,7 +93,7 @@ func TestCompactionMaintainsDisjointLevels(t *testing.T) {
 	checkDisjoint(t, tree)
 
 	for k, v := range expect {
-		got, found, err := tree.Get([]byte(k), base.MaxSeqNum)
+		got, found, err := tree.Get([]byte(k), base.MaxSeqNum, nil, nil)
 		if err != nil || !found || string(got) != v {
 			t.Fatalf("get %q: %q found=%v err=%v", k, got, found, err)
 		}
@@ -127,7 +127,7 @@ func TestL0NewestWins(t *testing.T) {
 	seq := base.SeqNum(0)
 	flushBatch(t, tree, map[string]string{"k": "old"}, &seq)
 	flushBatch(t, tree, map[string]string{"k": "new"}, &seq)
-	v, found, err := tree.Get([]byte("k"), base.MaxSeqNum)
+	v, found, err := tree.Get([]byte("k"), base.MaxSeqNum, nil, nil)
 	if err != nil || !found || string(v) != "new" {
 		t.Fatalf("get: %q %v %v", v, found, err)
 	}
@@ -146,7 +146,7 @@ func TestTombstoneShadowsOlderLevels(t *testing.T) {
 	if err := tree.Flush(mem.NewIter(), tree.NewFileNum(), seq); err != nil {
 		t.Fatal(err)
 	}
-	if _, found, _ := tree.Get([]byte("k"), base.MaxSeqNum); found {
+	if _, found, _ := tree.Get([]byte("k"), base.MaxSeqNum, nil, nil); found {
 		t.Fatal("tombstone in L0 must shadow deeper value")
 	}
 }
@@ -215,7 +215,7 @@ func TestSeekCompactionTriggers(t *testing.T) {
 	// Hammer gets on keys that miss in the newer file region: each get
 	// that examines an extra file charges seek budget.
 	for i := 0; i < 300000; i++ {
-		tree.Get([]byte(fmt.Sprintf("key%06d", i%2000)), base.MaxSeqNum)
+		tree.Get([]byte(fmt.Sprintf("key%06d", i%2000)), base.MaxSeqNum, nil, nil)
 		tree.mu.Lock()
 		n := len(t2pending(tree))
 		tree.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/cache"
@@ -199,48 +200,35 @@ func (t *Tree) logAndInstall(edit *manifest.VersionEdit) error {
 }
 
 // Get returns the newest visible value of ukey at seq. found=false means
-// the key is absent or deleted at that snapshot.
-func (t *Tree) Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err error) {
-	v := t.currentVersion()
-	search := base.MakeSearchKey(make([]byte, 0, len(ukey)+base.TrailerLen), ukey, seq)
-
+// the key is absent or deleted at that snapshot. latest, when non-nil,
+// overrides seq with its value loaded *after* the version is pinned — the
+// engine's collapse-safe ordering for latest-state reads (see
+// engine.Tree.Get). s, when non-nil, supplies the reusable per-call working
+// set (a steady-state Get allocates nothing in this layer); nil acquires
+// one from the shared pool. The returned value aliases an immutable block
+// payload or cache entry — copy it to retain it past the caller's own
+// scratch lifetime rules (the engine copies into the caller's destination
+// buffer).
+func (t *Tree) Get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstable.GetScratch) (value []byte, found bool, err error) {
+	if s == nil {
+		s = sstable.AcquireGetScratch()
+		defer sstable.ReleaseGetScratch(s)
+	}
+	value, found, firstMiss, firstMissLevel, err := t.get(ukey, seq, latest, s)
 	// A Get that examines more than one file charges the first file's seek
 	// budget (LevelDB's seek-triggered compaction).
-	var firstMiss *base.FileMetadata
-	firstMissLevel := -1
-	defer func() {
-		if firstMiss != nil {
-			t.chargeSeek(firstMiss, firstMissLevel)
-		}
-	}()
-
-	examine := func(f *base.FileMetadata, level int) (stop bool) {
-		r, ferr := t.tc.Find(f.FileNum, f.Size)
-		if ferr != nil {
-			err = ferr
-			return true
-		}
-		defer r.Unref()
-		if !r.MayContain(ukey) {
-			return false
-		}
-		ikey, val, ok, gerr := r.Get(search)
-		if gerr != nil {
-			err = gerr
-			return true
-		}
-		if !ok {
-			if firstMiss == nil {
-				firstMiss, firstMissLevel = f, level
-			}
-			return false
-		}
-		_, _, kind, _ := base.DecodeInternalKey(ikey)
-		if kind == base.KindSet {
-			value, found = val, true
-		}
-		return true
+	if firstMiss != nil {
+		t.chargeSeek(firstMiss, firstMissLevel)
 	}
+	return value, found, err
+}
+
+func (t *Tree) get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstable.GetScratch) (value []byte, found bool, firstMiss *base.FileMetadata, firstMissLevel int, err error) {
+	v := t.currentVersion()
+	if latest != nil {
+		seq = base.SeqNum(latest.Load())
+	}
+	s.SearchKey = base.MakeSearchKey(s.SearchKey[:0], ukey, seq)
 
 	// Level 0: newest file first; a hit (value or tombstone) ends the
 	// search.
@@ -248,8 +236,15 @@ func (t *Tree) Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err 
 		if !userKeyInRange(ukey, f) {
 			continue
 		}
-		if examine(f, 0) {
-			return value, found, err
+		val, kind, hit, probed, gerr := t.probeFile(f, ukey, s)
+		if gerr != nil {
+			return nil, false, firstMiss, firstMissLevel, gerr
+		}
+		if hit {
+			return val, kind == base.KindSet, firstMiss, firstMissLevel, nil
+		}
+		if probed && firstMiss == nil {
+			firstMiss, firstMissLevel = f, 0
 		}
 	}
 	for l := 1; l < t.cfg.NumLevels; l++ {
@@ -257,11 +252,37 @@ func (t *Tree) Get(ukey []byte, seq base.SeqNum) (value []byte, found bool, err 
 		if i < 0 {
 			continue
 		}
-		if examine(v.files[l][i], l) {
-			return value, found, err
+		f := v.files[l][i]
+		val, kind, hit, probed, gerr := t.probeFile(f, ukey, s)
+		if gerr != nil {
+			return nil, false, firstMiss, firstMissLevel, gerr
+		}
+		if hit {
+			return val, kind == base.KindSet, firstMiss, firstMissLevel, nil
+		}
+		if probed && firstMiss == nil {
+			firstMiss, firstMissLevel = f, l
 		}
 	}
-	return nil, false, err
+	return nil, false, firstMiss, firstMissLevel, nil
+}
+
+// probeFile checks one sstable for the newest visible version of ukey.
+// probed reports whether the table's blocks were actually searched (the
+// bloom filter passed or was absent) — the input to seek-charge accounting.
+func (t *Tree) probeFile(f *base.FileMetadata, ukey []byte, s *sstable.GetScratch) (value []byte, kind base.Kind, hit, probed bool, err error) {
+	r, err := t.tc.Find(f.FileNum, f.Size)
+	if err != nil {
+		return nil, 0, false, false, err
+	}
+	if !r.MayContain(ukey) {
+		s.Stats.BloomNegatives++
+		r.Unref()
+		return nil, 0, false, false, nil
+	}
+	value, _, kind, hit, err = r.GetScratched(s.SearchKey, s)
+	r.Unref()
+	return value, kind, hit, true, err
 }
 
 // userKeyInRange sits on the Get hot path for every candidate file.

@@ -4,6 +4,7 @@
 package memtable
 
 import (
+	"bytes"
 	"runtime"
 	"sync/atomic"
 
@@ -67,19 +68,26 @@ func (m *Memtable) Set(ukey []byte, seq base.SeqNum, kind base.Kind, value []byt
 
 // Get returns the newest entry for ukey visible at seq. found reports
 // whether any version exists; if found and kind is KindDelete the key is
-// deleted at this snapshot.
+// deleted at this snapshot. The search-key construction allocates; hot
+// paths build the key once into a reusable buffer and call GetSearch.
 func (m *Memtable) Get(ukey []byte, seq base.SeqNum) (value []byte, kind base.Kind, found bool) {
 	search := base.MakeSearchKey(make([]byte, 0, len(ukey)+base.TrailerLen), ukey, seq)
-	it := m.list.NewIter()
-	it.SeekGE(search)
-	if !it.Valid() {
+	return m.GetSearch(search)
+}
+
+// GetSearch is Get with a caller-built search key (base.MakeSearchKey into
+// a reusable buffer): the allocation-free point-read path. The returned
+// value aliases the memtable's internal storage.
+func (m *Memtable) GetSearch(search []byte) (value []byte, kind base.Kind, found bool) {
+	k, v, ok := m.list.FindGE(search)
+	if !ok {
 		return nil, 0, false
 	}
-	gotUkey, _, gotKind, ok := base.DecodeInternalKey(it.Key())
-	if !ok || string(gotUkey) != string(ukey) {
+	gotUkey, _, gotKind, ok := base.DecodeInternalKey(k)
+	if !ok || !bytes.Equal(gotUkey, base.UserKey(search)) {
 		return nil, 0, false
 	}
-	return it.Value(), gotKind, true
+	return v, gotKind, true
 }
 
 // ApproxSize returns the approximate memory footprint in bytes.

@@ -183,6 +183,16 @@ func (s *Skiplist) Add(key, value []byte) {
 	s.count.Add(1)
 }
 
+// FindGE returns the first entry with key >= target, without materializing
+// an iterator — the memtable's point-read fast path.
+func (s *Skiplist) FindGE(target []byte) (key, value []byte, ok bool) {
+	n := s.findGE(target, nil)
+	if n == nil {
+		return nil, nil, false
+	}
+	return n.key, n.value, true
+}
+
 // ApproxSize returns the approximate memory footprint in bytes.
 func (s *Skiplist) ApproxSize() int64 { return s.size.Load() }
 

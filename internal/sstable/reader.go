@@ -1,6 +1,7 @@
 package sstable
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -118,6 +119,13 @@ func Open(f vfs.File, size int64, fileNum base.FileNum, blockCache *cache.Cache,
 	if err != nil {
 		return nil, err
 	}
+	// Validate the index's restart array once here; the per-Get probe and
+	// the table iterator then use InitValidated and skip the O(entries)
+	// scan (index blocks restart on every entry).
+	var check block.Iter
+	if err := check.Init(idx, base.InternalCompare); err != nil {
+		return nil, fmt.Errorf("%w: bad index block", ErrCorrupt)
+	}
 	r.index = idx
 	if filterH.length > 0 {
 		flt, err := r.readBlockUncached(filterH, nil)
@@ -191,12 +199,19 @@ func (r *Reader) readBlockUncached(h blockHandle, ra *readahead) ([]byte, error)
 // readBlock returns the decompressed payload of the block at h. Random
 // reads (ra == nil) fill the shared cache, charging the decompressed size;
 // sequential reads consult the cache but never populate it, so one-pass
-// compaction scans cannot evict the read path's working set.
-func (r *Reader) readBlock(h blockHandle, ra *readahead) ([]byte, error) {
+// compaction scans cannot evict the read path's working set. stats, when
+// non-nil, receives the block-cache outcome (point-read metrics).
+func (r *Reader) readBlock(h blockHandle, ra *readahead, stats *GetStats) ([]byte, error) {
 	if r.blocks != nil {
 		if v, ok := r.blocks.Get(cache.Key{File: uint64(r.fileNum), Off: h.offset}); ok {
+			if stats != nil {
+				stats.BlockHits++
+			}
 			return v.([]byte), nil
 		}
+	}
+	if stats != nil {
+		stats.BlockMisses++
 	}
 	payload, err := r.readBlockUncached(h, ra)
 	if err != nil {
@@ -289,27 +304,74 @@ func decodeHandle(v []byte) (blockHandle, bool) {
 	return blockHandle{off, length}, true
 }
 
-// Get returns the value of the smallest internal key >= search whose user
-// key equals the search's user key, i.e. the newest visible version.
-// found=false means this table holds no visible version.
+// GetScratched is the allocation-free point probe: it returns the newest
+// visible version of the search key's user key, or found=false when this
+// table holds none. The returned value aliases the (immutable) block
+// payload — cached or freshly read — so it stays valid after the scratch is
+// reused; the sequence number and kind are decoded here so callers never
+// need the entry's key bytes, which live in scratch-owned buffers.
+func (r *Reader) GetScratched(search []byte, s *GetScratch) (value []byte, seq base.SeqNum, kind base.Kind, found bool, err error) {
+	s.Stats.TablesProbed++
+	if err := s.index.InitValidated(r.index, base.InternalCompare); err != nil {
+		return nil, 0, 0, false, err
+	}
+	// Index keys are each block's largest key, so the first index entry
+	// >= search points at the only block that can contain the search key.
+	s.index.SeekGE(search)
+	if err := s.index.Error(); err != nil {
+		return nil, 0, 0, false, err
+	}
+	if !s.index.Valid() {
+		return nil, 0, 0, r.noteMiss(s), nil
+	}
+	h, ok := decodeHandle(s.index.Value())
+	if !ok {
+		return nil, 0, 0, false, fmt.Errorf("%w: bad index entry", ErrCorrupt)
+	}
+	payload, err := r.readBlock(h, nil, &s.Stats)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if err := s.data.Init(payload, base.InternalCompare); err != nil {
+		return nil, 0, 0, false, err
+	}
+	s.data.SeekGE(search)
+	if err := s.data.Error(); err != nil {
+		return nil, 0, 0, false, err
+	}
+	if !s.data.Valid() {
+		return nil, 0, 0, r.noteMiss(s), nil
+	}
+	ikey := s.data.Key()
+	gotU, seq, kind, ok := base.DecodeInternalKey(ikey)
+	if !ok || !bytes.Equal(gotU, base.UserKey(search)) {
+		return nil, 0, 0, r.noteMiss(s), nil
+	}
+	return s.data.Value(), seq, kind, true, nil
+}
+
+// noteMiss charges a bloom false positive when a filtered table was probed
+// without a hit. It always returns false, for use in probe-miss returns.
+func (r *Reader) noteMiss(s *GetScratch) bool {
+	if r.filter != nil {
+		s.Stats.BloomFalsePositives++
+	}
+	return false
+}
+
+// Get returns the internal key and value of the newest visible version of
+// the search key's user key. found=false means this table holds no visible
+// version. Convenience wrapper over GetScratched for tests and tools; the
+// returned slices are freshly allocated.
 func (r *Reader) Get(search []byte) (ikey, value []byte, found bool, err error) {
-	it := r.NewIter()
-	defer it.Close()
-	it.SeekGE(search)
-	if err := it.Error(); err != nil {
+	s := AcquireGetScratch()
+	defer ReleaseGetScratch(s)
+	v, seq, kind, found, err := r.GetScratched(search, s)
+	if err != nil || !found {
 		return nil, nil, false, err
 	}
-	if !it.Valid() {
-		return nil, nil, false, nil
-	}
-	gotU := base.UserKey(it.Key())
-	wantU := base.UserKey(search)
-	if string(gotU) != string(wantU) {
-		return nil, nil, false, nil
-	}
-	k := append([]byte(nil), it.Key()...)
-	v := append([]byte(nil), it.Value()...)
-	return k, v, true, nil
+	k := base.MakeInternalKey(nil, base.UserKey(search), seq, kind)
+	return k, append([]byte(nil), v...), true, nil
 }
 
 // NewIter returns a random-access iterator over the table's internal keys.
@@ -325,11 +387,10 @@ func (r *Reader) NewSequentialIter() iterator.Iterator {
 }
 
 func (r *Reader) newIter(sequential bool) iterator.Iterator {
-	idx, err := block.NewIter(r.index, base.InternalCompare)
-	if err != nil {
+	t := &tableIter{r: r}
+	if err := t.index.InitValidated(r.index, base.InternalCompare); err != nil {
 		return &iterator.Empty{Err: err}
 	}
-	t := &tableIter{r: r, index: idx}
 	if sequential {
 		t.ra = &readahead{f: r.f, size: r.size}
 	}
@@ -340,17 +401,20 @@ func (r *Reader) newIter(sequential bool) iterator.Iterator {
 func (r *Reader) Close() error { return r.Unref() }
 
 // tableIter is the two-level iterator: an index cursor selecting data
-// blocks, and a data cursor within the current block.
+// blocks, and a data cursor within the current block. Both cursors are
+// embedded by value and re-pointed with Init, so walking a table allocates
+// nothing beyond the iterator itself.
 type tableIter struct {
-	r     *Reader
-	index *block.Iter
-	data  *block.Iter
-	ra    *readahead // non-nil in sequential mode
-	err   error
+	r      *Reader
+	index  block.Iter
+	data   block.Iter
+	dataOK bool       // data is initialized on the current index block
+	ra     *readahead // non-nil in sequential mode
+	err    error
 }
 
 func (t *tableIter) loadBlock() bool {
-	t.data = nil
+	t.dataOK = false
 	if !t.index.Valid() {
 		return false
 	}
@@ -359,17 +423,16 @@ func (t *tableIter) loadBlock() bool {
 		t.err = fmt.Errorf("%w: bad index entry", ErrCorrupt)
 		return false
 	}
-	payload, err := t.r.readBlock(h, t.ra)
+	payload, err := t.r.readBlock(h, t.ra, nil)
 	if err != nil {
 		t.err = err
 		return false
 	}
-	d, err := block.NewIter(payload, base.InternalCompare)
-	if err != nil {
+	if err := t.data.Init(payload, base.InternalCompare); err != nil {
 		t.err = err
 		return false
 	}
-	t.data = d
+	t.dataOK = true
 	return true
 }
 
@@ -433,7 +496,7 @@ func (t *tableIter) Last() {
 }
 
 func (t *tableIter) Next() {
-	if t.data == nil || t.err != nil {
+	if !t.dataOK || t.err != nil {
 		return
 	}
 	t.data.Next()
@@ -441,7 +504,7 @@ func (t *tableIter) Next() {
 }
 
 func (t *tableIter) Prev() {
-	if t.data == nil || t.err != nil {
+	if !t.dataOK || t.err != nil {
 		return
 	}
 	t.data.Prev()
@@ -452,7 +515,7 @@ func (t *tableIter) Prev() {
 // one is exhausted. Blocks are never empty, so one step suffices, but loop
 // defensively.
 func (t *tableIter) skipForwardIfExhausted() {
-	for t.data != nil && !t.data.Valid() {
+	for t.dataOK && !t.data.Valid() {
 		if err := t.data.Error(); err != nil {
 			t.err = err
 			return
@@ -468,7 +531,7 @@ func (t *tableIter) skipForwardIfExhausted() {
 // skipBackwardIfExhausted steps to the previous data block when the
 // current one has no entry at or before the position.
 func (t *tableIter) skipBackwardIfExhausted() {
-	for t.data != nil && !t.data.Valid() {
+	for t.dataOK && !t.data.Valid() {
 		if err := t.data.Error(); err != nil {
 			t.err = err
 			return
@@ -482,7 +545,7 @@ func (t *tableIter) skipBackwardIfExhausted() {
 }
 
 func (t *tableIter) Valid() bool {
-	return t.err == nil && t.data != nil && t.data.Valid()
+	return t.err == nil && t.dataOK && t.data.Valid()
 }
 
 func (t *tableIter) Key() []byte   { return t.data.Key() }
@@ -492,12 +555,7 @@ func (t *tableIter) Error() error {
 	if t.err != nil {
 		return t.err
 	}
-	if t.index != nil {
-		if err := t.index.Error(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return t.index.Error()
 }
 
 func (t *tableIter) Close() error { return t.Error() }

@@ -1,0 +1,67 @@
+package sstable
+
+import (
+	"sync"
+
+	"pebblesdb/internal/block"
+)
+
+// GetStats counts read-path work done through one GetScratch. The fields
+// are plain ints: a scratch is owned by exactly one Get at a time, and the
+// engine folds the counts into its atomics when it releases the scratch.
+type GetStats struct {
+	// TablesProbed counts sstables whose index was actually searched (the
+	// bloom filter passed or was absent).
+	TablesProbed int64
+	// BloomNegatives counts tables skipped because the bloom filter ruled
+	// the key out — the filter saved a block read.
+	BloomNegatives int64
+	// BloomFalsePositives counts probes that passed a bloom filter but
+	// found no matching key — the filter cost a wasted block read.
+	BloomFalsePositives int64
+	// BlockHits / BlockMisses count block-cache outcomes on the get path.
+	BlockHits   int64
+	BlockMisses int64
+}
+
+// Reset zeroes the counters.
+func (s *GetStats) Reset() { *s = GetStats{} }
+
+// GetScratch is the reusable per-Get working set threaded through the whole
+// point-read stack (engine -> tree -> table cache -> sstable -> block). It
+// exists so a steady-state Get performs O(1) allocations: the search-key
+// buffer and both block cursors persist across calls via a sync.Pool.
+//
+// Ownership rules: a scratch belongs to exactly one Get call at a time.
+// Values returned by Reader.GetScratched alias immutable block payloads
+// (cached or freshly read), never the scratch's own buffers, so they remain
+// valid after the scratch is released — the garbage collector keeps the
+// payload alive for as long as the caller retains the slice.
+type GetScratch struct {
+	// SearchKey is the reusable search-key buffer; layers build the
+	// (ukey, seq, KindSeek) key into it with base.MakeSearchKey.
+	SearchKey []byte
+	// Stats accumulates read-path counters for this scratch's current Get.
+	Stats GetStats
+
+	index block.Iter
+	data  block.Iter
+}
+
+var getScratchPool = sync.Pool{New: func() interface{} { return &GetScratch{} }}
+
+// AcquireGetScratch returns a pooled scratch. Pair with ReleaseGetScratch.
+func AcquireGetScratch() *GetScratch {
+	return getScratchPool.Get().(*GetScratch)
+}
+
+// ReleaseGetScratch resets the scratch's stats, drops its references into
+// the last probed block payloads (an idle pooled scratch must not pin
+// cache-evicted blocks), and returns it to the pool. The caller must not
+// retain references into the scratch's buffers.
+func ReleaseGetScratch(s *GetScratch) {
+	s.Stats.Reset()
+	s.index.Release()
+	s.data.Release()
+	getScratchPool.Put(s)
+}

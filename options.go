@@ -150,6 +150,11 @@ type ReadOptions struct {
 	// Snapshot pins the read to a point-in-time view; nil reads the latest
 	// committed state.
 	Snapshot *Snapshot
+	// Buf, when non-nil, is the destination for the value: Get appends the
+	// value to Buf[:0] and returns the result. Reusing a buffer with
+	// sufficient capacity across Gets makes point reads allocation-free.
+	// DB.GetTo is the same mechanism as an explicit argument.
+	Buf []byte
 }
 
 // WriteOptions configures a single commit. A nil *WriteOptions uses the
