@@ -100,6 +100,36 @@ func TestGetAllocs(t *testing.T) {
 			if allocs > 0 {
 				t.Errorf("DB.GetTo(miss) allocs/op = %v, want 0", allocs)
 			}
+
+			// A key masked by a range tombstone must return not-found with
+			// zero allocations too — first with the tombstone resident in
+			// the memtable (one atomic load + binary search), then flushed
+			// into an sstable's range-del block (resident list consulted
+			// through the table's metadata span check).
+			coveredLo, coveredHi := harness.KeyAt(nil, 100), harness.KeyAt(nil, 200)
+			covered := harness.KeyAt(nil, 150)
+			if err := db.DeleteRange(coveredLo, coveredHi); err != nil {
+				t.Fatal(err)
+			}
+			for _, stage := range []string{"memtable", "flushed"} {
+				if stage == "flushed" {
+					if err := db.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					// Warm the covered path once (table cache, resident list).
+					if _, ok, err := db.GetTo(covered, buf, nil); err != nil || ok {
+						t.Fatalf("GetTo(covered) warmup: ok=%v err=%v", ok, err)
+					}
+				}
+				allocs = testing.AllocsPerRun(200, func() {
+					if _, ok, err := db.GetTo(covered, buf, nil); err != nil || ok {
+						t.Fatalf("GetTo(covered %s): ok=%v err=%v", stage, ok, err)
+					}
+				})
+				if allocs > 0 {
+					t.Errorf("DB.GetTo(covered, %s) allocs/op = %v, want 0", stage, allocs)
+				}
+			}
 		})
 	}
 }

@@ -24,7 +24,7 @@ import (
 
 var (
 	store       = flag.String("store", "pebblesdb", "store preset: pebblesdb, hyperleveldb, leveldb, rocksdb, pebblesdb1")
-	benchmarks  = flag.String("benchmarks", "fillrandom,readrandom,seekrandom", "comma-separated workloads: fillseq, fillrandom, fillsync, readrandom, seekrandom, seekreverse, scanbounded, deleterandom")
+	benchmarks  = flag.String("benchmarks", "fillrandom,readrandom,seekrandom", "comma-separated workloads: fillseq, fillrandom, fillsync, readrandom, seekrandom, seekreverse, scanbounded, deleterandom, retention")
 	num         = flag.Int("num", 1_000_000, "operations per workload")
 	valueSize   = flag.Int("value_size", 1024, "value size in bytes")
 	nexts       = flag.Int("nexts", 0, "next() calls per seek")
@@ -36,6 +36,15 @@ var (
 	seed        = flag.Int64("seed", 1, "workload RNG seed")
 	compression = flag.String("compression", "snappy", "sstable block compression: none, snappy (values are ~50% compressible, like LevelDB db_bench)")
 	jsonPath    = flag.String("json", "", "write a machine-readable result file to this path (perf trajectory tracking; see BENCH_pr4.json)")
+
+	// Retention workload shape: -num sequential puts arrive in windows of
+	// retentionWindow keys; once retentionRetain windows are live the
+	// oldest is dropped — by one DeleteRange, or per-key tombstones with
+	// -retention_perkey (the pre-range-deletion baseline to compare
+	// against).
+	retentionWindow = flag.Int("retention_window", 0, "retention workload window size in keys; 0 = num/10")
+	retentionRetain = flag.Int("retention_retain", 3, "retention workload live-window count")
+	retentionPerKey = flag.Bool("retention_perkey", false, "drop retention windows with per-key deletes instead of DeleteRange")
 )
 
 // jsonLatency is per-workload latency in microseconds, from the harness's
@@ -63,6 +72,15 @@ type jsonWorkload struct {
 	// pin those).
 	AllocsPerOp float64      `json:"allocs_per_op"`
 	Latency     *jsonLatency `json:"latency,omitempty"`
+
+	// Retention workload accounting (zero elsewhere): windows dropped, the
+	// user bytes those windows had ingested (the reclamation target), and
+	// the store's live table count/bytes once background work drained —
+	// space actually reclaimed by tombstone-elision compaction.
+	DeletedWindows   int64 `json:"deleted_windows,omitempty"`
+	UserBytesDeleted int64 `json:"user_bytes_deleted,omitempty"`
+	LiveTables       int64 `json:"live_tables,omitempty"`
+	LiveBytes        int64 `json:"live_bytes,omitempty"`
 }
 
 type jsonReport struct {
@@ -178,10 +196,20 @@ func main() {
 			writeClients = *concurrency
 		}
 		rec := &harness.LatencyRecorder{}
+		window := *retentionWindow
+		if window <= 0 {
+			window = *num / 10
+		}
+		var deletedWindows int
 		run := func() error {
 			per := *num / *threads
 			perW := *num / writeClients
 			switch bench {
+			case "retention":
+				written = true
+				var err error
+				deletedWindows, err = harness.Retention(db, *num, window, *retentionRetain, *valueSize, *seed, *retentionPerKey, rec)
+				return err
 			case "fillseq":
 				written = true
 				return harness.Concurrent(writeClients, func(th int) error {
@@ -248,7 +276,7 @@ func main() {
 		}
 		allocsPerOp := float64(msAfter.Mallocs-msBefore.Mallocs) / float64(res.Ops)
 		lat := latencyJSON(rec)
-		results = append(results, jsonWorkload{
+		w := jsonWorkload{
 			Name:        bench,
 			Ops:         res.Ops,
 			DurationNS:  res.Duration.Nanoseconds(),
@@ -258,13 +286,29 @@ func main() {
 			WriteAmp:    res.WriteAmp,
 			AllocsPerOp: allocsPerOp,
 			Latency:     lat,
-		})
+		}
+		if bench == "retention" {
+			tm := db.Metrics().Tree
+			for _, n := range tm.LevelFiles {
+				w.LiveTables += int64(n)
+			}
+			for _, b := range tm.LevelBytes {
+				w.LiveBytes += b
+			}
+			w.DeletedWindows = int64(deletedWindows)
+			w.UserBytesDeleted = int64(deletedWindows) * int64(window) * int64(16+*valueSize)
+		}
+		results = append(results, w)
 		fmt.Printf("%-14s %12d ops  %10.1f KOps/s  %8.3f GB written  writeAmp %6.2f  %7.2f allocs/op",
 			bench, res.Ops, res.KOpsPerSec, res.WriteGB, res.WriteAmp, allocsPerOp)
 		if lat != nil {
 			fmt.Printf("  p50 %.1fus p99 %.1fus", lat.P50Micros, lat.P99Micros)
 		}
 		fmt.Println()
+		if bench == "retention" {
+			fmt.Printf("  retention: %d windows dropped (%.1f MB user data), live after drain: %d tables / %.1f MB\n",
+				w.DeletedWindows, float64(w.UserBytesDeleted)/(1<<20), w.LiveTables, float64(w.LiveBytes)/(1<<20))
+		}
 	}
 
 	m := db.Metrics()

@@ -135,6 +135,118 @@ func TestCrashDuringCompactionWindow(t *testing.T) {
 	}
 }
 
+// TestCrashRangeDelRecovery drives interleaved point writes and range
+// deletions with random sync points against the crash-injecting
+// filesystem, crashing between rounds — including immediately after
+// kicking off a flush, so recovery sees range tombstones in the WAL, in
+// mid-flight flush output, or both. The model tracks, per key, what a
+// crash is allowed to reveal: a key whose last certain fate was a synced
+// DeleteRange with no later write must stay absent (no resurrection), a
+// key whose last op was a synced Set must keep its value, and keys touched
+// by unsynced work afterwards are unconstrained.
+func TestCrashRangeDelRecovery(t *testing.T) {
+	const keySpace = 3000
+	type fate int
+	const (
+		unknown fate = iota
+		present      // synced set, value in val[k]
+		deleted      // synced DeleteRange covered it, nothing written since
+	)
+	for _, preset := range []Preset{PresetPebblesDB, PresetHyperLevelDB} {
+		preset := preset
+		t.Run(preset.String(), func(t *testing.T) {
+			fs := vfs.NewCrash()
+			rng := rand.New(rand.NewSource(4242))
+			state := make([]fate, keySpace)
+			val := make([]string, keySpace)
+			key := func(i int) string { return fmt.Sprintf("key%05d", i) }
+
+			for round := 0; round < 6; round++ {
+				fence := vfs.NewFenced(fs)
+				o := testOptions(preset)
+				o.WithFS(fence)
+				db, err := Open("db", o)
+				if err != nil {
+					t.Fatalf("round %d open: %v", round, err)
+				}
+				for i := 0; i < keySpace; i++ {
+					switch state[i] {
+					case present:
+						got, ok, err := db.Get([]byte(key(i)), nil)
+						if err != nil || !ok || string(got) != val[i] {
+							t.Fatalf("round %d: durable key %q lost (got %q ok=%v err=%v)",
+								round, key(i), got, ok, err)
+						}
+					case deleted:
+						if got, ok, _ := db.Get([]byte(key(i)), nil); ok {
+							t.Fatalf("round %d: key %q resurrected after crash (= %q)",
+								round, key(i), got)
+						}
+					}
+				}
+
+				nOps := 300 + rng.Intn(1000)
+				b := db.NewBatch()
+				for i := 0; i < nOps; i++ {
+					if rng.Intn(10) == 0 {
+						lo := rng.Intn(keySpace)
+						span := 1 + rng.Intn(300)
+						hi := lo + span
+						if hi > keySpace {
+							hi = keySpace
+						}
+						b.Reset()
+						b.DeleteRange([]byte(key(lo)), []byte(key(hi)))
+						sync := rng.Intn(3) == 0
+						var wo *WriteOptions
+						if sync {
+							wo = Sync
+						}
+						if err := db.Apply(b, wo); err != nil {
+							t.Fatal(err)
+						}
+						for k := lo; k < hi; k++ {
+							if sync {
+								// Every earlier version of k is masked by a
+								// durable tombstone: k is provably absent.
+								state[k] = deleted
+							} else if state[k] == present {
+								// The delete may or may not survive; either
+								// way k cannot be asserted anymore.
+								state[k] = unknown
+							}
+						}
+						continue
+					}
+					k := rng.Intn(keySpace)
+					v := fmt.Sprintf("r%d-%d", round, i)
+					b.Reset()
+					b.Set([]byte(key(k)), []byte(v))
+					if rng.Intn(25) == 0 {
+						if err := db.Apply(b, Sync); err != nil {
+							t.Fatal(err)
+						}
+						state[k], val[k] = present, v
+					} else {
+						if err := db.Apply(b, nil); err != nil {
+							t.Fatal(err)
+						}
+						state[k] = unknown
+					}
+				}
+				if round%2 == 1 {
+					// Kick off a flush and crash while it is (likely) still
+					// writing: recovery must take the tombstones from the
+					// WAL, never trusting the half-written table.
+					go db.Flush()
+				}
+				fence.Fence()
+				fs.Crash()
+			}
+		})
+	}
+}
+
 // TestRepeatedCrashReopenCycles stresses the recovery path itself: many
 // crash/reopen cycles with tiny workloads, verifying monotonic consistency
 // of a synced counter key.

@@ -28,6 +28,12 @@
 //	})
 //	for it.Last(); it.Valid(); it.Prev() { ... }
 //	_ = it.Close()
+//
+// DeleteRange removes a whole key range in O(1) writes — one range
+// tombstone instead of a tombstone per key — which is the efficient way
+// to expire a time window, drop a tenant's keyspace, or truncate a queue:
+//
+//	_ = db.DeleteRange([]byte("evt/0001/"), []byte("evt/0002/"))
 package pebblesdb
 
 import (
@@ -83,6 +89,21 @@ func (d *DB) Delete(key []byte) error {
 	}
 	d.userBytes.Add(int64(len(key)))
 	return d.eng.Delete(key, false)
+}
+
+// DeleteRange removes every key in [start, end) in O(1) writes: a single
+// range tombstone is logged and flushed instead of one tombstone per key,
+// so dropping a time window, a tenant's keyspace or a queue prefix costs
+// the same regardless of how many keys it covers. The deletion is visible
+// to Get, iterators and new snapshots immediately; snapshots taken before
+// the call still see the old keys. Deleting an empty or inverted range is
+// a no-op.
+func (d *DB) DeleteRange(start, end []byte) error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	d.userBytes.Add(int64(len(start) + len(end)))
+	return d.eng.DeleteRange(start, end, false)
 }
 
 // Get returns the value of key. found is false when the key is absent or
@@ -209,6 +230,12 @@ func (b *Batch) Set(key, value []byte) {
 func (b *Batch) Delete(key []byte) {
 	b.userBytes += len(key)
 	b.b.Delete(key)
+}
+
+// DeleteRange queues a range tombstone deleting every key in [start, end).
+func (b *Batch) DeleteRange(start, end []byte) {
+	b.userBytes += len(start) + len(end)
+	b.b.DeleteRange(start, end)
 }
 
 // Count returns the number of queued writes.

@@ -28,6 +28,10 @@ const (
 	KindDelete Kind = 0
 	// KindSet marks a regular value.
 	KindSet Kind = 1
+	// KindRangeDelete marks a range tombstone: every key in [ukey, value)
+	// with a smaller sequence number is deleted. The start key is the
+	// internal key's user key; the exclusive end key travels in the value.
+	KindRangeDelete Kind = 2
 	// KindSeek is used only in search keys. It is the largest kind, so a
 	// search key (ukey, seq, KindSeek) sorts before any real entry with the
 	// same user key and sequence number (trailers sort descending).
@@ -40,6 +44,8 @@ func (k Kind) String() string {
 		return "DEL"
 	case KindSet:
 		return "SET"
+	case KindRangeDelete:
+		return "RANGEDEL"
 	case KindSeek:
 		return "SEEK"
 	}
@@ -67,6 +73,26 @@ func MakeInternalKey(dst, ukey []byte, seq SeqNum, kind Kind) []byte {
 // entry for ukey visible at sequence seq.
 func MakeSearchKey(dst, ukey []byte, seq SeqNum) []byte {
 	return MakeInternalKey(dst, ukey, seq, KindSeek)
+}
+
+// RangeDelSentinelTrailer is the trailer of an exclusive upper-bound key: a
+// table whose largest internal key is (end, RangeDelSentinelTrailer)
+// contains keys strictly below end (its range tombstones end at end, which
+// itself is not covered). The trailer packs the maximum sequence number, so
+// the sentinel sorts before every real entry of end and InternalCompare
+// against real keys does the right thing on both sides of the bound.
+var RangeDelSentinelTrailer = MakeTrailer(MaxSeqNum, KindRangeDelete)
+
+// MakeRangeDelSentinelKey builds the exclusive upper-bound internal key for
+// a range tombstone ending at end.
+func MakeRangeDelSentinelKey(dst, end []byte) []byte {
+	return MakeInternalKey(dst, end, MaxSeqNum, KindRangeDelete)
+}
+
+// IsRangeDelSentinel reports whether ikey is an exclusive upper bound built
+// by MakeRangeDelSentinelKey.
+func IsRangeDelSentinel(ikey []byte) bool {
+	return len(ikey) >= TrailerLen && Trailer(ikey) == RangeDelSentinelTrailer
 }
 
 // DecodeInternalKey splits an internal key into its components. ok is false

@@ -64,6 +64,16 @@ func (b *Batch) Delete(key []byte) {
 	b.count++
 }
 
+// DeleteRange queues a range tombstone deleting every key in [start, end).
+// The record is encoded like a Set with the exclusive end key in the value
+// position, under KindRangeDelete.
+func (b *Batch) DeleteRange(start, end []byte) {
+	b.data = append(b.data, byte(base.KindRangeDelete))
+	b.data = appendBytes(b.data, start)
+	b.data = appendBytes(b.data, end)
+	b.count++
+}
+
 func appendBytes(dst, p []byte) []byte {
 	var lenBuf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(lenBuf[:], uint64(len(p)))
@@ -125,7 +135,7 @@ func (b *Batch) Validate() error {
 		if _, p, ok = readBytes(p); !ok {
 			return ErrCorrupt
 		}
-		if kind == base.KindSet {
+		if kind == base.KindSet || kind == base.KindRangeDelete {
 			if _, p, ok = readBytes(p); !ok {
 				return ErrCorrupt
 			}
@@ -140,8 +150,9 @@ func (b *Batch) Validate() error {
 }
 
 // Iterate decodes the batch, invoking fn for each mutation with the
-// sequence number it was assigned. Iterate validates framing and returns
-// ErrCorrupt on malformed input.
+// sequence number it was assigned. For KindRangeDelete mutations ukey is
+// the inclusive start key and value the exclusive end key. Iterate
+// validates framing and returns ErrCorrupt on malformed input.
 func (b *Batch) Iterate(fn func(kind base.Kind, ukey, value []byte, seq base.SeqNum) error) error {
 	binary.LittleEndian.PutUint32(b.data[8:12], b.count)
 	seq := b.SeqNum()
@@ -157,7 +168,7 @@ func (b *Batch) Iterate(fn func(kind base.Kind, ukey, value []byte, seq base.Seq
 		if key, p, ok = readBytes(p); !ok {
 			return ErrCorrupt
 		}
-		if kind == base.KindSet {
+		if kind == base.KindSet || kind == base.KindRangeDelete {
 			if value, p, ok = readBytes(p); !ok {
 				return ErrCorrupt
 			}

@@ -318,6 +318,12 @@ func (i *Iter) SeekLT(target []byte) {
 // restart (its entry already sits in the iterator's buffers), the final
 // re-decode of that entry is skipped.
 func (i *Iter) SeekGE(target []byte) {
+	if len(i.data) == 0 {
+		// Entry-less blocks are legal (the index of a table holding only
+		// range tombstones); there is nothing at or after any target.
+		i.valid = false
+		return
+	}
 	// Binary search the restart points: find the last restart whose key is
 	// < target, then scan forward.
 	lo, hi := 0, i.numRestarts-1

@@ -267,6 +267,10 @@ func (e *Engine) commitSerialLocked(b *batch.Batch, sync bool) error {
 	}
 	e.stats.walBytes.Add(int64(len(repr)))
 	err := b.Iterate(func(kind base.Kind, ukey, value []byte, s base.SeqNum) error {
+		if kind == base.KindRangeDelete {
+			e.mem.DeleteRange(ukey, value, s)
+			return nil
+		}
 		e.mem.Set(ukey, s, kind, value)
 		if e.tree.WantGuard(ukey) {
 			e.tree.Ingest(ukey)
@@ -386,6 +390,10 @@ func (e *Engine) leadCommitLocked(group []*commitRequest) (*commitGroup, *wal.Wr
 func (e *Engine) applyBatch(req *commitRequest) error {
 	var guardKeys [][]byte
 	err := req.b.Iterate(func(kind base.Kind, ukey, value []byte, s base.SeqNum) error {
+		if kind == base.KindRangeDelete {
+			req.mem.DeleteRange(ukey, value, s)
+			return nil
+		}
 		req.mem.Set(ukey, s, kind, value)
 		if e.tree.WantGuard(ukey) {
 			if req.solo {

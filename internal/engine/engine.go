@@ -22,6 +22,7 @@ import (
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/leveled"
 	"pebblesdb/internal/memtable"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/sstable"
 	"pebblesdb/internal/tablecache"
 	"pebblesdb/internal/treebase"
@@ -53,7 +54,9 @@ type Tree interface {
 	// the Ingest cost (copy + tree mutex) for the rare keys that qualify.
 	WantGuard(ukey []byte) bool
 	Ingest(ukey []byte)
-	Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.SeqNum) error
+	// Flush writes one frozen memtable: its point entries (it) plus its
+	// range tombstones, which land in the output table's range-del block.
+	Flush(it iterator.Iterator, rangeDels []rangedel.Tombstone, logNum base.FileNum, lastSeq base.SeqNum) error
 	// Get returns the newest visible version of ukey at seq. latest, when
 	// non-nil, is the engine's committed-sequence counter: the tree must
 	// pin its current version first and only then load the read sequence
@@ -66,7 +69,11 @@ type Tree interface {
 	// value aliases immutable storage (block payloads, cache entries) and
 	// must be copied by the caller if it outlives the read.
 	Get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstable.GetScratch) (value []byte, found bool, err error)
-	NewIters(bounds base.Bounds) ([]iterator.Iterator, error)
+	// NewIters returns the point iterators for the pinned version plus
+	// every range tombstone its in-bounds tables hold; the engine merges
+	// those with the memtables' tombstones into the iterator's visibility
+	// mask.
+	NewIters(bounds base.Bounds) ([]iterator.Iterator, []rangedel.Tombstone, error)
 	NeedsCompaction() bool
 	CompactOnce() (bool, error)
 	CompactAll() error
@@ -224,10 +231,10 @@ func Open(cfg *base.Config, fs vfs.FS, dir string, kind Kind) (*Engine, error) {
 	}
 
 	// Flush anything recovered from the logs so the old WALs can go.
-	if e.mem.Len() > 0 {
+	if !e.mem.Empty() {
 		recovered := e.mem
 		e.mem = memtable.New()
-		if err := tree.Flush(recovered.NewIter(), e.walNum, maxSeq); err != nil {
+		if err := tree.Flush(recovered.NewIter(), recovered.RangeDels(), e.walNum, maxSeq); err != nil {
 			tree.Close()
 			return nil, err
 		}
@@ -286,8 +293,15 @@ func (e *Engine) replayWALs() (base.SeqNum, error) {
 				return 0, fmt.Errorf("engine: replaying %s: %w", path, err)
 			}
 			err = b.Iterate(func(kind base.Kind, ukey, value []byte, seq base.SeqNum) error {
-				e.mem.Set(ukey, seq, kind, value)
-				e.tree.Ingest(ukey)
+				if kind == base.KindRangeDelete {
+					// Replayed range tombstone: ukey is the start, the
+					// exclusive end travels in the value. Range bounds are
+					// not inserted keys, so no guard ingestion.
+					e.mem.DeleteRange(ukey, value, seq)
+				} else {
+					e.mem.Set(ukey, seq, kind, value)
+					e.tree.Ingest(ukey)
+				}
 				if seq > maxSeq {
 					maxSeq = seq
 				}

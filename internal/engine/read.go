@@ -6,6 +6,7 @@ import (
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/sstable"
 )
 
@@ -39,18 +40,33 @@ func (e *Engine) Get(key []byte, snap *Snapshot, dst []byte) (value []byte, foun
 	defer e.releaseGetScratch(s)
 
 	s.SearchKey = base.MakeSearchKey(s.SearchKey[:0], key, seq)
-	if v, kind, ok := mem.GetSearch(s.SearchKey); ok {
-		if kind != base.KindSet {
+	// Range tombstones fold into the descent: each memtable reports the
+	// newest visible tombstone covering the key alongside its newest point
+	// entry, and whichever has the higher sequence number decides. Sequence
+	// numbers only decrease down the stack (mem > imm > tree), so a
+	// memtable-level tombstone with no newer point short-circuits the whole
+	// read — a covered key returns not-found without touching the tree and
+	// without allocating.
+	cov := mem.CoverSeq(key, seq)
+	if v, eseq, kind, ok := mem.GetSearch(s.SearchKey); ok {
+		if kind != base.KindSet || cov > eseq {
 			return nil, false, nil
 		}
 		return append(dst[:0], v...), true, nil
 	}
+	if cov > 0 {
+		return nil, false, nil
+	}
 	if imm != nil {
-		if v, kind, ok := imm.GetSearch(s.SearchKey); ok {
-			if kind != base.KindSet {
+		cov = imm.CoverSeq(key, seq)
+		if v, eseq, kind, ok := imm.GetSearch(s.SearchKey); ok {
+			if kind != base.KindSet || cov > eseq {
 				return nil, false, nil
 			}
 			return append(dst[:0], v...), true, nil
+		}
+		if cov > 0 {
+			return nil, false, nil
 		}
 	}
 	// Nil-snapshot reads hand the tree the live sequence counter instead of
@@ -112,10 +128,15 @@ type Iter struct {
 	merged  iterator.Iterator
 	readSeq base.SeqNum
 	bounds  base.Bounds
-	ukey    []byte
-	value   []byte
-	valBuf  []byte
-	prevBuf []byte
+	// rangeDels masks point entries covered by a visible range tombstone.
+	// It aggregates every tombstone visible to the iterator — memtables
+	// plus all in-bounds tables — at creation; nil when none exist (the
+	// common case pays one nil check per entry).
+	rangeDels *rangedel.List
+	ukey      []byte
+	value     []byte
+	valBuf    []byte
+	prevBuf   []byte
 	// dir is +1 while iterating forward (merged sits on the entry backing
 	// ukey/value) and -1 while iterating backward (merged sits just before
 	// the current user key's entries, mirroring LevelDB's DBIter).
@@ -158,7 +179,7 @@ func (e *Engine) NewIter(opts *IterOptions) (*Iter, error) {
 	if imm != nil {
 		iters = append(iters, imm.NewIter())
 	}
-	treeIters, err := e.tree.NewIters(bounds)
+	treeIters, treeRds, err := e.tree.NewIters(bounds)
 	if err != nil {
 		e.opLock.RUnlock()
 		return nil, err
@@ -172,12 +193,34 @@ func (e *Engine) NewIter(opts *IterOptions) (*Iter, error) {
 	if o.Snapshot != nil {
 		seq = o.Snapshot.seq
 	}
+
+	// One visibility mask covers every source: a point entry is dead iff
+	// some tombstone anywhere in the stack covers its key with a higher
+	// sequence number at or below the read sequence, which is exactly what
+	// the aggregated list answers. The memtables' copy-on-write lists are
+	// snapshotted only after the read sequence: their point streams are
+	// read live, so a tombstone committed up to that sequence must be in
+	// the mask (the store only grows; newer tombstones are filtered by
+	// CoverSeq's visibility check).
+	rds := mem.RangeDels()
+	if imm != nil {
+		rds = append(rds[:len(rds):len(rds)], imm.RangeDels()...)
+	}
+	var rdList *rangedel.List
+	if len(rds) > 0 || len(treeRds) > 0 {
+		rdList = rangedel.NewList(rds)
+		for _, t := range treeRds {
+			rdList.Add(t)
+		}
+		rdList.Build()
+	}
 	return &Iter{
-		e:       e,
-		merged:  iterator.NewMerging(base.InternalCompare, iters...),
-		readSeq: seq,
-		bounds:  bounds,
-		dir:     1,
+		e:         e,
+		merged:    iterator.NewMerging(base.InternalCompare, iters...),
+		readSeq:   seq,
+		bounds:    bounds,
+		rangeDels: rdList,
+		dir:       1,
 	}, nil
 }
 
@@ -306,9 +349,10 @@ func (it *Iter) findNext(skipUkey []byte) {
 			it.merged.Next()
 			continue
 		}
-		if kind == base.KindDelete {
-			// Newest visible version is a tombstone: skip this user key
-			// entirely.
+		if kind == base.KindDelete ||
+			(it.rangeDels != nil && it.rangeDels.CoverSeq(ukey, it.readSeq) > seq) {
+			// Newest visible version is a tombstone, or a visible range
+			// tombstone covers it: skip this user key entirely.
 			skipUkey = append(skipUkey[:0], ukey...)
 			it.merged.Next()
 			continue
@@ -336,6 +380,12 @@ func (it *Iter) findPrev() {
 	for it.merged.Valid() {
 		ukey, seq, k, ok := base.DecodeInternalKey(it.merged.Key())
 		if ok && seq <= it.readSeq {
+			if it.rangeDels != nil && k != base.KindDelete &&
+				it.rangeDels.CoverSeq(ukey, it.readSeq) > seq {
+				// A visible range tombstone kills this version; for the
+				// candidate tracking below that is exactly a point delete.
+				k = base.KindDelete
+			}
 			if kind != base.KindDelete && bytes.Compare(ukey, it.ukey) < 0 {
 				// Entered the run of a smaller user key with a live
 				// candidate saved: the candidate is the answer.

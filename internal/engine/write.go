@@ -22,6 +22,15 @@ func (e *Engine) Delete(key []byte, sync bool) error {
 	return e.Apply(b, sync)
 }
 
+// DeleteRange writes one range tombstone deleting every key in [start,
+// end) — O(1) writes regardless of how many keys the range covers. An
+// empty range is a no-op.
+func (e *Engine) DeleteRange(start, end []byte, sync bool) error {
+	b := batch.New()
+	b.DeleteRange(start, end)
+	return e.Apply(b, sync)
+}
+
 func (e *Engine) setBgErr(err error) {
 	e.mu.Lock()
 	if e.bgErr == nil {
@@ -105,7 +114,7 @@ func (e *Engine) rotateMemtableLocked() error {
 
 // flushWorker writes one immutable memtable to level 0.
 func (e *Engine) flushWorker(imm *memtable.Memtable, newLogNum base.FileNum, lastSeq base.SeqNum) {
-	err := e.tree.Flush(imm.NewIter(), newLogNum, lastSeq)
+	err := e.tree.Flush(imm.NewIter(), imm.RangeDels(), newLogNum, lastSeq)
 	e.mu.Lock()
 	if err != nil {
 		if e.bgErr == nil {
@@ -141,7 +150,7 @@ func (e *Engine) Flush() error {
 	if e.bgErr != nil {
 		return e.bgErr
 	}
-	if e.mem.Len() == 0 {
+	if e.mem.Empty() {
 		return nil
 	}
 	if err := e.rotateMemtableLocked(); err != nil {

@@ -9,6 +9,7 @@ import (
 	"pebblesdb/internal/guard"
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/treebase"
 )
 
@@ -453,11 +454,28 @@ func (t *Tree) lastLevelPressure(v *version, s sourceGuard) (full bool, existing
 // mergeAndPartition merge-sorts files and fragments the stream at the
 // partition keys (§3.4: "the sstables of a given guard are merge-sorted
 // and then partitioned, so that each child guard receives a new sstable
-// that fits its key range").
+// that fits its key range"). Range tombstones from the inputs follow the
+// same partitioning: each output table receives the fragments clipped to
+// its partition interval — never wider, so a later guard split cannot
+// resurrect data the tombstone covered or delete keys it never did — and a
+// partition interval that receives no surviving points but is spanned by a
+// tombstone still emits a tombstone-only table, because the tombstone must
+// keep masking older versions below. When elideTombstones is set (an
+// in-place merge of a whole last-level guard: nothing below can hold
+// covered keys), tombstones every snapshot can see are dropped along with
+// the points they cover.
 func (t *Tree) mergeAndPartition(files []*base.FileMetadata, partitionKeys [][]byte, smallestSnapshot base.SeqNum, elideTombstones bool) (guardOutput, error) {
 	ob := treebase.NewOutputBuilder(t.fs, t.dir, t.writerOptions(), t.vs, t)
 	out := guardOutput{builder: ob}
 
+	dropLE := base.SeqNum(0)
+	if elideTombstones {
+		dropLE = smallestSnapshot
+	}
+
+	// Open each input once, collecting its range tombstones alongside its
+	// merge iterator.
+	var rd *rangedel.List
 	var iters []iterator.Iterator
 	for _, f := range files {
 		r, err := t.tc.Find(f.FileNum, f.Size)
@@ -467,20 +485,48 @@ func (t *Tree) mergeAndPartition(files []*base.FileMetadata, partitionKeys [][]b
 			}
 			return out, err
 		}
+		if f.NumRangeDels > 0 {
+			if rd == nil {
+				rd = &rangedel.List{}
+			}
+			for _, ts := range r.RangeDels().Raw() {
+				rd.Add(ts)
+			}
+		}
 		iters = append(iters, treebase.NewSequentialTableIter(r))
 	}
 	merged := iterator.NewMerging(base.InternalCompare, iters...)
-	ci := treebase.NewCompactionIter(merged, smallestSnapshot, elideTombstones)
+	ci := treebase.NewCompactionIter(merged, smallestSnapshot, elideTombstones, rd)
+
+	// cutInterval finishes the table for partition interval i, attaching
+	// the surviving tombstone fragments clipped to [keys[i-1], keys[i]).
+	// An interval with neither points nor tombstones emits nothing.
+	cutInterval := func(i int) error {
+		var lo, hi []byte
+		if i > 0 {
+			lo = partitionKeys[i-1]
+		}
+		if i < len(partitionKeys) {
+			hi = partitionKeys[i]
+		}
+		if !rd.Empty() {
+			if err := ob.AddRangeDels(rd.Clipped(lo, hi, dropLE)); err != nil {
+				return err
+			}
+		}
+		if ob.HasOpen() {
+			return ob.Cut()
+		}
+		return nil
+	}
 
 	tIdx := 0
 	for ci.First(); ci.Valid(); ci.Next() {
 		ukey := base.UserKey(ci.Key())
 		for tIdx < len(partitionKeys) && bytes.Compare(partitionKeys[tIdx], ukey) <= 0 {
-			if ob.HasOpen() {
-				if err := ob.Cut(); err != nil {
-					ci.Close()
-					return out, err
-				}
+			if err := cutInterval(tIdx); err != nil {
+				ci.Close()
+				return out, err
 			}
 			tIdx++
 		}
@@ -494,6 +540,13 @@ func (t *Tree) mergeAndPartition(files []*base.FileMetadata, partitionKeys [][]b
 		return out, err
 	}
 	ci.Close()
+	// Flush the open table's interval plus any remaining intervals spanned
+	// only by tombstones.
+	for ; tIdx <= len(partitionKeys); tIdx++ {
+		if err := cutInterval(tIdx); err != nil {
+			return out, err
+		}
+	}
 	metas, err := ob.Finish()
 	if err != nil {
 		return out, err

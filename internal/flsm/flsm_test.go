@@ -59,7 +59,7 @@ func flushBatch(t *testing.T, tree *Tree, kvs map[string]string, seq *base.SeqNu
 		mem.Set([]byte(k), *seq, base.KindSet, []byte(v))
 		tree.Ingest([]byte(k))
 	}
-	if err := tree.Flush(mem.NewIter(), tree.NewFileNum(), *seq); err != nil {
+	if err := tree.Flush(mem.NewIter(), nil, tree.NewFileNum(), *seq); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -183,7 +183,7 @@ func TestIteratorSeesAllKeysInOrder(t *testing.T) {
 	}
 	tree.CompactAll()
 
-	iters, err := tree.NewIters(base.Bounds{})
+	iters, _, err := tree.NewIters(base.Bounds{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +263,7 @@ func TestDeletesAreHonoredAcrossCompaction(t *testing.T) {
 	mem := memtable.New()
 	seq++
 	mem.Set([]byte("k1"), seq, base.KindDelete, nil)
-	if err := tree.Flush(mem.NewIter(), tree.NewFileNum(), seq); err != nil {
+	if err := tree.Flush(mem.NewIter(), nil, tree.NewFileNum(), seq); err != nil {
 		t.Fatal(err)
 	}
 	if _, found, _ := tree.Get([]byte("k1"), base.MaxSeqNum, nil, nil); found {
@@ -322,7 +322,7 @@ func TestGuardLevelIterSeek(t *testing.T) {
 	}
 	tree.CompactAll()
 
-	iters, err := tree.NewIters(base.Bounds{})
+	iters, _, err := tree.NewIters(base.Bounds{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestEmptyGuardsAreHarmless(t *testing.T) {
 		seq++
 		mem.Set([]byte(fmt.Sprintf("key%06d", i)), seq, base.KindDelete, nil)
 	}
-	if err := tree.Flush(mem.NewIter(), tree.NewFileNum(), seq); err != nil {
+	if err := tree.Flush(mem.NewIter(), nil, tree.NewFileNum(), seq); err != nil {
 		t.Fatal(err)
 	}
 	tree.CompactAll()

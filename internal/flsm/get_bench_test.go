@@ -40,7 +40,7 @@ func BenchmarkTreeGet(b *testing.B) {
 			mem.Set(k, seq, base.KindSet, []byte(fmt.Sprintf("val%08d", i)))
 			tree.Ingest(k)
 		}
-		if err := tree.Flush(mem.NewIter(), 0, seq); err != nil {
+		if err := tree.Flush(mem.NewIter(), nil, 0, seq); err != nil {
 			b.Fatal(err)
 		}
 	}

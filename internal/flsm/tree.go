@@ -12,6 +12,7 @@ import (
 	"pebblesdb/internal/guard"
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/sstable"
 	"pebblesdb/internal/tablecache"
 	"pebblesdb/internal/treebase"
@@ -190,10 +191,10 @@ func (t *Tree) writerOptions() sstable.WriterOptions {
 	}
 }
 
-// Flush writes memtable contents as a level-0 sstable. L0 has no guards
-// (§3.1: "Level 0 does not have guards, and collects together recently
-// written sstables").
-func (t *Tree) Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.SeqNum) error {
+// Flush writes memtable contents — point entries plus range tombstones —
+// as a level-0 sstable. L0 has no guards (§3.1: "Level 0 does not have
+// guards, and collects together recently written sstables").
+func (t *Tree) Flush(it iterator.Iterator, rangeDels []rangedel.Tombstone, logNum base.FileNum, lastSeq base.SeqNum) error {
 	ob := treebase.NewOutputBuilder(t.fs, t.dir, t.writerOptions(), t.vs, t)
 	for it.First(); it.Valid(); it.Next() {
 		if err := ob.Add(it.Key(), it.Value()); err != nil {
@@ -202,6 +203,10 @@ func (t *Tree) Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.Seq
 		}
 	}
 	if err := it.Error(); err != nil {
+		ob.Abandon()
+		return err
+	}
+	if err := ob.AddRangeDels(rangeDels); err != nil {
 		ob.Abandon()
 		return err
 	}
@@ -264,7 +269,13 @@ func removeKey(keys [][]byte, key []byte) [][]byte {
 // Get implements the FLSM read path (§3.4): per level, binary-search the
 // single guard that can hold the key, then examine every sstable in that
 // guard that passes the bloom filter, returning the match with the highest
-// sequence number at or below the read snapshot. latest, when non-nil,
+// sequence number at or below the read snapshot. Range tombstones are
+// folded in as the search descends: every probed source also reports the
+// newest visible tombstone covering the key, and because data only moves
+// down the tree, once any visible entry — point or covering tombstone — is
+// found, everything deeper is older, so the comparison at that moment
+// decides the read. A covered key therefore returns not-found without
+// descending further and without allocating. latest, when non-nil,
 // overrides seq with its value loaded *after* the version is pinned — the
 // engine's collapse-safe ordering for latest-state reads (see
 // engine.Tree.Get). s, when non-nil, supplies the reusable per-call working
@@ -284,13 +295,25 @@ func (t *Tree) Get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstab
 
 	// Level 0: newest file first; flush order guarantees newer files hold
 	// newer versions, so the first visible hit wins.
+	var cov base.SeqNum
 	for _, f := range v.l0 {
-		val, kind, ok, gerr := t.probeFile(f, ukey, s)
+		val, fseq, kind, c, ok, gerr := t.probeFile(f, ukey, seq, s)
 		if gerr != nil {
 			return nil, false, gerr
 		}
+		if c > cov {
+			cov = c
+		}
 		if ok {
+			if cov > fseq {
+				return nil, false, nil
+			}
 			return val, kind == base.KindSet, nil
+		}
+		if cov > 0 {
+			// Older files and deeper levels hold only lower sequence
+			// numbers: the tombstone wins over anything still unseen.
+			return nil, false, nil
 		}
 	}
 	for l := 1; l < t.cfg.NumLevels; l++ {
@@ -305,40 +328,41 @@ func (t *Tree) Get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstab
 		if len(files) == 0 {
 			continue // empty guards are skipped (§3.3)
 		}
-		val, kind, ok, gerr := t.examineGuard(files, ukey, s)
+		val, kind, bestSeq, gcov, ok, gerr := t.examineGuard(files, ukey, seq, s)
 		if gerr != nil {
 			return nil, false, gerr
 		}
+		if gcov > cov {
+			cov = gcov
+		}
 		if ok {
+			if cov > bestSeq {
+				return nil, false, nil
+			}
 			return val, kind == base.KindSet, nil
+		}
+		if cov > 0 {
+			return nil, false, nil
 		}
 	}
 	return nil, false, nil
 }
 
 // examineGuard probes every candidate sstable within one guard and returns
-// the newest visible entry. Values returned by the probes alias immutable
-// block payloads, so tracking the best candidate across files requires no
-// copies — materialization is deferred until the winner is known.
-func (t *Tree) examineGuard(files []*base.FileMetadata, ukey []byte, s *sstable.GetScratch) (val []byte, kind base.Kind, ok bool, err error) {
-	var bestSeq base.SeqNum
+// the newest visible point entry plus the newest visible covering range
+// tombstone across the guard's files (files within a guard overlap in both
+// keys and sequence ranges, so all must be consulted before deciding).
+// Values returned by the probes alias immutable block payloads, so tracking
+// the best candidate across files requires no copies — materialization is
+// deferred until the winner is known.
+func (t *Tree) examineGuard(files []*base.FileMetadata, ukey []byte, seq base.SeqNum, s *sstable.GetScratch) (val []byte, kind base.Kind, bestSeq, cov base.SeqNum, ok bool, err error) {
 	for _, f := range files {
-		if !userKeyInRange(ukey, f) {
-			continue
-		}
-		r, ferr := t.tc.Find(f.FileNum, f.Size)
-		if ferr != nil {
-			return nil, 0, false, ferr
-		}
-		if !r.MayContain(ukey) {
-			s.Stats.BloomNegatives++
-			r.Unref()
-			continue
-		}
-		v, fseq, k, hit, gerr := r.GetScratched(s.SearchKey, s)
-		r.Unref()
+		v, fseq, k, c, hit, gerr := t.probeFile(f, ukey, seq, s)
 		if gerr != nil {
-			return nil, 0, false, gerr
+			return nil, 0, 0, 0, false, gerr
+		}
+		if c > cov {
+			cov = c
 		}
 		if !hit {
 			continue
@@ -347,26 +371,33 @@ func (t *Tree) examineGuard(files []*base.FileMetadata, ukey []byte, s *sstable.
 			val, kind, bestSeq, ok = v, k, fseq, true
 		}
 	}
-	return val, kind, ok, nil
+	return val, kind, bestSeq, cov, ok, nil
 }
 
-// probeFile checks a single level-0 sstable for ukey.
-func (t *Tree) probeFile(f *base.FileMetadata, ukey []byte, s *sstable.GetScratch) (val []byte, kind base.Kind, ok bool, err error) {
+// probeFile checks one sstable for the newest visible point entry of ukey
+// and the newest visible range tombstone covering it, in a single table-
+// cache round-trip. File bounds include tombstone spans, so the range
+// check cannot reject a file whose tombstones cover ukey; the resident
+// tombstone list answers with one binary search, no block IO.
+func (t *Tree) probeFile(f *base.FileMetadata, ukey []byte, seq base.SeqNum, s *sstable.GetScratch) (val []byte, fseq base.SeqNum, kind base.Kind, cov base.SeqNum, ok bool, err error) {
 	if !userKeyInRange(ukey, f) {
-		return nil, 0, false, nil
+		return nil, 0, 0, 0, false, nil
 	}
 	r, ferr := t.tc.Find(f.FileNum, f.Size)
 	if ferr != nil {
-		return nil, 0, false, ferr
+		return nil, 0, 0, 0, false, ferr
+	}
+	if f.RangeDelSpanContains(ukey) {
+		cov = r.RangeDels().CoverSeq(ukey, seq)
 	}
 	if !r.MayContain(ukey) {
 		s.Stats.BloomNegatives++
 		r.Unref()
-		return nil, 0, false, nil
+		return nil, 0, 0, cov, false, nil
 	}
-	v, _, k, hit, gerr := r.GetScratched(s.SearchKey, s)
+	v, fseq, k, hit, gerr := r.GetScratched(s.SearchKey, s)
 	r.Unref()
-	return v, k, hit, gerr
+	return v, fseq, k, cov, hit, gerr
 }
 
 // userKeyInRange sits on the Get hot path for every candidate file.
@@ -381,9 +412,13 @@ func userKeyInRange(ukey []byte, f *base.FileMetadata) bool {
 }
 
 // NewIters returns one iterator per L0 table plus a guard-aware iterator
-// per populated level. Guards and tables whose key ranges fall outside
-// bounds are pruned before any table is opened.
-func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, error) {
+// per populated level, along with every range tombstone held by tables
+// overlapping the bounds (file bounds include tombstone spans, so pruning
+// cannot lose a tombstone that could mask an in-bounds key). The engine
+// merges the tombstones with the memtables' into one visibility mask.
+// Guards and tables whose key ranges fall outside bounds are pruned before
+// any table is opened.
+func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, []rangedel.Tombstone, error) {
 	v := t.currentVersion()
 	var iters []iterator.Iterator
 	for _, f := range v.l0 {
@@ -395,7 +430,7 @@ func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, error) {
 			for _, it := range iters {
 				it.Close()
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		iters = append(iters, treebase.NewTableIter(r))
 	}
@@ -407,7 +442,55 @@ func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, error) {
 		parallel := t.cfg.ParallelSeeks && l == t.cfg.NumLevels-1
 		iters = append(iters, newGuardLevelIter(t, l, gl, parallel, bounds))
 	}
-	return iters, nil
+	rds, err := t.collectRangeDels(v, bounds)
+	if err != nil {
+		for _, it := range iters {
+			it.Close()
+		}
+		return nil, nil, err
+	}
+	return iters, rds, nil
+}
+
+// collectRangeDels gathers the tombstones of every table in v overlapping
+// bounds. Tables flagged clean in their metadata — the overwhelming
+// majority — are skipped without opening; flagged tables hand back their
+// resident lists, so no block IO happens here either.
+func (t *Tree) collectRangeDels(v *version, bounds base.Bounds) ([]rangedel.Tombstone, error) {
+	var rds []rangedel.Tombstone
+	add := func(f *base.FileMetadata) error {
+		if f.NumRangeDels == 0 || !bounds.Overlaps(f) {
+			return nil
+		}
+		r, err := t.tc.Find(f.FileNum, f.Size)
+		if err != nil {
+			return err
+		}
+		rds = append(rds, r.RangeDels().Raw()...)
+		r.Unref()
+		return nil
+	}
+	for _, f := range v.l0 {
+		if err := add(f); err != nil {
+			return nil, err
+		}
+	}
+	for l := 1; l < t.cfg.NumLevels; l++ {
+		gl := &v.levels[l]
+		for _, f := range gl.sentinel {
+			if err := add(f); err != nil {
+				return nil, err
+			}
+		}
+		for i := range gl.guards {
+			for _, f := range gl.guards[i].Files {
+				if err := add(f); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return rds, nil
 }
 
 // recordSeek charges a guard's seek budget; exhaustion schedules the guard

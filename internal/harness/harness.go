@@ -297,8 +297,18 @@ func ReadRange(db *pebblesdb.DB, lo, hi uint64, n int, seed int64) (hits int, er
 	return hits, nil
 }
 
-// DeleteRange deletes every key in [lo, hi).
+// DeleteRange deletes every key in [lo, hi) with one range tombstone.
 func DeleteRange(db *pebblesdb.DB, lo, hi uint64) error {
+	if lo >= hi {
+		return nil
+	}
+	return db.DeleteRange(KeyAt(nil, lo), KeyAt(nil, hi))
+}
+
+// DeleteKeys deletes every key in [lo, hi) one point tombstone at a time —
+// the pre-range-deletion way to drop a window, kept as the baseline the
+// retention workload is measured against.
+func DeleteKeys(db *pebblesdb.DB, lo, hi uint64) error {
 	key := make([]byte, 0, 16)
 	for i := lo; i < hi; i++ {
 		key = KeyAt(key, i)
@@ -307,6 +317,47 @@ func DeleteRange(db *pebblesdb.DB, lo, hi uint64) error {
 		}
 	}
 	return nil
+}
+
+// Retention is the rolling time-window workload (time-series retention,
+// dropping a tenant, truncating a queue): fill sequential windows of
+// windowSize keys each, and once retain windows are live, drop the oldest
+// whole window — with a single DeleteRange, or with per-key tombstones
+// when perKey is set (the baseline this PR's range deletions replace). n
+// counts puts; deletes ride on top. Returns the number of windows dropped.
+func Retention(db *pebblesdb.DB, n, windowSize, retain, valueSize int, seed int64, perKey bool, recs ...*LatencyRecorder) (deletedWindows int, err error) {
+	if windowSize < 1 {
+		windowSize = 1
+	}
+	if retain < 1 {
+		retain = 1
+	}
+	rec := recOf(recs)
+	vals := NewValueSource(valueSize, CompressibleFraction, seed)
+	key := make([]byte, 0, 16)
+	for i := 0; i < n; i++ {
+		key = KeyAt(key, uint64(i))
+		if err := timedPut(db, key, vals.Next(), rec); err != nil {
+			return deletedWindows, err
+		}
+		if (i+1)%windowSize == 0 {
+			window := (i + 1) / windowSize
+			if window > retain {
+				lo := uint64((window - retain - 1) * windowSize)
+				hi := lo + uint64(windowSize)
+				if perKey {
+					err = DeleteKeys(db, lo, hi)
+				} else {
+					err = DeleteRange(db, lo, hi)
+				}
+				if err != nil {
+					return deletedWindows, err
+				}
+				deletedWindows++
+			}
+		}
+	}
+	return deletedWindows, nil
 }
 
 // ReadRandom performs n gets over keySpace; returns the hit count. The

@@ -6,6 +6,7 @@ import (
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/treebase"
 )
 
@@ -157,15 +158,33 @@ func (t *Tree) runCompaction(c *compaction) error {
 		return nil
 	}
 
+	all := append(append([]*base.FileMetadata(nil), c.inputs...), c.targets...)
+
+	// Open each input once, collecting its range tombstones alongside its
+	// merge iterator. The tombstones drive covered-point elision in the
+	// compaction iterator and are rewritten into the outputs clipped to
+	// each table's cut boundaries, so output tables stay disjoint and a
+	// tombstone can never widen past the span its table owns. When the
+	// output level is the last, tombstones every snapshot can see have
+	// nothing left to mask and are dropped.
+	var rd *rangedel.List
 	var iters []iterator.Iterator
 	var bytesIn int64
-	for _, f := range append(append([]*base.FileMetadata(nil), c.inputs...), c.targets...) {
+	for _, f := range all {
 		r, err := t.tc.Find(f.FileNum, f.Size)
 		if err != nil {
 			for _, it := range iters {
 				it.Close()
 			}
 			return err
+		}
+		if f.NumRangeDels > 0 {
+			if rd == nil {
+				rd = &rangedel.List{}
+			}
+			for _, ts := range r.RangeDels().Raw() {
+				rd.Add(ts)
+			}
 		}
 		iters = append(iters, treebase.NewSequentialTableIter(r))
 		bytesIn += int64(f.Size)
@@ -176,9 +195,37 @@ func (t *Tree) runCompaction(c *compaction) error {
 		smallest = t.snap.SmallestSnapshot()
 	}
 	elide := c.level+1 == t.cfg.NumLevels-1
-	ci := treebase.NewCompactionIter(merged, smallest, elide)
+	dropLE := base.SeqNum(0)
+	if elide {
+		dropLE = smallest
+	}
+	ci := treebase.NewCompactionIter(merged, smallest, elide, rd)
 
 	ob := treebase.NewOutputBuilder(t.fs, t.dir, t.writerOptions(), t.vs, t)
+	// cutAt closes the open table, attaching the tombstones clipped to
+	// [boundary of the previous cut, hi). hi == nil closes the final table
+	// with every remaining tombstone. The clipped tombstones alias cutLo
+	// (and hi) until the writer's Finish runs inside Cut, so the table must
+	// be cut before the boundary advances, and the boundary copy must be a
+	// fresh allocation — reusing the buffer would rewrite the stored
+	// fragment starts and silently un-cover the keys after the cut.
+	var cutLo []byte
+	cutAt := func(hi []byte) error {
+		if !rd.Empty() {
+			if err := ob.AddRangeDels(rd.Clipped(cutLo, hi, dropLE)); err != nil {
+				return err
+			}
+		}
+		if ob.HasOpen() {
+			if err := ob.Cut(); err != nil {
+				return err
+			}
+		}
+		if hi != nil {
+			cutLo = append([]byte(nil), hi...)
+		}
+		return nil
+	}
 	var prevUkey []byte
 	for ci.First(); ci.Valid(); ci.Next() {
 		ukey := base.UserKey(ci.Key())
@@ -186,7 +233,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 		// same user key: deeper levels must stay disjoint in user keys.
 		if ob.HasOpen() && ob.CurrentSize() >= uint64(t.cfg.TargetFileSize) &&
 			prevUkey != nil && !bytes.Equal(prevUkey, ukey) {
-			if err := ob.Cut(); err != nil {
+			if err := cutAt(ukey); err != nil {
 				ob.Abandon()
 				ci.Close()
 				return err
@@ -205,6 +252,10 @@ func (t *Tree) runCompaction(c *compaction) error {
 		return err
 	}
 	ci.Close()
+	if err := cutAt(nil); err != nil {
+		ob.Abandon()
+		return err
+	}
 	metas, err := ob.Finish()
 	if err != nil {
 		ob.Abandon()

@@ -50,7 +50,7 @@ func flushBatch(t *testing.T, tree *Tree, kvs map[string]string, seq *base.SeqNu
 		*seq++
 		mem.Set([]byte(k), *seq, base.KindSet, []byte(v))
 	}
-	if err := tree.Flush(mem.NewIter(), tree.NewFileNum(), *seq); err != nil {
+	if err := tree.Flush(mem.NewIter(), nil, tree.NewFileNum(), *seq); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -143,7 +143,7 @@ func TestTombstoneShadowsOlderLevels(t *testing.T) {
 	mem := memtable.New()
 	seq++
 	mem.Set([]byte("k"), seq, base.KindDelete, nil)
-	if err := tree.Flush(mem.NewIter(), tree.NewFileNum(), seq); err != nil {
+	if err := tree.Flush(mem.NewIter(), nil, tree.NewFileNum(), seq); err != nil {
 		t.Fatal(err)
 	}
 	if _, found, _ := tree.Get([]byte("k"), base.MaxSeqNum, nil, nil); found {
@@ -168,7 +168,7 @@ func TestLevelIterConcatenates(t *testing.T) {
 	}
 	tree.CompactAll()
 
-	iters, err := tree.NewIters(base.Bounds{})
+	iters, _, err := tree.NewIters(base.Bounds{})
 	if err != nil {
 		t.Fatal(err)
 	}

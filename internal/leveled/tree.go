@@ -11,6 +11,7 @@ import (
 	"pebblesdb/internal/cache"
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/sstable"
 	"pebblesdb/internal/tablecache"
 	"pebblesdb/internal/treebase"
@@ -137,9 +138,10 @@ func (t *Tree) writerOptions() sstable.WriterOptions {
 	}
 }
 
-// Flush writes the memtable contents as a level-0 sstable and logs an edit
-// recording the new WAL number and sequence watermark.
-func (t *Tree) Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.SeqNum) error {
+// Flush writes the memtable contents — point entries plus range tombstones
+// — as a level-0 sstable and logs an edit recording the new WAL number and
+// sequence watermark.
+func (t *Tree) Flush(it iterator.Iterator, rangeDels []rangedel.Tombstone, logNum base.FileNum, lastSeq base.SeqNum) error {
 	ob := treebase.NewOutputBuilder(t.fs, t.dir, t.writerOptions(), t.vs, t)
 	for it.First(); it.Valid(); it.Next() {
 		if err := ob.Add(it.Key(), it.Value()); err != nil {
@@ -148,6 +150,10 @@ func (t *Tree) Flush(it iterator.Iterator, logNum base.FileNum, lastSeq base.Seq
 		}
 	}
 	if err := it.Error(); err != nil {
+		ob.Abandon()
+		return err
+	}
+	if err := ob.AddRangeDels(rangeDels); err != nil {
 		ob.Abandon()
 		return err
 	}
@@ -231,20 +237,33 @@ func (t *Tree) get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstab
 	s.SearchKey = base.MakeSearchKey(s.SearchKey[:0], ukey, seq)
 
 	// Level 0: newest file first; a hit (value or tombstone) ends the
-	// search.
+	// search. Range tombstones fold in as the search descends (cov): data
+	// only moves down, so once any visible entry — point or covering
+	// tombstone — is seen, everything deeper is older and the comparison
+	// decides the read.
+	var cov base.SeqNum
 	for _, f := range v.files[0] {
 		if !userKeyInRange(ukey, f) {
 			continue
 		}
-		val, kind, hit, probed, gerr := t.probeFile(f, ukey, s)
+		val, fseq, kind, c, hit, probed, gerr := t.probeFile(f, ukey, seq, s)
 		if gerr != nil {
 			return nil, false, firstMiss, firstMissLevel, gerr
 		}
+		if c > cov {
+			cov = c
+		}
 		if hit {
+			if cov > fseq {
+				return nil, false, firstMiss, firstMissLevel, nil
+			}
 			return val, kind == base.KindSet, firstMiss, firstMissLevel, nil
 		}
 		if probed && firstMiss == nil {
 			firstMiss, firstMissLevel = f, 0
+		}
+		if cov > 0 {
+			return nil, false, firstMiss, firstMissLevel, nil
 		}
 	}
 	for l := 1; l < t.cfg.NumLevels; l++ {
@@ -252,37 +271,52 @@ func (t *Tree) get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstab
 		if i < 0 {
 			continue
 		}
-		f := v.files[l][i]
-		val, kind, hit, probed, gerr := t.probeFile(f, ukey, s)
+		val, fseq, kind, c, hit, probed, gerr := t.probeFile(v.files[l][i], ukey, seq, s)
 		if gerr != nil {
 			return nil, false, firstMiss, firstMissLevel, gerr
 		}
+		if c > cov {
+			cov = c
+		}
 		if hit {
+			if cov > fseq {
+				return nil, false, firstMiss, firstMissLevel, nil
+			}
 			return val, kind == base.KindSet, firstMiss, firstMissLevel, nil
 		}
 		if probed && firstMiss == nil {
-			firstMiss, firstMissLevel = f, l
+			firstMiss, firstMissLevel = v.files[l][i], l
+		}
+		if cov > 0 {
+			return nil, false, firstMiss, firstMissLevel, nil
 		}
 	}
 	return nil, false, firstMiss, firstMissLevel, nil
 }
 
-// probeFile checks one sstable for the newest visible version of ukey.
-// probed reports whether the table's blocks were actually searched (the
-// bloom filter passed or was absent) — the input to seek-charge accounting.
-func (t *Tree) probeFile(f *base.FileMetadata, ukey []byte, s *sstable.GetScratch) (value []byte, kind base.Kind, hit, probed bool, err error) {
+// probeFile checks one sstable for the newest visible point entry of ukey
+// and the newest visible range tombstone covering it (cov), in a single
+// table-cache round-trip. File bounds include tombstone spans, so range
+// pruning cannot reject a file whose tombstones cover ukey; the resident
+// tombstone list answers with one binary search, no block IO. probed
+// reports whether the table's blocks were actually searched (the bloom
+// filter passed or was absent) — the input to seek-charge accounting.
+func (t *Tree) probeFile(f *base.FileMetadata, ukey []byte, seq base.SeqNum, s *sstable.GetScratch) (value []byte, fseq base.SeqNum, kind base.Kind, cov base.SeqNum, hit, probed bool, err error) {
 	r, err := t.tc.Find(f.FileNum, f.Size)
 	if err != nil {
-		return nil, 0, false, false, err
+		return nil, 0, 0, 0, false, false, err
+	}
+	if f.RangeDelSpanContains(ukey) {
+		cov = r.RangeDels().CoverSeq(ukey, seq)
 	}
 	if !r.MayContain(ukey) {
 		s.Stats.BloomNegatives++
 		r.Unref()
-		return nil, 0, false, false, nil
+		return nil, 0, 0, cov, false, false, nil
 	}
-	value, _, kind, hit, err = r.GetScratched(s.SearchKey, s)
+	value, fseq, kind, hit, err = r.GetScratched(s.SearchKey, s)
 	r.Unref()
-	return value, kind, hit, true, err
+	return value, fseq, kind, cov, hit, true, err
 }
 
 // userKeyInRange sits on the Get hot path for every candidate file.
@@ -311,11 +345,26 @@ func (t *Tree) chargeSeek(f *base.FileMetadata, level int) {
 }
 
 // NewIters returns one iterator per L0 table plus one concatenating
-// iterator per deeper level. Tables whose key ranges fall outside bounds
-// are pruned before any table is opened.
-func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, error) {
+// iterator per deeper level, along with every range tombstone held by
+// tables overlapping the bounds (file bounds include tombstone spans, so
+// pruning cannot lose a masking tombstone). Tables whose key ranges fall
+// outside bounds are pruned before any table is opened.
+func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, []rangedel.Tombstone, error) {
 	v := t.currentVersion()
 	var iters []iterator.Iterator
+	var rds []rangedel.Tombstone
+	collect := func(f *base.FileMetadata) error {
+		if f.NumRangeDels == 0 {
+			return nil
+		}
+		r, err := t.tc.Find(f.FileNum, f.Size)
+		if err != nil {
+			return err
+		}
+		rds = append(rds, r.RangeDels().Raw()...)
+		r.Unref()
+		return nil
+	}
 	for _, f := range v.files[0] {
 		if !bounds.Overlaps(f) {
 			continue
@@ -325,6 +374,9 @@ func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, error) {
 			return closeAll(iters, err)
 		}
 		iters = append(iters, treebase.NewTableIter(r))
+		if err := collect(f); err != nil {
+			return closeAll(iters, err)
+		}
 	}
 	for l := 1; l < t.cfg.NumLevels; l++ {
 		files := bounds.FilterFiles(v.files[l])
@@ -332,15 +384,20 @@ func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, error) {
 			continue
 		}
 		iters = append(iters, newLevelIter(t.tc, files))
+		for _, f := range files {
+			if err := collect(f); err != nil {
+				return closeAll(iters, err)
+			}
+		}
 	}
-	return iters, nil
+	return iters, rds, nil
 }
 
-func closeAll(iters []iterator.Iterator, err error) ([]iterator.Iterator, error) {
+func closeAll(iters []iterator.Iterator, err error) ([]iterator.Iterator, []rangedel.Tombstone, error) {
 	for _, it := range iters {
 		it.Close()
 	}
-	return nil, err
+	return nil, nil, err
 }
 
 // L0Count returns the current number of level-0 files (write stalls).

@@ -83,10 +83,17 @@ func (v *version) levelBytes(level int) int64 {
 }
 
 // findFile returns the index in the (sorted, disjoint) level of the file
-// whose range may contain ukey, or -1.
+// whose range may contain ukey, or -1. A file whose upper bound is an
+// exclusive range-del sentinel at exactly ukey does not contain ukey — the
+// neighbor starting at ukey does — so the search treats such files as
+// ending before ukey.
 func findFile(files []*base.FileMetadata, ukey []byte) int {
 	i := sort.Search(len(files), func(i int) bool {
-		return bytes.Compare(files[i].LargestUserKey(), ukey) >= 0
+		c := bytes.Compare(files[i].LargestUserKey(), ukey)
+		if c != 0 {
+			return c > 0
+		}
+		return !files[i].LargestExclusive()
 	})
 	if i >= len(files) {
 		return -1

@@ -26,6 +26,12 @@ const (
 	tagDeletedFile  = 5
 	tagNewGuard     = 6
 	tagDeletedGuard = 7
+	// tagFileRangeDels attaches range-tombstone properties (fragment count
+	// and covered user-key span) to the preceding tagNewFile entry with the
+	// same level and file number. A separate record keeps tagNewFile's
+	// encoding stable, so manifests written before range deletions existed
+	// still decode.
+	tagFileRangeDels = 8
 )
 
 // NewFileEntry records an sstable added to a level.
@@ -87,6 +93,14 @@ func (e *VersionEdit) Encode(dst []byte) []byte {
 		dst = appendUvarint(dst, f.Meta.Size)
 		dst = appendBytes(dst, f.Meta.Smallest)
 		dst = appendBytes(dst, f.Meta.Largest)
+		if f.Meta.NumRangeDels > 0 {
+			dst = appendUvarint(dst, tagFileRangeDels)
+			dst = appendUvarint(dst, uint64(f.Level))
+			dst = appendUvarint(dst, uint64(f.Meta.FileNum))
+			dst = appendUvarint(dst, uint64(f.Meta.NumRangeDels))
+			dst = appendBytes(dst, f.Meta.RangeDelStart)
+			dst = appendBytes(dst, f.Meta.RangeDelEnd)
+		}
 	}
 	for _, f := range e.DeletedFiles {
 		dst = appendUvarint(dst, tagDeletedFile)
@@ -164,6 +178,38 @@ func (e *VersionEdit) Decode(src []byte) error {
 					Largest:  largest,
 				},
 			})
+		case tagFileRangeDels:
+			var level, fn, count uint64
+			var start, end []byte
+			if level, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			if fn, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			if count, src, err = readUvarint(src); err != nil {
+				return err
+			}
+			if start, src, err = readBytes(src); err != nil {
+				return err
+			}
+			if end, src, err = readBytes(src); err != nil {
+				return err
+			}
+			found := false
+			for i := len(e.NewFiles) - 1; i >= 0; i-- {
+				f := &e.NewFiles[i]
+				if f.Level == int(level) && f.Meta.FileNum == base.FileNum(fn) {
+					f.Meta.NumRangeDels = int(count)
+					f.Meta.RangeDelStart = start
+					f.Meta.RangeDelEnd = end
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("%w: range-del props for unknown file %d", ErrCorrupt, fn)
+			}
 		case tagDeletedFile:
 			var level, fn uint64
 			if level, src, err = readUvarint(src); err != nil {

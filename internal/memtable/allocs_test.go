@@ -21,7 +21,7 @@ func TestGetSearchAllocs(t *testing.T) {
 	search := base.MakeSearchKey(nil, []byte{'k', 42}, base.MaxSeqNum)
 
 	allocs := testing.AllocsPerRun(100, func() {
-		if _, _, found := m.GetSearch(search); !found {
+		if _, _, _, found := m.GetSearch(search); !found {
 			t.Fatal("key not found")
 		}
 	})

@@ -6,10 +6,12 @@ package memtable
 import (
 	"bytes"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/skiplist"
 )
 
@@ -25,6 +27,16 @@ import (
 type Memtable struct {
 	list    *skiplist.Skiplist
 	writers atomic.Int64
+
+	// Range tombstones live outside the skiplist (the flush path writes
+	// them into the sstable's dedicated range-del block, not the point
+	// stream). The store is copy-on-write: DeleteRange rebuilds a fresh
+	// fragmented List under rdMu and publishes it atomically, so readers —
+	// including the zero-allocation point-read fast path — do one atomic
+	// load and a binary search, with no locks and no allocation.
+	rdMu    sync.Mutex
+	rd      atomic.Pointer[rangedel.List]
+	rdBytes atomic.Int64
 }
 
 // New returns an empty memtable.
@@ -66,35 +78,77 @@ func (m *Memtable) Set(ukey []byte, seq base.SeqNum, kind base.Kind, value []byt
 	m.list.Add(ikey, v)
 }
 
+// DeleteRange records a range tombstone over [start, end) at seq. Both
+// keys are copied. Safe for concurrent use with readers and point Sets;
+// concurrent DeleteRange calls serialize on an internal mutex.
+func (m *Memtable) DeleteRange(start, end []byte, seq base.SeqNum) {
+	if bytes.Compare(start, end) >= 0 {
+		return
+	}
+	t := rangedel.Tombstone{
+		Start: append([]byte(nil), start...),
+		End:   append([]byte(nil), end...),
+		Seq:   seq,
+	}
+	m.rdMu.Lock()
+	// WithTombstone splices into the previous list's fragments instead of
+	// re-fragmenting from scratch, keeping each DeleteRange linear in the
+	// memtable's resident tombstone count.
+	m.rd.Store(m.rd.Load().WithTombstone(t))
+	m.rdMu.Unlock()
+	m.rdBytes.Add(int64(len(start) + len(end) + base.TrailerLen))
+}
+
+// CoverSeq returns the newest range tombstone covering ukey visible at
+// seq, or 0. Lock- and allocation-free.
+func (m *Memtable) CoverSeq(ukey []byte, seq base.SeqNum) base.SeqNum {
+	return m.rd.Load().CoverSeq(ukey, seq)
+}
+
+// RangeDels returns the memtable's range tombstones (the flush path writes
+// them into the output table's range-del block). Nil when none exist. The
+// returned slice is an immutable snapshot.
+func (m *Memtable) RangeDels() []rangedel.Tombstone {
+	return m.rd.Load().Raw()
+}
+
 // Get returns the newest entry for ukey visible at seq. found reports
 // whether any version exists; if found and kind is KindDelete the key is
-// deleted at this snapshot. The search-key construction allocates; hot
-// paths build the key once into a reusable buffer and call GetSearch.
+// deleted at this snapshot. Range tombstones are not consulted — callers
+// compare the returned sequence number against CoverSeq. The search-key
+// construction allocates; hot paths build the key once into a reusable
+// buffer and call GetSearch.
 func (m *Memtable) Get(ukey []byte, seq base.SeqNum) (value []byte, kind base.Kind, found bool) {
 	search := base.MakeSearchKey(make([]byte, 0, len(ukey)+base.TrailerLen), ukey, seq)
-	return m.GetSearch(search)
+	value, _, kind, found = m.GetSearch(search)
+	return value, kind, found
 }
 
 // GetSearch is Get with a caller-built search key (base.MakeSearchKey into
 // a reusable buffer): the allocation-free point-read path. The returned
-// value aliases the memtable's internal storage.
-func (m *Memtable) GetSearch(search []byte) (value []byte, kind base.Kind, found bool) {
+// value aliases the memtable's internal storage; seq is the entry's
+// sequence number, for visibility comparison against range tombstones.
+func (m *Memtable) GetSearch(search []byte) (value []byte, seq base.SeqNum, kind base.Kind, found bool) {
 	k, v, ok := m.list.FindGE(search)
 	if !ok {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
-	gotUkey, _, gotKind, ok := base.DecodeInternalKey(k)
+	gotUkey, gotSeq, gotKind, ok := base.DecodeInternalKey(k)
 	if !ok || !bytes.Equal(gotUkey, base.UserKey(search)) {
-		return nil, 0, false
+		return nil, 0, 0, false
 	}
-	return v, gotKind, true
+	return v, gotSeq, gotKind, true
 }
 
 // ApproxSize returns the approximate memory footprint in bytes.
-func (m *Memtable) ApproxSize() int64 { return m.list.ApproxSize() }
+func (m *Memtable) ApproxSize() int64 { return m.list.ApproxSize() + m.rdBytes.Load() }
 
-// Len returns the number of entries.
+// Len returns the number of point entries.
 func (m *Memtable) Len() int { return m.list.Len() }
+
+// Empty reports whether the memtable holds no point entries and no range
+// tombstones (nothing to flush).
+func (m *Memtable) Empty() bool { return m.list.Len() == 0 && m.rd.Load().Empty() }
 
 // NewIter returns an iterator over the memtable's internal keys.
 func (m *Memtable) NewIter() iterator.Iterator {

@@ -165,3 +165,57 @@ func BenchmarkMemtableSet(b *testing.B) {
 		m.Set(key, base.SeqNum(i+1), base.KindSet, val)
 	}
 }
+
+func TestDeleteRangeStore(t *testing.T) {
+	m := New()
+	m.Set([]byte("b"), 1, base.KindSet, []byte("v1"))
+	m.Set([]byte("d"), 2, base.KindSet, []byte("v2"))
+	m.DeleteRange([]byte("a"), []byte("c"), 3)
+	m.Set([]byte("b"), 4, base.KindSet, []byte("v3"))
+
+	// CoverSeq honors snapshot visibility.
+	if got := m.CoverSeq([]byte("b"), base.MaxSeqNum); got != 3 {
+		t.Fatalf("CoverSeq(b) = %d, want 3", got)
+	}
+	if got := m.CoverSeq([]byte("b"), 2); got != 0 {
+		t.Fatalf("CoverSeq(b, snap 2) = %d, want 0", got)
+	}
+	if got := m.CoverSeq([]byte("d"), base.MaxSeqNum); got != 0 {
+		t.Fatalf("CoverSeq(d) = %d, want 0 (outside range)", got)
+	}
+
+	// Entry-vs-tombstone decisions are the caller's: GetSearch reports the
+	// entry seq so the engine can compare against CoverSeq.
+	search := base.MakeSearchKey(nil, []byte("b"), base.MaxSeqNum)
+	v, seq, kind, ok := m.GetSearch(search)
+	if !ok || kind != base.KindSet || seq != 4 || string(v) != "v3" {
+		t.Fatalf("GetSearch(b) = %q seq=%d kind=%v ok=%v", v, seq, kind, ok)
+	}
+	search = base.MakeSearchKey(nil, []byte("b"), 3)
+	if _, seq, _, ok := m.GetSearch(search); !ok || seq != 1 {
+		t.Fatalf("GetSearch(b@3) seq=%d ok=%v, want the old version", seq, ok)
+	}
+
+	// The tombstones flush separately from the point stream.
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 points", m.Len())
+	}
+	rds := m.RangeDels()
+	if len(rds) != 1 || string(rds[0].Start) != "a" || string(rds[0].End) != "c" || rds[0].Seq != 3 {
+		t.Fatalf("RangeDels = %v", rds)
+	}
+	if m.Empty() {
+		t.Fatal("memtable with data reported empty")
+	}
+	if !New().Empty() {
+		t.Fatal("fresh memtable not empty")
+	}
+	rdOnly := New()
+	rdOnly.DeleteRange([]byte("a"), []byte("b"), 1)
+	if rdOnly.Empty() {
+		t.Fatal("tombstone-only memtable must flush (not Empty)")
+	}
+	if rdOnly.ApproxSize() == 0 {
+		t.Fatal("tombstones must count toward ApproxSize")
+	}
+}

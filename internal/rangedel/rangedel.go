@@ -1,0 +1,365 @@
+// Package rangedel implements range-deletion tombstones: the O(1)-write
+// mutation that deletes every key in [Start, End) older than the
+// tombstone's sequence number. The central type is List, a coalescing
+// fragment index built from arbitrary (possibly overlapping) tombstones:
+// fragments partition the covered key space into disjoint intervals, each
+// carrying the full descending set of tombstone sequence numbers over it,
+// so a snapshot reader at any sequence number finds the newest tombstone it
+// is allowed to see with one binary search. The same fragment form is what
+// sstables store (the writer fragments and coalesces on flush) and what
+// compactions clip to output-table bounds, so a guard split or table cut
+// can never widen a tombstone and resurrect or re-delete data.
+package rangedel
+
+import (
+	"bytes"
+	"sort"
+
+	"pebblesdb/internal/base"
+)
+
+// Tombstone is one range deletion: user keys in [Start, End) written at
+// sequence numbers below Seq are deleted. Start >= End is an empty range.
+type Tombstone struct {
+	Start []byte
+	End   []byte
+	Seq   base.SeqNum
+}
+
+// Empty reports whether the tombstone covers no keys.
+func (t Tombstone) Empty() bool { return bytes.Compare(t.Start, t.End) >= 0 }
+
+// Fragment is one disjoint interval of the fragmented key space. Seqs holds
+// every tombstone sequence number covering the interval, descending, so the
+// newest tombstone visible at a snapshot is the first Seqs entry at or
+// below the snapshot's sequence number.
+type Fragment struct {
+	Start []byte
+	End   []byte
+	Seqs  []base.SeqNum
+}
+
+// List is a set of range tombstones indexed for point queries. Add
+// tombstones in any order; queries fragment lazily. A built List is
+// immutable and safe for concurrent readers; Add invalidates the built
+// form, so writers must serialize externally (the memtable publishes fresh
+// Lists copy-on-write instead of mutating a shared one).
+type List struct {
+	raw   []Tombstone
+	frags []Fragment
+	built bool
+}
+
+// NewList returns a List over the given tombstones. The tombstones' key
+// slices are retained, not copied; callers must not mutate them.
+func NewList(ts []Tombstone) *List {
+	l := &List{}
+	for _, t := range ts {
+		l.Add(t)
+	}
+	return l
+}
+
+// Add inserts a tombstone. Empty ranges are ignored. The key slices are
+// retained, not copied.
+func (l *List) Add(t Tombstone) {
+	if t.Empty() {
+		return
+	}
+	l.raw = append(l.raw, t)
+	l.built = false
+}
+
+// Empty reports whether the list holds no tombstones.
+func (l *List) Empty() bool { return l == nil || len(l.raw) == 0 }
+
+// Count returns the number of tombstones added.
+func (l *List) Count() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.raw)
+}
+
+// Raw returns the tombstones as added (unfragmented). Callers must not
+// mutate the returned slice or its keys.
+func (l *List) Raw() []Tombstone {
+	if l == nil {
+		return nil
+	}
+	return l.raw
+}
+
+// Build fragments the list eagerly. Publishers of shared Lists (the
+// memtable's copy-on-write store, the sstable Reader's resident list) call
+// it once before handing the List to concurrent readers; afterwards every
+// query is a pure read.
+func (l *List) Build() {
+	if l != nil {
+		l.build()
+	}
+}
+
+// WithTombstone returns a new built List holding l's tombstones plus t,
+// leaving l untouched. Unlike NewList+Build — which re-fragments from
+// scratch, O(fragments x tombstones) — this splices t into l's existing
+// disjoint fragment array in one pass, so a sequence of N single-tombstone
+// additions (the memtable's copy-on-write DeleteRange path) costs O(N) per
+// addition instead of O(N^2). t's key slices are retained.
+func (l *List) WithTombstone(t Tombstone) *List {
+	if t.Empty() {
+		if l == nil {
+			return &List{built: true}
+		}
+		l.build()
+		return l
+	}
+	nl := &List{built: true}
+	var old []Fragment
+	if l != nil {
+		l.build()
+		nl.raw = append(nl.raw, l.raw...)
+		old = l.frags
+	}
+	nl.raw = append(nl.raw, t)
+
+	// Copy fragments left of t, splitting the one t.Start lands in.
+	i := 0
+	for ; i < len(old) && bytes.Compare(old[i].End, t.Start) <= 0; i++ {
+		nl.frags = append(nl.frags, old[i])
+	}
+	emit := func(start, end []byte, seqs []base.SeqNum, add bool) {
+		if bytes.Compare(start, end) >= 0 {
+			return
+		}
+		if add {
+			seqs = insertSeq(seqs, t.Seq)
+		} else {
+			seqs = append([]base.SeqNum(nil), seqs...)
+		}
+		nl.frags = append(nl.frags, Fragment{Start: start, End: end, Seqs: seqs})
+	}
+	// cur tracks the uncovered remainder of [t.Start, t.End).
+	cur := t.Start
+	for ; i < len(old) && bytes.Compare(old[i].Start, t.End) < 0; i++ {
+		f := old[i]
+		if bytes.Compare(f.Start, cur) > 0 {
+			// Gap before f covered only by t.
+			emit(cur, f.Start, nil, true)
+			cur = f.Start
+		}
+		// Piece of f left of t (only possible for the first overlap).
+		emit(f.Start, maxKey(f.Start, cur), f.Seqs, false)
+		// Overlap of f and t.
+		lo, hi := maxKey(f.Start, cur), minKey(f.End, t.End)
+		emit(lo, hi, f.Seqs, true)
+		// Piece of f right of t.
+		emit(maxKey(f.Start, t.End), f.End, f.Seqs, false)
+		if bytes.Compare(f.End, cur) > 0 {
+			cur = f.End
+		}
+	}
+	// Tail of t past the last overlapping fragment.
+	emit(cur, t.End, nil, true)
+	// Remaining fragments right of t.
+	nl.frags = append(nl.frags, old[i:]...)
+	return nl
+}
+
+func insertSeq(seqs []base.SeqNum, s base.SeqNum) []base.SeqNum {
+	out := make([]base.SeqNum, 0, len(seqs)+1)
+	placed := false
+	for _, v := range seqs {
+		if !placed && s >= v {
+			if s > v {
+				out = append(out, s)
+			}
+			placed = true
+		}
+		out = append(out, v)
+	}
+	if !placed {
+		out = append(out, s)
+	}
+	return out
+}
+
+func maxKey(a, b []byte) []byte {
+	if bytes.Compare(a, b) >= 0 {
+		return a
+	}
+	return b
+}
+
+func minKey(a, b []byte) []byte {
+	if bytes.Compare(a, b) <= 0 {
+		return a
+	}
+	return b
+}
+
+// build fragments the raw tombstones: collect every distinct boundary key,
+// then for each elementary interval gather the sequence numbers of the
+// tombstones covering it, coalescing adjacent intervals whose sequence sets
+// are identical. O(B*N) with B boundaries over N tombstones — tombstones
+// are rare relative to points, so simplicity wins over a sweep line.
+func (l *List) build() {
+	if l.built {
+		return
+	}
+	l.frags = l.frags[:0]
+	l.built = true
+	if len(l.raw) == 0 {
+		return
+	}
+	bounds := make([][]byte, 0, 2*len(l.raw))
+	for _, t := range l.raw {
+		bounds = append(bounds, t.Start, t.End)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bytes.Compare(bounds[i], bounds[j]) < 0 })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if !bytes.Equal(b, uniq[len(uniq)-1]) {
+			uniq = append(uniq, b)
+		}
+	}
+	for i := 0; i+1 < len(uniq); i++ {
+		lo, hi := uniq[i], uniq[i+1]
+		var seqs []base.SeqNum
+		for _, t := range l.raw {
+			if bytes.Compare(t.Start, lo) <= 0 && bytes.Compare(hi, t.End) <= 0 {
+				seqs = append(seqs, t.Seq)
+			}
+		}
+		if len(seqs) == 0 {
+			continue
+		}
+		sort.Slice(seqs, func(a, b int) bool { return seqs[a] > seqs[b] })
+		seqs = dedupeSeqs(seqs)
+		if n := len(l.frags); n > 0 && bytes.Equal(l.frags[n-1].End, lo) && seqsEqual(l.frags[n-1].Seqs, seqs) {
+			l.frags[n-1].End = hi // coalesce
+			continue
+		}
+		l.frags = append(l.frags, Fragment{Start: lo, End: hi, Seqs: seqs})
+	}
+}
+
+func dedupeSeqs(seqs []base.SeqNum) []base.SeqNum {
+	out := seqs[:1]
+	for _, s := range seqs[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func seqsEqual(a, b []base.SeqNum) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fragments returns the disjoint fragment form, sorted by Start. The
+// returned slice is owned by the List.
+func (l *List) Fragments() []Fragment {
+	if l == nil {
+		return nil
+	}
+	l.build()
+	return l.frags
+}
+
+// CoverSeq returns the sequence number of the newest tombstone covering
+// ukey that is visible at atSeq (tombstone seq <= atSeq), or 0 when no
+// visible tombstone covers ukey. A point entry (ukey, seq) is deleted at a
+// read snapshot exactly when CoverSeq(ukey, snapshotSeq) > seq.
+// Allocation-free once the list is built — the point-read fast path relies
+// on this.
+func (l *List) CoverSeq(ukey []byte, atSeq base.SeqNum) base.SeqNum {
+	if l == nil || len(l.raw) == 0 {
+		return 0
+	}
+	l.build()
+	// First fragment with End > ukey; it covers ukey iff Start <= ukey.
+	lo, hi := 0, len(l.frags)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(l.frags[mid].End, ukey) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(l.frags) || bytes.Compare(l.frags[lo].Start, ukey) > 0 {
+		return 0
+	}
+	for _, s := range l.frags[lo].Seqs {
+		if s <= atSeq {
+			return s
+		}
+	}
+	return 0
+}
+
+// Clipped flattens the fragments intersecting [lo, hi) into per-sequence
+// tombstones truncated to those bounds, merging adjacent equal-sequence
+// pieces back together. A nil bound is unbounded. Tombstone sequence
+// numbers at or below dropLE are omitted — the compaction elision knob:
+// when nothing below the output can hold covered keys and no snapshot can
+// see below dropLE, those tombstones have done their work.
+func (l *List) Clipped(lo, hi []byte, dropLE base.SeqNum) []Tombstone {
+	if l.Empty() {
+		return nil
+	}
+	l.build()
+	var out []Tombstone
+	// last[s] is the index in out of the most recent piece written for
+	// sequence s; a new piece that starts exactly where that one ended is
+	// the same tombstone split only by fragmentation, so extend it.
+	last := make(map[base.SeqNum]int)
+	for i := range l.frags {
+		f := &l.frags[i]
+		start, end := f.Start, f.End
+		if lo != nil && bytes.Compare(start, lo) < 0 {
+			start = lo
+		}
+		if hi != nil && bytes.Compare(hi, end) < 0 {
+			end = hi
+		}
+		if bytes.Compare(start, end) >= 0 {
+			continue
+		}
+		for _, s := range f.Seqs {
+			if s <= dropLE {
+				continue
+			}
+			if j, ok := last[s]; ok && bytes.Equal(out[j].End, start) {
+				out[j].End = end
+				continue
+			}
+			last[s] = len(out)
+			out = append(out, Tombstone{Start: start, End: end, Seq: s})
+		}
+	}
+	return out
+}
+
+// Span returns the user-key span [start, end) covered by the list, or nils
+// when empty.
+func (l *List) Span() (start, end []byte) {
+	if l.Empty() {
+		return nil, nil
+	}
+	l.build()
+	if len(l.frags) == 0 {
+		return nil, nil
+	}
+	return l.frags[0].Start, l.frags[len(l.frags)-1].End
+}

@@ -1,0 +1,208 @@
+package rangedel
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pebblesdb/internal/base"
+)
+
+func ts(start, end string, seq base.SeqNum) Tombstone {
+	return Tombstone{Start: []byte(start), End: []byte(end), Seq: seq}
+}
+
+func TestCoverSeqBasic(t *testing.T) {
+	l := NewList([]Tombstone{ts("b", "f", 10)})
+	cases := []struct {
+		key   string
+		at    base.SeqNum
+		want  base.SeqNum
+		label string
+	}{
+		{"a", 100, 0, "before start"},
+		{"b", 100, 10, "inclusive start"},
+		{"d", 100, 10, "inside"},
+		{"f", 100, 0, "exclusive end"},
+		{"z", 100, 0, "after end"},
+		{"d", 9, 0, "tombstone newer than snapshot"},
+		{"d", 10, 10, "snapshot at tombstone"},
+	}
+	for _, c := range cases {
+		if got := l.CoverSeq([]byte(c.key), c.at); got != c.want {
+			t.Errorf("%s: CoverSeq(%q,%d) = %d, want %d", c.label, c.key, c.at, got, c.want)
+		}
+	}
+}
+
+func TestCoverSeqOverlapping(t *testing.T) {
+	// Two overlapping tombstones: a snapshot between their seqs must see
+	// only the older one, so coalescing must retain both sequence numbers.
+	l := NewList([]Tombstone{ts("a", "m", 5), ts("g", "z", 20)})
+	if got := l.CoverSeq([]byte("h"), 100); got != 20 {
+		t.Fatalf("newest visible: got %d want 20", got)
+	}
+	if got := l.CoverSeq([]byte("h"), 10); got != 5 {
+		t.Fatalf("snapshot between: got %d want 5", got)
+	}
+	if got := l.CoverSeq([]byte("c"), 10); got != 5 {
+		t.Fatalf("older-only region: got %d want 5", got)
+	}
+	if got := l.CoverSeq([]byte("p"), 10); got != 0 {
+		t.Fatalf("newer-only region below its seq: got %d want 0", got)
+	}
+}
+
+func TestFragmentsCoalesce(t *testing.T) {
+	// Identical coverage across adjacent elementary intervals must merge
+	// back into a single fragment.
+	l := NewList([]Tombstone{ts("a", "g", 7), ts("c", "g", 7)})
+	frags := l.Fragments()
+	// [a,c) seqs{7}, [c,g) seqs{7} — wait: [c,g) has 7 twice, deduped to
+	// {7}, equal to [a,c)'s set, so one fragment [a,g) remains.
+	if len(frags) != 1 || string(frags[0].Start) != "a" || string(frags[0].End) != "g" {
+		t.Fatalf("fragments = %v, want single [a,g)", frags)
+	}
+	if len(frags[0].Seqs) != 1 || frags[0].Seqs[0] != 7 {
+		t.Fatalf("seqs = %v, want [7]", frags[0].Seqs)
+	}
+}
+
+func TestClipped(t *testing.T) {
+	l := NewList([]Tombstone{ts("b", "x", 9)})
+	got := l.Clipped([]byte("d"), []byte("m"), 0)
+	if len(got) != 1 || string(got[0].Start) != "d" || string(got[0].End) != "m" || got[0].Seq != 9 {
+		t.Fatalf("Clipped = %v", got)
+	}
+	if got := l.Clipped([]byte("x"), nil, 0); len(got) != 0 {
+		t.Fatalf("clip beyond end yielded %v", got)
+	}
+	if got := l.Clipped(nil, nil, 9); len(got) != 0 {
+		t.Fatalf("dropLE=9 kept %v", got)
+	}
+	// Re-merging across fragment boundaries: two overlapping tombstones
+	// fragment [a,e) into pieces, but clipping the whole span must give
+	// back maximal per-seq ranges.
+	l2 := NewList([]Tombstone{ts("a", "e", 4), ts("c", "h", 8)})
+	out := l2.Clipped(nil, nil, 0)
+	bySeq := map[base.SeqNum]string{}
+	for _, o := range out {
+		bySeq[o.Seq] += fmt.Sprintf("[%s,%s)", o.Start, o.End)
+	}
+	if bySeq[4] != "[a,e)" || bySeq[8] != "[c,h)" {
+		t.Fatalf("re-merged clip = %v", bySeq)
+	}
+}
+
+// bruteCover is the reference model: scan every tombstone.
+func bruteCover(ts []Tombstone, key []byte, at base.SeqNum) base.SeqNum {
+	var best base.SeqNum
+	for _, t := range ts {
+		if t.Seq <= at && t.Seq > best &&
+			bytes.Compare(t.Start, key) <= 0 && bytes.Compare(key, t.End) < 0 {
+			best = t.Seq
+		}
+	}
+	return best
+}
+
+// FuzzRangeDelFragmenter feeds random overlapping tombstone sets through
+// the fragmenter and checks CoverSeq and Clipped against the brute-force
+// interval model at every probe point.
+func FuzzRangeDelFragmenter(f *testing.F) {
+	f.Add(int64(1), 4)
+	f.Add(int64(42), 12)
+	f.Add(int64(7), 1)
+	f.Add(int64(99), 30)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 0 || n > 64 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		key := func() []byte { return []byte{byte('a' + rng.Intn(16))} }
+		var raw []Tombstone
+		l := &List{}
+		var inc *List // built via successive WithTombstone splices
+		for i := 0; i < n; i++ {
+			a, b := key(), key()
+			if bytes.Compare(a, b) > 0 {
+				a, b = b, a
+			}
+			tomb := Tombstone{Start: a, End: b, Seq: base.SeqNum(rng.Intn(20))}
+			l.Add(tomb)
+			inc = inc.WithTombstone(tomb)
+			if !tomb.Empty() {
+				raw = append(raw, tomb)
+			}
+		}
+		// CoverSeq vs brute force at every key and several snapshots, for
+		// both the batch-fragmented list and the incrementally spliced one
+		// (the memtable's copy-on-write path).
+		for c := byte('a'); c <= 'a'+16; c++ {
+			for _, at := range []base.SeqNum{0, 3, 7, 12, base.MaxSeqNum} {
+				want := bruteCover(raw, []byte{c}, at)
+				if got := l.CoverSeq([]byte{c}, at); got != want {
+					t.Fatalf("CoverSeq(%q,%d) = %d, want %d (raw %v)", c, at, got, want, raw)
+				}
+				if got := inc.CoverSeq([]byte{c}, at); got != want {
+					t.Fatalf("incremental CoverSeq(%q,%d) = %d, want %d (raw %v)", c, at, got, want, raw)
+				}
+			}
+		}
+		// Clipping to a random window then re-querying inside it must agree
+		// with the unclipped model; outside the window nothing survives.
+		lo, hi := key(), key()
+		if bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+		dropLE := base.SeqNum(rng.Intn(10))
+		clipped := NewList(l.Clipped(lo, hi, dropLE))
+		for c := byte('a'); c <= 'a'+16; c++ {
+			k := []byte{c}
+			got := clipped.CoverSeq(k, base.MaxSeqNum)
+			var want base.SeqNum
+			if bytes.Compare(lo, k) <= 0 && bytes.Compare(k, hi) < 0 {
+				if w := bruteCover(raw, k, base.MaxSeqNum); w > dropLE {
+					want = w
+				}
+			}
+			if got != want {
+				t.Fatalf("clip[%q,%q) dropLE=%d: CoverSeq(%q) = %d, want %d (raw %v)",
+					lo, hi, dropLE, c, got, want, raw)
+			}
+		}
+		// Fragments must be disjoint, sorted, and coalesced (no adjacent
+		// pair with identical seq sets).
+		frags := l.Fragments()
+		for i := range frags {
+			if bytes.Compare(frags[i].Start, frags[i].End) >= 0 {
+				t.Fatalf("empty fragment %v", frags[i])
+			}
+			if i > 0 {
+				if bytes.Compare(frags[i-1].End, frags[i].Start) > 0 {
+					t.Fatalf("overlapping fragments %v %v", frags[i-1], frags[i])
+				}
+				if bytes.Equal(frags[i-1].End, frags[i].Start) && seqsEqual(frags[i-1].Seqs, frags[i].Seqs) {
+					t.Fatalf("uncoalesced fragments %v %v", frags[i-1], frags[i])
+				}
+			}
+			for j := 1; j < len(frags[i].Seqs); j++ {
+				if frags[i].Seqs[j] >= frags[i].Seqs[j-1] {
+					t.Fatalf("seqs not strictly descending: %v", frags[i].Seqs)
+				}
+			}
+		}
+	})
+}
+
+// TestClippedSnapshotVisibility pins the elision knob: dropLE removes only
+// tombstones at or below the bar, and a clipped snapshot-between query
+// still sees the retained newer tombstone.
+func TestClippedSnapshotVisibility(t *testing.T) {
+	l := NewList([]Tombstone{ts("a", "m", 5), ts("a", "m", 20)})
+	kept := l.Clipped(nil, nil, 10)
+	if len(kept) != 1 || kept[0].Seq != 20 {
+		t.Fatalf("dropLE=10 kept %v, want only seq 20", kept)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"pebblesdb/internal/compress"
 	"pebblesdb/internal/crc"
 	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/vfs"
 )
 
@@ -49,11 +50,17 @@ type Reader struct {
 	f       vfs.File
 	fileNum base.FileNum
 	size    int64
-	version int // formatV1 or formatV2
+	version int // formatV1, formatV2 or formatV3
 	index   []byte
 	filter  bloom.Filter
 	blocks  *cache.Cache // shared block cache; may be nil
 	codec   *CodecStats  // shared decompression counters; may be nil
+
+	// rangeDels is the resident, pre-built tombstone list decoded from the
+	// v3 range-del block; nil for tables without tombstones. Like the index
+	// and filter it stays in memory for the Reader's lifetime, so visibility
+	// checks on the point-read path are a lock-free binary search.
+	rangeDels *rangedel.List
 
 	// refs counts users of the Reader: the table cache holds one
 	// reference, and every caller of tablecache.Find holds another until
@@ -87,8 +94,23 @@ func Open(f vfs.File, size int64, fileNum base.FileNum, blockCache *cache.Cache,
 	r := &Reader{f: f, fileNum: fileNum, size: size, blocks: blockCache, codec: codec}
 	r.refs.Store(1)
 
-	var filterH, indexH blockHandle
+	var filterH, indexH, rangeDelH blockHandle
 	switch binary.LittleEndian.Uint64(magicBuf[:]) {
+	case tableMagicV3:
+		if size < footerLenV3 {
+			return nil, fmt.Errorf("%w: v3 file too small (%d bytes)", ErrCorrupt, size)
+		}
+		var footer [footerLenV3]byte
+		if _, err := f.ReadAt(footer[:], size-footerLenV3); err != nil {
+			return nil, err
+		}
+		if v := footer[48]; v != formatV3 {
+			return nil, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, v)
+		}
+		r.version = formatV3
+		filterH = blockHandle{binary.LittleEndian.Uint64(footer[0:]), binary.LittleEndian.Uint64(footer[8:])}
+		indexH = blockHandle{binary.LittleEndian.Uint64(footer[16:]), binary.LittleEndian.Uint64(footer[24:])}
+		rangeDelH = blockHandle{binary.LittleEndian.Uint64(footer[32:]), binary.LittleEndian.Uint64(footer[40:])}
 	case tableMagicV2:
 		if size < footerLenV2 {
 			return nil, fmt.Errorf("%w: v2 file too small (%d bytes)", ErrCorrupt, size)
@@ -134,8 +156,39 @@ func Open(f vfs.File, size int64, fileNum base.FileNum, blockCache *cache.Cache,
 		}
 		r.filter = bloom.Filter(flt)
 	}
+	if rangeDelH.length > 0 {
+		payload, err := r.readBlockUncached(rangeDelH, nil)
+		if err != nil {
+			return nil, err
+		}
+		var it block.Iter
+		if err := it.Init(payload, base.InternalCompare); err != nil {
+			return nil, fmt.Errorf("%w: bad range-del block", ErrCorrupt)
+		}
+		l := &rangedel.List{}
+		for it.First(); it.Valid(); it.Next() {
+			start, seq, kind, ok := base.DecodeInternalKey(it.Key())
+			if !ok || kind != base.KindRangeDelete {
+				return nil, fmt.Errorf("%w: bad range-del entry", ErrCorrupt)
+			}
+			l.Add(rangedel.Tombstone{
+				Start: append([]byte(nil), start...),
+				End:   append([]byte(nil), it.Value()...),
+				Seq:   seq,
+			})
+		}
+		if err := it.Error(); err != nil {
+			return nil, err
+		}
+		l.Build()
+		r.rangeDels = l
+	}
 	return r, nil
 }
+
+// RangeDels returns the table's resident range-tombstone list, or nil when
+// the table has none. The list is immutable and safe for concurrent use.
+func (r *Reader) RangeDels() *rangedel.List { return r.rangeDels }
 
 // trailerLen returns the block trailer length for the table's format.
 func (r *Reader) trailerLen() uint64 {

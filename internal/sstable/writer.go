@@ -9,12 +9,19 @@
 //   - Format v1 (legacy, read-only): 4-byte block trailer holding only the
 //     crc32 of the payload, 40-byte footer ending in magicV1. Blocks are
 //     always raw.
-//   - Format v2 (written by this code): 5-byte block trailer — a 1-byte
-//     block-type tag (none/snappy) followed by the crc32 of payload+type —
-//     and a 48-byte footer carrying a format-version byte and ending in
-//     magicV2. Data blocks are compressed when the codec saves at least
-//     12.5%; filter and index blocks are always raw (they stay resident in
-//     memory, so compressing them would buy nothing after open).
+//   - Format v2 (written for tables without range tombstones): 5-byte block
+//     trailer — a 1-byte block-type tag (none/snappy) followed by the crc32
+//     of payload+type — and a 48-byte footer carrying a format-version byte
+//     and ending in magicV2. Data blocks are compressed when the codec
+//     saves at least 12.5%; filter and index blocks are always raw (they
+//     stay resident in memory, so compressing them would buy nothing after
+//     open).
+//   - Format v3 (written only when the table holds range tombstones): v2
+//     plus a dedicated range-del block (fragmented, coalesced tombstones in
+//     internal-key order; always raw, resident like the index) addressed by
+//     a third handle in a 64-byte footer ending in magicV3. Tables without
+//     tombstones keep the v2 footer, so the overwhelmingly common case is
+//     byte-identical to before.
 package sstable
 
 import (
@@ -27,18 +34,22 @@ import (
 	"pebblesdb/internal/bloom"
 	"pebblesdb/internal/compress"
 	"pebblesdb/internal/crc"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/vfs"
 )
 
 const (
 	footerLenV1 = 40
 	footerLenV2 = 48
+	footerLenV3 = 64
 
 	tableMagicV1 = 0x8773537fdb4eac2e
 	tableMagicV2 = 0xf09f95ccdb4eac2e
+	tableMagicV3 = 0xf09f97bbdb4eac2e
 
 	formatV1 = 1
 	formatV2 = 2
+	formatV3 = 3
 
 	blockTrailerLenV1 = 4 // crc32(payload)
 	blockTrailerLenV2 = 5 // type byte + crc32(payload ++ type)
@@ -126,6 +137,7 @@ type Writer struct {
 	hasPending      bool
 	cbuf            []byte // reusable compression output buffer
 	stats           CompressionStats
+	rangeDels       rangedel.List
 	err             error
 }
 
@@ -160,6 +172,14 @@ func (w *Writer) Add(ikey, value []byte) error {
 		w.err = w.finishDataBlock()
 	}
 	return w.err
+}
+
+// AddRangeDel records a range tombstone over [start, end) at seq. Unlike
+// Add, calls may arrive in any order and ranges may overlap: Finish
+// fragments and coalesces the set into the table's range-del block. The key
+// slices must stay immutable until Finish.
+func (w *Writer) AddRangeDel(start, end []byte, seq base.SeqNum) {
+	w.rangeDels.Add(rangedel.Tombstone{Start: start, End: end, Seq: seq})
 }
 
 // flushPendingIndex writes the queued index entry for the previous data
@@ -229,12 +249,20 @@ func (w *Writer) writeRawBlock(payload []byte, typ byte) (blockHandle, error) {
 	return h, nil
 }
 
-// TableInfo summarizes a finished table.
+// TableInfo summarizes a finished table. Smallest and Largest cover both
+// point entries and range tombstones; a table whose upper bound comes from
+// a tombstone's exclusive end carries a range-del sentinel key there.
 type TableInfo struct {
 	Size     uint64
 	Smallest []byte // internal key
 	Largest  []byte // internal key
-	Count    int
+	Count    int    // point entries
+	// NumRangeDels counts tombstone fragments in the range-del block;
+	// RangeDelStart/RangeDelEnd are the user-key span [start, end) they
+	// cover (nil when none). Reads use the span to skip clean tables.
+	NumRangeDels  int
+	RangeDelStart []byte
+	RangeDelEnd   []byte
 	// Compression accounts the data-block codec work for this table.
 	Compression CompressionStats
 }
@@ -248,12 +276,14 @@ func (w *Writer) EstimatedSize() uint64 {
 func (w *Writer) Count() int { return w.count }
 
 // Finish completes the table and returns its metadata. The caller owns
-// syncing and closing the file.
+// syncing and closing the file. A table may consist solely of range
+// tombstones; a table with neither points nor tombstones is an error.
 func (w *Writer) Finish() (TableInfo, error) {
 	if w.err != nil {
 		return TableInfo{}, w.err
 	}
-	if w.count == 0 {
+	frags := w.rangeDels.Fragments()
+	if w.count == 0 && len(frags) == 0 {
 		return TableInfo{}, fmt.Errorf("sstable: empty table")
 	}
 	if err := w.finishDataBlock(); err != nil {
@@ -261,9 +291,52 @@ func (w *Writer) Finish() (TableInfo, error) {
 	}
 	w.flushPendingIndex()
 
+	// Range-del block (never compressed: resident like the index). One
+	// entry per (fragment, seq), in internal-key order — fragment starts
+	// ascending, and within a start the fragment's seqs descending, which
+	// is exactly descending-trailer order.
+	var rangeDelHandle blockHandle
+	info := TableInfo{
+		Smallest: w.smallest,
+		Largest:  append([]byte(nil), w.largest...),
+		Count:    w.count,
+	}
+	if len(frags) > 0 {
+		rd := block.NewBuilder(1)
+		for _, f := range frags {
+			for _, seq := range f.Seqs {
+				rd.Add(base.MakeInternalKey(nil, f.Start, seq, base.KindRangeDelete), f.End)
+				info.NumRangeDels++
+			}
+		}
+		h, err := w.writeRawBlock(rd.Finish(), blockTypeNone)
+		if err != nil {
+			return TableInfo{}, err
+		}
+		rangeDelHandle = h
+
+		// Extend the table bounds to the tombstone span: pruning, guard
+		// assignment and compaction picking must see the covered range.
+		// Copied, not aliased: fragment keys may point into caller-owned
+		// buffers (a compaction's cut boundary is the merge iterator's
+		// reused key buffer) that are rewritten after Finish returns, and
+		// these spans outlive the compaction in FileMetadata and the
+		// manifest.
+		info.RangeDelStart = append([]byte(nil), frags[0].Start...)
+		info.RangeDelEnd = append([]byte(nil), frags[len(frags)-1].End...)
+		rdSmallest := base.MakeInternalKey(nil, info.RangeDelStart, frags[0].Seqs[0], base.KindRangeDelete)
+		if info.Smallest == nil || base.InternalCompare(rdSmallest, info.Smallest) < 0 {
+			info.Smallest = rdSmallest
+		}
+		rdLargest := base.MakeRangeDelSentinelKey(nil, info.RangeDelEnd)
+		if info.Largest == nil || base.InternalCompare(rdLargest, info.Largest) > 0 {
+			info.Largest = rdLargest
+		}
+	}
+
 	// Filter block (never compressed: resident for the Reader's lifetime).
 	var filterHandle blockHandle
-	if w.opts.BloomBitsPerKey > 0 {
+	if w.opts.BloomBitsPerKey > 0 && len(w.userKeys) > 0 {
 		f := bloom.Build(w.userKeys, w.opts.BloomBitsPerKey)
 		h, err := w.writeRawBlock(f, blockTypeNone)
 		if err != nil {
@@ -272,30 +345,44 @@ func (w *Writer) Finish() (TableInfo, error) {
 		filterHandle = h
 	}
 
-	// Index block (never compressed, same reason).
+	// Index block (never compressed, same reason). A tombstone-only table
+	// still writes its (empty) index so the reader's open path is uniform.
 	indexHandle, err := w.writeRawBlock(w.index.Finish(), blockTypeNone)
 	if err != nil {
 		return TableInfo{}, err
 	}
 
-	// Footer: handles, format version, magic.
-	var footer [footerLenV2]byte
-	binary.LittleEndian.PutUint64(footer[0:], filterHandle.offset)
-	binary.LittleEndian.PutUint64(footer[8:], filterHandle.length)
-	binary.LittleEndian.PutUint64(footer[16:], indexHandle.offset)
-	binary.LittleEndian.PutUint64(footer[24:], indexHandle.length)
-	footer[32] = formatV2
-	binary.LittleEndian.PutUint64(footer[40:], tableMagicV2)
-	if _, err := w.f.Write(footer[:]); err != nil {
-		return TableInfo{}, err
+	// Footer: handles, format version, magic. Tables without tombstones
+	// keep the v2 footer so existing tables and tools see no change.
+	if len(frags) == 0 {
+		var footer [footerLenV2]byte
+		binary.LittleEndian.PutUint64(footer[0:], filterHandle.offset)
+		binary.LittleEndian.PutUint64(footer[8:], filterHandle.length)
+		binary.LittleEndian.PutUint64(footer[16:], indexHandle.offset)
+		binary.LittleEndian.PutUint64(footer[24:], indexHandle.length)
+		footer[32] = formatV2
+		binary.LittleEndian.PutUint64(footer[40:], tableMagicV2)
+		if _, err := w.f.Write(footer[:]); err != nil {
+			return TableInfo{}, err
+		}
+		w.offset += footerLenV2
+	} else {
+		var footer [footerLenV3]byte
+		binary.LittleEndian.PutUint64(footer[0:], filterHandle.offset)
+		binary.LittleEndian.PutUint64(footer[8:], filterHandle.length)
+		binary.LittleEndian.PutUint64(footer[16:], indexHandle.offset)
+		binary.LittleEndian.PutUint64(footer[24:], indexHandle.length)
+		binary.LittleEndian.PutUint64(footer[32:], rangeDelHandle.offset)
+		binary.LittleEndian.PutUint64(footer[40:], rangeDelHandle.length)
+		footer[48] = formatV3
+		binary.LittleEndian.PutUint64(footer[56:], tableMagicV3)
+		if _, err := w.f.Write(footer[:]); err != nil {
+			return TableInfo{}, err
+		}
+		w.offset += footerLenV3
 	}
-	w.offset += footerLenV2
 
-	return TableInfo{
-		Size:        w.offset,
-		Smallest:    w.smallest,
-		Largest:     append([]byte(nil), w.largest...),
-		Count:       w.count,
-		Compression: w.stats,
-	}, nil
+	info.Size = w.offset
+	info.Compression = w.stats
+	return info, nil
 }

@@ -9,6 +9,7 @@ package treebase
 import (
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/rangedel"
 )
 
 // Host is the engine-side contract the trees depend on: snapshot
@@ -30,11 +31,17 @@ type Host interface {
 //     snapshot are dropped ("keys marked for deletion are garbage collected
 //     during compaction", §4.3);
 //   - deletion tombstones are elided when compacting into the last level,
-//     where nothing older can hide beneath them.
+//     where nothing older can hide beneath them;
+//   - point entries covered by an input range tombstone that every live
+//     snapshot can see (tombstone seq <= smallest snapshot, entry seq below
+//     the tombstone's) are dropped at any level: the covering tombstone
+//     either travels to the output with them or the output is the last
+//     level, so no reader can lose the deletion.
 type CompactionIter struct {
 	in               iterator.Iterator
 	smallestSnapshot base.SeqNum
 	elideTombstones  bool
+	rangeDels        *rangedel.List // may be nil
 
 	curUkey     []byte
 	seenBelowSS bool // emitted (or elided) the newest <= snapshot version of curUkey
@@ -45,8 +52,13 @@ type CompactionIter struct {
 }
 
 // NewCompactionIter wraps in (which must yield internal keys in order).
-func NewCompactionIter(in iterator.Iterator, smallestSnapshot base.SeqNum, elideTombstones bool) *CompactionIter {
-	return &CompactionIter{in: in, smallestSnapshot: smallestSnapshot, elideTombstones: elideTombstones}
+// rangeDels, when non-nil, holds the compaction inputs' range tombstones
+// and enables covered-point elision.
+func NewCompactionIter(in iterator.Iterator, smallestSnapshot base.SeqNum, elideTombstones bool, rangeDels *rangedel.List) *CompactionIter {
+	if rangeDels.Empty() {
+		rangeDels = nil
+	}
+	return &CompactionIter{in: in, smallestSnapshot: smallestSnapshot, elideTombstones: elideTombstones, rangeDels: rangeDels}
 }
 
 // First positions at the first surviving entry.
@@ -89,6 +101,13 @@ func (c *CompactionIter) findNext() {
 				// The tombstone is the newest visible version and nothing
 				// can live below the output level: drop it and everything
 				// older.
+				c.in.Next()
+				continue
+			}
+			if c.rangeDels != nil && c.rangeDels.CoverSeq(ukey, c.smallestSnapshot) > seq {
+				// Covered by a range tombstone no snapshot can miss: every
+				// reader that could see this version sees the deletion
+				// instead. Older versions are shadowed via seenBelowSS.
 				c.in.Next()
 				continue
 			}

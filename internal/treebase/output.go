@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 
 	"pebblesdb/internal/base"
+	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/sstable"
 	"pebblesdb/internal/vfs"
 )
@@ -75,6 +76,29 @@ func (o *OutputBuilder) open() error {
 	return nil
 }
 
+// AddRangeDels attaches range tombstones to the current table, opening one
+// if needed. The caller has already fragmented and truncated them to the
+// table's intended bounds (guard partition interval or leveled cut
+// boundaries); the writer coalesces them into the table's range-del block
+// at Cut. A table may hold tombstones and no points.
+func (o *OutputBuilder) AddRangeDels(ts []rangedel.Tombstone) error {
+	if o.err != nil {
+		return o.err
+	}
+	if len(ts) == 0 {
+		return nil
+	}
+	if o.cur == nil {
+		if err := o.open(); err != nil {
+			return err
+		}
+	}
+	for _, t := range ts {
+		o.cur.AddRangeDel(t.Start, t.End, t.Seq)
+	}
+	return nil
+}
+
 // HasOpen reports whether a table is currently being written.
 func (o *OutputBuilder) HasOpen() bool { return o.cur != nil }
 
@@ -107,10 +131,13 @@ func (o *OutputBuilder) Cut() error {
 		return o.setErr(err)
 	}
 	o.metas = append(o.metas, &base.FileMetadata{
-		FileNum:  o.curFn,
-		Size:     info.Size,
-		Smallest: info.Smallest,
-		Largest:  info.Largest,
+		FileNum:       o.curFn,
+		Size:          info.Size,
+		Smallest:      info.Smallest,
+		Largest:       info.Largest,
+		NumRangeDels:  info.NumRangeDels,
+		RangeDelStart: info.RangeDelStart,
+		RangeDelEnd:   info.RangeDelEnd,
 	})
 	o.stats.Merge(info.Compression)
 	o.cur, o.curFile = nil, nil

@@ -79,7 +79,7 @@ func collect(t *testing.T, ci *CompactionIter) []string {
 
 func TestCompactionIterDropsShadowedVersions(t *testing.T) {
 	in := makeInput([]string{"a/5/s", "a/3/s", "a/1/s", "b/2/s"})
-	ci := NewCompactionIter(in, base.MaxSeqNum, false)
+	ci := NewCompactionIter(in, base.MaxSeqNum, false, nil)
 	got := collect(t, ci)
 	// Newest of 'a' survives, older shadowed versions die.
 	want := []string{"a/5/SET", "b/2/SET"}
@@ -92,7 +92,7 @@ func TestCompactionIterRespectsSnapshots(t *testing.T) {
 	in := makeInput([]string{"a/9/s", "a/5/s", "a/2/s"})
 	// A snapshot at 5 requires keeping a@9 (latest) and a@5 (newest <= 5);
 	// a@2 is shadowed for every possible reader.
-	ci := NewCompactionIter(in, 5, false)
+	ci := NewCompactionIter(in, 5, false, nil)
 	got := collect(t, ci)
 	want := []string{"a/9/SET", "a/5/SET"}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
@@ -103,7 +103,7 @@ func TestCompactionIterRespectsSnapshots(t *testing.T) {
 func TestCompactionIterTombstoneElision(t *testing.T) {
 	in := makeInput([]string{"a/5/d", "a/3/s", "b/2/s"})
 	// Without elision the tombstone is kept (data below could exist).
-	ci := NewCompactionIter(in, base.MaxSeqNum, false)
+	ci := NewCompactionIter(in, base.MaxSeqNum, false, nil)
 	got := collect(t, ci)
 	want := []string{"a/5/DEL", "b/2/SET"}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
@@ -112,7 +112,7 @@ func TestCompactionIterTombstoneElision(t *testing.T) {
 
 	// With elision (last level) the tombstone and everything under it die.
 	in2 := makeInput([]string{"a/5/d", "a/3/s", "b/2/s"})
-	ci2 := NewCompactionIter(in2, base.MaxSeqNum, true)
+	ci2 := NewCompactionIter(in2, base.MaxSeqNum, true, nil)
 	got2 := collect(t, ci2)
 	want2 := []string{"b/2/SET"}
 	if fmt.Sprint(got2) != fmt.Sprint(want2) {
@@ -125,7 +125,7 @@ func TestCompactionIterTombstoneAboveSnapshotKept(t *testing.T) {
 	// the last level: snapshot readers still need the value under it, and
 	// non-snapshot readers need the tombstone.
 	in := makeInput([]string{"a/9/d", "a/5/s"})
-	ci := NewCompactionIter(in, 5, true)
+	ci := NewCompactionIter(in, 5, true, nil)
 	got := collect(t, ci)
 	want := []string{"a/9/DEL", "a/5/SET"}
 	if fmt.Sprint(got) != fmt.Sprint(want) {

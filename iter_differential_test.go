@@ -8,13 +8,15 @@ import (
 )
 
 // TestIterDifferentialFLSMvsLeveled drives the same randomized
-// Put/Delete/flush/compact sequence through the FLSM engine and the
-// leveled engine, and asserts that forward, reverse and bounded iteration
-// return byte-identical results on both — and that both match an
+// Put/Delete/DeleteRange/flush/compact sequence through the FLSM engine
+// and the leveled engine, and asserts that forward, reverse and bounded
+// iteration return byte-identical results on both — and that both match an
 // in-memory model. This is the v2 iterator contract's acceptance test: the
 // two engines produce their streams through completely different iterator
-// stacks (guard merges vs. level concatenation), so agreement here pins
-// the whole contract.
+// stacks (guard merges vs. level concatenation) and carry range tombstones
+// through completely different compaction shapes (guard partitioning vs.
+// size-based cuts), so agreement here pins the whole contract — including
+// tombstone visibility under reverse and bounded iteration.
 func TestIterDifferentialFLSMvsLeveled(t *testing.T) {
 	flsm, err := Open("diff-flsm", testOptions(PresetPebblesDB))
 	if err != nil {
@@ -136,6 +138,23 @@ func TestIterDifferentialFLSMvsLeveled(t *testing.T) {
 			delete(model, k)
 			for _, db := range dbs {
 				if err := db.Delete([]byte(k)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 8:
+			if rng.Intn(4) != 0 {
+				break // keep range deletes rarer than point ops
+			}
+			lo := rng.Intn(4000)
+			span := 1 + rng.Intn(60)
+			if rng.Intn(16) == 0 {
+				span = 400 + rng.Intn(1200) // wide sweep across many guards
+			}
+			start := fmt.Sprintf("key%05d", lo)
+			end := fmt.Sprintf("key%05d", lo+span)
+			eraseRange(model, start, end)
+			for _, db := range dbs {
+				if err := db.DeleteRange([]byte(start), []byte(end)); err != nil {
 					t.Fatal(err)
 				}
 			}

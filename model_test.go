@@ -11,10 +11,22 @@ import (
 	"pebblesdb/internal/vfs"
 )
 
+// eraseRange removes every model key in [lo, hi) — the model analogue of
+// DeleteRange (a sorted map with interval erase, here a plain map walk).
+func eraseRange(model map[string]string, lo, hi string) {
+	for k := range model {
+		if k >= lo && k < hi {
+			delete(model, k)
+		}
+	}
+}
+
 // TestModelEquivalence applies a long random operation sequence to the
 // store and an in-memory model, checking gets, scans and snapshot reads
 // agree at every step boundary. This is the main end-to-end correctness
-// property for both engines.
+// property for both engines. DeleteRange participates alongside point
+// writes, so range tombstones are exercised against the memtable, flushed
+// tables and every compaction shape the sequence produces.
 func TestModelEquivalence(t *testing.T) {
 	for _, preset := range []Preset{PresetPebblesDB, PresetHyperLevelDB, PresetPebblesDB1} {
 		preset := preset
@@ -66,7 +78,21 @@ func TestModelEquivalence(t *testing.T) {
 			const ops = 30000
 			for i := 0; i < ops; i++ {
 				k := fmt.Sprintf("key%05d", rng.Intn(4000))
-				switch rng.Intn(10) {
+				switch rng.Intn(11) {
+				case 10:
+					// Range deletion: small windows often, an occasional
+					// wide sweep spanning many guards.
+					lo := rng.Intn(4000)
+					span := 1 + rng.Intn(40)
+					if rng.Intn(20) == 0 {
+						span = 500 + rng.Intn(1500)
+					}
+					start := fmt.Sprintf("key%05d", lo)
+					end := fmt.Sprintf("key%05d", lo+span)
+					eraseRange(model, start, end)
+					if err := db.DeleteRange([]byte(start), []byte(end)); err != nil {
+						t.Fatal(err)
+					}
 				case 0, 1, 2, 3:
 					v := fmt.Sprintf("val%d", i)
 					model[k] = v
@@ -79,15 +105,24 @@ func TestModelEquivalence(t *testing.T) {
 						t.Fatal(err)
 					}
 				case 6:
-					// Batched multi-op.
+					// Batched multi-op, occasionally mixing a DeleteRange
+					// between point writes so intra-batch sequencing (a set
+					// after the range-delete survives it) is exercised.
 					b := db.NewBatch()
 					for j := 0; j < 5; j++ {
 						kk := fmt.Sprintf("key%05d", rng.Intn(4000))
-						if rng.Intn(2) == 0 {
+						switch {
+						case rng.Intn(10) == 0:
+							lo := rng.Intn(4000)
+							start := fmt.Sprintf("key%05d", lo)
+							end := fmt.Sprintf("key%05d", lo+1+rng.Intn(30))
+							eraseRange(model, start, end)
+							b.DeleteRange([]byte(start), []byte(end))
+						case rng.Intn(2) == 0:
 							v := fmt.Sprintf("bval%d-%d", i, j)
 							model[kk] = v
 							b.Set([]byte(kk), []byte(v))
-						} else {
+						default:
 							delete(model, kk)
 							b.Delete([]byte(kk))
 						}
@@ -137,6 +172,92 @@ func TestModelEquivalence(t *testing.T) {
 			for _, s := range snaps {
 				s.snap.Close()
 			}
+		})
+	}
+}
+
+// TestRangeDelSurvivesOutputCuts pins a compaction regression: a tombstone
+// spanning many size-cut output tables must keep covering every key in
+// every output while a snapshot forces the covered points to be retained.
+// (The original bug: the leveled compaction reused its cut-boundary buffer
+// while the sstable writer still aliased it as clipped tombstone starts,
+// so middle output tables silently lost coverage between the previous
+// boundary and their first key and the retained points resurrected.)
+func TestRangeDelSurvivesOutputCuts(t *testing.T) {
+	for _, preset := range []Preset{PresetHyperLevelDB, PresetPebblesDB} {
+		t.Run(preset.String(), func(t *testing.T) {
+			o := testOptions(preset)
+			// Large memtable so flushes happen only on demand, small
+			// target files so one compaction cuts many outputs inside the
+			// tombstone's span.
+			o.MemtableSize = 1 << 20
+			db, err := Open("cuts", o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			val := make([]byte, 300)
+			// Three L0 tables of points.
+			for j := 0; j < 3; j++ {
+				for i := j * 2000; i < (j+1)*2000; i++ {
+					if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), val); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := db.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The snapshot pins every covered point through the coming
+			// compactions, so only the tombstones mask them.
+			snap := db.NewSnapshot()
+			defer snap.Close()
+			// A wide tombstone, flushed as the L0 table that trips the
+			// compaction trigger: the compaction merges it with the point
+			// tables and must clip it to every size-cut output.
+			if err := db.DeleteRange([]byte("k00010"), []byte("k05900")); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.WaitIdle(); err != nil {
+				t.Fatal(err)
+			}
+			check := func(stage string) {
+				t.Helper()
+				for i := 0; i < 6000; i++ {
+					k := fmt.Sprintf("k%05d", i)
+					_, ok, err := db.Get([]byte(k), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := i < 10 || i >= 5900
+					if ok != want {
+						t.Fatalf("%s: get %s ok=%v want %v", stage, k, ok, want)
+					}
+					if _, sok, _ := db.GetAt([]byte(k), snap); !sok {
+						t.Fatalf("%s: snapshot lost %s", stage, k)
+					}
+				}
+				it, err := db.NewIter(nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer it.Close()
+				n := 0
+				for it.First(); it.Valid(); it.Next() {
+					n++
+				}
+				if n != 110 {
+					t.Fatalf("%s: scan found %d live keys, want 110", stage, n)
+				}
+			}
+			check("after L0 compaction")
+			if err := db.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+			check("fully compacted")
 		})
 	}
 }
