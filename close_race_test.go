@@ -1,0 +1,131 @@
+package pebblesdb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pebblesdb/internal/engine"
+)
+
+// isClosedErr accepts either the public or the engine-level closed error:
+// an operation that raced past DB.closed fails inside the engine instead.
+func isClosedErr(err error) bool {
+	return errors.Is(err, ErrClosed) || errors.Is(err, engine.ErrClosed)
+}
+
+// TestCloseRacesInFlightOps drives Gets, iterators and commits from many
+// goroutines while Close fires mid-traffic — the exact shape of a server
+// draining connections on shutdown. Every operation must either succeed or
+// fail with a closed error; in-flight reads drain against a live tree
+// (Close blocks on them), and nothing may panic or race (run under -race
+// in CI's short suite).
+func TestCloseRacesInFlightOps(t *testing.T) {
+	rounds := 8
+	if testing.Short() {
+		rounds = 3
+	}
+	for round := 0; round < rounds; round++ {
+		for _, p := range []Preset{PresetPebblesDB, PresetHyperLevelDB} {
+			t.Run(fmt.Sprintf("round%d/%s", round, p), func(t *testing.T) {
+				db, err := Open("db", testOptions(p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				const keySpace = 4000
+				for i := 0; i < keySpace; i++ {
+					if err := db.Put([]byte(fmt.Sprintf("key%06d", i)), []byte(fmt.Sprintf("val%06d", i))); err != nil {
+						t.Fatal(err)
+					}
+				}
+
+				var stop atomic.Bool
+				var wg sync.WaitGroup
+				fail := make(chan error, 64)
+				check := func(err error) {
+					if err != nil && !isClosedErr(err) {
+						select {
+						case fail <- err:
+						default:
+						}
+					}
+				}
+
+				// Point readers.
+				for g := 0; g < 4; g++ {
+					wg.Add(1)
+					go func(seed int64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed))
+						buf := make([]byte, 0, 64)
+						for !stop.Load() {
+							_, _, err := db.GetTo([]byte(fmt.Sprintf("key%06d", rng.Intn(keySpace))), buf, nil)
+							check(err)
+						}
+					}(int64(round*100 + g))
+				}
+				// Short scans, each owning its iterator open/close.
+				for g := 0; g < 3; g++ {
+					wg.Add(1)
+					go func(seed int64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed))
+						for !stop.Load() {
+							it, err := db.NewIter(nil)
+							if err != nil {
+								check(err)
+								continue
+							}
+							it.SeekGE([]byte(fmt.Sprintf("key%06d", rng.Intn(keySpace))))
+							for j := 0; j < 10 && it.Valid(); j++ {
+								it.Next()
+							}
+							check(it.Close())
+						}
+					}(int64(round*100 + 10 + g))
+				}
+				// Committers: plain Puts, batches, and DeleteRanges.
+				for g := 0; g < 3; g++ {
+					wg.Add(1)
+					go func(seed int64) {
+						defer wg.Done()
+						rng := rand.New(rand.NewSource(seed))
+						for !stop.Load() {
+							switch rng.Intn(3) {
+							case 0:
+								check(db.Put([]byte(fmt.Sprintf("key%06d", rng.Intn(keySpace))), []byte("x")))
+							case 1:
+								b := db.NewBatch()
+								for j := 0; j < 8; j++ {
+									b.Set([]byte(fmt.Sprintf("key%06d", rng.Intn(keySpace))), []byte("y"))
+								}
+								check(db.Apply(b, nil))
+							case 2:
+								lo := rng.Intn(keySpace)
+								check(db.DeleteRange([]byte(fmt.Sprintf("key%06d", lo)), []byte(fmt.Sprintf("key%06d", lo+3))))
+							}
+						}
+					}(int64(round*100 + 20 + g))
+				}
+
+				time.Sleep(5 * time.Millisecond)
+				if err := db.Close(); err != nil {
+					t.Errorf("close: %v", err)
+				}
+				stop.Store(true)
+				wg.Wait()
+				close(fail)
+				for err := range fail {
+					t.Errorf("op failed with non-closed error: %v", err)
+				}
+				if err := db.Close(); !isClosedErr(err) {
+					t.Errorf("second close: got %v, want closed error", err)
+				}
+			})
+		}
+	}
+}

@@ -35,6 +35,7 @@ var (
 	compact     = flag.Bool("compact_before_reads", true, "fully compact before read/seek workloads")
 	seed        = flag.Int64("seed", 1, "workload RNG seed")
 	compression = flag.String("compression", "snappy", "sstable block compression: none, snappy (values are ~50% compressible, like LevelDB db_bench)")
+	tuned       = flag.String("tuned", "", "apply Options.Tuned with this memory target (e.g. 1GiB) after the preset and -store_scale; empty = off")
 	jsonPath    = flag.String("json", "", "write a machine-readable result file to this path (perf trajectory tracking; see BENCH_pr4.json)")
 
 	// Retention workload shape: -num sequential puts arrive in windows of
@@ -164,6 +165,14 @@ func main() {
 		os.Exit(2)
 	}
 	harness.Scale(opts, *storeScale)
+	if *tuned != "" {
+		memBytes, err := harness.ParseBytes(*tuned)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -tuned: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Tuned(memBytes)
+	}
 
 	var db *pebblesdb.DB
 	var err error

@@ -1,0 +1,359 @@
+// Command dbloadgen drives a dbserver over the wire: N concurrent
+// connections, a configurable read/write/scan mix, per-tenant key
+// prefixes, and pipelined requests. It reports ops/s and log-histogram
+// latency percentiles per operation class, machine-readably with -json.
+// An optional tenant teardown phase drops whole tenants with one
+// DeleteRange frame each and verifies the keys are gone.
+//
+// Example:
+//
+//	dbloadgen -addr=127.0.0.1:6380 -conns=64 -ops=1000000 \
+//	          -read_pct=70 -scan_pct=5 -tenants=16 -drop_tenants=2 -json=out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"pebblesdb/internal/harness"
+	"pebblesdb/internal/server"
+)
+
+var (
+	addr      = flag.String("addr", "127.0.0.1:6380", "dbserver address")
+	conns     = flag.Int("conns", 64, "concurrent client connections")
+	ops       = flag.Int("ops", 1_000_000, "total operations across all connections")
+	valueSize = flag.Int("value_size", 1024, "value size in bytes (~50% compressible)")
+	readPct   = flag.Int("read_pct", 50, "percent of ops that are Gets")
+	scanPct   = flag.Int("scan_pct", 0, "percent of ops that are Scans (rest after reads+scans are Puts)")
+	scanLimit = flag.Int("scan_limit", 10, "pairs per Scan")
+	tenants   = flag.Int("tenants", 16, "tenant key prefixes; every key is tenant<t>/key<n>")
+	keys      = flag.Int("keys", 1_000_000, "keyspace size per tenant")
+	window    = flag.Int("window", 32, "pipelined requests in flight per connection (1 = strict request/response)")
+	sync_     = flag.Bool("sync", false, "request durable (fsynced) writes")
+	dropN     = flag.Int("drop_tenants", 0, "after the run, drop this many tenants via DeleteRange and verify emptiness")
+	seed      = flag.Int64("seed", 1, "workload RNG seed")
+	jsonPath  = flag.String("json", "", "write a machine-readable result file to this path")
+)
+
+type jsonLatency struct {
+	Ops        int64   `json:"ops"`
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+	P999Micros float64 `json:"p999_us"`
+	MaxMicros  float64 `json:"max_us"`
+}
+
+type jsonReport struct {
+	Addr       string `json:"addr"`
+	Conns      int    `json:"conns"`
+	Window     int    `json:"window"`
+	Ops        int64  `json:"ops"`
+	ValueSize  int    `json:"value_size"`
+	ReadPct    int    `json:"read_pct"`
+	ScanPct    int    `json:"scan_pct"`
+	Tenants    int    `json:"tenants"`
+	Sync       bool   `json:"sync"`
+	Seed       int64  `json:"seed"`
+	GoVersion  string `json:"go_version"`
+	DurationNS int64  `json:"duration_ns"`
+
+	KOpsPerSec float64      `json:"kops_per_sec"`
+	Reads      *jsonLatency `json:"reads,omitempty"`
+	Writes     *jsonLatency `json:"writes,omitempty"`
+	Scans      *jsonLatency `json:"scans,omitempty"`
+	NotFound   int64        `json:"not_found"`
+	Errors     int64        `json:"errors"`
+
+	DroppedTenants   int     `json:"dropped_tenants,omitempty"`
+	DropMillis       float64 `json:"drop_ms,omitempty"`
+	SurvivorsScanned int     `json:"survivors_scanned,omitempty"`
+
+	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+}
+
+func latencyJSON(rec *harness.LatencyRecorder) *jsonLatency {
+	if rec == nil || rec.Count() == 0 {
+		return nil
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return &jsonLatency{
+		Ops:        rec.Count(),
+		MeanMicros: us(rec.Mean()),
+		P50Micros:  us(rec.Percentile(0.50)),
+		P90Micros:  us(rec.Percentile(0.90)),
+		P99Micros:  us(rec.Percentile(0.99)),
+		P999Micros: us(rec.Percentile(0.999)),
+		MaxMicros:  us(rec.Max()),
+	}
+}
+
+// opKind tags an in-flight request so its response lands in the right
+// recorder. Responses arrive in send order, so a FIFO of (kind, start
+// time) per connection matches each response to its request.
+type opKind byte
+
+const (
+	kindWrite opKind = iota
+	kindRead
+	kindScan
+)
+
+type inflight struct {
+	kind  opKind
+	start time.Time
+}
+
+type counters struct {
+	notFound int64
+	errors   int64
+}
+
+// worker drives one connection: keep up to `window` requests in flight,
+// record each response's latency against its send time. The pipelining is
+// what lets one connection hold a run of writes for the server's
+// accumulator to batch.
+func worker(th, perConn int, readCut, scanCut float64, reads, writes, scans *harness.LatencyRecorder, ctr *counters) error {
+	c, err := server.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(*seed + int64(th)*7919))
+	vals := harness.NewValueSource(*valueSize, harness.CompressibleFraction, *seed+int64(th))
+	var flags byte
+	if *sync_ {
+		flags = server.FlagSync
+	}
+	fifo := make([]inflight, 0, *window)
+	key := make([]byte, 0, 64)
+
+	recvOne := func() error {
+		resp, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		f := fifo[0]
+		fifo = fifo[:copy(fifo, fifo[1:])]
+		d := time.Since(f.start)
+		switch f.kind {
+		case kindRead:
+			reads.Record(d)
+			if resp.Status == server.StatusNotFound {
+				ctr.notFound++
+			}
+		case kindScan:
+			scans.Record(d)
+		default:
+			writes.Record(d)
+		}
+		if resp.Status == server.StatusErr {
+			ctr.errors++
+		}
+		return nil
+	}
+
+	for sent := 0; sent < perConn || len(fifo) > 0; {
+		for sent < perConn && len(fifo) < *window {
+			ten := rng.Intn(*tenants)
+			n := rng.Intn(*keys)
+			key = fmt.Appendf(key[:0], "tenant%04d/key%09d", ten, n)
+			r := rng.Float64()
+			var kind opKind
+			var err error
+			switch {
+			case r < readCut:
+				kind = kindRead
+				err = c.SendGet(key)
+			case r < readCut+scanCut:
+				kind = kindScan
+				end := fmt.Appendf(nil, "tenant%04d/key%09d", ten, n+*scanLimit*2)
+				err = c.SendScan(key, end, uint32(*scanLimit))
+			default:
+				kind = kindWrite
+				err = c.SendPut(key, vals.Next(), flags)
+			}
+			if err != nil {
+				return err
+			}
+			fifo = append(fifo, inflight{kind, time.Now()})
+			sent++
+		}
+		if err := c.Flush(); err != nil {
+			return err
+		}
+		// Drain the whole window before refilling: burst pipelining. With
+		// -window=1 this degenerates to request/response ping-pong.
+		for len(fifo) > 0 {
+			if err := recvOne(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dropTenants deletes n whole tenants, one DeleteRange frame each (the
+// server broadcasts it as one O(1) range tombstone per shard), then
+// verifies over the wire that no key survived anywhere.
+func dropTenants(n int) (time.Duration, int, error) {
+	c, err := server.Dial(*addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	start := time.Now()
+	for t := 0; t < n; t++ {
+		lo := fmt.Appendf(nil, "tenant%04d/", t)
+		hi := fmt.Appendf(nil, "tenant%04d0", t) // '0' sorts right after '/'
+		if err := c.DeleteRange(lo, hi, 0); err != nil {
+			return 0, 0, fmt.Errorf("drop tenant %d: %w", t, err)
+		}
+	}
+	elapsed := time.Since(start)
+	for t := 0; t < n; t++ {
+		lo := fmt.Appendf(nil, "tenant%04d/", t)
+		hi := fmt.Appendf(nil, "tenant%04d0", t)
+		pairs, err := c.Scan(lo, hi, 100)
+		if err != nil {
+			return 0, 0, fmt.Errorf("verify tenant %d: %w", t, err)
+		}
+		if len(pairs) > 0 {
+			return 0, 0, fmt.Errorf("tenant %d: %d keys survived DeleteRange", t, len(pairs))
+		}
+	}
+	// A survivor tenant must still answer, or the drop proved the wrong
+	// thing.
+	survivors := 0
+	if n < *tenants {
+		lo := fmt.Appendf(nil, "tenant%04d/", n)
+		hi := fmt.Appendf(nil, "tenant%04d0", n)
+		pairs, err := c.Scan(lo, hi, 100)
+		if err != nil {
+			return 0, 0, err
+		}
+		survivors = len(pairs)
+	}
+	return elapsed, survivors, nil
+}
+
+func main() {
+	flag.Parse()
+	if *readPct+*scanPct > 100 {
+		fmt.Fprintln(os.Stderr, "-read_pct + -scan_pct must be <= 100")
+		os.Exit(2)
+	}
+	if *conns < 1 || *window < 1 || *tenants < 1 {
+		fmt.Fprintln(os.Stderr, "-conns, -window and -tenants must be >= 1")
+		os.Exit(2)
+	}
+	readCut := float64(*readPct) / 100
+	scanCut := float64(*scanPct) / 100
+
+	var reads, writes, scans harness.LatencyRecorder
+	perConn := *ops / *conns
+	ctrs := make([]counters, *conns)
+	errs := make([]error, *conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for th := 0; th < *conns; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			errs[th] = worker(th, perConn, readCut, scanCut, &reads, &writes, &scans, &ctrs[th])
+		}(th)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	total := reads.Count() + writes.Count() + scans.Count()
+	rep := jsonReport{
+		Addr:       *addr,
+		Conns:      *conns,
+		Window:     *window,
+		Ops:        total,
+		ValueSize:  *valueSize,
+		ReadPct:    *readPct,
+		ScanPct:    *scanPct,
+		Tenants:    *tenants,
+		Sync:       *sync_,
+		Seed:       *seed,
+		GoVersion:  runtime.Version(),
+		DurationNS: elapsed.Nanoseconds(),
+		KOpsPerSec: float64(total) / elapsed.Seconds() / 1e3,
+		Reads:      latencyJSON(&reads),
+		Writes:     latencyJSON(&writes),
+		Scans:      latencyJSON(&scans),
+	}
+	for _, c := range ctrs {
+		rep.NotFound += c.notFound
+		rep.Errors += c.errors
+	}
+
+	if *dropN > 0 {
+		d, survivors, err := dropTenants(*dropN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tenant drop: %v\n", err)
+			os.Exit(1)
+		}
+		rep.DroppedTenants = *dropN
+		rep.DropMillis = float64(d.Nanoseconds()) / 1e6
+		rep.SurvivorsScanned = survivors
+	}
+
+	if c, err := server.Dial(*addr); err == nil {
+		if raw, err := c.Stats(); err == nil {
+			rep.ServerStats = json.RawMessage(append([]byte(nil), raw...))
+		}
+		c.Close()
+	}
+
+	fmt.Printf("dbloadgen: %d ops over %d conns (window %d) in %.2fs = %.1f KOps/s\n",
+		total, *conns, *window, elapsed.Seconds(), rep.KOpsPerSec)
+	class := func(name string, l *jsonLatency) {
+		if l == nil {
+			return
+		}
+		fmt.Printf("  %-6s %9d ops  mean %7.1fus  p50 %7.1fus  p99 %8.1fus  p999 %8.1fus\n",
+			name, l.Ops, l.MeanMicros, l.P50Micros, l.P99Micros, l.P999Micros)
+	}
+	class("reads", rep.Reads)
+	class("writes", rep.Writes)
+	class("scans", rep.Scans)
+	if rep.NotFound > 0 {
+		fmt.Printf("  not-found reads: %d\n", rep.NotFound)
+	}
+	if rep.Errors > 0 {
+		fmt.Printf("  ERROR responses: %d\n", rep.Errors)
+	}
+	if rep.DroppedTenants > 0 {
+		fmt.Printf("  dropped %d tenants in %.1fms (verified empty; survivor scan saw %d keys)\n",
+			rep.DroppedTenants, rep.DropMillis, rep.SurvivorsScanned)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write -json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

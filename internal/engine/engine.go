@@ -369,6 +369,13 @@ func (e *Engine) cleanup() {
 	e.cleanupPending.Store(false)
 
 	e.mu.Lock()
+	if e.closed {
+		// The tree (and its caches) are gone or going; leftover obsolete
+		// files are swept by the next Open. Late releaseOp callers land
+		// here.
+		e.mu.Unlock()
+		return
+	}
 	obsolete := e.obsolete
 	e.obsolete = nil
 	curWAL := e.walNum
@@ -563,7 +570,11 @@ func (e *Engine) Dump(w io.Writer) { e.tree.Dump(w) }
 func (e *Engine) Tree() Tree { return e.tree }
 
 // Close flushes nothing (the WAL preserves the memtable), waits for
-// background work, and releases resources.
+// background work and in-flight reads, and releases resources. Gets and
+// iterators that raced past the closed check drain before the tree shuts
+// down: an open iterator therefore blocks Close until it is closed, which
+// is the contract a serving shutdown wants — drain connections (closing
+// their iterators), then close the store.
 func (e *Engine) Close() error {
 	e.commitMu.Lock()
 	defer e.commitMu.Unlock()
@@ -583,6 +594,13 @@ func (e *Engine) Close() error {
 	}
 	e.closed = true
 	e.mu.Unlock()
+
+	// Reads hold opLock shared for their duration (iterators for their
+	// lifetime); taking it exclusively here is the barrier that lets them
+	// finish against a still-open tree. Readers arriving after the barrier
+	// observe closed and return ErrClosed without touching the tree.
+	e.opLock.Lock()
+	e.opLock.Unlock() //nolint:staticcheck // empty critical section is the drain
 
 	var first error
 	if e.walW != nil {

@@ -64,6 +64,45 @@ type Metrics struct {
 	LastSeq base.SeqNum
 }
 
+// Merge accumulates o into m, producing the metrics of the union of both
+// stores — the aggregation a sharded server reports as one snapshot. Raw
+// counters and histogram buckets add; derived ratios (CommitGroupSize,
+// SyncsPerCommit, TablesProbedPerGet, GetBlockCacheHitRatio) are methods
+// over the summed counters, so they come out operation-weighted rather
+// than as a mean-of-means, and the commit-wait histogram merges
+// bucket-wise — summing percentiles across shards would double-count the
+// distribution's mass. LastSeq takes the max: sequence numbers are
+// per-shard streams, and summing them would manufacture a sequence no
+// shard ever committed.
+func (m *Metrics) Merge(o Metrics) {
+	m.Tree.Merge(o.Tree)
+	m.Cache.Merge(o.Cache)
+	m.SlowdownWrites += o.SlowdownWrites
+	m.StoppedWrites += o.StoppedWrites
+	m.MemtableWaits += o.MemtableWaits
+	m.Flushes += o.Flushes
+	m.WALBytes += o.WALBytes
+	m.WALSyncs += o.WALSyncs
+	m.SyncCommits += o.SyncCommits
+	m.CommitGroups += o.CommitGroups
+	m.CommitBatches += o.CommitBatches
+	for i := range m.CommitWaitHist {
+		m.CommitWaitHist[i] += o.CommitWaitHist[i]
+	}
+	m.Gets += o.Gets
+	m.Writes += o.Writes
+	m.Iterators += o.Iterators
+	m.GetTablesProbed += o.GetTablesProbed
+	m.GetBloomNegatives += o.GetBloomNegatives
+	m.GetBloomFalsePositives += o.GetBloomFalsePositives
+	m.GetBlockCacheHits += o.GetBlockCacheHits
+	m.GetBlockCacheMisses += o.GetBlockCacheMisses
+	m.MemtableBytes += o.MemtableBytes
+	if o.LastSeq > m.LastSeq {
+		m.LastSeq = o.LastSeq
+	}
+}
+
 // CommitGroupSize is the mean number of batches per commit group (1.0
 // means no grouping occurred).
 func (m Metrics) CommitGroupSize() float64 {

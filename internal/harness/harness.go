@@ -10,6 +10,8 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,6 +37,33 @@ func DefaultStores() []Spec {
 		{Name: "LevelDB", Options: pebblesdb.PresetLevelDB.Options()},
 		{Name: "RocksDB", Options: pebblesdb.PresetRocksDB.Options()},
 	}
+}
+
+// ParseBytes parses a human byte size like "512MiB", "4gb" or "1048576"
+// (suffixes are powers of two either way). CLI flags in cmd/ share it.
+func ParseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	lower := strings.ToLower(s)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"kib", 1 << 10}, {"kb", 1 << 10}, {"k", 1 << 10},
+		{"mib", 1 << 20}, {"mb", 1 << 20}, {"m", 1 << 20},
+		{"gib", 1 << 30}, {"gb", 1 << 30}, {"g", 1 << 30},
+	} {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.mult
+			s = s[:len(s)-len(u.suffix)]
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return n * mult, nil
 }
 
 // Scale shrinks the stores' size parameters so that scaled-down datasets

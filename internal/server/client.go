@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client speaks the wire protocol over one connection. It supports two
+// styles:
+//
+//   - Synchronous convenience calls (Get, Put, Scan, ...) that send one
+//     request and wait for its response — simple, one round trip each.
+//   - Pipelining: queue requests with the Send* methods, then collect
+//     responses with Recv, which returns them in send order. A window of
+//     in-flight requests per connection is how the load generator reaches
+//     wire throughput, and how the server's write accumulation sees runs
+//     of writes to batch.
+//
+// A Client is not safe for concurrent use; use one per goroutine (they are
+// cheap — one TCP connection and two buffers).
+type Client struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	enc []byte // request frame build buffer
+	rcv []byte // response frame read buffer
+	err error  // first transport error; sticky
+}
+
+// Dial connects to a dbserver.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe).
+func NewClient(nc net.Conn) *Client {
+	return &Client{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// Err returns the sticky transport error, if any.
+func (c *Client) Err() error { return c.err }
+
+func (c *Client) send(req *Request) error {
+	if c.err != nil {
+		return c.err
+	}
+	c.enc = AppendRequest(c.enc[:0], req)
+	if _, err := c.bw.Write(c.enc); err != nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// Flush pushes queued requests to the wire.
+func (c *Client) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// Recv reads the next response, in send order. The response's byte slices
+// alias the client's receive buffer and are valid until the next Recv.
+// The error is transport-level; application failures come back as
+// resp.Status == StatusErr.
+func (c *Client) Recv() (Response, error) {
+	if c.err != nil {
+		return Response{}, c.err
+	}
+	payload, err := ReadFrame(c.br, c.rcv)
+	if err != nil {
+		c.err = err
+		return Response{}, err
+	}
+	c.rcv = payload[:0]
+	resp, err := ParseResponse(payload)
+	if err != nil {
+		c.err = err
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// SendPing / SendGet / SendPut / SendDelete / SendDeleteRange / SendScan /
+// SendApplyBatch / SendStats queue one request without flushing; pair each
+// with one Recv.
+
+func (c *Client) SendPing() error { return c.send(&Request{Op: OpPing}) }
+
+func (c *Client) SendGet(key []byte) error { return c.send(&Request{Op: OpGet, Key: key}) }
+
+func (c *Client) SendPut(key, val []byte, flags byte) error {
+	return c.send(&Request{Op: OpPut, Flags: flags, Key: key, Val: val})
+}
+
+func (c *Client) SendDelete(key []byte, flags byte) error {
+	return c.send(&Request{Op: OpDelete, Flags: flags, Key: key})
+}
+
+func (c *Client) SendDeleteRange(start, end []byte, flags byte) error {
+	return c.send(&Request{Op: OpDeleteRange, Flags: flags, Key: start, Val: end})
+}
+
+func (c *Client) SendScan(start, end []byte, limit uint32) error {
+	return c.send(&Request{Op: OpScan, Key: start, Val: end, Limit: limit})
+}
+
+func (c *Client) SendApplyBatch(ops []BatchOp, flags byte) error {
+	return c.send(&Request{Op: OpApplyBatch, Flags: flags, Ops: ops})
+}
+
+func (c *Client) SendStats() error { return c.send(&Request{Op: OpStats}) }
+
+// roundTrip sends one request and waits for its response (no pipelining).
+func (c *Client) roundTrip(req *Request) (Response, error) {
+	if err := c.send(req); err != nil {
+		return Response{}, err
+	}
+	if err := c.Flush(); err != nil {
+		return Response{}, err
+	}
+	return c.Recv()
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(&Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Get reads key. The returned value aliases the receive buffer: copy it if
+// it must survive the next call.
+func (c *Client) Get(key []byte) (val []byte, found bool, err error) {
+	resp, err := c.roundTrip(&Request{Op: OpGet, Key: key})
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		return resp.Val, true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, resp.Err()
+	}
+}
+
+// Put writes key. flags may carry FlagSync for per-commit durability.
+func (c *Client) Put(key, val []byte, flags byte) error {
+	resp, err := c.roundTrip(&Request{Op: OpPut, Flags: flags, Key: key, Val: val})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte, flags byte) error {
+	resp, err := c.roundTrip(&Request{Op: OpDelete, Flags: flags, Key: key})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// DeleteRange removes every key in [start, end) — on the server, one range
+// tombstone per shard, whatever the range covers.
+func (c *Client) DeleteRange(start, end []byte, flags byte) error {
+	resp, err := c.roundTrip(&Request{Op: OpDeleteRange, Flags: flags, Key: start, Val: end})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// ApplyBatch applies ops atomically per shard.
+func (c *Client) ApplyBatch(ops []BatchOp, flags byte) error {
+	resp, err := c.roundTrip(&Request{Op: OpApplyBatch, Flags: flags, Ops: ops})
+	if err != nil {
+		return err
+	}
+	return resp.Err()
+}
+
+// Scan returns up to limit pairs in [start, end) in ascending key order,
+// merged across shards. Pairs alias the receive buffer.
+func (c *Client) Scan(start, end []byte, limit uint32) ([]KV, error) {
+	resp, err := c.roundTrip(&Request{Op: OpScan, Key: start, Val: end, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		if e := resp.Err(); e != nil {
+			return nil, e
+		}
+		return nil, fmt.Errorf("server: scan status %d", resp.Status)
+	}
+	return ParsePairs(resp.Val)
+}
+
+// Stats returns the server's aggregate JSON stats snapshot. The bytes
+// alias the receive buffer.
+func (c *Client) Stats() ([]byte, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStats})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != StatusOK {
+		if e := resp.Err(); e != nil {
+			return nil, e
+		}
+		return nil, fmt.Errorf("server: stats status %d", resp.Status)
+	}
+	return resp.Val, nil
+}

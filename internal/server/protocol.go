@@ -1,0 +1,341 @@
+// Package server is the network face of the store: a sharded, multi-tenant
+// key-value service speaking a length-prefixed binary protocol over TCP.
+// One process runs M shard engines; keys route to shards by consistent
+// hashing, writes accumulate per connection into per-shard batches that
+// feed each shard's group-commit pipeline, and a tenant's whole keyspace
+// drops with one routed DeleteRange per shard. cmd/dbserver is the daemon,
+// cmd/dbloadgen the matching load generator, and Client the Go client both
+// the tests and the load generator use.
+//
+// Wire format: every frame is a 4-byte big-endian payload length followed
+// by the payload. Request payloads are an opcode byte, a flags byte, and
+// an opcode-specific body; response payloads are a status byte and a
+// status-specific body. Byte strings are uvarint-length-prefixed. Requests
+// on one connection are processed in order and answered in order, so
+// clients may pipeline: the k-th response always answers the k-th request.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameBytes bounds a single frame's payload. Frames announcing more
+// are rejected before any allocation, so a malformed or hostile length
+// prefix cannot balloon server memory.
+const MaxFrameBytes = 32 << 20
+
+// Op is a request opcode.
+type Op byte
+
+const (
+	// OpPing answers OK with an empty body; liveness checks.
+	OpPing Op = 1
+	// OpGet reads one key: body = key.
+	OpGet Op = 2
+	// OpPut writes one key: body = key, value.
+	OpPut Op = 3
+	// OpDelete deletes one key: body = key.
+	OpDelete Op = 4
+	// OpDeleteRange deletes every key in [start, end): body = start, end.
+	// The server broadcasts it to every shard — hash routing scatters a
+	// key range across all of them — so one frame drops a whole tenant.
+	OpDeleteRange Op = 5
+	// OpScan merges a bounded ascending scan across shards: body = start,
+	// end (empty = unbounded), uvarint limit.
+	OpScan Op = 6
+	// OpApplyBatch applies a multi-op batch atomically per shard: body =
+	// uvarint count, then count × (kind byte, key, value). Atomicity is
+	// per shard, not global: ops landing on one shard commit together.
+	OpApplyBatch Op = 7
+	// OpStats answers with the JSON-encoded aggregate Stats snapshot.
+	OpStats Op = 8
+)
+
+// FlagSync on a write request makes the commit durable (fsynced) before
+// the response; concurrent sync writes share fsyncs through each shard's
+// group-commit pipeline.
+const FlagSync byte = 1 << 0
+
+// Status is a response code.
+type Status byte
+
+const (
+	// StatusOK: the operation succeeded; body is op-specific.
+	StatusOK Status = 0
+	// StatusNotFound: Get on an absent or deleted key; empty body.
+	StatusNotFound Status = 1
+	// StatusErr: the operation failed; body is the error message.
+	StatusErr Status = 2
+)
+
+// BatchOp is one operation inside an OpApplyBatch body.
+type BatchOp struct {
+	// Kind is BatchSet, BatchDelete or BatchDeleteRange.
+	Kind byte
+	// Key is the key (Set/Delete) or range start (DeleteRange).
+	Key []byte
+	// Val is the value (Set) or range end (DeleteRange); empty for Delete.
+	Val []byte
+}
+
+// BatchOp kinds.
+const (
+	BatchSet         byte = 0
+	BatchDelete      byte = 1
+	BatchDeleteRange byte = 2
+)
+
+// Request is a decoded request payload.
+type Request struct {
+	Op    Op
+	Flags byte
+	// Key is the key (Get/Put/Delete) or range start (DeleteRange/Scan).
+	Key []byte
+	// Val is the value (Put) or range end (DeleteRange/Scan).
+	Val []byte
+	// Limit caps Scan results (0 = server default).
+	Limit uint32
+	// Ops is the ApplyBatch op list.
+	Ops []BatchOp
+}
+
+// KV is one scan result pair.
+type KV struct {
+	Key []byte
+	Val []byte
+}
+
+// Response is a decoded response payload.
+type Response struct {
+	Status Status
+	// Val is the Get value, the Stats JSON, or the StatusErr message.
+	Val []byte
+	// Pairs are the Scan results.
+	Pairs []KV
+}
+
+// Err converts a StatusErr response into an error (nil otherwise).
+func (r *Response) Err() error {
+	if r.Status != StatusErr {
+		return nil
+	}
+	return errors.New(string(r.Val))
+}
+
+// ErrFrameTooLarge rejects frames whose announced payload exceeds
+// MaxFrameBytes.
+var ErrFrameTooLarge = errors.New("server: frame exceeds maximum size")
+
+// errTruncated reports a payload shorter than its own encoding claims.
+var errTruncated = errors.New("server: truncated frame body")
+
+// ReadFrame reads one length-prefixed frame payload from r into buf
+// (growing it as needed) and returns the payload. io.EOF before the first
+// length byte is a clean end of stream; a partial frame is
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, ErrFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// AppendFrame appends a length-prefixed frame carrying payload to dst.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// appendBytes appends a uvarint-length-prefixed byte string.
+func appendBytes(dst, p []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
+}
+
+// readBytes consumes one uvarint-length-prefixed byte string. The result
+// aliases p.
+func readBytes(p []byte) (val, rest []byte, err error) {
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 || n > uint64(len(p)-sz) {
+		return nil, nil, errTruncated
+	}
+	return p[sz : sz+int(n)], p[sz+int(n):], nil
+}
+
+// AppendRequest appends req encoded as a complete frame (length prefix
+// included) to dst.
+func AppendRequest(dst []byte, req *Request) []byte {
+	payload := make([]byte, 0, 16+len(req.Key)+len(req.Val))
+	payload = append(payload, byte(req.Op), req.Flags)
+	switch req.Op {
+	case OpPing, OpStats:
+	case OpGet, OpDelete:
+		payload = appendBytes(payload, req.Key)
+	case OpPut, OpDeleteRange:
+		payload = appendBytes(payload, req.Key)
+		payload = appendBytes(payload, req.Val)
+	case OpScan:
+		payload = appendBytes(payload, req.Key)
+		payload = appendBytes(payload, req.Val)
+		payload = binary.AppendUvarint(payload, uint64(req.Limit))
+	case OpApplyBatch:
+		payload = binary.AppendUvarint(payload, uint64(len(req.Ops)))
+		for _, op := range req.Ops {
+			payload = append(payload, op.Kind)
+			payload = appendBytes(payload, op.Key)
+			if op.Kind != BatchDelete {
+				payload = appendBytes(payload, op.Val)
+			}
+		}
+	}
+	return AppendFrame(dst, payload)
+}
+
+// ParseRequest decodes a request payload (frame length prefix already
+// stripped). The returned request's byte slices alias payload: the caller
+// owns their lifetime until the next frame overwrites the buffer.
+func ParseRequest(payload []byte) (Request, error) {
+	var req Request
+	if len(payload) < 2 {
+		return req, errTruncated
+	}
+	req.Op, req.Flags = Op(payload[0]), payload[1]
+	body := payload[2:]
+	var err error
+	switch req.Op {
+	case OpPing, OpStats:
+	case OpGet, OpDelete:
+		if req.Key, body, err = readBytes(body); err != nil {
+			return req, err
+		}
+	case OpPut, OpDeleteRange, OpScan:
+		if req.Key, body, err = readBytes(body); err != nil {
+			return req, err
+		}
+		if req.Val, body, err = readBytes(body); err != nil {
+			return req, err
+		}
+		if req.Op == OpScan {
+			n, sz := binary.Uvarint(body)
+			if sz <= 0 {
+				return req, errTruncated
+			}
+			body = body[sz:]
+			if n > uint64(^uint32(0)) {
+				return req, errTruncated
+			}
+			req.Limit = uint32(n)
+		}
+	case OpApplyBatch:
+		n, sz := binary.Uvarint(body)
+		if sz <= 0 {
+			return req, errTruncated
+		}
+		body = body[sz:]
+		// Each op costs at least 2 bytes on the wire; reject counts the
+		// remaining payload cannot possibly hold before allocating.
+		if n > uint64(len(body)/2+1) {
+			return req, errTruncated
+		}
+		req.Ops = make([]BatchOp, 0, n)
+		for i := uint64(0); i < n; i++ {
+			if len(body) < 1 {
+				return req, errTruncated
+			}
+			op := BatchOp{Kind: body[0]}
+			body = body[1:]
+			if op.Kind > BatchDeleteRange {
+				return req, fmt.Errorf("server: unknown batch op kind %d", op.Kind)
+			}
+			if op.Key, body, err = readBytes(body); err != nil {
+				return req, err
+			}
+			if op.Kind != BatchDelete {
+				if op.Val, body, err = readBytes(body); err != nil {
+					return req, err
+				}
+			}
+			req.Ops = append(req.Ops, op)
+		}
+	default:
+		return req, fmt.Errorf("server: unknown opcode %d", req.Op)
+	}
+	if len(body) != 0 {
+		return req, fmt.Errorf("server: %d trailing bytes after request body", len(body))
+	}
+	return req, nil
+}
+
+// ParseResponse decodes a response payload (frame length prefix already
+// stripped). Byte slices alias payload.
+func ParseResponse(payload []byte) (Response, error) {
+	var resp Response
+	if len(payload) < 1 {
+		return resp, errTruncated
+	}
+	resp.Status = Status(payload[0])
+	body := payload[1:]
+	switch resp.Status {
+	case StatusOK, StatusErr:
+	case StatusNotFound:
+		if len(body) != 0 {
+			return resp, errTruncated
+		}
+		return resp, nil
+	default:
+		return resp, fmt.Errorf("server: unknown status %d", resp.Status)
+	}
+	// A scan response is a uvarint pair count followed by pairs; every
+	// other OK/Err body is raw bytes. The two are distinguished by the
+	// caller: Recv surfaces Val, Scan decodes pairs via ParsePairs.
+	resp.Val = body
+	return resp, nil
+}
+
+// ParsePairs decodes a Scan response body into pairs aliasing body.
+func ParsePairs(body []byte) ([]KV, error) {
+	n, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, errTruncated
+	}
+	body = body[sz:]
+	if n > uint64(len(body)/2+1) {
+		return nil, errTruncated
+	}
+	pairs := make([]KV, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var kv KV
+		var err error
+		if kv.Key, body, err = readBytes(body); err != nil {
+			return nil, err
+		}
+		if kv.Val, body, err = readBytes(body); err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, kv)
+	}
+	if len(body) != 0 {
+		return nil, errTruncated
+	}
+	return pairs, nil
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"pebblesdb/internal/murmur"
+)
+
+// ringSeed fixes the hash ring's key hash; it must never change, or keys
+// would re-route across restarts of a persistent multi-directory server.
+const ringSeed = 0x9e3779b97f4a7c15
+
+// vnodesPerShard is the number of ring points per shard. 128 virtual
+// nodes keep the largest shard within a few percent of the mean share of
+// the hash space, while the ring stays small enough that routing is one
+// cache-resident binary search.
+const vnodesPerShard = 128
+
+// ring routes keys to shards by consistent hashing: each shard owns the
+// arcs ending at its virtual points, a key lands on the first point at or
+// after its hash (wrapping). Compared to hash%M, adding a shard later
+// moves only ~1/M of the keyspace — the property a resharding story needs
+// — at the cost of one binary search per route.
+type ring struct {
+	hashes []uint64
+	shards []uint32
+}
+
+func newRing(shardCount int) *ring {
+	r := &ring{
+		hashes: make([]uint64, 0, shardCount*vnodesPerShard),
+		shards: make([]uint32, 0, shardCount*vnodesPerShard),
+	}
+	type point struct {
+		hash  uint64
+		shard uint32
+	}
+	points := make([]point, 0, shardCount*vnodesPerShard)
+	var seed [12]byte
+	for s := 0; s < shardCount; s++ {
+		for v := 0; v < vnodesPerShard; v++ {
+			binary.LittleEndian.PutUint32(seed[0:], uint32(s))
+			binary.LittleEndian.PutUint64(seed[4:], uint64(v))
+			points = append(points, point{murmur.Hash64(seed[:], ringSeed), uint32(s)})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].hash < points[j].hash })
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.hash)
+		r.shards = append(r.shards, p.shard)
+	}
+	return r
+}
+
+// shard returns the shard index owning key.
+func (r *ring) shard(key []byte) int {
+	h := murmur.Hash64(key, ringSeed)
+	lo, hi := 0, len(r.hashes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.hashes[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.hashes) {
+		lo = 0 // wrap past the last point to the first
+	}
+	return int(r.shards[lo])
+}

@@ -1,0 +1,457 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"pebblesdb"
+	"pebblesdb/internal/vfs"
+)
+
+// testShards opens n small in-memory shard stores.
+func testShards(t testing.TB, n int) []*pebblesdb.DB {
+	t.Helper()
+	shards := make([]*pebblesdb.DB, n)
+	for i := range shards {
+		o := pebblesdb.PresetPebblesDB.Options()
+		o.MemtableSize = 256 << 10
+		o.LevelBaseBytes = 1 << 20
+		o.TargetFileSize = 128 << 10
+		o.TopLevelBits = 10
+		o.BitDecrement = 1
+		o.WithFS(vfs.NewMem())
+		db, err := pebblesdb.Open(fmt.Sprintf("shard-%d", i), o)
+		if err != nil {
+			t.Fatalf("open shard %d: %v", i, err)
+		}
+		shards[i] = db
+	}
+	return shards
+}
+
+// startServer runs a server over n fresh shards on a loopback listener and
+// returns it with its address; cleanup closes server then shards.
+func startServer(t testing.TB, n int, opts *Options) (*Server, string, []*pebblesdb.DB) {
+	t.Helper()
+	shards := testShards(t, n)
+	srv := New(shards, opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		for _, db := range shards {
+			db.Close()
+		}
+	})
+	return srv, ln.Addr().String(), shards
+}
+
+func dialT(t testing.TB, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestBasicOps(t *testing.T) {
+	_, addr, _ := startServer(t, 4, nil)
+	c := dialT(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, found, err := c.Get([]byte("missing")); err != nil || found {
+		t.Fatalf("get missing: found=%v err=%v", found, err)
+	}
+	if err := c.Put([]byte("alpha"), []byte("1"), 0); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := c.Put([]byte("beta"), []byte("2"), FlagSync); err != nil {
+		t.Fatalf("put sync: %v", err)
+	}
+	v, found, err := c.Get([]byte("alpha"))
+	if err != nil || !found || string(v) != "1" {
+		t.Fatalf("get alpha: %q found=%v err=%v", v, found, err)
+	}
+	if err := c.Delete([]byte("alpha"), 0); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, found, _ := c.Get([]byte("alpha")); found {
+		t.Fatal("alpha survived delete")
+	}
+	if err := c.ApplyBatch([]BatchOp{
+		{Kind: BatchSet, Key: []byte("gamma"), Val: []byte("3")},
+		{Kind: BatchSet, Key: []byte("delta"), Val: []byte("4")},
+		{Kind: BatchDelete, Key: []byte("beta")},
+	}, 0); err != nil {
+		t.Fatalf("applybatch: %v", err)
+	}
+	if _, found, _ := c.Get([]byte("beta")); found {
+		t.Fatal("beta survived batch delete")
+	}
+	pairs, err := c.Scan(nil, nil, 100)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(pairs) != 2 || string(pairs[0].Key) != "delta" || string(pairs[1].Key) != "gamma" {
+		t.Fatalf("scan got %d pairs, want delta,gamma: %v", len(pairs), pairs)
+	}
+
+	raw, err := c.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("stats json: %v", err)
+	}
+	if st.Shards != 4 {
+		t.Fatalf("stats shards = %d, want 4", st.Shards)
+	}
+	if st.Aggregate.SyncCommits == 0 {
+		t.Fatal("FlagSync put did not register a sync commit")
+	}
+	if st.Requests == 0 || st.TotalConns == 0 {
+		t.Fatalf("stats accounting empty: %+v", st)
+	}
+}
+
+// TestTenantDeleteRangeAcrossShards is the acceptance check: a
+// tenant-prefix DeleteRange over the wire must remove the tenant's keys on
+// every shard — hash routing scatters each tenant across all of them, and
+// the server broadcasts one range tombstone per shard.
+func TestTenantDeleteRangeAcrossShards(t *testing.T) {
+	_, addr, shards := startServer(t, 4, nil)
+	c := dialT(t, addr)
+
+	const tenants = 3
+	const keysPerTenant = 800
+	for ten := 0; ten < tenants; ten++ {
+		for i := 0; i < keysPerTenant; i++ {
+			key := []byte(fmt.Sprintf("tenant%d/key%06d", ten, i))
+			if err := c.Put(key, []byte(fmt.Sprintf("v%d-%d", ten, i)), 0); err != nil {
+				t.Fatalf("put: %v", err)
+			}
+		}
+	}
+	// Every shard must hold keys from the victim tenant before the drop,
+	// or the test proves nothing about cross-shard routing.
+	for i, db := range shards {
+		if n := countPrefix(t, db, "tenant1/"); n == 0 {
+			t.Fatalf("shard %d holds no tenant1 keys before the drop; routing is broken", i)
+		}
+	}
+
+	if err := c.DeleteRange([]byte("tenant1/"), []byte("tenant1/\xff"), 0); err != nil {
+		t.Fatalf("tenant drop: %v", err)
+	}
+
+	// Over the wire: the tenant is gone, the neighbors are intact.
+	pairs, err := c.Scan([]byte("tenant1/"), []byte("tenant1/\xff"), 10000)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("%d tenant1 keys survived the drop over the wire", len(pairs))
+	}
+	// On every shard directly: no tenant1 keys anywhere.
+	for i, db := range shards {
+		if n := countPrefix(t, db, "tenant1/"); n != 0 {
+			t.Fatalf("shard %d still holds %d tenant1 keys", i, n)
+		}
+	}
+	// The survivors are complete.
+	for _, ten := range []int{0, 2} {
+		pairs, err := c.Scan([]byte(fmt.Sprintf("tenant%d/", ten)), []byte(fmt.Sprintf("tenant%d/\xff", ten)), 10000)
+		if err != nil {
+			t.Fatalf("scan tenant%d: %v", ten, err)
+		}
+		if len(pairs) != keysPerTenant {
+			t.Fatalf("tenant%d has %d keys after neighbor drop, want %d", ten, len(pairs), keysPerTenant)
+		}
+	}
+}
+
+func countPrefix(t *testing.T, db *pebblesdb.DB, prefix string) int {
+	t.Helper()
+	it, err := db.NewIter(&pebblesdb.IterOptions{
+		LowerBound: []byte(prefix),
+		UpperBound: []byte(prefix + "\xff"),
+	})
+	if err != nil {
+		t.Fatalf("iter: %v", err)
+	}
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	return n
+}
+
+// TestPipelinedWrites streams a window of requests without waiting and
+// checks every response arrives, in order, with the data intact — the
+// accumulation path the per-connection batcher exists for.
+func TestPipelinedWrites(t *testing.T) {
+	srv, addr, _ := startServer(t, 4, nil)
+	c := dialT(t, addr)
+
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if err := c.SendPut([]byte(fmt.Sprintf("pipe%06d", i)), []byte(fmt.Sprintf("v%06d", i)), 0); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		resp, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if resp.Status != StatusOK {
+			t.Fatalf("put %d: status %d (%s)", i, resp.Status, resp.Val)
+		}
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		v, found, err := c.Get([]byte(fmt.Sprintf("pipe%06d", i)))
+		if err != nil || !found || string(v) != fmt.Sprintf("v%06d", i) {
+			t.Fatalf("get pipe%06d: %q found=%v err=%v", i, v, found, err)
+		}
+	}
+	// The pipelined stream must have been accumulated: far fewer engine
+	// commits than wire writes.
+	st := srv.Stats()
+	commits := st.Aggregate.CommitGroups
+	if commits == 0 || commits > n/2 {
+		t.Fatalf("accumulation missing: %d commit groups for %d pipelined puts", commits, n)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr, _ := startServer(t, 4, nil)
+	const clients = 16
+	const perClient = 500
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < perClient; i++ {
+				key := []byte(fmt.Sprintf("c%02d-%05d", g, i))
+				if err := c.Put(key, key, 0); err != nil {
+					errCh <- fmt.Errorf("put: %w", err)
+					return
+				}
+			}
+			for i := 0; i < perClient; i++ {
+				key := []byte(fmt.Sprintf("c%02d-%05d", g, i))
+				v, found, err := c.Get(key)
+				if err != nil || !found || !bytes.Equal(v, key) {
+					errCh <- fmt.Errorf("get %s: %q found=%v err=%v", key, v, found, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestMalformedFrames throws protocol garbage at the server: each variant
+// must produce either an error response or a clean connection close —
+// never a hang or a panic — and the server must keep serving afterwards.
+func TestMalformedFrames(t *testing.T) {
+	_, addr, _ := startServer(t, 2, nil)
+
+	cases := map[string][]byte{
+		"unknown-opcode":    frame([]byte{0xEE, 0x00}),
+		"empty-payload":     frame(nil),
+		"opcode-only":       frame([]byte{byte(OpGet)}),
+		"truncated-key":     frame([]byte{byte(OpGet), 0, 0x20, 'a', 'b'}),
+		"trailing-junk":     frame(append([]byte{byte(OpPing), 0}, "junk"...)),
+		"huge-length":       {0xFF, 0xFF, 0xFF, 0xFF},
+		"partial-frame":     {0x00, 0x00, 0x01, 0x00, 'x'},
+		"batch-count-lie":   frame([]byte{byte(OpApplyBatch), 0, 0xFF, 0xFF, 0x03}),
+		"batch-kind-bogus":  frame([]byte{byte(OpApplyBatch), 0, 0x01, 0x77, 0x01, 'k'}),
+		"scan-missing-body": frame([]byte{byte(OpScan), 0, 0x01, 'a'}),
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer nc.Close()
+			nc.SetDeadline(time.Now().Add(5 * time.Second))
+			if _, err := nc.Write(raw); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			// Either an error response arrives or the server closes the
+			// connection; both end the read loop below promptly.
+			buf := make([]byte, 4096)
+			for {
+				if _, err := nc.Read(buf); err != nil {
+					break
+				}
+			}
+		})
+	}
+
+	// The server survived all of it.
+	c := dialT(t, addr)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("server did not survive malformed frames: %v", err)
+	}
+}
+
+func frame(payload []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	return append(hdr[:], payload...)
+}
+
+// TestServerCloseDrains closes the server under load, then the shards:
+// in-flight operations must fail cleanly (transport errors), and the
+// shard DB.Close must drain without panic or deadlock.
+func TestServerCloseDrains(t *testing.T) {
+	shards := testShards(t, 4)
+	srv := New(shards, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	var wg sync.WaitGroup
+	stopPut := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(ln.Addr().String())
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for i := 0; ; i++ {
+				select {
+				case <-stopPut:
+					return
+				default:
+				}
+				key := []byte(fmt.Sprintf("d%02d-%06d", g, i))
+				if err := c.Put(key, key, 0); err != nil {
+					return // transport error once the drain begins
+				}
+				if _, _, err := c.Get(key); err != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	close(stopPut)
+	wg.Wait()
+	for i, db := range shards {
+		if err := db.Close(); err != nil {
+			t.Fatalf("shard %d close: %v", i, err)
+		}
+	}
+}
+
+// TestRingDistribution checks the consistent-hash ring spreads keys over
+// every shard without gross imbalance.
+func TestRingDistribution(t *testing.T) {
+	const shardCount = 4
+	r := newRing(shardCount)
+	counts := make([]int, shardCount)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[r.shard([]byte(fmt.Sprintf("user%08d", i)))]++
+	}
+	mean := n / shardCount
+	for s, c := range counts {
+		if c < mean/3 || c > mean*3 {
+			t.Fatalf("shard %d got %d of %d keys (mean %d): ring is unbalanced %v", s, c, n, mean, counts)
+		}
+	}
+	// Stability: the same key always routes to the same shard.
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("user%08d", i))
+		if r.shard(key) != newRing(shardCount).shard(key) {
+			t.Fatal("ring routing is not deterministic")
+		}
+	}
+}
+
+// TestRequestRoundTrip pins the wire encoding: encode → parse is the
+// identity for every opcode.
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Op: OpPing},
+		{Op: OpStats},
+		{Op: OpGet, Key: []byte("k")},
+		{Op: OpPut, Flags: FlagSync, Key: []byte("k"), Val: []byte("v")},
+		{Op: OpDelete, Key: []byte("k")},
+		{Op: OpDeleteRange, Key: []byte("a"), Val: []byte("z")},
+		{Op: OpScan, Key: []byte("a"), Val: []byte("z"), Limit: 77},
+		{Op: OpScan, Key: nil, Val: nil, Limit: 0},
+		{Op: OpApplyBatch, Ops: []BatchOp{
+			{Kind: BatchSet, Key: []byte("k"), Val: []byte("v")},
+			{Kind: BatchDelete, Key: []byte("d")},
+			{Kind: BatchDeleteRange, Key: []byte("a"), Val: []byte("z")},
+		}},
+		{Op: OpApplyBatch, Ops: []BatchOp{}},
+	}
+	for _, req := range reqs {
+		t.Run(req.Op.String(), func(t *testing.T) {
+			enc := AppendRequest(nil, &req)
+			payload, err := ReadFrame(bytes.NewReader(enc), nil)
+			if err != nil {
+				t.Fatalf("readframe: %v", err)
+			}
+			got, err := ParseRequest(payload)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if got.Op != req.Op || got.Flags != req.Flags || got.Limit != req.Limit ||
+				!bytes.Equal(got.Key, req.Key) || !bytes.Equal(got.Val, req.Val) || len(got.Ops) != len(req.Ops) {
+				t.Fatalf("round trip mismatch:\n in %+v\nout %+v", req, got)
+			}
+			for i := range req.Ops {
+				if got.Ops[i].Kind != req.Ops[i].Kind ||
+					!bytes.Equal(got.Ops[i].Key, req.Ops[i].Key) ||
+					!bytes.Equal(got.Ops[i].Val, req.Ops[i].Val) {
+					t.Fatalf("batch op %d mismatch: %+v vs %+v", i, req.Ops[i], got.Ops[i])
+				}
+			}
+		})
+	}
+}

@@ -91,6 +91,18 @@ type Metrics struct {
 	DecompressNanos    int64
 }
 
+// Merge accumulates o into m, counter-wise (shard aggregation).
+func (m *Metrics) Merge(o Metrics) {
+	m.OpenTables += o.OpenTables
+	m.FilterBytes += o.FilterBytes
+	m.IndexBytes += o.IndexBytes
+	m.Hits += o.Hits
+	m.Misses += o.Misses
+	m.BlocksDecompressed += o.BlocksDecompressed
+	m.BytesDecompressed += o.BytesDecompressed
+	m.DecompressNanos += o.DecompressNanos
+}
+
 // Metrics walks the cached readers. Approximate: concurrent evictions may
 // skew counts slightly.
 func (tc *TableCache) Metrics() Metrics {

@@ -227,3 +227,38 @@ type Metrics struct {
 	// block counts, and encoder time.
 	Compression sstable.CompressionStats
 }
+
+// Merge accumulates o into m, counter-wise: per-level slices are summed
+// element-wise (growing m's to cover o's levels), table sizes are
+// concatenated, and everything else adds. Aggregating the shards of a
+// multi-engine server goes through here.
+func (m *Metrics) Merge(o Metrics) {
+	m.Compactions += o.Compactions
+	m.TrivialMoves += o.TrivialMoves
+	m.InPlaceMerges += o.InPlaceMerges
+	m.SeekCompactions += o.SeekCompactions
+	m.BytesCompactedIn += o.BytesCompactedIn
+	m.BytesCompactedOut += o.BytesCompactedOut
+	m.BytesFlushed += o.BytesFlushed
+	for len(m.LevelFiles) < len(o.LevelFiles) {
+		m.LevelFiles = append(m.LevelFiles, 0)
+	}
+	for i, n := range o.LevelFiles {
+		m.LevelFiles[i] += n
+	}
+	for len(m.LevelBytes) < len(o.LevelBytes) {
+		m.LevelBytes = append(m.LevelBytes, 0)
+	}
+	for i, b := range o.LevelBytes {
+		m.LevelBytes[i] += b
+	}
+	for len(m.GuardsPerLevel) < len(o.GuardsPerLevel) {
+		m.GuardsPerLevel = append(m.GuardsPerLevel, 0)
+	}
+	for i, g := range o.GuardsPerLevel {
+		m.GuardsPerLevel[i] += g
+	}
+	m.EmptyGuards += o.EmptyGuards
+	m.TableFileSizes = append(m.TableFileSizes, o.TableFileSizes...)
+	m.Compression.Merge(o.Compression)
+}

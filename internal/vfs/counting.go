@@ -68,6 +68,17 @@ func (s IOStats) Sub(o IOStats) IOStats {
 	return r
 }
 
+// Add returns s + o, counter-wise; used to aggregate across stores (e.g.
+// the shards of one server process).
+func (s IOStats) Add(o IOStats) IOStats {
+	var r IOStats
+	for i := 0; i < int(numCategories); i++ {
+		r.BytesWritten[i] = s.BytesWritten[i] + o.BytesWritten[i]
+		r.BytesRead[i] = s.BytesRead[i] + o.BytesRead[i]
+	}
+	return r
+}
+
 // CountingFS wraps another FS and counts every byte read and written,
 // classified by file kind. It is the measurement instrument behind all
 // write-amplification numbers in EXPERIMENTS.md.

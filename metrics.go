@@ -17,6 +17,18 @@ type Metrics struct {
 	UserBytesWritten int64
 }
 
+// Merge accumulates o into m, yielding the combined metrics of both
+// stores — how a sharded server (cmd/dbserver) reports M engines as one
+// snapshot. Counters and histograms add; ratio-style numbers
+// (WriteAmplification and the engine.Metrics methods) derive from the
+// summed counters afterwards, so each shard contributes in proportion to
+// its traffic instead of each shard's ratio counting once.
+func (m *Metrics) Merge(o Metrics) {
+	m.Metrics.Merge(o.Metrics)
+	m.IO = m.IO.Add(o.IO)
+	m.UserBytesWritten += o.UserBytesWritten
+}
+
 // WriteAmplification is total write IO divided by user data written
 // (Fig 1.1). Returns 0 before any writes.
 func (m Metrics) WriteAmplification() float64 {

@@ -248,6 +248,56 @@ func (p Preset) Options() *Options {
 	return o
 }
 
+// Tuned rescales the options for a serving workload with targetMemoryBytes
+// of memory to spend, off one knob. The presets keep the paper's
+// evaluation parameters (4 MiB memtables, tiny caches), which sink real
+// deployments the same way paper-scale Pebble defaults did: a 128 MB cache
+// and 64 MB memtable behind a high-throughput service is an order of
+// magnitude of avoidable IO. Tuned splits the budget roughly like the
+// production fix that motivated it — half block cache, a quarter
+// memtable (capped at 256 MB so flushes stay incremental), the rest left
+// for table-cache metadata and per-connection state — and opens up the
+// background machinery to match (compaction trigger 4, stop 20, four
+// concurrent compactions, 1024 cached tables). Fractions of the budget
+// below the preset's own values never shrink them. Returns o.
+func (o *Options) Tuned(targetMemoryBytes int64) *Options {
+	if targetMemoryBytes <= 0 {
+		return o
+	}
+	mem := targetMemoryBytes / 4
+	if mem > 256<<20 {
+		mem = 256 << 20
+	}
+	if int(mem) > o.MemtableSize {
+		o.MemtableSize = int(mem)
+	}
+	if cache := targetMemoryBytes / 2; cache > o.BlockCacheSize {
+		o.BlockCacheSize = cache
+	}
+	if o.TableCacheSize < 1024 {
+		o.TableCacheSize = 1024
+	}
+	// Larger memtables flush into larger L0 tables; scale output tables to
+	// match so compaction doesn't shred them into paper-sized fragments.
+	if target := mem; target > o.TargetFileSize {
+		if target > 64<<20 {
+			target = 64 << 20
+		}
+		o.TargetFileSize = target
+	}
+	o.L0CompactionTrigger = 4
+	if o.L0SlowdownTrigger < 12 {
+		o.L0SlowdownTrigger = 12
+	}
+	if o.L0StopTrigger < 20 {
+		o.L0StopTrigger = 20
+	}
+	if o.MaxCompactionConcurrency < 4 {
+		o.MaxCompactionConcurrency = 4
+	}
+	return o
+}
+
 // WithFS overrides the backing filesystem; intended for tests and the
 // benchmark harness (e.g. crash-injecting filesystems).
 func (o *Options) WithFS(fs vfs.FS) *Options {

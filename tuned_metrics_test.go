@@ -1,0 +1,132 @@
+package pebblesdb
+
+import (
+	"fmt"
+	"testing"
+
+	"pebblesdb/internal/base"
+	"pebblesdb/internal/vfs"
+)
+
+// TestOptionsTuned pins the Tuned profile's shape: one memory knob scales
+// the caches and write buffers, never shrinking a preset that is already
+// larger, and opens up the background machinery.
+func TestOptionsTuned(t *testing.T) {
+	o := PresetPebblesDB.Options().Tuned(1 << 30)
+	if o.MemtableSize != 256<<20 {
+		t.Errorf("MemtableSize = %d, want 256MiB (target/4)", o.MemtableSize)
+	}
+	if o.BlockCacheSize != 512<<20 {
+		t.Errorf("BlockCacheSize = %d, want 512MiB (target/2)", o.BlockCacheSize)
+	}
+	if o.TableCacheSize < 1024 {
+		t.Errorf("TableCacheSize = %d, want >= 1024", o.TableCacheSize)
+	}
+	if o.TargetFileSize != 64<<20 {
+		t.Errorf("TargetFileSize = %d, want 64MiB cap", o.TargetFileSize)
+	}
+	if o.L0CompactionTrigger != 4 || o.L0SlowdownTrigger < 12 || o.L0StopTrigger < 20 {
+		t.Errorf("L0 triggers = %d/%d/%d, want 4/>=12/>=20",
+			o.L0CompactionTrigger, o.L0SlowdownTrigger, o.L0StopTrigger)
+	}
+	if o.MaxCompactionConcurrency < 4 {
+		t.Errorf("MaxCompactionConcurrency = %d, want >= 4", o.MaxCompactionConcurrency)
+	}
+
+	// The memtable quarter is capped so flushes stay incremental.
+	big := PresetPebblesDB.Options().Tuned(64 << 30)
+	if big.MemtableSize != 256<<20 {
+		t.Errorf("MemtableSize at 64GiB target = %d, want 256MiB cap", big.MemtableSize)
+	}
+
+	// A tiny target never shrinks the preset's own sizes.
+	small := PresetRocksDB.Options()
+	wantMem, wantCache := small.MemtableSize, small.BlockCacheSize
+	small.Tuned(1 << 20)
+	if small.MemtableSize < wantMem || small.BlockCacheSize < wantCache {
+		t.Errorf("Tuned shrank the preset: memtable %d->%d cache %d->%d",
+			wantMem, small.MemtableSize, wantCache, small.BlockCacheSize)
+	}
+
+	// Zero and negative targets are no-ops.
+	def := PresetPebblesDB.Options()
+	want := *PresetPebblesDB.Options()
+	def.Tuned(0)
+	if def.MemtableSize != want.MemtableSize || def.BlockCacheSize != want.BlockCacheSize {
+		t.Error("Tuned(0) changed the options")
+	}
+}
+
+// TestMetricsMergeAggregation exercises the cross-shard Metrics merge the
+// server's Stats RPC relies on: counters sum, and derived ratios come out
+// operation-weighted — not double-counted, not a mean of per-shard ratios.
+func TestMetricsMergeAggregation(t *testing.T) {
+	shards := make([]*DB, 3)
+	for i := range shards {
+		o := PresetPebblesDB.Options()
+		o.MemtableSize = 256 << 10
+		o.WithFS(vfs.NewMem())
+		db, err := Open(fmt.Sprintf("m%d", i), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		shards[i] = db
+	}
+	// Uneven load: shard i gets (i+1)*100 writes and (i+1)*50 reads.
+	var wantGets int64
+	for i, db := range shards {
+		for k := 0; k < (i+1)*100; k++ {
+			if err := db.Put([]byte(fmt.Sprintf("s%d-%05d", i, k)), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < (i+1)*50; k++ {
+			if _, _, err := db.Get([]byte(fmt.Sprintf("s%d-%05d", i, k)), nil); err != nil {
+				t.Fatal(err)
+			}
+			wantGets++
+		}
+	}
+
+	var agg Metrics
+	var wantBatches, wantHist int64
+	var maxSeq base.SeqNum
+	for i, db := range shards {
+		m := db.Metrics()
+		wantBatches += m.CommitBatches
+		for _, c := range m.CommitWaitHist {
+			wantHist += c
+		}
+		if m.LastSeq > maxSeq {
+			maxSeq = m.LastSeq
+		}
+		if i == 0 {
+			agg = m
+		} else {
+			agg.Merge(m)
+		}
+	}
+	if agg.Gets != wantGets {
+		t.Errorf("merged Gets = %d, want %d", agg.Gets, wantGets)
+	}
+	if agg.CommitBatches != wantBatches {
+		t.Errorf("merged CommitBatches = %d, want %d", agg.CommitBatches, wantBatches)
+	}
+	var gotHist int64
+	for _, c := range agg.CommitWaitHist {
+		gotHist += c
+	}
+	if gotHist != wantHist {
+		t.Errorf("merged CommitWaitHist total = %d, want %d (histograms must merge bucket-wise, once)", gotHist, wantHist)
+	}
+	if agg.LastSeq != maxSeq {
+		t.Errorf("merged LastSeq = %d, want max %d", agg.LastSeq, maxSeq)
+	}
+	// Merging a zero Metrics must not disturb derived ratios.
+	before := agg.WriteAmplification()
+	agg.Merge(Metrics{})
+	if agg.WriteAmplification() != before {
+		t.Error("merging zero metrics changed write amplification")
+	}
+}
