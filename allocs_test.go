@@ -134,6 +134,98 @@ func TestGetAllocs(t *testing.T) {
 	}
 }
 
+// TestIterAllocs pins the warm scan-path allocation budgets: once an
+// iterator has done its first seek, further SeekGE/Next/Value calls reuse
+// the pooled block cursors, heap entries and key buffers end-to-end, so
+// the steady state is zero allocations (budget 2 leaves slack for a pool
+// refill under GC, per the acceptance bar).
+func TestIterAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race instrumentation allocates")
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 20_000
+	for _, eng := range []struct {
+		name   string
+		engine pebblesdb.Engine
+	}{{"flsm", pebblesdb.EngineFLSM}, {"leveled", pebblesdb.EngineLeveled}} {
+		t.Run(eng.name, func(t *testing.T) {
+			db := openWarmDB(t, eng.engine, n)
+			defer db.Close()
+
+			it, err := db.NewIter(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer it.Close()
+
+			// Warm the iterator: the first seek opens table iterators and
+			// sizes the scratch buffers; everything after reuses them.
+			seekKey := harness.KeyAt(nil, 123)
+			it.SeekGE(seekKey)
+			if !it.Valid() {
+				t.Fatal("warmup seek found nothing")
+			}
+			it.Next()
+			it.Value()
+
+			// Warm SeekGE landing in already-open tables.
+			allocs := testing.AllocsPerRun(200, func() {
+				it.SeekGE(seekKey)
+				if !it.Valid() {
+					t.Fatal("seek found nothing")
+				}
+			})
+			if allocs > 2 {
+				t.Errorf("warm SeekGE allocs/op = %v, want <= 2", allocs)
+			}
+
+			// Warm SeekGE+Next+Value loop — the scanshort shape.
+			allocs = testing.AllocsPerRun(200, func() {
+				it.SeekGE(seekKey)
+				for i := 0; i < 4 && it.Valid(); i++ {
+					_ = it.Key()
+					_ = it.Value()
+					it.Next()
+				}
+			})
+			if allocs > 2 {
+				t.Errorf("warm SeekGE+Next+Value allocs/op = %v, want <= 2", allocs)
+			}
+			if err := it.Error(); err != nil {
+				t.Fatal(err)
+			}
+
+			// A warm prefix iterator: reusing one iterator is the server's
+			// pooled-scan shape; a fresh NewIter per prefix costs only the
+			// pooled-iterator checkout.
+			prefix := seekKey[:8]
+			pit, err := db.NewIter(&pebblesdb.IterOptions{Prefix: prefix})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pit.Close()
+			pit.First()
+			allocs = testing.AllocsPerRun(200, func() {
+				pit.SeekGE(prefix)
+				for pit.Valid() {
+					_ = pit.Key()
+					_ = pit.Value()
+					pit.Next()
+				}
+			})
+			if allocs > 2 {
+				t.Errorf("warm prefix scan allocs/op = %v, want <= 2", allocs)
+			}
+			if err := pit.Error(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkGetTo is the allocation-free read loop: reusing the destination
 // buffer across calls exercises the pooled scratch end to end.
 func BenchmarkGetTo(b *testing.B) {

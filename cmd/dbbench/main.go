@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -24,7 +25,7 @@ import (
 
 var (
 	store       = flag.String("store", "pebblesdb", "store preset: pebblesdb, hyperleveldb, leveldb, rocksdb, pebblesdb1")
-	benchmarks  = flag.String("benchmarks", "fillrandom,readrandom,seekrandom", "comma-separated workloads: fillseq, fillrandom, fillsync, readrandom, seekrandom, seekreverse, scanbounded, deleterandom, retention")
+	benchmarks  = flag.String("benchmarks", "fillrandom,readrandom,seekrandom", "comma-separated workloads: fillseq, fillrandom, fillsync, readrandom, seekrandom, seekreverse, scanbounded, scanshort, deleterandom, retention")
 	num         = flag.Int("num", 1_000_000, "operations per workload")
 	valueSize   = flag.Int("value_size", 1024, "value size in bytes")
 	nexts       = flag.Int("nexts", 0, "next() calls per seek")
@@ -36,7 +37,9 @@ var (
 	seed        = flag.Int64("seed", 1, "workload RNG seed")
 	compression = flag.String("compression", "snappy", "sstable block compression: none, snappy (values are ~50% compressible, like LevelDB db_bench)")
 	tuned       = flag.String("tuned", "", "apply Options.Tuned with this memory target (e.g. 1GiB) after the preset and -store_scale; empty = off")
+	prefixLen   = flag.Int("prefix_bloom_len", 14, "store PrefixBloomLength and scanshort prefix length (16-byte decimal keys: 14 spans 100 keys); 0 disables prefix filters")
 	jsonPath    = flag.String("json", "", "write a machine-readable result file to this path (perf trajectory tracking; see BENCH_pr4.json)")
+	cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile covering the benchmark workloads to this path")
 
 	// Retention workload shape: -num sequential puts arrive in windows of
 	// retentionWindow keys; once retentionRetain windows are live the
@@ -114,6 +117,12 @@ type jsonReport struct {
 	GetBlockCacheHits      int64   `json:"get_block_cache_hits"`
 	GetBlockCacheMisses    int64   `json:"get_block_cache_misses"`
 	GetBlockCacheHitRatio  float64 `json:"get_block_cache_hit_ratio"`
+
+	// Scan path: sstable iterators opened vs skipped by prefix bloom
+	// filters (scanshort with a matching -prefix_bloom_len).
+	IterTablesOpened   int64   `json:"iter_tables_opened"`
+	IterPrefixSkips    int64   `json:"iter_prefix_skips"`
+	IterTableSkipRatio float64 `json:"iter_table_skip_ratio"`
 }
 
 func latencyJSON(rec *harness.LatencyRecorder) *jsonLatency {
@@ -164,6 +173,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown compression %q\n", *compression)
 		os.Exit(2)
 	}
+	if *prefixLen > 0 {
+		opts.PrefixBloomLength = *prefixLen
+	}
 	harness.Scale(opts, *storeScale)
 	if *tuned != "" {
 		memBytes, err := harness.ParseBytes(*tuned)
@@ -187,6 +199,19 @@ func main() {
 	}
 	defer db.Close()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	var results []jsonWorkload
 	written := false
 	for _, bench := range strings.Split(*benchmarks, ",") {
@@ -194,7 +219,7 @@ func main() {
 		if bench == "" {
 			continue
 		}
-		if !written && (bench == "readrandom" || bench == "seekrandom" || bench == "seekreverse" || bench == "scanbounded" || bench == "deleterandom") {
+		if !written && (bench == "readrandom" || bench == "seekrandom" || bench == "seekreverse" || bench == "scanbounded" || bench == "scanshort" || bench == "deleterandom") {
 			fmt.Fprintf(os.Stderr, "note: %s without a prior fill reads an empty store\n", bench)
 		}
 		// Write workloads take their client count from -concurrency when
@@ -256,6 +281,15 @@ func main() {
 					_, err := harness.ScanBounded(db, per, *num, span, *seed+int64(th), rec)
 					return err
 				})
+			case "scanshort":
+				return harness.Concurrent(*threads, func(th int) error {
+					p := *prefixLen
+					if p <= 0 {
+						p = 14
+					}
+					_, err := harness.ScanShort(db, per, *num, p, *seed+int64(th), rec)
+					return err
+				})
 			case "deleterandom":
 				return harness.Concurrent(writeClients, func(th int) error {
 					return harness.DeleteRandom(db, perW, *num, *seed+int64(th), rec)
@@ -264,6 +298,12 @@ func main() {
 			return fmt.Errorf("unknown benchmark %q", bench)
 		}
 
+		// scanshort is deliberately absent from the compact-before-reads
+		// list: prefix-bloom pruning exists to skip the overlapping tables
+		// a live store accumulates (FLSM guard groups, L0 flushes), and a
+		// fully compacted store leaves bounds pruning nothing to improve
+		// on. Run it before the compacted read workloads to measure the
+		// operating state.
 		if *compact && (bench == "readrandom" || bench == "seekrandom" || bench == "seekreverse" || bench == "scanbounded") {
 			if err := db.CompactAll(); err != nil {
 				fmt.Fprintf(os.Stderr, "compact: %v\n", err)
@@ -343,6 +383,8 @@ func main() {
 	fmt.Printf("read path: %d gets, %.2f tables probed/get, bloom %d negative / %d false positive, block cache %d/%d hits (%.1f%%)\n",
 		m.Gets, m.TablesProbedPerGet(), m.GetBloomNegatives, m.GetBloomFalsePositives,
 		m.GetBlockCacheHits, m.GetBlockCacheHits+m.GetBlockCacheMisses, 100*m.GetBlockCacheHitRatio())
+	fmt.Printf("scan path: %d table iterators opened, %d prefix-filter skips (skip ratio %.3f)\n",
+		m.IterTablesOpened, m.IterPrefixSkips, m.IterTableSkipRatio())
 	fmt.Printf("commit waits:")
 	for i, c := range m.CommitWaitHist {
 		if c == 0 {
@@ -387,6 +429,10 @@ func main() {
 			GetBlockCacheHits:      m.GetBlockCacheHits,
 			GetBlockCacheMisses:    m.GetBlockCacheMisses,
 			GetBlockCacheHitRatio:  m.GetBlockCacheHitRatio(),
+
+			IterTablesOpened:   m.IterTablesOpened,
+			IterPrefixSkips:    m.IterPrefixSkips,
+			IterTableSkipRatio: m.IterTableSkipRatio(),
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

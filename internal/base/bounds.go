@@ -15,6 +15,24 @@ type Bounds struct {
 // Unbounded reports whether no bound is set on either side.
 func (b Bounds) Unbounded() bool { return b.Lower == nil && b.Upper == nil }
 
+// PrefixSuccessor appends to dst the smallest key greater than every key
+// having the given prefix: the prefix with its last non-0xff byte
+// incremented and the tail dropped. A prefix scan is exactly the bounds
+// [prefix, PrefixSuccessor(prefix)). For an all-0xff prefix no successor
+// exists and nil is returned — but then every key >= prefix starts with it,
+// so [prefix, +inf) is still exact and callers simply leave the upper bound
+// open.
+func PrefixSuccessor(dst, prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			dst = append(dst, prefix[:i+1]...)
+			dst[len(dst)-1]++
+			return dst
+		}
+	}
+	return nil
+}
+
 // ContainsUserKey reports whether ukey lies within the bounds.
 func (b Bounds) ContainsUserKey(ukey []byte) bool {
 	if b.Lower != nil && bytes.Compare(ukey, b.Lower) < 0 {

@@ -40,6 +40,13 @@ type Config struct {
 	// default (10) and a negative value disables bloom filters entirely
 	// (ablation: §5.2 reports reads improve 63% with them).
 	BloomBitsPerKey int
+	// PrefixBloomLength, when positive, adds a second bloom filter to every
+	// sstable built over the distinct first-PrefixBloomLength-byte prefixes
+	// of its user keys (sstable format v4). Prefix iterators whose prefix is
+	// exactly this length skip tables whose filter rules the prefix out
+	// before any data-block IO. 0 disables the filter (tables keep their
+	// v2/v3 format).
+	PrefixBloomLength int
 
 	// Compression selects the sstable data-block codec (sstable format
 	// v2). The zero value (compress.None) writes raw blocks; the public
@@ -185,6 +192,9 @@ func (c *Config) Validate() error {
 	}
 	if c.BitDecrement < 1 {
 		return fmt.Errorf("base: BitDecrement must be >= 1, got %d", c.BitDecrement)
+	}
+	if c.PrefixBloomLength < 0 || c.PrefixBloomLength > 255 {
+		return fmt.Errorf("base: PrefixBloomLength must be in [0, 255], got %d", c.PrefixBloomLength)
 	}
 	return nil
 }

@@ -69,11 +69,13 @@ type Tree interface {
 	// value aliases immutable storage (block payloads, cache entries) and
 	// must be copied by the caller if it outlives the read.
 	Get(ukey []byte, seq base.SeqNum, latest *atomic.Uint64, s *sstable.GetScratch) (value []byte, found bool, err error)
-	// NewIters returns the point iterators for the pinned version plus
-	// every range tombstone its in-bounds tables hold; the engine merges
-	// those with the memtables' tombstones into the iterator's visibility
-	// mask.
-	NewIters(bounds base.Bounds) ([]iterator.Iterator, []rangedel.Tombstone, error)
+	// NewIters appends the point iterators for the pinned version to dst
+	// and returns them plus every range tombstone its in-bounds tables
+	// hold; the engine merges those with the memtables' tombstones into
+	// the iterator's visibility mask. The request carries the bounds, an
+	// optional prefix hint (tables whose prefix bloom filter excludes it
+	// may be skipped), and a stats sink.
+	NewIters(req treebase.IterRequest, dst []iterator.Iterator) ([]iterator.Iterator, []rangedel.Tombstone, error)
 	NeedsCompaction() bool
 	CompactOnce() (bool, error)
 	CompactAll() error
@@ -180,6 +182,10 @@ type Engine struct {
 		getBloomFalsePositives atomic.Int64
 		getBlockHits           atomic.Int64
 		getBlockMisses         atomic.Int64
+
+		// Scan path counters, folded in from per-iterator stats at Close.
+		iterTablesOpened atomic.Int64
+		iterPrefixSkips  atomic.Int64
 	}
 }
 

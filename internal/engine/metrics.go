@@ -58,6 +58,12 @@ type Metrics struct {
 	GetBloomFalsePositives int64
 	GetBlockCacheHits      int64
 	GetBlockCacheMisses    int64
+	// Scan-path accounting: IterTablesOpened counts sstable iterators
+	// opened by engine iterators (folded in at iterator Close);
+	// IterPrefixSkips counts sstables a prefix iterator skipped because
+	// their prefix bloom filter ruled the prefix out before any block IO.
+	IterTablesOpened int64
+	IterPrefixSkips  int64
 	// MemtableBytes is the live memtable footprint.
 	MemtableBytes int64
 	// LastSeq is the last committed sequence number.
@@ -97,6 +103,8 @@ func (m *Metrics) Merge(o Metrics) {
 	m.GetBloomFalsePositives += o.GetBloomFalsePositives
 	m.GetBlockCacheHits += o.GetBlockCacheHits
 	m.GetBlockCacheMisses += o.GetBlockCacheMisses
+	m.IterTablesOpened += o.IterTablesOpened
+	m.IterPrefixSkips += o.IterPrefixSkips
 	m.MemtableBytes += o.MemtableBytes
 	if o.LastSeq > m.LastSeq {
 		m.LastSeq = o.LastSeq
@@ -141,6 +149,17 @@ func (m Metrics) GetBlockCacheHitRatio() float64 {
 	return float64(m.GetBlockCacheHits) / float64(total)
 }
 
+// IterTableSkipRatio is the fraction of prefix-filter-eligible sstables
+// that prefix iterators skipped without IO: skips / (skips + opens). Zero
+// when no prefix scans ran or no filter ever excluded a table.
+func (m Metrics) IterTableSkipRatio() float64 {
+	total := m.IterPrefixSkips + m.IterTablesOpened
+	if total == 0 {
+		return 0
+	}
+	return float64(m.IterPrefixSkips) / float64(total)
+}
+
 // Metrics returns a snapshot of store statistics.
 func (e *Engine) Metrics() Metrics {
 	m := Metrics{
@@ -163,6 +182,8 @@ func (e *Engine) Metrics() Metrics {
 		GetBloomFalsePositives: e.stats.getBloomFalsePositives.Load(),
 		GetBlockCacheHits:      e.stats.getBlockHits.Load(),
 		GetBlockCacheMisses:    e.stats.getBlockMisses.Load(),
+		IterTablesOpened:       e.stats.iterTablesOpened.Load(),
+		IterPrefixSkips:        e.stats.iterPrefixSkips.Load(),
 		LastSeq:                base.SeqNum(e.seq.Load()),
 	}
 	for i := range e.stats.commitWaitHist {

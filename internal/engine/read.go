@@ -2,12 +2,15 @@ package engine
 
 import (
 	"bytes"
+	"sync"
 	"sync/atomic"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
+	"pebblesdb/internal/memtable"
 	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/sstable"
+	"pebblesdb/internal/treebase"
 )
 
 // Get returns the value of key, or found=false if absent or deleted. A nil
@@ -115,6 +118,12 @@ type IterOptions struct {
 	Lower []byte
 	// Upper is the exclusive upper user-key bound; nil = unbounded.
 	Upper []byte
+	// Prefix restricts the iterator to keys starting with these bytes. It
+	// implies bounds [Prefix, PrefixSuccessor(Prefix)) — intersected with
+	// Lower/Upper — and additionally lets the trees skip sstables whose
+	// prefix bloom filter (built at PrefixBloomLength) rules the prefix
+	// out before any data-block IO.
+	Prefix []byte
 	// Snapshot pins the read sequence; nil observes the latest committed
 	// state as of iterator creation.
 	Snapshot *Snapshot
@@ -123,9 +132,15 @@ type IterOptions struct {
 // Iter is the user-facing iterator: it yields live user keys in key order,
 // forward or backward, collapsing versions and hiding tombstones at the
 // read sequence, and never strays outside its bounds.
+//
+// Iters are pooled: Close returns the iterator (and its retained key,
+// value, seek-key and bounds buffers, its kids slice, and the embedded
+// merging iterator's heap) to a shared pool, so the steady state of a
+// scan-heavy workload creates and positions iterators without allocating.
+// Close must be called exactly once.
 type Iter struct {
 	e       *Engine
-	merged  iterator.Iterator
+	merged  iterator.Merging
 	readSeq base.SeqNum
 	bounds  base.Bounds
 	// rangeDels masks point entries covered by a visible range tombstone.
@@ -135,8 +150,28 @@ type Iter struct {
 	rangeDels *rangedel.List
 	ukey      []byte
 	value     []byte
+	// valLoaded marks value as materialized. Forward iteration defers
+	// merged.Value() until Value() is called: key-only scans never touch
+	// the value bytes.
+	valLoaded bool
 	valBuf    []byte
 	prevBuf   []byte
+	// seekBuf holds the internal search key built by SeekGE/SeekLT/Prev;
+	// skipBuf holds findNext's dead-user-key run tracker. Both reused
+	// across seeks.
+	seekBuf []byte
+	skipBuf []byte
+	// lowerBuf/upperBuf/prefixBuf back bounds and prefix copies (the
+	// iterator outlives the caller's buffers).
+	lowerBuf  []byte
+	upperBuf  []byte
+	prefixBuf []byte
+	prefix    []byte
+	// kids is the merged iterator's child list: memtable legs (backed by
+	// memIters, by value) followed by the tree's iterators.
+	kids     []iterator.Iterator
+	memIters [2]memtable.Iter
+	stats    treebase.IterStats
 	// dir is +1 while iterating forward (merged sits on the entry backing
 	// ukey/value) and -1 while iterating backward (merged sits just before
 	// the current user key's entries, mirroring LevelDB's DBIter).
@@ -146,9 +181,11 @@ type Iter struct {
 	err    error
 }
 
-// NewIter returns an iterator over the store. Bounds prune guards and
-// sstables before any table IO. The iterator holds resources; Close it
-// promptly.
+var iterPool = sync.Pool{New: func() interface{} { return &Iter{} }}
+
+// NewIter returns an iterator over the store. Bounds (and the prefix, when
+// set) prune guards and sstables before any table IO. The iterator holds
+// resources; Close it promptly.
 func (e *Engine) NewIter(opts *IterOptions) (*Iter, error) {
 	var o IterOptions
 	if opts != nil {
@@ -166,25 +203,67 @@ func (e *Engine) NewIter(opts *IterOptions) (*Iter, error) {
 	mem, imm := e.mem, e.imm
 	e.mu.Unlock()
 
-	// Copy the bounds: the iterator outlives the caller's buffers.
-	bounds := base.Bounds{}
-	if o.Lower != nil {
-		bounds.Lower = append([]byte(nil), o.Lower...)
+	it := iterPool.Get().(*Iter)
+	it.e = e
+	it.rangeDels = nil
+	it.valLoaded = false
+	it.value = nil
+	it.prefix = nil
+	it.stats = treebase.IterStats{}
+	it.dir = 1
+	it.valid = false
+	it.closed = false
+	it.err = nil
+	it.kids = it.kids[:0]
+
+	// Resolve the effective bounds into retained buffers: the caller's
+	// bounds intersected with the key range the prefix spans. The prefix
+	// upper bound is exact — every key >= PrefixSuccessor(Prefix) lacks
+	// the prefix, and when no successor exists (all-0xff) every key >=
+	// Prefix has it, so the unbounded upper loses nothing.
+	lower, upper := o.Lower, o.Upper
+	upperIsSucc := false
+	if o.Prefix != nil {
+		it.prefixBuf = append(it.prefixBuf[:0], o.Prefix...)
+		it.prefix = it.prefixBuf
+		if lower == nil || bytes.Compare(it.prefix, lower) > 0 {
+			lower = it.prefix
+		}
+		if succ := base.PrefixSuccessor(it.upperBuf[:0], it.prefix); succ != nil {
+			it.upperBuf = succ
+			if upper == nil || bytes.Compare(succ, upper) < 0 {
+				upper = succ
+				upperIsSucc = true
+			}
+		}
 	}
-	if o.Upper != nil {
-		bounds.Upper = append([]byte(nil), o.Upper...)
+	it.bounds = base.Bounds{}
+	if lower != nil {
+		it.lowerBuf = append(it.lowerBuf[:0], lower...)
+		it.bounds.Lower = it.lowerBuf
+	}
+	if upper != nil {
+		if !upperIsSucc {
+			it.upperBuf = append(it.upperBuf[:0], upper...)
+		}
+		it.bounds.Upper = it.upperBuf
 	}
 
-	iters := []iterator.Iterator{mem.NewIter()}
+	mem.InitIter(&it.memIters[0])
+	it.kids = append(it.kids, &it.memIters[0])
 	if imm != nil {
-		iters = append(iters, imm.NewIter())
+		imm.InitIter(&it.memIters[1])
+		it.kids = append(it.kids, &it.memIters[1])
 	}
-	treeIters, treeRds, err := e.tree.NewIters(bounds)
+	req := treebase.IterRequest{Bounds: it.bounds, Prefix: it.prefix, Stats: &it.stats}
+	kids, treeRds, err := e.tree.NewIters(req, it.kids)
 	if err != nil {
+		it.kids = it.kids[:0]
+		iterPool.Put(it)
 		e.opLock.RUnlock()
 		return nil, err
 	}
-	iters = append(iters, treeIters...)
+	it.kids = kids
 
 	// Choose the read sequence only after every source is pinned (same
 	// collapse-safe ordering as Get): versions dropped by a concurrent
@@ -193,6 +272,7 @@ func (e *Engine) NewIter(opts *IterOptions) (*Iter, error) {
 	if o.Snapshot != nil {
 		seq = o.Snapshot.seq
 	}
+	it.readSeq = seq
 
 	// One visibility mask covers every source: a point entry is dead iff
 	// some tombstone anywhere in the stack covers its key with a higher
@@ -206,22 +286,16 @@ func (e *Engine) NewIter(opts *IterOptions) (*Iter, error) {
 	if imm != nil {
 		rds = append(rds[:len(rds):len(rds)], imm.RangeDels()...)
 	}
-	var rdList *rangedel.List
 	if len(rds) > 0 || len(treeRds) > 0 {
-		rdList = rangedel.NewList(rds)
+		rdList := rangedel.NewList(rds)
 		for _, t := range treeRds {
 			rdList.Add(t)
 		}
 		rdList.Build()
+		it.rangeDels = rdList
 	}
-	return &Iter{
-		e:         e,
-		merged:    iterator.NewMerging(base.InternalCompare, iters...),
-		readSeq:   seq,
-		bounds:    bounds,
-		rangeDels: rdList,
-		dir:       1,
-	}, nil
+	it.merged.Init(base.InternalCompare, it.kids)
+	return it, nil
 }
 
 // SeekGE positions the iterator at the first live user key >= key (clamped
@@ -233,7 +307,8 @@ func (it *Iter) SeekGE(key []byte) {
 	if it.bounds.Lower != nil && bytes.Compare(key, it.bounds.Lower) < 0 {
 		key = it.bounds.Lower
 	}
-	search := base.MakeSearchKey(make([]byte, 0, len(key)+base.TrailerLen), key, it.readSeq)
+	it.seekBuf = base.MakeSearchKey(it.seekBuf[:0], key, it.readSeq)
+	search := it.seekBuf
 	it.dir = 1
 	it.merged.SeekGE(search)
 	it.findNext(nil)
@@ -251,7 +326,8 @@ func (it *Iter) SeekLT(key []byte) {
 	}
 	// A search key at MaxSeqNum sorts before every entry of key, so
 	// SeekLT lands on the last entry of a strictly smaller user key.
-	search := base.MakeSearchKey(make([]byte, 0, len(key)+base.TrailerLen), key, base.MaxSeqNum)
+	it.seekBuf = base.MakeSearchKey(it.seekBuf[:0], key, base.MaxSeqNum)
+	search := it.seekBuf
 	it.dir = -1
 	it.merged.SeekLT(search)
 	it.findPrev()
@@ -322,8 +398,8 @@ func (it *Iter) Prev() {
 		// of the previous user key hops over the rest of the current
 		// key's run — including newer-than-snapshot versions, which sort
 		// before it — the same construction SeekLT uses.
-		search := base.MakeSearchKey(make([]byte, 0, len(it.ukey)+base.TrailerLen), it.ukey, base.MaxSeqNum)
-		it.merged.SeekLT(search)
+		it.seekBuf = base.MakeSearchKey(it.seekBuf[:0], it.ukey, base.MaxSeqNum)
+		it.merged.SeekLT(it.seekBuf)
 		it.dir = -1
 	}
 	it.findPrev()
@@ -352,13 +428,18 @@ func (it *Iter) findNext(skipUkey []byte) {
 		if kind == base.KindDelete ||
 			(it.rangeDels != nil && it.rangeDels.CoverSeq(ukey, it.readSeq) > seq) {
 			// Newest visible version is a tombstone, or a visible range
-			// tombstone covers it: skip this user key entirely.
-			skipUkey = append(skipUkey[:0], ukey...)
+			// tombstone covers it: skip this user key entirely. The run
+			// tracker lives in a retained buffer so tombstone-dense regions
+			// don't allocate per dead key.
+			it.skipBuf = append(it.skipBuf[:0], ukey...)
+			skipUkey = it.skipBuf
 			it.merged.Next()
 			continue
 		}
 		it.ukey = append(it.ukey[:0], ukey...)
-		it.value = it.merged.Value()
+		// Defer merged.Value() to Value(): key-only consumers skip the
+		// value materialization entirely.
+		it.valLoaded = false
 		it.valid = true
 		return
 	}
@@ -399,6 +480,7 @@ func (it *Iter) findPrev() {
 				// buffer won't stay put. valBuf never aliases block data.
 				it.valBuf = append(it.valBuf[:0], it.merged.Value()...)
 				it.value = it.valBuf
+				it.valLoaded = true
 			}
 		}
 		it.merged.Prev()
@@ -429,13 +511,26 @@ func (it *Iter) Valid() bool { return it.valid && it.err == nil }
 // Key returns the current user key (valid until the next move).
 func (it *Iter) Key() []byte { return it.ukey }
 
-// Value returns the current value (valid until the next move).
-func (it *Iter) Value() []byte { return it.value }
+// Value returns the current value (valid until the next move). Forward
+// iteration materializes the value lazily, on the first call per entry.
+func (it *Iter) Value() []byte {
+	if !it.valLoaded {
+		if !it.valid {
+			return nil
+		}
+		it.value = it.merged.Value()
+		it.valLoaded = true
+	}
+	return it.value
+}
 
 // Error returns the first error the iterator encountered.
 func (it *Iter) Error() error { return it.err }
 
-// Close releases the iterator's resources. It must be called exactly once.
+// Close releases the iterator's resources, folds its scan counters into
+// the engine's metrics, and returns the iterator to the pool. It must be
+// called exactly once: a second Close could tear down the iterator's next
+// user.
 func (it *Iter) Close() error {
 	if it.closed {
 		return it.err
@@ -443,9 +538,19 @@ func (it *Iter) Close() error {
 	it.closed = true
 	it.valid = false
 	err := it.merged.Close()
+	if st := &it.stats; st.TablesOpened != 0 || st.PrefixSkips != 0 {
+		it.e.stats.iterTablesOpened.Add(st.TablesOpened)
+		it.e.stats.iterPrefixSkips.Add(st.PrefixSkips)
+	}
 	it.e.releaseOp()
 	if it.err == nil {
 		it.err = err
 	}
-	return it.err
+	finalErr := it.err
+	it.e = nil
+	it.rangeDels = nil
+	it.value = nil
+	it.kids = it.kids[:0]
+	iterPool.Put(it)
+	return finalErr
 }

@@ -555,15 +555,73 @@ func (t *Tree) mergeAndPartition(files []*base.FileMetadata, partitionKeys [][]b
 	return out, nil
 }
 
-// CompactAll drives compaction until quiescent.
+// forcePushLocked builds a compaction moving the topmost populated
+// level's data one level down regardless of size triggers, or nil when
+// everything already sits in the last level (or the levels are busy). The
+// claimed busy levels are recorded in the returned compaction.
+func (t *Tree) forcePushLocked() *compaction {
+	v := t.cur
+	last := t.cfg.NumLevels - 1
+	if len(v.l0) > 0 {
+		if !t.levelsFree(0, 1) {
+			return nil
+		}
+		c := &compaction{
+			level:       0,
+			targetLevel: 1,
+			l0Files:     append([]*base.FileMetadata(nil), v.l0...),
+			v:           v,
+		}
+		t.fillTargetKeysLocked(c)
+		t.busyLevels[0] = true
+		t.busyLevels[1] = true
+		return c
+	}
+	for l := 1; l < last; l++ {
+		if v.levels[l].fileCount() == 0 {
+			continue
+		}
+		if !t.levelsFree(l, l+1) {
+			return nil
+		}
+		c := t.wholeLevelCompaction(v, l)
+		if c == nil {
+			continue
+		}
+		t.fillTargetKeysLocked(c)
+		t.busyLevels[c.level] = true
+		t.busyLevels[c.targetLevel] = true
+		return c
+	}
+	return nil
+}
+
+// CompactAll drives compaction until quiescent. Like LevelDB's manual
+// CompactRange it then keeps pushing data down until everything sits in
+// the last level: a fully compacted store serves every seek from one guard
+// group instead of one per populated level plus leftover L0 flushes.
 func (t *Tree) CompactAll() error {
 	for {
 		did, err := t.CompactOnce()
 		if err != nil {
 			return err
 		}
-		if !did {
+		if did {
+			continue
+		}
+		t.mu.Lock()
+		c := t.forcePushLocked()
+		t.mu.Unlock()
+		if c == nil {
 			return nil
+		}
+		err = t.runCompaction(c)
+		t.mu.Lock()
+		delete(t.busyLevels, c.level)
+		delete(t.busyLevels, c.targetLevel)
+		t.mu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/manifest"
 	"pebblesdb/internal/memtable"
+	"pebblesdb/internal/treebase"
 	"pebblesdb/internal/vfs"
 )
 
@@ -183,7 +184,7 @@ func TestIteratorSeesAllKeysInOrder(t *testing.T) {
 	}
 	tree.CompactAll()
 
-	iters, _, err := tree.NewIters(base.Bounds{})
+	iters, _, err := tree.NewIters(treebase.IterRequest{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +323,7 @@ func TestGuardLevelIterSeek(t *testing.T) {
 	}
 	tree.CompactAll()
 
-	iters, _, err := tree.NewIters(base.Bounds{})
+	iters, _, err := tree.NewIters(treebase.IterRequest{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

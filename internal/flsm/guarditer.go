@@ -16,14 +16,25 @@ import (
 // (§3.1). Reverse iteration positions every sstable within a guard at its
 // bound (Merging.SeekLT / Last) and drains guards from the end of the
 // level.
+//
+// The iterator is built for reuse across seeks: the merging iterator and
+// kids slice are embedded and recycled, table iterators come from the
+// shared pool, and re-seeking into the already-open group skips the
+// close/reopen cycle entirely — the steady state of a warm scan loop. When
+// the request carries a prefix, tables whose prefix bloom filter rules the
+// prefix out are skipped before any block is read.
 type guardLevelIter struct {
 	tree     *Tree
 	level    int
 	groups   []guard.Guard // sentinel (Key=nil) followed by the guards
 	idx      int
-	cur      iterator.Iterator
+	cur      iterator.Iterator // &g.m or &g.empty while a group is open
 	parallel bool
 	err      error
+	req      treebase.IterRequest
+	m        iterator.Merging
+	kids     []iterator.Iterator
+	empty    iterator.Empty
 }
 
 // newGuardLevelIter builds the level iterator, pruning files outside
@@ -31,7 +42,8 @@ type guardLevelIter struct {
 // (except the sentinel slot, which anchors group indexing); FindGuard on
 // the thinned guard list still lands scans on the correct remaining group
 // because every file lies within its own guard interval.
-func newGuardLevelIter(t *Tree, level int, gl *guardedLevel, parallel bool, bounds base.Bounds) *guardLevelIter {
+func newGuardLevelIter(t *Tree, level int, gl *guardedLevel, parallel bool, req treebase.IterRequest) *guardLevelIter {
+	bounds := req.Bounds
 	groups := make([]guard.Guard, 0, len(gl.guards)+1)
 	groups = append(groups, guard.Guard{Files: bounds.FilterFiles(gl.sentinel)})
 	for i := range gl.guards {
@@ -41,16 +53,25 @@ func newGuardLevelIter(t *Tree, level int, gl *guardedLevel, parallel bool, boun
 		}
 		groups = append(groups, guard.Guard{Key: gl.guards[i].Key, Files: files})
 	}
-	return &guardLevelIter{tree: t, level: level, groups: groups, idx: -1, parallel: parallel}
+	return &guardLevelIter{tree: t, level: level, groups: groups, idx: -1, parallel: parallel, req: req}
+}
+
+// closeCur releases the open group: every pooled table iterator goes back
+// to the pool, the kids slice keeps its capacity for the next group.
+func (g *guardLevelIter) closeCur() {
+	for _, k := range g.kids {
+		if err := k.Close(); err != nil && g.err == nil {
+			g.err = err
+		}
+	}
+	g.kids = g.kids[:0]
+	g.cur = nil
 }
 
 // openGroup builds the merged iterator over group i's files without
 // positioning it; returns false past either end of the level or on error.
 func (g *guardLevelIter) openGroup(i int) bool {
-	if g.cur != nil {
-		g.cur.Close()
-		g.cur = nil
-	}
+	g.closeCur()
 	if i < 0 {
 		g.idx = -1
 		return false
@@ -60,44 +81,50 @@ func (g *guardLevelIter) openGroup(i int) bool {
 		return false
 	}
 	g.idx = i
-	files := g.groups[i].Files
-	if len(files) == 0 {
-		g.cur = &iterator.Empty{}
-		return true
-	}
-	kids := make([]iterator.Iterator, 0, len(files))
-	for _, f := range files {
+	for _, f := range g.groups[i].Files {
 		r, err := g.tree.tc.Find(f.FileNum, f.Size)
 		if err != nil {
 			g.err = err
-			for _, k := range kids {
-				k.Close()
-			}
+			g.closeCur()
 			return false
 		}
-		kids = append(kids, treebase.NewTableIter(r))
+		if g.req.Prefix != nil && !r.MayContainPrefix(g.req.Prefix) {
+			r.Unref()
+			g.req.CountPrefixSkip()
+			continue
+		}
+		g.req.CountOpen()
+		g.kids = append(g.kids, treebase.GetTableIter(r))
 	}
-	m := iterator.NewMerging(base.InternalCompare, kids...)
-	g.cur = m
+	if len(g.kids) == 0 {
+		g.empty = iterator.Empty{}
+		g.cur = &g.empty
+		return true
+	}
+	g.m.Init(base.InternalCompare, g.kids)
+	g.cur = &g.m
 	return true
 }
 
-// seekGroup opens group i and positions it at target. Parallel seeks
-// (§4.2): position each sstable iterator on its own goroutine, then
-// assemble the heap. Only profitable when the tables are likely uncached —
-// the tree enables it for the last level only. reverse selects SeekLT.
+// seekGroup opens group i (reusing it when already open — the steady state
+// of a warm scan loop re-seeking within one guard) and positions it at
+// target. Parallel seeks (§4.2): position each sstable iterator on its own
+// goroutine, then assemble the heap. Only profitable when the tables are
+// likely uncached — the tree enables it for the last level only. reverse
+// selects SeekLT.
 func (g *guardLevelIter) seekGroup(i int, target []byte, reverse bool) bool {
-	if !g.openGroup(i) {
-		return false
+	if i != g.idx || g.cur == nil {
+		if !g.openGroup(i) {
+			return false
+		}
 	}
-	m, ok := g.cur.(*iterator.Merging)
-	if !ok { // empty group
+	if g.cur != &g.m { // empty group
 		return true
 	}
-	kids := g.groups[i].Files
-	if g.parallel && len(kids) > 1 {
+	m := &g.m
+	if g.parallel && len(g.kids) > 1 {
 		var wg sync.WaitGroup
-		for ki := 0; ki < len(kids); ki++ {
+		for ki := 0; ki < len(g.kids); ki++ {
 			wg.Add(1)
 			go func(ki int) {
 				defer wg.Done()
@@ -167,8 +194,10 @@ func (g *guardLevelIter) First() {
 	if g.err != nil {
 		return
 	}
-	if !g.openGroup(0) {
-		return
+	if g.idx != 0 || g.cur == nil {
+		if !g.openGroup(0) {
+			return
+		}
 	}
 	g.cur.First()
 	g.skipEmpty()
@@ -179,8 +208,11 @@ func (g *guardLevelIter) Last() {
 	if g.err != nil {
 		return
 	}
-	if !g.openGroup(len(g.groups) - 1) {
-		return
+	last := len(g.groups) - 1
+	if g.idx != last || g.cur == nil {
+		if !g.openGroup(last) {
+			return
+		}
 	}
 	g.cur.Last()
 	g.skipEmptyBackward()
@@ -240,9 +272,6 @@ func (g *guardLevelIter) Value() []byte { return g.cur.Value() }
 func (g *guardLevelIter) Error() error { return g.err }
 
 func (g *guardLevelIter) Close() error {
-	if g.cur != nil {
-		g.cur.Close()
-		g.cur = nil
-	}
+	g.closeCur()
 	return g.err
 }

@@ -187,6 +187,7 @@ func (t *Tree) writerOptions() sstable.WriterOptions {
 		BlockSize:            t.cfg.BlockSize,
 		BlockRestartInterval: t.cfg.BlockRestartInterval,
 		BloomBitsPerKey:      t.cfg.BloomBitsPerKey,
+		PrefixBloomLength:    t.cfg.PrefixBloomLength,
 		Compression:          t.cfg.Compression,
 	}
 }
@@ -417,10 +418,15 @@ func userKeyInRange(ukey []byte, f *base.FileMetadata) bool {
 // cannot lose a tombstone that could mask an in-bounds key). The engine
 // merges the tombstones with the memtables' into one visibility mask.
 // Guards and tables whose key ranges fall outside bounds are pruned before
-// any table is opened.
-func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, []rangedel.Tombstone, error) {
+// any table is opened; when the request carries a prefix, L0 tables whose
+// prefix bloom filter rules the prefix out are skipped too (tombstone
+// collection is a separate pass, so a skipped table's range deletions are
+// still honored). Iterators are appended to dst, which pooled callers
+// recycle across NewIters calls.
+func (t *Tree) NewIters(req treebase.IterRequest, dst []iterator.Iterator) ([]iterator.Iterator, []rangedel.Tombstone, error) {
+	bounds := req.Bounds
 	v := t.currentVersion()
-	var iters []iterator.Iterator
+	iters := dst
 	for _, f := range v.l0 {
 		if !bounds.Overlaps(f) {
 			continue
@@ -432,7 +438,13 @@ func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, []rangedel.Tom
 			}
 			return nil, nil, err
 		}
-		iters = append(iters, treebase.NewTableIter(r))
+		if req.Prefix != nil && !r.MayContainPrefix(req.Prefix) {
+			r.Unref()
+			req.CountPrefixSkip()
+			continue
+		}
+		req.CountOpen()
+		iters = append(iters, treebase.GetTableIter(r))
 	}
 	for l := 1; l < t.cfg.NumLevels; l++ {
 		gl := &v.levels[l]
@@ -440,7 +452,7 @@ func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, []rangedel.Tom
 			continue
 		}
 		parallel := t.cfg.ParallelSeeks && l == t.cfg.NumLevels-1
-		iters = append(iters, newGuardLevelIter(t, l, gl, parallel, bounds))
+		iters = append(iters, newGuardLevelIter(t, l, gl, parallel, req))
 	}
 	rds, err := t.collectRangeDels(v, bounds)
 	if err != nil {

@@ -15,12 +15,27 @@ type Merging struct {
 	// when it is a max-heap (reverse iteration).
 	dir int
 	err error
+	// keyBuf holds the pivot key during switchDirection, reused across
+	// switches so direction changes do not allocate.
+	keyBuf []byte
 }
 
 // NewMerging returns a merging iterator over kids ordered by cmp. The
 // merging iterator takes ownership: Close closes every child.
 func NewMerging(cmp func(a, b []byte) int, kids ...Iterator) *Merging {
 	return &Merging{cmp: cmp, kids: kids, dir: 1}
+}
+
+// Init readies m to merge kids, retaining m's heap and pivot buffers from
+// any prior use. It is the reuse path for pooled iterators: a Merging held
+// by value can be re-armed for a new set of children without allocating.
+// The caller retains ownership of kids unless it also calls Close.
+func (m *Merging) Init(cmp func(a, b []byte) int, kids []Iterator) {
+	m.cmp = cmp
+	m.kids = kids
+	m.heap = m.heap[:0]
+	m.dir = 1
+	m.err = nil
 }
 
 // less orders the heap: smallest key at the root going forward, largest
@@ -152,7 +167,8 @@ func (m *Merging) advanceRoot() {
 // Children other than the root are parked on the far side of the current
 // key, so each must be re-seeked.
 func (m *Merging) switchDirection(dir int) {
-	key := append([]byte(nil), m.Key()...)
+	m.keyBuf = append(m.keyBuf[:0], m.Key()...)
+	key := m.keyBuf
 	m.dir = dir
 	for _, k := range m.kids {
 		if dir > 0 {

@@ -302,16 +302,58 @@ func (t *Tree) runCompaction(c *compaction) error {
 	return nil
 }
 
+// forcePushLocked builds a compaction moving the topmost populated
+// level's files one level down regardless of size triggers, or nil when
+// everything already sits in the last level (or the levels are busy). The
+// claimed busy levels are recorded before returning.
+func (t *Tree) forcePushLocked() *compaction {
+	v := t.cur
+	for l := 0; l < t.cfg.NumLevels-1; l++ {
+		if len(v.files[l]) == 0 {
+			continue
+		}
+		if t.busyLevels[l] || t.busyLevels[l+1] {
+			return nil
+		}
+		inputs := append([]*base.FileMetadata(nil), v.files[l]...)
+		lo, hi := rangeOfFiles(inputs)
+		c := &compaction{level: l, inputs: inputs, targets: overlaps(v.files[l+1], lo, hi)}
+		if len(inputs) == 1 && len(c.targets) == 0 {
+			c.trivially = true
+		}
+		t.busyLevels[l] = true
+		t.busyLevels[l+1] = true
+		return c
+	}
+	return nil
+}
+
 // CompactAll drives compaction until no level is over threshold. Used by
-// benchmarks that measure fully-compacted stores (Fig 5.1b seeks).
+// benchmarks that measure fully-compacted stores (Fig 5.1b seeks). Like
+// LevelDB's manual CompactRange it then keeps pushing data down until
+// everything sits in the last level, so seeks consult one sorted run.
 func (t *Tree) CompactAll() error {
 	for {
 		did, err := t.CompactOnce()
 		if err != nil {
 			return err
 		}
-		if !did {
+		if did {
+			continue
+		}
+		t.mu.Lock()
+		c := t.forcePushLocked()
+		t.mu.Unlock()
+		if c == nil {
 			return nil
+		}
+		err = t.runCompaction(c)
+		t.mu.Lock()
+		delete(t.busyLevels, c.level)
+		delete(t.busyLevels, c.level+1)
+		t.mu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 }

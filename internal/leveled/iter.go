@@ -9,22 +9,30 @@ import (
 
 // levelIter concatenates the (disjoint, sorted) sstables of one level into
 // a single bidirectional iterator, opening tables lazily through the table
-// cache.
+// cache. Table iterators come from the shared pool, re-seeking into the
+// already-open file skips the close/reopen cycle, and when the request
+// carries a prefix, files whose prefix bloom filter rules the prefix out
+// are passed over (stood in for by an empty iterator, so the skipEmpty
+// machinery advances across them) without any block IO.
 type levelIter struct {
 	tc    *tablecache.TableCache
 	files []*base.FileMetadata
 	idx   int
 	cur   iterator.Iterator
 	err   error
+	req   treebase.IterRequest
+	empty iterator.Empty
 }
 
-func newLevelIter(tc *tablecache.TableCache, files []*base.FileMetadata) *levelIter {
-	return &levelIter{tc: tc, files: files, idx: -1}
+func newLevelIter(tc *tablecache.TableCache, files []*base.FileMetadata, req treebase.IterRequest) *levelIter {
+	return &levelIter{tc: tc, files: files, idx: -1, req: req}
 }
 
 func (l *levelIter) openFile(i int) bool {
 	if l.cur != nil {
-		l.cur.Close()
+		if err := l.cur.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
 		l.cur = nil
 	}
 	if i < 0 {
@@ -41,8 +49,25 @@ func (l *levelIter) openFile(i int) bool {
 		return false
 	}
 	l.idx = i
-	l.cur = treebase.NewTableIter(r)
+	if l.req.Prefix != nil && !r.MayContainPrefix(l.req.Prefix) {
+		r.Unref()
+		l.req.CountPrefixSkip()
+		l.empty = iterator.Empty{}
+		l.cur = &l.empty
+		return true
+	}
+	l.req.CountOpen()
+	l.cur = treebase.GetTableIter(r)
 	return true
+}
+
+// seekFile opens file i unless it is already the open file — the steady
+// state of a warm scan loop re-seeking within one table.
+func (l *levelIter) seekFile(i int) bool {
+	if i == l.idx && l.cur != nil {
+		return true
+	}
+	return l.openFile(i)
 }
 
 // SeekGE positions at the first entry >= target.
@@ -60,7 +85,7 @@ func (l *levelIter) SeekGE(target []byte) {
 			hi = mid
 		}
 	}
-	if !l.openFile(lo) {
+	if !l.seekFile(lo) {
 		return
 	}
 	l.cur.SeekGE(target)
@@ -88,7 +113,7 @@ func (l *levelIter) SeekLT(target []byte) {
 		l.Last()
 		return
 	}
-	if !l.openFile(lo) {
+	if !l.seekFile(lo) {
 		return
 	}
 	l.cur.SeekLT(target)
@@ -100,7 +125,7 @@ func (l *levelIter) First() {
 	if l.err != nil {
 		return
 	}
-	if !l.openFile(0) {
+	if !l.seekFile(0) {
 		return
 	}
 	l.cur.First()
@@ -112,7 +137,7 @@ func (l *levelIter) Last() {
 	if l.err != nil {
 		return
 	}
-	if !l.openFile(len(l.files) - 1) {
+	if !l.seekFile(len(l.files) - 1) {
 		return
 	}
 	l.cur.Last()
@@ -174,7 +199,9 @@ func (l *levelIter) Error() error { return l.err }
 
 func (l *levelIter) Close() error {
 	if l.cur != nil {
-		l.cur.Close()
+		if err := l.cur.Close(); err != nil && l.err == nil {
+			l.err = err
+		}
 		l.cur = nil
 	}
 	return l.err

@@ -9,6 +9,7 @@ import (
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/memtable"
+	"pebblesdb/internal/treebase"
 	"pebblesdb/internal/vfs"
 )
 
@@ -168,7 +169,7 @@ func TestLevelIterConcatenates(t *testing.T) {
 	}
 	tree.CompactAll()
 
-	iters, _, err := tree.NewIters(base.Bounds{})
+	iters, _, err := tree.NewIters(treebase.IterRequest{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -134,6 +134,7 @@ func (t *Tree) writerOptions() sstable.WriterOptions {
 		BlockSize:            t.cfg.BlockSize,
 		BlockRestartInterval: t.cfg.BlockRestartInterval,
 		BloomBitsPerKey:      t.cfg.BloomBitsPerKey,
+		PrefixBloomLength:    t.cfg.PrefixBloomLength,
 		Compression:          t.cfg.Compression,
 	}
 }
@@ -348,10 +349,14 @@ func (t *Tree) chargeSeek(f *base.FileMetadata, level int) {
 // iterator per deeper level, along with every range tombstone held by
 // tables overlapping the bounds (file bounds include tombstone spans, so
 // pruning cannot lose a masking tombstone). Tables whose key ranges fall
-// outside bounds are pruned before any table is opened.
-func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, []rangedel.Tombstone, error) {
+// outside bounds are pruned before any table is opened; when the request
+// carries a prefix, L0 tables whose prefix bloom filter rules the prefix
+// out are skipped (their tombstones are still collected). Iterators are
+// appended to dst, which pooled callers recycle across NewIters calls.
+func (t *Tree) NewIters(req treebase.IterRequest, dst []iterator.Iterator) ([]iterator.Iterator, []rangedel.Tombstone, error) {
+	bounds := req.Bounds
 	v := t.currentVersion()
-	var iters []iterator.Iterator
+	iters := dst
 	var rds []rangedel.Tombstone
 	collect := func(f *base.FileMetadata) error {
 		if f.NumRangeDels == 0 {
@@ -369,21 +374,27 @@ func (t *Tree) NewIters(bounds base.Bounds) ([]iterator.Iterator, []rangedel.Tom
 		if !bounds.Overlaps(f) {
 			continue
 		}
+		if err := collect(f); err != nil {
+			return closeAll(iters, err)
+		}
 		r, err := t.tc.Find(f.FileNum, f.Size)
 		if err != nil {
 			return closeAll(iters, err)
 		}
-		iters = append(iters, treebase.NewTableIter(r))
-		if err := collect(f); err != nil {
-			return closeAll(iters, err)
+		if req.Prefix != nil && !r.MayContainPrefix(req.Prefix) {
+			r.Unref()
+			req.CountPrefixSkip()
+			continue
 		}
+		req.CountOpen()
+		iters = append(iters, treebase.GetTableIter(r))
 	}
 	for l := 1; l < t.cfg.NumLevels; l++ {
 		files := bounds.FilterFiles(v.files[l])
 		if len(files) == 0 {
 			continue
 		}
-		iters = append(iters, newLevelIter(t.tc, files))
+		iters = append(iters, newLevelIter(t.tc, files, req))
 		for _, f := range files {
 			if err := collect(f); err != nil {
 				return closeAll(iters, err)

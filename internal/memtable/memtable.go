@@ -152,21 +152,30 @@ func (m *Memtable) Empty() bool { return m.list.Len() == 0 && m.rd.Load().Empty(
 
 // NewIter returns an iterator over the memtable's internal keys.
 func (m *Memtable) NewIter() iterator.Iterator {
-	return &memIter{it: m.list.NewIter()}
+	it := &Iter{}
+	m.InitIter(it)
+	return it
 }
 
-type memIter struct {
-	it *skiplist.Iter
+// InitIter readies a caller-allocated Iter over the memtable's internal
+// keys. Pooled iterator stacks embed Iter by value and re-arm it here, so
+// opening the memtable leg of a scan allocates nothing.
+func (m *Memtable) InitIter(it *Iter) { m.list.InitIter(&it.it) }
+
+// Iter iterates over a memtable's internal keys. The zero value is not
+// usable; obtain one from NewIter or arm it with InitIter.
+type Iter struct {
+	it skiplist.Iter
 }
 
-func (i *memIter) SeekGE(target []byte) { i.it.SeekGE(target) }
-func (i *memIter) SeekLT(target []byte) { i.it.SeekLT(target) }
-func (i *memIter) First()               { i.it.First() }
-func (i *memIter) Last()                { i.it.Last() }
-func (i *memIter) Next()                { i.it.Next() }
-func (i *memIter) Prev()                { i.it.Prev() }
-func (i *memIter) Valid() bool          { return i.it.Valid() }
-func (i *memIter) Key() []byte          { return i.it.Key() }
-func (i *memIter) Value() []byte        { return i.it.Value() }
-func (i *memIter) Error() error         { return nil }
-func (i *memIter) Close() error         { return nil }
+func (i *Iter) SeekGE(target []byte) { i.it.SeekGE(target) }
+func (i *Iter) SeekLT(target []byte) { i.it.SeekLT(target) }
+func (i *Iter) First()               { i.it.First() }
+func (i *Iter) Last()                { i.it.Last() }
+func (i *Iter) Next()                { i.it.Next() }
+func (i *Iter) Prev()                { i.it.Prev() }
+func (i *Iter) Valid() bool          { return i.it.Valid() }
+func (i *Iter) Key() []byte          { return i.it.Key() }
+func (i *Iter) Value() []byte        { return i.it.Value() }
+func (i *Iter) Error() error         { return nil }
+func (i *Iter) Close() error         { return nil }

@@ -228,7 +228,29 @@ type conn struct {
 	frame  []byte // frame read buffer
 	resp   []byte // response build buffer
 	getBuf []byte // Get destination buffer
+	scan   scanScratch
 }
+
+// scanScratch is the per-connection Scan workspace: the per-shard result
+// runs, the flat byte arena their keys and values copy into, and the merge
+// cursors. Everything is reused across Scan RPCs, so a scan-heavy
+// connection's steady state allocates only the pooled iterator checkout —
+// not two copies per returned pair.
+type scanScratch struct {
+	runs  [][]kvRef
+	heads []int
+	arena []byte
+}
+
+// kvRef locates one scanned pair inside the scratch arena. Offsets stay
+// valid when the arena's append reallocates it; slices would not.
+type kvRef struct {
+	koff, klen uint32
+	voff, vlen uint32
+}
+
+func (sc *scanScratch) key(r kvRef) []byte { return sc.arena[r.koff : r.koff+r.klen] }
+func (sc *scanScratch) val(r kvRef) []byte { return sc.arena[r.voff : r.voff+r.vlen] }
 
 func (s *Server) serveConn(nc net.Conn) {
 	c := &conn{
@@ -438,7 +460,12 @@ func (c *conn) handleScan(req *Request) {
 	if limit > c.s.opts.MaxScanLimit {
 		limit = c.s.opts.MaxScanLimit
 	}
-	perShard := make([][]KV, len(c.s.shards))
+	sc := &c.scan
+	if len(sc.runs) != len(c.s.shards) {
+		sc.runs = make([][]kvRef, len(c.s.shards))
+		sc.heads = make([]int, len(c.s.shards))
+	}
+	sc.arena = sc.arena[:0]
 	var lower, upper []byte
 	if len(req.Key) > 0 {
 		lower = req.Key
@@ -447,64 +474,61 @@ func (c *conn) handleScan(req *Request) {
 		upper = req.Val
 	}
 	for i, db := range c.s.shards {
+		run := sc.runs[i][:0]
 		it, err := db.NewIter(&pebblesdb.IterOptions{LowerBound: lower, UpperBound: upper})
 		if err != nil {
 			c.writeResponse(StatusErr, []byte(err.Error()))
 			return
 		}
-		for it.First(); it.Valid() && len(perShard[i]) < limit; it.Next() {
-			perShard[i] = append(perShard[i], KV{
-				Key: append([]byte(nil), it.Key()...),
-				Val: append([]byte(nil), it.Value()...),
-			})
+		for it.First(); it.Valid() && len(run) < limit; it.Next() {
+			k, v := it.Key(), it.Value()
+			koff := uint32(len(sc.arena))
+			sc.arena = append(sc.arena, k...)
+			voff := uint32(len(sc.arena))
+			sc.arena = append(sc.arena, v...)
+			run = append(run, kvRef{koff, uint32(len(k)), voff, uint32(len(v))})
 		}
-		err = it.Close()
-		if err != nil {
+		sc.runs[i] = run
+		if err := it.Close(); err != nil {
 			c.writeResponse(StatusErr, []byte(err.Error()))
 			return
 		}
 	}
-	merged := mergePairs(perShard, limit)
-	body := c.resp[:0]
-	body = binary.AppendUvarint(body, uint64(len(merged)))
-	for _, kv := range merged {
-		body = appendBytes(body, kv.Key)
-		body = appendBytes(body, kv.Val)
-	}
-	c.resp = body[:0]
-	c.writeResponse(StatusOK, body)
-}
-
-// mergePairs merges per-shard ascending runs into one ascending run of at
-// most limit pairs. Shard counts are small, so a linear scan over the
-// heads beats heap bookkeeping.
-func mergePairs(runs [][]KV, limit int) []KV {
-	var total int
-	for _, r := range runs {
+	// Merge the per-shard ascending runs into the response in one pass.
+	// Shard counts are small, so a linear scan over the heads beats heap
+	// bookkeeping.
+	total := 0
+	for _, r := range sc.runs {
 		total += len(r)
 	}
 	if total > limit {
 		total = limit
 	}
-	out := make([]KV, 0, total)
-	heads := make([]int, len(runs))
-	for len(out) < limit {
+	body := c.resp[:0]
+	body = binary.AppendUvarint(body, uint64(total))
+	for i := range sc.heads {
+		sc.heads[i] = 0
+	}
+	for n := 0; n < total; n++ {
 		best := -1
-		for i, r := range runs {
-			if heads[i] >= len(r) {
+		for i, r := range sc.runs {
+			if sc.heads[i] >= len(r) {
 				continue
 			}
-			if best < 0 || bytes.Compare(r[heads[i]].Key, runs[best][heads[best]].Key) < 0 {
+			if best < 0 || bytes.Compare(sc.key(r[sc.heads[i]]), sc.key(sc.runs[best][sc.heads[best]])) < 0 {
 				best = i
 			}
 		}
 		if best < 0 {
 			break
 		}
-		out = append(out, runs[best][heads[best]])
-		heads[best]++
+		ref := sc.runs[best][sc.heads[best]]
+		sc.heads[best]++
+		body = appendBytes(body, sc.key(ref))
+		body = appendBytes(body, sc.val(ref))
 	}
-	return out
+	c.resp = body[:0]
+	c.writeResponse(StatusOK, body)
 }
 
 func (c *conn) handleStats() {

@@ -132,6 +132,57 @@ func TestBasicOps(t *testing.T) {
 // tenant-prefix DeleteRange over the wire must remove the tenant's keys on
 // every shard — hash routing scatters each tenant across all of them, and
 // the server broadcasts one range tombstone per shard.
+// TestRepeatedScansReuseScratch drives many Scan RPCs of varying shapes
+// down one connection: the per-connection scan scratch (runs, arena, merge
+// cursors) is reused across requests, and a bug in its reset logic would
+// leak pairs from one response into the next.
+func TestRepeatedScansReuseScratch(t *testing.T) {
+	_, addr, _ := startServer(t, 3, nil)
+	c := dialT(t, addr)
+
+	const n = 200
+	want := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key%04d", i)
+		if err := c.Put([]byte(key), []byte(fmt.Sprintf("v%d", i)), 0); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+		want = append(want, key)
+	}
+	for round := 0; round < 5; round++ {
+		// Full scan: every key, in order.
+		pairs, err := c.Scan(nil, nil, n)
+		if err != nil {
+			t.Fatalf("round %d scan: %v", round, err)
+		}
+		if len(pairs) != n {
+			t.Fatalf("round %d: got %d pairs, want %d", round, len(pairs), n)
+		}
+		for i, kv := range pairs {
+			if string(kv.Key) != want[i] {
+				t.Fatalf("round %d pair %d: got %q, want %q", round, i, kv.Key, want[i])
+			}
+		}
+		// Bounded scan with a limit smaller than the result set: the next
+		// full scan must not see truncated state.
+		pairs, err = c.Scan([]byte("key0050"), []byte("key0150"), 30)
+		if err != nil {
+			t.Fatalf("round %d bounded scan: %v", round, err)
+		}
+		if len(pairs) != 30 || string(pairs[0].Key) != "key0050" || string(pairs[29].Key) != "key0079" {
+			t.Fatalf("round %d bounded scan: got %d pairs [%q..%q]", round, len(pairs), pairs[0].Key, pairs[len(pairs)-1].Key)
+		}
+		// Empty scan.
+		pairs, err = c.Scan([]byte("zzz"), nil, 10)
+		if err != nil {
+			t.Fatalf("round %d empty scan: %v", round, err)
+		}
+		if len(pairs) != 0 {
+			t.Fatalf("round %d empty scan: got %d pairs, want 0", round, len(pairs))
+		}
+	}
+}
+
 func TestTenantDeleteRangeAcrossShards(t *testing.T) {
 	_, addr, shards := startServer(t, 4, nil)
 	c := dialT(t, addr)

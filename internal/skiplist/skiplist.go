@@ -210,6 +210,10 @@ type Iter struct {
 // NewIter returns an unpositioned iterator.
 func (s *Skiplist) NewIter() *Iter { return &Iter{list: s} }
 
+// InitIter readies a caller-allocated iterator, the allocation-free
+// counterpart to NewIter for pooled iterator stacks.
+func (s *Skiplist) InitIter(it *Iter) { *it = Iter{list: s} }
+
 // Valid reports whether the iterator is positioned on an entry.
 func (it *Iter) Valid() bool { return it.node != nil }
 

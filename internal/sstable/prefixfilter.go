@@ -1,0 +1,36 @@
+package sstable
+
+import (
+	"fmt"
+
+	"pebblesdb/internal/bloom"
+)
+
+// The prefix-filter block (sstable format v4) is one byte holding the fixed
+// prefix length P, followed by a bloom filter built over the distinct
+// first-P-byte user-key prefixes in the table. It is always stored raw and
+// stays resident for the Reader's lifetime, like the key filter: a prefix
+// iterator consults it with one hash, no IO.
+
+// EncodePrefixFilter serializes a prefix-filter block for prefix length p
+// (1..255).
+func EncodePrefixFilter(p int, f bloom.Filter) []byte {
+	blk := make([]byte, 0, 1+len(f))
+	blk = append(blk, byte(p))
+	return append(blk, f...)
+}
+
+// DecodePrefixFilter parses a prefix-filter block. The filter bytes alias
+// payload. It rejects structurally impossible blocks (no length byte, a zero
+// prefix length, or a filter too short to hold its probe-count byte); the
+// bloom filter itself tolerates arbitrary bit patterns, degrading to
+// "may contain" rather than misreading.
+func DecodePrefixFilter(payload []byte) (prefixLen int, f bloom.Filter, err error) {
+	if len(payload) < 2 {
+		return 0, nil, fmt.Errorf("%w: prefix-filter block too short (%d bytes)", ErrCorrupt, len(payload))
+	}
+	if payload[0] == 0 {
+		return 0, nil, fmt.Errorf("%w: prefix-filter length byte is zero", ErrCorrupt)
+	}
+	return int(payload[0]), bloom.Filter(payload[1:]), nil
+}

@@ -50,11 +50,17 @@ type Reader struct {
 	f       vfs.File
 	fileNum base.FileNum
 	size    int64
-	version int // formatV1, formatV2 or formatV3
+	version int // formatV1 .. formatV4
 	index   []byte
 	filter  bloom.Filter
 	blocks  *cache.Cache // shared block cache; may be nil
 	codec   *CodecStats  // shared decompression counters; may be nil
+
+	// prefixFilter/prefixLen hold the resident v4 prefix bloom filter: a
+	// filter over the distinct first-prefixLen-byte user-key prefixes in the
+	// table. nil/0 for tables without one (all pre-v4 formats).
+	prefixFilter bloom.Filter
+	prefixLen    int
 
 	// rangeDels is the resident, pre-built tombstone list decoded from the
 	// v3 range-del block; nil for tables without tombstones. Like the index
@@ -94,8 +100,24 @@ func Open(f vfs.File, size int64, fileNum base.FileNum, blockCache *cache.Cache,
 	r := &Reader{f: f, fileNum: fileNum, size: size, blocks: blockCache, codec: codec}
 	r.refs.Store(1)
 
-	var filterH, indexH, rangeDelH blockHandle
+	var filterH, indexH, rangeDelH, prefixH blockHandle
 	switch binary.LittleEndian.Uint64(magicBuf[:]) {
+	case tableMagicV4:
+		if size < footerLenV4 {
+			return nil, fmt.Errorf("%w: v4 file too small (%d bytes)", ErrCorrupt, size)
+		}
+		var footer [footerLenV4]byte
+		if _, err := f.ReadAt(footer[:], size-footerLenV4); err != nil {
+			return nil, err
+		}
+		if v := footer[64]; v != formatV4 {
+			return nil, fmt.Errorf("%w: unknown format version %d", ErrCorrupt, v)
+		}
+		r.version = formatV4
+		filterH = blockHandle{binary.LittleEndian.Uint64(footer[0:]), binary.LittleEndian.Uint64(footer[8:])}
+		indexH = blockHandle{binary.LittleEndian.Uint64(footer[16:]), binary.LittleEndian.Uint64(footer[24:])}
+		rangeDelH = blockHandle{binary.LittleEndian.Uint64(footer[32:]), binary.LittleEndian.Uint64(footer[40:])}
+		prefixH = blockHandle{binary.LittleEndian.Uint64(footer[48:]), binary.LittleEndian.Uint64(footer[56:])}
 	case tableMagicV3:
 		if size < footerLenV3 {
 			return nil, fmt.Errorf("%w: v3 file too small (%d bytes)", ErrCorrupt, size)
@@ -155,6 +177,17 @@ func Open(f vfs.File, size int64, fileNum base.FileNum, blockCache *cache.Cache,
 			return nil, err
 		}
 		r.filter = bloom.Filter(flt)
+	}
+	if prefixH.length > 0 {
+		blk, err := r.readBlockUncached(prefixH, nil)
+		if err != nil {
+			return nil, err
+		}
+		p, pf, err := DecodePrefixFilter(blk)
+		if err != nil {
+			return nil, err
+		}
+		r.prefixLen, r.prefixFilter = p, pf
 	}
 	if rangeDelH.length > 0 {
 		payload, err := r.readBlockUncached(rangeDelH, nil)
@@ -333,8 +366,24 @@ func (r *Reader) MayContain(ukey []byte) bool {
 	return r.filter.MayContain(ukey)
 }
 
-// FilterMemory returns the resident bloom-filter size in bytes (Table 5.4).
-func (r *Reader) FilterMemory() int { return len(r.filter) }
+// MayContainPrefix consults the table's prefix bloom filter (format v4): a
+// false return guarantees no user key in the table starts with pfx. True
+// when the table has no prefix filter or was built for a different prefix
+// length — the filter only answers for exactly the length it was built over.
+func (r *Reader) MayContainPrefix(pfx []byte) bool {
+	if r.prefixFilter == nil || len(pfx) != r.prefixLen {
+		return true
+	}
+	return r.prefixFilter.MayContain(pfx)
+}
+
+// PrefixFilterLength returns the prefix length the table's prefix filter
+// was built over, or 0 when the table has none.
+func (r *Reader) PrefixFilterLength() int { return r.prefixLen }
+
+// FilterMemory returns the resident bloom-filter size in bytes — key and
+// prefix filters together (Table 5.4).
+func (r *Reader) FilterMemory() int { return len(r.filter) + len(r.prefixFilter) }
 
 // IndexMemory returns the resident index-block size in bytes.
 func (r *Reader) IndexMemory() int { return len(r.index) }
@@ -440,8 +489,8 @@ func (r *Reader) NewSequentialIter() iterator.Iterator {
 }
 
 func (r *Reader) newIter(sequential bool) iterator.Iterator {
-	t := &tableIter{r: r}
-	if err := t.index.InitValidated(r.index, base.InternalCompare); err != nil {
+	t := &TableIter{}
+	if err := t.Init(r); err != nil {
 		return &iterator.Empty{Err: err}
 	}
 	if sequential {
@@ -453,11 +502,13 @@ func (r *Reader) newIter(sequential bool) iterator.Iterator {
 // Close drops the initial reference (held by the opener / table cache).
 func (r *Reader) Close() error { return r.Unref() }
 
-// tableIter is the two-level iterator: an index cursor selecting data
+// TableIter is the two-level iterator: an index cursor selecting data
 // blocks, and a data cursor within the current block. Both cursors are
 // embedded by value and re-pointed with Init, so walking a table allocates
-// nothing beyond the iterator itself.
-type tableIter struct {
+// nothing beyond the iterator itself — and a TableIter is itself reusable
+// across tables via Init, which is how the iterator stack keeps a pooled
+// set of table cursors alive across Seek calls (internal/treebase).
+type TableIter struct {
 	r      *Reader
 	index  block.Iter
 	data   block.Iter
@@ -466,7 +517,29 @@ type tableIter struct {
 	err    error
 }
 
-func (t *tableIter) loadBlock() bool {
+// Init points the iterator at table r, retaining both block cursors' key
+// buffers. The caller owns r's reference accounting.
+func (t *TableIter) Init(r *Reader) error {
+	t.r = r
+	t.dataOK = false
+	t.ra = nil
+	t.err = nil
+	t.data.Release()
+	return t.index.InitValidated(r.index, base.InternalCompare)
+}
+
+// ReleaseBuffers drops the iterator's references into the table and its
+// block payloads (keeping buffer capacity), so a pooled idle iterator pins
+// neither cache entries nor the Reader.
+func (t *TableIter) ReleaseBuffers() {
+	t.r = nil
+	t.ra = nil
+	t.dataOK = false
+	t.index.Release()
+	t.data.Release()
+}
+
+func (t *TableIter) loadBlock() bool {
 	t.dataOK = false
 	if !t.index.Valid() {
 		return false
@@ -489,7 +562,7 @@ func (t *tableIter) loadBlock() bool {
 	return true
 }
 
-func (t *tableIter) SeekGE(target []byte) {
+func (t *TableIter) SeekGE(target []byte) {
 	if t.err != nil {
 		return
 	}
@@ -504,7 +577,7 @@ func (t *tableIter) SeekGE(target []byte) {
 }
 
 // SeekLT positions at the last entry with key < target.
-func (t *tableIter) SeekLT(target []byte) {
+func (t *TableIter) SeekLT(target []byte) {
 	if t.err != nil {
 		return
 	}
@@ -524,7 +597,7 @@ func (t *tableIter) SeekLT(target []byte) {
 	t.skipBackwardIfExhausted()
 }
 
-func (t *tableIter) First() {
+func (t *TableIter) First() {
 	if t.err != nil {
 		return
 	}
@@ -536,7 +609,7 @@ func (t *tableIter) First() {
 	t.skipForwardIfExhausted()
 }
 
-func (t *tableIter) Last() {
+func (t *TableIter) Last() {
 	if t.err != nil {
 		return
 	}
@@ -548,7 +621,7 @@ func (t *tableIter) Last() {
 	t.skipBackwardIfExhausted()
 }
 
-func (t *tableIter) Next() {
+func (t *TableIter) Next() {
 	if !t.dataOK || t.err != nil {
 		return
 	}
@@ -556,7 +629,7 @@ func (t *tableIter) Next() {
 	t.skipForwardIfExhausted()
 }
 
-func (t *tableIter) Prev() {
+func (t *TableIter) Prev() {
 	if !t.dataOK || t.err != nil {
 		return
 	}
@@ -567,7 +640,7 @@ func (t *tableIter) Prev() {
 // skipForwardIfExhausted advances to the next data block when the current
 // one is exhausted. Blocks are never empty, so one step suffices, but loop
 // defensively.
-func (t *tableIter) skipForwardIfExhausted() {
+func (t *TableIter) skipForwardIfExhausted() {
 	for t.dataOK && !t.data.Valid() {
 		if err := t.data.Error(); err != nil {
 			t.err = err
@@ -583,7 +656,7 @@ func (t *tableIter) skipForwardIfExhausted() {
 
 // skipBackwardIfExhausted steps to the previous data block when the
 // current one has no entry at or before the position.
-func (t *tableIter) skipBackwardIfExhausted() {
+func (t *TableIter) skipBackwardIfExhausted() {
 	for t.dataOK && !t.data.Valid() {
 		if err := t.data.Error(); err != nil {
 			t.err = err
@@ -597,18 +670,18 @@ func (t *tableIter) skipBackwardIfExhausted() {
 	}
 }
 
-func (t *tableIter) Valid() bool {
+func (t *TableIter) Valid() bool {
 	return t.err == nil && t.dataOK && t.data.Valid()
 }
 
-func (t *tableIter) Key() []byte   { return t.data.Key() }
-func (t *tableIter) Value() []byte { return t.data.Value() }
+func (t *TableIter) Key() []byte   { return t.data.Key() }
+func (t *TableIter) Value() []byte { return t.data.Value() }
 
-func (t *tableIter) Error() error {
+func (t *TableIter) Error() error {
 	if t.err != nil {
 		return t.err
 	}
 	return t.index.Error()
 }
 
-func (t *tableIter) Close() error { return t.Error() }
+func (t *TableIter) Close() error { return t.Error() }

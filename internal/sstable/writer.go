@@ -22,6 +22,14 @@
 //     a third handle in a 64-byte footer ending in magicV3. Tables without
 //     tombstones keep the v2 footer, so the overwhelmingly common case is
 //     byte-identical to before.
+//   - Format v4 (written only when a prefix bloom filter is configured): v3
+//     plus a prefix-filter block — one byte holding the fixed prefix length
+//     followed by a bloom filter over the distinct first-P-byte user-key
+//     prefixes in the table (always raw, resident like the key filter) —
+//     addressed by a fourth handle in an 80-byte footer ending in magicV4.
+//     Prefix iterators consult it to skip tables whose key range overlaps
+//     the scan but whose contents cannot match the prefix. Stores without
+//     the knob keep writing v2/v3; all older formats stay readable.
 package sstable
 
 import (
@@ -42,14 +50,17 @@ const (
 	footerLenV1 = 40
 	footerLenV2 = 48
 	footerLenV3 = 64
+	footerLenV4 = 80
 
 	tableMagicV1 = 0x8773537fdb4eac2e
 	tableMagicV2 = 0xf09f95ccdb4eac2e
 	tableMagicV3 = 0xf09f97bbdb4eac2e
+	tableMagicV4 = 0xf09f94aedb4eac2e
 
 	formatV1 = 1
 	formatV2 = 2
 	formatV3 = 3
+	formatV4 = 4
 
 	blockTrailerLenV1 = 4 // crc32(payload)
 	blockTrailerLenV2 = 5 // type byte + crc32(payload ++ type)
@@ -71,6 +82,11 @@ type WriterOptions struct {
 	BlockRestartInterval int
 	// BloomBitsPerKey sizes the table-level bloom filter; 0 disables it.
 	BloomBitsPerKey int
+	// PrefixBloomLength, when positive, adds a second bloom filter over the
+	// distinct first-PrefixBloomLength-byte user-key prefixes (keys shorter
+	// than the length are omitted: they can never carry a full-length
+	// prefix). Tables gain the v4 footer; 0 keeps the v2/v3 formats.
+	PrefixBloomLength int
 	// Compression selects the data-block codec. Blocks that fail to shrink
 	// by at least 1/8th are stored raw regardless.
 	Compression compress.Kind
@@ -129,6 +145,7 @@ type Writer struct {
 	index           *block.Builder
 	offset          uint64
 	userKeys        [][]byte // for the bloom filter
+	prefixes        [][]byte // distinct key prefixes for the prefix filter
 	smallest        []byte
 	largest         []byte
 	count           int
@@ -164,6 +181,15 @@ func (w *Writer) Add(ikey, value []byte) error {
 	w.largest = append(w.largest[:0], ikey...)
 	if w.opts.BloomBitsPerKey > 0 {
 		w.userKeys = append(w.userKeys, append([]byte(nil), base.UserKey(ikey)...))
+	}
+	if p := w.opts.PrefixBloomLength; p > 0 {
+		// Keys arrive sorted, so equal prefixes are adjacent: comparing
+		// against the last collected prefix dedups in O(1).
+		if ukey := base.UserKey(ikey); len(ukey) >= p {
+			if n := len(w.prefixes); n == 0 || string(w.prefixes[n-1]) != string(ukey[:p]) {
+				w.prefixes = append(w.prefixes, append([]byte(nil), ukey[:p]...))
+			}
+		}
 	}
 	w.flushPendingIndex()
 	w.data.Add(ikey, value)
@@ -345,6 +371,24 @@ func (w *Writer) Finish() (TableInfo, error) {
 		filterHandle = h
 	}
 
+	// Prefix-filter block (resident, never compressed): the fixed prefix
+	// length followed by a bloom filter over the table's distinct prefixes.
+	// Sized by the same bits-per-key knob as the key filter; distinct
+	// prefixes are far fewer than keys, so the block is small.
+	var prefixHandle blockHandle
+	if w.opts.PrefixBloomLength > 0 && len(w.prefixes) > 0 {
+		bits := w.opts.BloomBitsPerKey
+		if bits <= 0 {
+			bits = 10
+		}
+		blk := EncodePrefixFilter(w.opts.PrefixBloomLength, bloom.Build(w.prefixes, bits))
+		h, err := w.writeRawBlock(blk, blockTypeNone)
+		if err != nil {
+			return TableInfo{}, err
+		}
+		prefixHandle = h
+	}
+
 	// Index block (never compressed, same reason). A tombstone-only table
 	// still writes its (empty) index so the reader's open path is uniform.
 	indexHandle, err := w.writeRawBlock(w.index.Finish(), blockTypeNone)
@@ -353,8 +397,25 @@ func (w *Writer) Finish() (TableInfo, error) {
 	}
 
 	// Footer: handles, format version, magic. Tables without tombstones
-	// keep the v2 footer so existing tables and tools see no change.
-	if len(frags) == 0 {
+	// keep the v2 footer so existing tables and tools see no change; the v4
+	// footer appears only when a prefix filter was actually written.
+	if prefixHandle.length > 0 {
+		var footer [footerLenV4]byte
+		binary.LittleEndian.PutUint64(footer[0:], filterHandle.offset)
+		binary.LittleEndian.PutUint64(footer[8:], filterHandle.length)
+		binary.LittleEndian.PutUint64(footer[16:], indexHandle.offset)
+		binary.LittleEndian.PutUint64(footer[24:], indexHandle.length)
+		binary.LittleEndian.PutUint64(footer[32:], rangeDelHandle.offset)
+		binary.LittleEndian.PutUint64(footer[40:], rangeDelHandle.length)
+		binary.LittleEndian.PutUint64(footer[48:], prefixHandle.offset)
+		binary.LittleEndian.PutUint64(footer[56:], prefixHandle.length)
+		footer[64] = formatV4
+		binary.LittleEndian.PutUint64(footer[72:], tableMagicV4)
+		if _, err := w.f.Write(footer[:]); err != nil {
+			return TableInfo{}, err
+		}
+		w.offset += footerLenV4
+	} else if len(frags) == 0 {
 		var footer [footerLenV2]byte
 		binary.LittleEndian.PutUint64(footer[0:], filterHandle.offset)
 		binary.LittleEndian.PutUint64(footer[8:], filterHandle.length)

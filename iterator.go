@@ -18,7 +18,9 @@ type Iterator struct {
 // NewIter returns an iterator over the latest committed state. A nil opts
 // iterates everything; bounds restrict the iterator to [LowerBound,
 // UpperBound) and prune non-overlapping guards and sstables before any IO;
-// opts.Snapshot pins the view.
+// opts.Prefix additionally restricts it to keys with that prefix and (at
+// the store's PrefixBloomLength) skips sstables whose prefix filter rules
+// the prefix out; opts.Snapshot pins the view.
 func (d *DB) NewIter(opts *IterOptions) (*Iterator, error) {
 	if d.closed.Load() {
 		return nil, ErrClosed
@@ -27,6 +29,7 @@ func (d *DB) NewIter(opts *IterOptions) (*Iterator, error) {
 	if opts != nil {
 		eo.Lower = opts.LowerBound
 		eo.Upper = opts.UpperBound
+		eo.Prefix = opts.Prefix
 		if opts.Snapshot != nil {
 			eo.Snapshot = opts.Snapshot.s
 		}

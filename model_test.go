@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -31,7 +32,9 @@ func TestModelEquivalence(t *testing.T) {
 	for _, preset := range []Preset{PresetPebblesDB, PresetHyperLevelDB, PresetPebblesDB1} {
 		preset := preset
 		t.Run(preset.String(), func(t *testing.T) {
-			db, err := Open("db", testOptions(preset))
+			opts := testOptions(preset)
+			opts.PrefixBloomLength = 5 // "keyNN": length-5 prefix scans hit the filters
+			db, err := Open("db", opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -72,6 +75,46 @@ func TestModelEquivalence(t *testing.T) {
 				}
 				if i != len(want) {
 					t.Fatalf("scan yielded %d keys, want %d", i, len(want))
+				}
+			}
+
+			// checkPrefixScan: prefix iteration is the bounded-scan model —
+			// the live keys sharing the prefix, in order. snap and smodel,
+			// when non-nil, pin the iteration to a snapshot and its model
+			// copy, so prefix scans are also checked across range-del
+			// tombstones applied after the snapshot.
+			checkPrefixScan := func(prefix string, snap *Snapshot, smodel map[string]string) {
+				t.Helper()
+				it, err := db.NewIter(&IterOptions{Prefix: []byte(prefix), Snapshot: snap})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer it.Close()
+				var want []string
+				for k := range smodel {
+					if strings.HasPrefix(k, prefix) {
+						want = append(want, k)
+					}
+				}
+				sort.Strings(want)
+				i := 0
+				for it.First(); it.Valid(); it.Next() {
+					if i >= len(want) {
+						t.Fatalf("prefix %q scan yielded extra key %q", prefix, it.Key())
+					}
+					if string(it.Key()) != want[i] {
+						t.Fatalf("prefix %q scan pos %d: got %q want %q", prefix, i, it.Key(), want[i])
+					}
+					if string(it.Value()) != smodel[want[i]] {
+						t.Fatalf("prefix %q scan %q: value %q want %q", prefix, it.Key(), it.Value(), smodel[want[i]])
+					}
+					i++
+				}
+				if i != len(want) {
+					t.Fatalf("prefix %q scan yielded %d keys, want %d", prefix, i, len(want))
+				}
+				if err := it.Error(); err != nil {
+					t.Fatal(err)
 				}
 			}
 
@@ -163,13 +206,21 @@ func TestModelEquivalence(t *testing.T) {
 				}
 				if i%10000 == 9999 {
 					checkScan()
+					plen := 4 + rng.Intn(3)
+					checkPrefixScan(fmt.Sprintf("key%05d", rng.Intn(4000))[:plen], nil, model)
+					if len(snaps) > 0 {
+						s := snaps[rng.Intn(len(snaps))]
+						checkPrefixScan(fmt.Sprintf("key%05d", rng.Intn(4000))[:5], s.snap, s.model)
+					}
 				}
 			}
 			if err := db.CompactAll(); err != nil {
 				t.Fatal(err)
 			}
 			checkScan()
+			checkPrefixScan(fmt.Sprintf("key%05d", rng.Intn(4000))[:5], nil, model)
 			for _, s := range snaps {
+				checkPrefixScan(fmt.Sprintf("key%05d", rng.Intn(4000))[:5], s.snap, s.model)
 				s.snap.Close()
 			}
 		})

@@ -112,6 +112,14 @@ type Options struct {
 	Compression Compression
 	// BloomBitsPerKey sizes sstable bloom filters; negative disables them.
 	BloomBitsPerKey int
+	// PrefixBloomLength, when positive (1..255), adds a second bloom filter
+	// to every new sstable over the distinct first-PrefixBloomLength-byte
+	// prefixes of its user keys. Iterators opened with IterOptions.Prefix
+	// of exactly this length skip sstables whose filter rules the prefix
+	// out before any data-block IO — cheap pruning inside FLSM guards,
+	// whose sstables overlap by design. 0 disables; existing tables (and
+	// those written while disabled) stay readable either way.
+	PrefixBloomLength int
 	// BlockCacheSize / TableCacheSize bound cache memory (Fig 5.2b).
 	BlockCacheSize int64
 	TableCacheSize int
@@ -189,6 +197,12 @@ type IterOptions struct {
 	// UpperBound restricts the iterator to keys < UpperBound (exclusive);
 	// nil = unbounded.
 	UpperBound []byte
+	// Prefix restricts the iterator to keys starting with these bytes,
+	// equivalent to bounds [Prefix, successor(Prefix)) intersected with
+	// LowerBound/UpperBound. When its length equals the store's
+	// PrefixBloomLength, sstables whose prefix bloom filter rules the
+	// prefix out are skipped without any block IO.
+	Prefix []byte
 	// Snapshot pins the iterator to a point-in-time view; nil observes the
 	// latest committed state as of iterator creation.
 	Snapshot *Snapshot
@@ -319,6 +333,7 @@ func (o *Options) toConfig() (*base.Config, engine.Kind, vfs.FS) {
 		BlockSize:                o.BlockSize,
 		Compression:              o.Compression.kind(),
 		BloomBitsPerKey:          o.BloomBitsPerKey,
+		PrefixBloomLength:        o.PrefixBloomLength,
 		BlockCacheSize:           o.BlockCacheSize,
 		TableCacheSize:           o.TableCacheSize,
 		TopLevelBits:             o.TopLevelBits,
