@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"pebblesdb"
 	"pebblesdb/internal/harness"
@@ -32,6 +33,7 @@ var (
 	store  = flag.String("store", "pebblesdb", "store preset: pebblesdb, hyperleveldb, leveldb, rocksdb, pebblesdb1")
 	mem    = flag.String("mem", "1GiB", "process memory target split across shards; Options.Tuned scales caches and write buffers from it (0 = preset defaults)")
 	accum  = flag.Int("accum", 0, "per-connection write accumulation cap in bytes (0 = default)")
+	drain  = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout before connections are force-closed")
 	quiet  = flag.Bool("quiet", false, "suppress startup and connection logs")
 )
 
@@ -111,23 +113,26 @@ func main() {
 	}
 	logf("dbserver: %d %s shards on %s (mem target %s)", *shards, preset.String(), ln.Addr(), *mem)
 
-	// SIGINT/SIGTERM drains gracefully: stop accepting, fail the
-	// connections' reads, wait out in-flight applies, then close each
-	// shard (DB.Close itself waits out reads that raced the drain).
+	// SIGINT/SIGTERM drains gracefully: stop accepting, let in-flight
+	// requests finish and their responses flush (Shutdown force-closes
+	// stragglers after the -drain timeout), then close each shard
+	// (DB.Close itself waits out reads that raced the drain).
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	select {
 	case sig := <-sigCh:
-		logf("dbserver: %v, draining", sig)
+		logf("dbserver: %v, draining (timeout %v)", sig, *drain)
 	case err := <-errCh:
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 		}
 	}
 	st := srv.Stats()
-	srv.Close()
+	if err := srv.Shutdown(*drain); err != nil {
+		logf("dbserver: %v", err)
+	}
 	for i, db := range dbs {
 		if err := db.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "close shard %d: %v\n", i, err)

@@ -49,6 +49,14 @@ import (
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("pebblesdb: database is closed")
 
+// ErrReadOnly marks writes rejected while the store is degraded to
+// read-only mode by a background IO error. Match with errors.Is(err,
+// ErrReadOnly); errors.Unwrap exposes the original failure. Reads keep
+// serving in this state. If the cause was transient (for example the disk
+// filled up and was cleared), Resume restores writability; corruption is
+// permanent and requires operator intervention.
+var ErrReadOnly = engine.ErrReadOnly
+
 // DB is a handle to an open store. All methods are safe for concurrent
 // use.
 type DB struct {
@@ -179,6 +187,22 @@ func (d *DB) Flush() error {
 		return ErrClosed
 	}
 	return d.eng.Flush()
+}
+
+// ReadOnly reports whether the store is degraded to read-only mode by a
+// background error.
+func (d *DB) ReadOnly() bool { return d.eng.ReadOnly() }
+
+// Resume clears a transient background error and restores writability: the
+// store rotates to a fresh WAL, re-runs the interrupted flush, and resumes
+// background compaction. Returns nil when the store was already healthy and
+// a wrapped ErrReadOnly when the degradation is permanent (corruption).
+// Call after the underlying condition clears — e.g. disk space was freed.
+func (d *DB) Resume() error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	return d.eng.Resume()
 }
 
 // CompactAll flushes and drives compaction until the store is quiescent

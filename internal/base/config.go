@@ -2,6 +2,7 @@ package base
 
 import (
 	"fmt"
+	"time"
 
 	"pebblesdb/internal/compress"
 )
@@ -102,6 +103,15 @@ type Config struct {
 	// WALSync, if true, syncs the write-ahead log on every commit.
 	WALSync bool
 
+	// BgErrorRetries is how many times a failed background flush or
+	// compaction is retried (with capped exponential backoff) before the
+	// store degrades to read-only. Corruption is never retried. 0 selects
+	// the default (3); a negative value disables retries.
+	BgErrorRetries int
+	// BgErrorRetryDelay is the initial backoff between background retries,
+	// doubling per attempt up to one second. 0 selects the default (50ms).
+	BgErrorRetryDelay time.Duration
+
 	// Logger, if non-nil, receives diagnostic messages.
 	Logger func(format string, args ...interface{})
 }
@@ -171,6 +181,12 @@ func (c *Config) EnsureDefaults() {
 	}
 	if c.MaxCompactionConcurrency == 0 {
 		c.MaxCompactionConcurrency = 3
+	}
+	if c.BgErrorRetries == 0 {
+		c.BgErrorRetries = 3
+	}
+	if c.BgErrorRetryDelay == 0 {
+		c.BgErrorRetryDelay = 50 * time.Millisecond
 	}
 }
 

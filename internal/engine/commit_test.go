@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -322,6 +323,110 @@ func TestCommitPipelineTinyMemtable(t *testing.T) {
 				if _, found, err := e.Get([]byte(fmt.Sprintf("t%02d-%04d", w, i)), nil, nil); err != nil || !found {
 					t.Fatalf("writer %d commit %d: found=%v err=%v", w, i, found, err)
 				}
+			}
+		}
+	})
+}
+
+// TestGroupCommitSyncFailure drives concurrent sync committers into a
+// sticky WAL fsync failure and asserts the group-failure contract: every
+// waiter whose durability could not be honored gets an error (never a
+// silent success), batches stay atomic (no reader sees half of one), the
+// store degrades to read-only with reads still serving, Resume restores
+// writability once the fault clears, and every write acknowledged before
+// the fault — plus everything after Resume — survives a reopen.
+func TestGroupCommitSyncFailure(t *testing.T) {
+	bothKinds(t, func(t *testing.T, kind Kind) {
+		mem := vfs.NewMem()
+		// The sync delay piles concurrent committers into shared groups so
+		// the failure exercises the group path, not just serial commits.
+		efs := vfs.NewErr(slowSyncFS{FS: mem, delay: 200 * time.Microsecond})
+		cfg := testConfig()
+		cfg.BgErrorRetries = -1 // fail fast; this test drives Resume itself
+		cfg.BgErrorRetryDelay = time.Millisecond
+		e, err := Open(cfg, efs, "db", kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if err := e.Set([]byte("base"), []byte("v"), true); err != nil {
+			t.Fatal(err)
+		}
+
+		// Every fsync from here on fails (a dying device).
+		efs.FailAt(efs.OpCount(), vfs.OpSync, nil, true)
+
+		const writers = 8
+		errs := make([]error, writers)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				b := batch.New()
+				b.Set([]byte(fmt.Sprintf("g%d-a", w)), []byte("v"))
+				b.Set([]byte(fmt.Sprintf("g%d-b", w)), []byte("v"))
+				errs[w] = e.Apply(b, true)
+			}(w)
+		}
+		wg.Wait()
+		for w, err := range errs {
+			if err == nil {
+				t.Fatalf("writer %d: sync commit acknowledged despite failed fsync", w)
+			}
+		}
+
+		// The store is read-only; reads keep serving; batches are whole.
+		if !e.ReadOnly() {
+			t.Fatal("store not read-only after WAL sync failure")
+		}
+		if err := e.Set([]byte("rejected"), []byte("v"), true); !errors.Is(err, ErrReadOnly) {
+			t.Fatalf("write in read-only mode: err=%v, want ErrReadOnly", err)
+		}
+		if _, found, err := e.Get([]byte("base"), nil, nil); err != nil || !found {
+			t.Fatalf("read in read-only mode: found=%v err=%v", found, err)
+		}
+		for w := 0; w < writers; w++ {
+			_, fa, _ := e.Get([]byte(fmt.Sprintf("g%d-a", w)), nil, nil)
+			_, fb, _ := e.Get([]byte(fmt.Sprintf("g%d-b", w)), nil, nil)
+			if fa != fb {
+				t.Fatalf("writer %d: half a batch visible (a=%v b=%v)", w, fa, fb)
+			}
+		}
+
+		// The device recovers: Resume rotates to a fresh WAL and restores
+		// writability.
+		efs.Clear()
+		if err := e.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if e.ReadOnly() {
+			t.Fatal("still read-only after Resume")
+		}
+		if err := e.Set([]byte("after"), []byte("v"), true); err != nil {
+			t.Fatalf("sync write after resume: %v", err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Acked-before and acked-after writes are durable across reopen,
+		// and batch atomicity holds in the recovered state too.
+		e2, err := Open(testConfig(), mem, "db", kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e2.Close()
+		for _, k := range []string{"base", "after"} {
+			if _, found, err := e2.Get([]byte(k), nil, nil); err != nil || !found {
+				t.Fatalf("acked key %q after reopen: found=%v err=%v", k, found, err)
+			}
+		}
+		for w := 0; w < writers; w++ {
+			_, fa, _ := e2.Get([]byte(fmt.Sprintf("g%d-a", w)), nil, nil)
+			_, fb, _ := e2.Get([]byte(fmt.Sprintf("g%d-b", w)), nil, nil)
+			if fa != fb {
+				t.Fatalf("writer %d: half a batch recovered (a=%v b=%v)", w, fa, fb)
 			}
 		}
 	})

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/batch"
@@ -32,6 +33,30 @@ import (
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("engine: store is closed")
+
+// ErrReadOnly marks writes rejected while the store is degraded by a
+// background error. Match with errors.Is(err, ErrReadOnly); the original
+// failure is available through errors.Unwrap. Reads keep serving in this
+// state, and Resume restores writability when the cause was transient.
+var ErrReadOnly = errors.New("engine: store is in read-only mode")
+
+// readOnlyError wraps the background error that degraded the store so
+// callers see both the mode (errors.Is(err, ErrReadOnly)) and the cause.
+type readOnlyError struct{ cause error }
+
+func (e *readOnlyError) Error() string {
+	return fmt.Sprintf("engine: store is in read-only mode: %v", e.cause)
+}
+func (e *readOnlyError) Unwrap() error        { return e.cause }
+func (e *readOnlyError) Is(target error) bool { return target == ErrReadOnly }
+
+// bgErrPermanent classifies a background failure: corruption means the
+// durable state itself is damaged, so retrying or resuming cannot help.
+// Everything else (ENOSPC, injected IO errors, failed fsyncs) is
+// environmental and may clear.
+func bgErrPermanent(err error) bool {
+	return errors.Is(err, sstable.ErrCorrupt) || errors.Is(err, wal.ErrCorrupt)
+}
 
 // Kind selects the on-storage structure.
 type Kind int
@@ -133,8 +158,16 @@ type Engine struct {
 	walNum     base.FileNum
 	flushing   bool
 	compacting int
-	bgErr      error
-	closed     bool
+	// bgErr is the background error that degraded the store to read-only;
+	// bgPermanent records its class (corruption cannot be resumed). Both
+	// are cleared by Resume when the cause was transient. immLogNum and
+	// immLastSeq are the pending flush's stamp, kept so Resume can re-run
+	// an interrupted flush with the exact arguments the rotation chose.
+	bgErr       error
+	bgPermanent bool
+	immLogNum   base.FileNum
+	immLastSeq  base.SeqNum
+	closed      bool
 	// stallClear is closed and replaced when a compaction unit brings the
 	// L0 count back under the slowdown trigger. Slowdown-stalled writers
 	// select on it with a timeout: they wake the instant the stall
@@ -145,6 +178,10 @@ type Engine struct {
 
 	// seq is the volatile last-committed (visible) sequence number.
 	seq atomic.Uint64
+
+	// readOnly mirrors bgErr != nil for lock-free observation (metrics,
+	// server status).
+	readOnly atomic.Bool
 
 	snapMu sync.Mutex
 	snaps  map[base.SeqNum]int
@@ -186,6 +223,13 @@ type Engine struct {
 		// Scan path counters, folded in from per-iterator stats at Close.
 		iterTablesOpened atomic.Int64
 		iterPrefixSkips  atomic.Int64
+
+		// Failure-handling counters: degradations by error class, retried
+		// background operations, and successful Resumes.
+		bgRetryable atomic.Int64
+		bgPermanent atomic.Int64
+		bgRetries   atomic.Int64
+		resumes     atomic.Int64
 	}
 }
 
@@ -512,15 +556,118 @@ func (e *Engine) signalStallClearLocked() {
 	e.stallClear = make(chan struct{})
 }
 
+// setDegradedLocked records the first background error and flips the store
+// into read-only mode: reads keep serving, writes return a wrapped
+// ErrReadOnly, and background scheduling stops. Called with mu held.
+func (e *Engine) setDegradedLocked(err error) {
+	if e.bgErr != nil {
+		return
+	}
+	e.bgErr = err
+	e.bgPermanent = bgErrPermanent(err)
+	if e.bgPermanent {
+		e.stats.bgPermanent.Add(1)
+	} else {
+		e.stats.bgRetryable.Add(1)
+	}
+	e.readOnly.Store(true)
+	e.cfg.Logf("engine: degraded to read-only: %v", err)
+	e.cond.Broadcast()
+	e.signalStallClearLocked()
+}
+
+// maxBgRetryDelay caps the exponential backoff between background retries.
+const maxBgRetryDelay = time.Second
+
+// retryBg runs op, retrying transient failures with capped exponential
+// backoff per Config.BgErrorRetries / BgErrorRetryDelay. Corruption is
+// never retried — the bytes will not get better. Returns op's final error.
+func (e *Engine) retryBg(op func() error) error {
+	retries := e.cfg.BgErrorRetries
+	if retries < 0 {
+		retries = 0
+	}
+	delay := e.cfg.BgErrorRetryDelay
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || bgErrPermanent(err) || attempt >= retries {
+			return err
+		}
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return err
+		}
+		e.stats.bgRetries.Add(1)
+		time.Sleep(delay)
+		if delay *= 2; delay > maxBgRetryDelay {
+			delay = maxBgRetryDelay
+		}
+	}
+}
+
+// Resume clears a retryable background error and restores writability: it
+// quiesces the pipeline, rotates to a fresh WAL (the old writer may be
+// poisoned by a torn append or failed fsync), re-runs the flush the failure
+// interrupted with its original stamp, and restarts background scheduling.
+// Returns nil if the store was healthy, ErrClosed after Close, and the
+// wrapped cause when the degradation is permanent (corruption).
+func (e *Engine) Resume() error {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	e.mem.QuiesceWriters()
+	e.drainIngest()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	for e.flushing || e.compacting > 0 {
+		e.cond.Wait()
+	}
+	if e.bgErr == nil {
+		return nil
+	}
+	if e.bgPermanent {
+		return &readOnlyError{cause: e.bgErr}
+	}
+	if err := e.startNewWAL(); err != nil {
+		return err
+	}
+	e.bgErr = nil
+	e.readOnly.Store(false)
+	e.stats.resumes.Add(1)
+	if e.imm != nil {
+		// The interrupted flush keeps its original log/sequence stamp: its
+		// data precedes everything in the memtable's WAL, so the recovery
+		// watermark it publishes must not skip past that log.
+		e.flushing = true
+		go e.flushWorker(e.imm, e.immLogNum, e.immLastSeq)
+	}
+	e.cond.Broadcast()
+	e.signalStallClearLocked()
+	e.maybeScheduleCompactionLocked()
+	return nil
+}
+
+// ReadOnly reports whether the store is degraded to read-only mode.
+func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
+
 func (e *Engine) compactWorker() {
 	for {
-		did, err := e.tree.CompactOnce()
+		var did bool
+		err := e.retryBg(func() error {
+			var cerr error
+			did, cerr = e.tree.CompactOnce()
+			return cerr
+		})
 		e.mu.Lock()
 		if err != nil {
-			e.bgErr = err
+			e.setDegradedLocked(err)
 			e.compacting--
 			e.cond.Broadcast()
-			e.signalStallClearLocked()
 			e.mu.Unlock()
 			return
 		}

@@ -68,6 +68,16 @@ type Metrics struct {
 	MemtableBytes int64
 	// LastSeq is the last committed sequence number.
 	LastSeq base.SeqNum
+	// Failure handling: BgRetryableErrors / BgPermanentErrors count
+	// background-error degradations by class, BgRetries counts retried
+	// background operations, Resumes counts successful Resume calls, and
+	// ReadOnly reports whether the store (any store, after Merge) is
+	// currently degraded to read-only mode.
+	BgRetryableErrors int64
+	BgPermanentErrors int64
+	BgRetries         int64
+	Resumes           int64
+	ReadOnly          bool
 }
 
 // Merge accumulates o into m, producing the metrics of the union of both
@@ -109,6 +119,11 @@ func (m *Metrics) Merge(o Metrics) {
 	if o.LastSeq > m.LastSeq {
 		m.LastSeq = o.LastSeq
 	}
+	m.BgRetryableErrors += o.BgRetryableErrors
+	m.BgPermanentErrors += o.BgPermanentErrors
+	m.BgRetries += o.BgRetries
+	m.Resumes += o.Resumes
+	m.ReadOnly = m.ReadOnly || o.ReadOnly
 }
 
 // CommitGroupSize is the mean number of batches per commit group (1.0
@@ -185,6 +200,11 @@ func (e *Engine) Metrics() Metrics {
 		IterTablesOpened:       e.stats.iterTablesOpened.Load(),
 		IterPrefixSkips:        e.stats.iterPrefixSkips.Load(),
 		LastSeq:                base.SeqNum(e.seq.Load()),
+		BgRetryableErrors:      e.stats.bgRetryable.Load(),
+		BgPermanentErrors:      e.stats.bgPermanent.Load(),
+		BgRetries:              e.stats.bgRetries.Load(),
+		Resumes:                e.stats.resumes.Load(),
+		ReadOnly:               e.readOnly.Load(),
 	}
 	for i := range e.stats.commitWaitHist {
 		m.CommitWaitHist[i] = e.stats.commitWaitHist[i].Load()

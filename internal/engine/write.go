@@ -33,9 +33,7 @@ func (e *Engine) DeleteRange(start, end []byte, sync bool) error {
 
 func (e *Engine) setBgErr(err error) {
 	e.mu.Lock()
-	if e.bgErr == nil {
-		e.bgErr = err
-	}
+	e.setDegradedLocked(err)
 	e.mu.Unlock()
 }
 
@@ -52,7 +50,7 @@ func (e *Engine) makeRoomForWrite(n int) error {
 		case e.closed:
 			return ErrClosed
 		case e.bgErr != nil:
-			return e.bgErr
+			return &readOnlyError{cause: e.bgErr}
 		case !delayed && e.tree.L0Count() >= e.cfg.L0SlowdownTrigger && e.tree.L0Count() < e.cfg.L0StopTrigger:
 			// Soft limit: delay this write once by 1ms of deliberate
 			// backpressure, ceding CPU and IO to compaction — but wake
@@ -81,7 +79,7 @@ func (e *Engine) makeRoomForWrite(n int) error {
 			e.cond.Wait()
 		default:
 			if err := e.rotateMemtableLocked(); err != nil {
-				e.bgErr = err
+				e.setDegradedLocked(err)
 				return err
 			}
 		}
@@ -108,18 +106,23 @@ func (e *Engine) rotateMemtableLocked() error {
 	e.imm = e.mem
 	e.mem = memtable.New()
 	e.flushing = true
-	go e.flushWorker(e.imm, e.walNum, base.SeqNum(e.logSeq))
+	// Record the flush stamp so Resume can re-run an interrupted flush
+	// with the same arguments.
+	e.immLogNum = e.walNum
+	e.immLastSeq = base.SeqNum(e.logSeq)
+	go e.flushWorker(e.imm, e.immLogNum, e.immLastSeq)
 	return nil
 }
 
-// flushWorker writes one immutable memtable to level 0.
+// flushWorker writes one immutable memtable to level 0, retrying transient
+// failures before degrading the store.
 func (e *Engine) flushWorker(imm *memtable.Memtable, newLogNum base.FileNum, lastSeq base.SeqNum) {
-	err := e.tree.Flush(imm.NewIter(), imm.RangeDels(), newLogNum, lastSeq)
+	err := e.retryBg(func() error {
+		return e.tree.Flush(imm.NewIter(), imm.RangeDels(), newLogNum, lastSeq)
+	})
 	e.mu.Lock()
 	if err != nil {
-		if e.bgErr == nil {
-			e.bgErr = err
-		}
+		e.setDegradedLocked(err)
 	} else {
 		e.imm = nil
 		e.stats.flushes.Add(1)
@@ -148,18 +151,24 @@ func (e *Engine) Flush() error {
 		e.cond.Wait()
 	}
 	if e.bgErr != nil {
-		return e.bgErr
+		return &readOnlyError{cause: e.bgErr}
 	}
 	if e.mem.Empty() {
 		return nil
 	}
 	if err := e.rotateMemtableLocked(); err != nil {
+		// A failed rotation may have closed or poisoned the old WAL;
+		// degrade like the write path does so no commit trusts it again.
+		e.setDegradedLocked(err)
 		return err
 	}
 	for e.imm != nil && e.bgErr == nil {
 		e.cond.Wait()
 	}
-	return e.bgErr
+	if e.bgErr != nil {
+		return &readOnlyError{cause: e.bgErr}
+	}
+	return nil
 }
 
 // CompactAll flushes and then drives compaction to quiescence on the

@@ -390,9 +390,18 @@ func (t *Tree) runCompaction(c *compaction) error {
 		}
 	}
 
-	if err := t.logAndInstall(edit); err != nil {
+	installed, err := t.logAndInstall(edit)
+	if err != nil {
 		for _, o := range outputs {
-			o.builder.Abandon()
+			if installed {
+				// Outputs are live in the installed version: keep them (a
+				// later manifest rotation persists them). Inputs likewise
+				// must stay on disk — the durable manifest still references
+				// them — so obsolete-table notification is skipped too.
+				o.builder.ReleasePending()
+			} else {
+				o.builder.Abandon()
+			}
 		}
 		return err
 	}

@@ -465,7 +465,7 @@ func TestGuardDeletionEdit(t *testing.T) {
 	edit := &manifest.VersionEdit{
 		DeletedGuards: []manifest.GuardEntry{{Level: level, Key: key}},
 	}
-	if err := tree.logAndInstall(edit); err != nil {
+	if _, err := tree.logAndInstall(edit); err != nil {
 		t.Fatal(err)
 	}
 	for _, k := range tree.GuardKeys(level) {

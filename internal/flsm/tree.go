@@ -224,8 +224,18 @@ func (t *Tree) Flush(it iterator.Iterator, rangeDels []rangedel.Tombstone, logNu
 		edit.NewFiles = append(edit.NewFiles, manifest.NewFileEntry{Level: 0, Meta: *m})
 		flushed += int64(m.Size)
 	}
-	if err := t.logAndInstall(edit); err != nil {
-		ob.Abandon()
+	installed, err := t.logAndInstall(edit)
+	if err != nil {
+		if installed {
+			// The tables are already referenced by the live in-memory
+			// version, so deleting them would break reads. Keep them: a
+			// later successful manifest rotation snapshots the full state,
+			// making them durable, and a retried flush merely re-adds the
+			// same keys at the same sequence numbers.
+			ob.ReleasePending()
+		} else {
+			ob.Abandon()
+		}
 		return err
 	}
 	ob.ReleasePending()
@@ -237,8 +247,12 @@ func (t *Tree) Flush(it iterator.Iterator, rangeDels []rangedel.Tombstone, logNu
 }
 
 // logAndInstall installs the version resulting from edit, prunes committed
-// guards from the uncommitted sets, and persists the edit.
-func (t *Tree) logAndInstall(edit *manifest.VersionEdit) error {
+// guards from the uncommitted sets, and persists the edit. installed
+// reports whether the in-memory version switch happened: when true the
+// edit's new files are referenced by live reads even if persistence failed,
+// so the caller must NOT delete them (a later successful manifest rotation
+// snapshots the installed state and makes them durable).
+func (t *Tree) logAndInstall(edit *manifest.VersionEdit) (installed bool, err error) {
 	t.mu.Lock()
 	nv, err := t.cur.apply(edit, t.cfg.NumLevels)
 	if err == nil {
@@ -249,9 +263,9 @@ func (t *Tree) logAndInstall(edit *manifest.VersionEdit) error {
 	}
 	t.mu.Unlock()
 	if err != nil {
-		return err
+		return false, err
 	}
-	return t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
+	return true, t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		return t.snapshotEditLocked()

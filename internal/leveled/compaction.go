@@ -148,7 +148,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 			DeletedFiles: []manifest.DeletedFileEntry{{Level: c.level, FileNum: f.FileNum}},
 			NewFiles:     []manifest.NewFileEntry{{Level: c.level + 1, Meta: *f}},
 		}
-		if err := t.logAndInstall(edit); err != nil {
+		if _, err := t.logAndInstall(edit); err != nil {
 			return err
 		}
 		t.mu.Lock()
@@ -274,8 +274,16 @@ func (t *Tree) runCompaction(c *compaction) error {
 		edit.NewFiles = append(edit.NewFiles, manifest.NewFileEntry{Level: c.level + 1, Meta: *m})
 		bytesOut += int64(m.Size)
 	}
-	if err := t.logAndInstall(edit); err != nil {
-		ob.Abandon()
+	installed, err := t.logAndInstall(edit)
+	if err != nil {
+		if installed {
+			// Outputs are live in the installed version and inputs are still
+			// referenced by the durable manifest: keep everything on disk and
+			// skip the obsolete-table notification.
+			ob.ReleasePending()
+		} else {
+			ob.Abandon()
+		}
 		return err
 	}
 	ob.ReleasePending()

@@ -172,8 +172,16 @@ func (t *Tree) Flush(it iterator.Iterator, rangeDels []rangedel.Tombstone, logNu
 		edit.NewFiles = append(edit.NewFiles, manifest.NewFileEntry{Level: 0, Meta: *m})
 		flushed += int64(m.Size)
 	}
-	if err := t.logAndInstall(edit); err != nil {
-		ob.Abandon()
+	installed, err := t.logAndInstall(edit)
+	if err != nil {
+		if installed {
+			// The tables are referenced by the live in-memory version; keep
+			// them for a later manifest rotation to persist. A retried flush
+			// re-adds the same keys at the same sequence numbers.
+			ob.ReleasePending()
+		} else {
+			ob.Abandon()
+		}
 		return err
 	}
 	ob.ReleasePending()
@@ -186,10 +194,12 @@ func (t *Tree) Flush(it iterator.Iterator, rangeDels []rangedel.Tombstone, logNu
 
 // logAndInstall installs the version resulting from edit and persists the
 // edit. Install-then-log keeps the rotation snapshot (which reads t.cur)
-// consistent with the edit it replaces; if the manifest write fails the
-// engine surfaces the error and stops accepting writes, so the in-memory
-// state running ahead of the manifest is harmless.
-func (t *Tree) logAndInstall(edit *manifest.VersionEdit) error {
+// consistent with the edit it replaces. installed reports whether the
+// in-memory switch happened: when true the edit's new files are referenced
+// by live reads even if persistence failed, so the caller must NOT delete
+// them — a later successful manifest rotation snapshots the installed state
+// and makes them durable.
+func (t *Tree) logAndInstall(edit *manifest.VersionEdit) (installed bool, err error) {
 	t.mu.Lock()
 	nv, err := t.cur.apply(edit, t.cfg.NumLevels)
 	if err == nil {
@@ -197,9 +207,9 @@ func (t *Tree) logAndInstall(edit *manifest.VersionEdit) error {
 	}
 	t.mu.Unlock()
 	if err != nil {
-		return err
+		return false, err
 	}
-	return t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
+	return true, t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		return t.snapshotEditLocked()

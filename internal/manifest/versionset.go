@@ -28,6 +28,13 @@ type VersionSet struct {
 	manifestW     *wal.Writer
 	manifestNum   base.FileNum
 	manifestBytes int64
+	// writeErr records that an append to the live manifest failed. The
+	// file's tail may hold a torn record, and the log reader treats a tear
+	// as end-of-log — so any record appended after it would be silently
+	// invisible to recovery. Once set, the next LogAndApply must rotate to
+	// a fresh manifest seeded with a full snapshot; plain appends are
+	// refused.
+	writeErr bool
 
 	nextFileNum atomic.Uint64 // next unused file number
 
@@ -64,8 +71,7 @@ func Create(fs vfs.FS, dir string) (*VersionSet, error) {
 	}
 	vs := &VersionSet{fs: fs, dir: dir}
 	vs.nextFileNum.Store(2) // 1 is reserved for the first manifest
-	vs.manifestNum = 1
-	if err := vs.openNewManifest(nil); err != nil {
+	if err := vs.installManifestLocked(1, nil, 0, 0); err != nil {
 		return nil, err
 	}
 	return vs, nil
@@ -155,58 +161,86 @@ func Load(fs vfs.FS, dir string, apply func(*VersionEdit) error) (*VersionSet, e
 // StartAppending must be called once after Load, with a snapshot edit
 // describing the full recovered state; it opens the new MANIFEST.
 func (vs *VersionSet) StartAppending(snapshot *VersionEdit) error {
-	return vs.openNewManifest(snapshot)
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return vs.installManifestLocked(vs.manifestNum, snapshot, vs.logNum, vs.lastSeq)
 }
 
-// openNewManifest writes a new MANIFEST seeded with snapshot (nil for a
-// fresh store) and atomically points CURRENT at it.
-func (vs *VersionSet) openNewManifest(snapshot *VersionEdit) error {
-	name := base.MakeFilename(base.FileTypeManifest, vs.manifestNum)
+// installManifestLocked writes a new MANIFEST numbered num, seeded with
+// snapshot (nil for a fresh store) carrying the newLog/newSeq watermarks,
+// syncs it, and atomically points CURRENT at it. The VersionSet's state —
+// live manifest handle, watermarks, writeErr — commits only after the
+// *entire* sequence succeeds; any failure removes the partial files and
+// leaves the previous manifest live and CURRENT untouched, so a failed
+// switch can never strand CURRENT pointing at one manifest while edits
+// flow to another.
+func (vs *VersionSet) installManifestLocked(num base.FileNum, snapshot *VersionEdit, newLog base.FileNum, newSeq base.SeqNum) error {
+	name := base.MakeFilename(base.FileTypeManifest, num)
 	path := filepath.Join(vs.dir, name)
+	fail := func(err error) error {
+		vs.writeErr = true
+		vs.fs.Remove(path)
+		vs.fs.Remove(filepath.Join(vs.dir, base.MakeFilename(base.FileTypeTemp, num)))
+		return err
+	}
 	f, err := vs.fs.Create(path)
 	if err != nil {
+		vs.writeErr = true
 		return err
 	}
 	w := wal.NewWriter(f)
-	vs.manifestBytes = 0
+	var nbytes int64
 	if snapshot != nil {
-		nf := base.FileNum(vs.nextFileNum.Load())
-		snapshot.SetNextFileNum(nf)
-		snapshot.SetLastSeq(vs.lastSeq)
-		snapshot.SetLogNum(vs.logNum)
+		snapshot.SetNextFileNum(base.FileNum(vs.nextFileNum.Load()))
+		snapshot.SetLastSeq(newSeq)
+		snapshot.SetLogNum(newLog)
 		rec := snapshot.Encode(nil)
 		if err := w.AddRecord(rec); err != nil {
 			f.Close()
-			return err
+			return fail(err)
 		}
-		vs.manifestBytes += int64(len(rec))
+		nbytes = int64(len(rec))
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return fail(err)
 	}
+
+	// Point CURRENT at the new manifest via atomic rename.
+	tmp := filepath.Join(vs.dir, base.MakeFilename(base.FileTypeTemp, num))
+	tf, err := vs.fs.Create(tmp)
+	if err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if _, err := tf.Write([]byte(name + "\n")); err != nil {
+		tf.Close()
+		f.Close()
+		return fail(err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		f.Close()
+		return fail(err)
+	}
+	tf.Close()
+	if err := vs.fs.Rename(tmp, filepath.Join(vs.dir, "CURRENT")); err != nil {
+		f.Close()
+		return fail(err)
+	}
+
+	// Full success: commit the switch.
 	if vs.manifestFile != nil {
 		vs.manifestFile.Close()
 	}
 	vs.manifestFile = f
 	vs.manifestW = w
-
-	// Point CURRENT at the new manifest via atomic rename.
-	tmp := filepath.Join(vs.dir, base.MakeFilename(base.FileTypeTemp, vs.manifestNum))
-	tf, err := vs.fs.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if _, err := tf.Write([]byte(name + "\n")); err != nil {
-		tf.Close()
-		return err
-	}
-	if err := tf.Sync(); err != nil {
-		tf.Close()
-		return err
-	}
-	tf.Close()
-	return vs.fs.Rename(tmp, filepath.Join(vs.dir, "CURRENT"))
+	vs.manifestNum = num
+	vs.manifestBytes = nbytes
+	vs.logNum = newLog
+	vs.lastSeq = newSeq
+	vs.writeErr = false
+	return nil
 }
 
 // NewFileNum allocates a fresh file number.
@@ -227,26 +261,41 @@ func (vs *VersionSet) LogAndApply(edit *VersionEdit, snapshotFn func() *VersionE
 	vs.mu.Lock()
 	defer vs.mu.Unlock()
 
-	nf := base.FileNum(vs.nextFileNum.Load())
-	edit.SetNextFileNum(nf)
+	edit.SetNextFileNum(base.FileNum(vs.nextFileNum.Load()))
+	// Compute the watermarks the edit implies without publishing them: a
+	// watermark that advances before the edit persists would let cleanup
+	// delete WALs (or trust sequence numbers) the durable manifest state
+	// still needs.
+	newLog, newSeq := vs.logNum, vs.lastSeq
 	if edit.LogNum != nil {
-		vs.logNum = *edit.LogNum
+		newLog = *edit.LogNum
 	}
-	if edit.LastSeq != nil && *edit.LastSeq > vs.lastSeq {
-		vs.lastSeq = *edit.LastSeq
+	if edit.LastSeq != nil && *edit.LastSeq > newSeq {
+		newSeq = *edit.LastSeq
 	}
 
-	if vs.manifestBytes >= rotateThreshold && snapshotFn != nil {
-		vs.manifestNum = vs.NewFileNum()
-		return vs.openNewManifest(snapshotFn())
+	if (vs.writeErr || vs.manifestBytes >= rotateThreshold) && snapshotFn != nil {
+		// Rotation with a full snapshot: the snapshot already reflects the
+		// caller's in-memory state including this edit, so it both compacts
+		// history and recovers from a torn tail in the old manifest.
+		return vs.installManifestLocked(vs.NewFileNum(), snapshotFn(), newLog, newSeq)
+	}
+	if vs.writeErr {
+		return fmt.Errorf("manifest: previous write failed; rotation with snapshot required")
 	}
 
 	rec := edit.Encode(nil)
 	if err := vs.manifestW.AddRecord(rec); err != nil {
+		vs.writeErr = true
 		return err
 	}
 	vs.manifestBytes += int64(len(rec))
-	return vs.manifestFile.Sync()
+	if err := vs.manifestFile.Sync(); err != nil {
+		vs.writeErr = true
+		return err
+	}
+	vs.logNum, vs.lastSeq = newLog, newSeq
+	return nil
 }
 
 // ManifestFileNum returns the live manifest's file number; older manifests

@@ -21,21 +21,41 @@ import (
 // A Client is not safe for concurrent use; use one per goroutine (they are
 // cheap — one TCP connection and two buffers).
 type Client struct {
-	nc  net.Conn
-	br  *bufio.Reader
-	bw  *bufio.Writer
-	enc []byte // request frame build buffer
-	rcv []byte // response frame read buffer
-	err error  // first transport error; sticky
+	nc   net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	enc  []byte // request frame build buffer
+	rcv  []byte // response frame read buffer
+	err  error  // first transport error; sticky
+	addr string // redial target; empty for NewClient-wrapped connections
+
+	// OpTimeout, when positive, bounds each synchronous convenience call
+	// (Get, Put, Scan, ...) with a connection deadline, so a wedged server
+	// turns into a timeout error instead of a hung client. Pipelined
+	// Send*/Recv traffic is unaffected.
+	OpTimeout time.Duration
+	// MaxRetries, when positive, lets the idempotent reads (Ping, Get,
+	// Scan, Stats) transparently redial and retry after a transport error,
+	// with capped exponential backoff between attempts. Writes never
+	// retry: a write whose response was lost may or may not have applied,
+	// and repeating it would claim certainty the protocol cannot offer.
+	// Only Dial-created clients can redial.
+	MaxRetries int
+	// RetryBaseDelay is the first reconnect backoff (default 50ms); it
+	// doubles per attempt, capped at 1s.
+	RetryBaseDelay time.Duration
 }
 
-// Dial connects to a dbserver.
+// Dial connects to a dbserver. The returned client remembers addr, so
+// setting MaxRetries enables reconnect-and-retry for idempotent reads.
 func Dial(addr string) (*Client, error) {
 	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(nc), nil
+	c := NewClient(nc)
+	c.addr = addr
+	return c, nil
 }
 
 // NewClient wraps an established connection (tests use net.Pipe).
@@ -129,6 +149,10 @@ func (c *Client) SendStats() error { return c.send(&Request{Op: OpStats}) }
 
 // roundTrip sends one request and waits for its response (no pipelining).
 func (c *Client) roundTrip(req *Request) (Response, error) {
+	if c.OpTimeout > 0 && c.err == nil {
+		c.nc.SetDeadline(time.Now().Add(c.OpTimeout))
+		defer c.nc.SetDeadline(time.Time{})
+	}
 	if err := c.send(req); err != nil {
 		return Response{}, err
 	}
@@ -138,9 +162,53 @@ func (c *Client) roundTrip(req *Request) (Response, error) {
 	return c.Recv()
 }
 
+// reconnect redials the server, swaps in the fresh connection, and clears
+// the sticky transport error.
+func (c *Client) reconnect() error {
+	nc, err := net.DialTimeout("tcp", c.addr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	c.nc.Close()
+	c.nc = nc
+	c.br.Reset(nc)
+	c.bw.Reset(nc)
+	c.err = nil
+	return nil
+}
+
+// roundTripIdempotent is roundTrip plus reconnect-and-retry for requests
+// that are safe to repeat. A request whose transport failed may or may not
+// have executed on the server; repeating a read is harmless either way, so
+// these calls ride through server restarts and dropped connections.
+func (c *Client) roundTripIdempotent(req *Request) (Response, error) {
+	resp, err := c.roundTrip(req)
+	if err == nil || c.MaxRetries <= 0 || c.addr == "" {
+		return resp, err
+	}
+	delay := c.RetryBaseDelay
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	for attempt := 0; attempt < c.MaxRetries; attempt++ {
+		time.Sleep(delay)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+		if rerr := c.reconnect(); rerr != nil {
+			err = rerr
+			continue
+		}
+		if resp, err = c.roundTrip(req); err == nil {
+			return resp, nil
+		}
+	}
+	return resp, err
+}
+
 // Ping checks liveness.
 func (c *Client) Ping() error {
-	resp, err := c.roundTrip(&Request{Op: OpPing})
+	resp, err := c.roundTripIdempotent(&Request{Op: OpPing})
 	if err != nil {
 		return err
 	}
@@ -150,7 +218,7 @@ func (c *Client) Ping() error {
 // Get reads key. The returned value aliases the receive buffer: copy it if
 // it must survive the next call.
 func (c *Client) Get(key []byte) (val []byte, found bool, err error) {
-	resp, err := c.roundTrip(&Request{Op: OpGet, Key: key})
+	resp, err := c.roundTripIdempotent(&Request{Op: OpGet, Key: key})
 	if err != nil {
 		return nil, false, err
 	}
@@ -204,7 +272,7 @@ func (c *Client) ApplyBatch(ops []BatchOp, flags byte) error {
 // Scan returns up to limit pairs in [start, end) in ascending key order,
 // merged across shards. Pairs alias the receive buffer.
 func (c *Client) Scan(start, end []byte, limit uint32) ([]KV, error) {
-	resp, err := c.roundTrip(&Request{Op: OpScan, Key: start, Val: end, Limit: limit})
+	resp, err := c.roundTripIdempotent(&Request{Op: OpScan, Key: start, Val: end, Limit: limit})
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +288,7 @@ func (c *Client) Scan(start, end []byte, limit uint32) ([]KV, error) {
 // Stats returns the server's aggregate JSON stats snapshot. The bytes
 // alias the receive buffer.
 func (c *Client) Stats() ([]byte, error) {
-	resp, err := c.roundTrip(&Request{Op: OpStats})
+	resp, err := c.roundTripIdempotent(&Request{Op: OpStats})
 	if err != nil {
 		return nil, err
 	}

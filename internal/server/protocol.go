@@ -69,6 +69,11 @@ const (
 	StatusNotFound Status = 1
 	// StatusErr: the operation failed; body is the error message.
 	StatusErr Status = 2
+	// StatusReadOnly: a write was rejected because the target shard store
+	// is degraded to read-only by a background IO error; body is the error
+	// message. Reads keep working on the same connection — unlike
+	// StatusErr on a write, the server does not drop the connection.
+	StatusReadOnly Status = 3
 )
 
 // BatchOp is one operation inside an OpApplyBatch body.
@@ -117,12 +122,23 @@ type Response struct {
 	Pairs []KV
 }
 
-// Err converts a StatusErr response into an error (nil otherwise).
+// ErrReadOnly is the error Response.Err returns for StatusReadOnly: the
+// shard store is degraded to read-only. Match with errors.Is.
+var ErrReadOnly = errors.New("server: store is read-only")
+
+// Err converts a StatusErr or StatusReadOnly response into an error (nil
+// otherwise).
 func (r *Response) Err() error {
-	if r.Status != StatusErr {
-		return nil
+	switch r.Status {
+	case StatusErr:
+		return errors.New(string(r.Val))
+	case StatusReadOnly:
+		if len(r.Val) > 0 {
+			return fmt.Errorf("%w: %s", ErrReadOnly, r.Val)
+		}
+		return ErrReadOnly
 	}
-	return errors.New(string(r.Val))
+	return nil
 }
 
 // ErrFrameTooLarge rejects frames whose announced payload exceeds
@@ -296,7 +312,7 @@ func ParseResponse(payload []byte) (Response, error) {
 	resp.Status = Status(payload[0])
 	body := payload[1:]
 	switch resp.Status {
-	case StatusOK, StatusErr:
+	case StatusOK, StatusErr, StatusReadOnly:
 	case StatusNotFound:
 		if len(body) != 0 {
 			return resp, errTruncated

@@ -170,16 +170,65 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Shutdown drains the server gracefully: stop accepting, unblock every
+// connection's next read so its handler answers what it has buffered,
+// flushes, and returns, then wait for the handlers. Unlike Close, a
+// handler mid-request finishes that request (including an in-flight
+// apply) and its response reaches the client. Connections still alive
+// after timeout are force-closed; Shutdown waits for them to unwind and
+// reports whether the drain was clean.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.mu.Lock()
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for c := range s.conns {
+		// An expired read deadline fails the connection's next blocking
+		// ReadFrame without tearing down the socket, so the handler's final
+		// responses still flush out before it returns.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return nil
+	case <-timer.C:
+		s.mu.Lock()
+		stuck := len(s.conns)
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("server: graceful drain timed out; force-closed %d connections", stuck)
+	}
+}
+
 // Stats is the service-level snapshot the Stats RPC returns: connection
 // and request accounting plus the shard engines' metrics merged into one
 // aggregate (counters summed, histograms merged bucket-wise; see
 // Metrics.Merge).
 type Stats struct {
-	Shards      int     `json:"shards"`
-	ActiveConns int     `json:"active_conns"`
-	TotalConns  int64   `json:"total_conns"`
-	Requests    int64   `json:"requests"`
-	UptimeSecs  float64 `json:"uptime_secs"`
+	Shards int `json:"shards"`
+	// ReadOnlyShards counts shards currently degraded to read-only by a
+	// background IO error; nonzero means some writes are failing with
+	// StatusReadOnly while reads keep serving.
+	ReadOnlyShards int     `json:"read_only_shards"`
+	ActiveConns    int     `json:"active_conns"`
+	TotalConns     int64   `json:"total_conns"`
+	Requests       int64   `json:"requests"`
+	UptimeSecs     float64 `json:"uptime_secs"`
 	// WriteAmplification is the aggregate ratio, derived from the summed
 	// counters (not a mean of per-shard ratios).
 	WriteAmplification float64           `json:"write_amplification"`
@@ -192,6 +241,7 @@ func (s *Server) Stats() Stats {
 	active := len(s.conns)
 	s.mu.Unlock()
 	var agg pebblesdb.Metrics
+	readOnly := 0
 	for i, db := range s.shards {
 		m := db.Metrics()
 		if i == 0 {
@@ -199,9 +249,13 @@ func (s *Server) Stats() Stats {
 		} else {
 			agg.Merge(m)
 		}
+		if db.ReadOnly() {
+			readOnly++
+		}
 	}
 	return Stats{
 		Shards:             len(s.shards),
+		ReadOnlyShards:     readOnly,
 		ActiveConns:        active,
 		TotalConns:         s.totalConns.Load(),
 		Requests:           s.requests.Load(),
@@ -421,20 +475,33 @@ func (c *conn) flushWrites() error {
 	// failed apply fails every request in the flushed group: they shared
 	// its batches, and per-request attribution would claim a precision
 	// the engine does not offer.
-	for n := 0; n < c.pending; n++ {
-		if firstErr != nil {
-			c.writeResponse(StatusErr, []byte(firstErr.Error()))
+	status, body := StatusOK, []byte(nil)
+	if firstErr != nil {
+		body = []byte(firstErr.Error())
+		if errors.Is(firstErr, pebblesdb.ErrReadOnly) {
+			status = StatusReadOnly
 		} else {
-			c.writeResponse(StatusOK, nil)
+			status = StatusErr
 		}
+	}
+	for n := 0; n < c.pending; n++ {
+		c.writeResponse(status, body)
 	}
 	c.pending = 0
 	c.accumBytes = 0
 	c.sync = false
-	// A failed apply is a store-level condition (background error or a
-	// closing shard), not a per-request one: the requests were answered,
-	// and the connection drops so the client re-establishes against a
-	// healthy server.
+	if status == StatusReadOnly {
+		// A read-only shard is a degraded-but-serving condition: writes are
+		// rejected, reads still work. Keep the connection — the client saw
+		// the distinct status and can fall back to reads or back off,
+		// without paying a reconnect against a server that would refuse the
+		// same writes again.
+		return nil
+	}
+	// Any other failed apply is a store-level condition (background error
+	// or a closing shard), not a per-request one: the requests were
+	// answered, and the connection drops so the client re-establishes
+	// against a healthy server.
 	return firstErr
 }
 

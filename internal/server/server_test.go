@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -504,5 +505,151 @@ func TestRequestRoundTrip(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestReadOnlyShardWireStatus degrades a shard to read-only behind the
+// server and asserts the wire contract: writes come back StatusReadOnly —
+// surfaced by the client as a wrapped ErrReadOnly — while the connection
+// stays up and keeps serving reads and stats; Stats counts the degraded
+// shard; and after the operator clears the fault and resumes the shard,
+// the same connection accepts writes again.
+func TestReadOnlyShardWireStatus(t *testing.T) {
+	efs := vfs.NewErr(vfs.NewMem())
+	o := pebblesdb.PresetPebblesDB.Options()
+	o.WithFS(efs)
+	db, err := pebblesdb.Open("shard-ro", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := New([]*pebblesdb.DB{db}, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	c := dialT(t, ln.Addr().String())
+	if err := c.Put([]byte("base"), []byte("v"), FlagSync); err != nil {
+		t.Fatalf("baseline put: %v", err)
+	}
+
+	// The disk fills. The write that trips the fault surfaces the raw
+	// store error (StatusErr, connection dropped); every write after it
+	// sees the shard already degraded and gets the distinct status.
+	efs.SetFull(true)
+	if err := c.Put([]byte("w1"), []byte("v"), FlagSync); err == nil {
+		t.Fatal("put succeeded on a full disk")
+	}
+	if !db.ReadOnly() {
+		t.Fatal("shard not read-only after failed write")
+	}
+	c2 := dialT(t, ln.Addr().String())
+	err = c2.Put([]byte("w2"), []byte("v"), 0)
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write to read-only shard: err=%v, want ErrReadOnly", err)
+	}
+	// The connection survived the rejected write: reads and stats still
+	// answer on it.
+	if v, found, err := c2.Get([]byte("base")); err != nil || !found || string(v) != "v" {
+		t.Fatalf("read on read-only shard: %q found=%v err=%v", v, found, err)
+	}
+	raw, err := c2.Stats()
+	if err != nil {
+		t.Fatalf("stats on read-only shard: %v", err)
+	}
+	var st Stats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ReadOnlyShards != 1 {
+		t.Fatalf("stats read_only_shards = %d, want 1", st.ReadOnlyShards)
+	}
+	if !st.Aggregate.ReadOnly {
+		t.Fatal("aggregate metrics lost the read-only flag")
+	}
+
+	// Space is freed and the shard resumed: the same connection writes
+	// again.
+	efs.Clear()
+	if err := db.Resume(); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if err := c2.Put([]byte("w3"), []byte("v"), FlagSync); err != nil {
+		t.Fatalf("put after resume: %v", err)
+	}
+	if _, found, err := c2.Get([]byte("w3")); err != nil || !found {
+		t.Fatalf("read-back after resume: found=%v err=%v", found, err)
+	}
+}
+
+// TestClientReconnect drops the client's connection out from under it and
+// checks that idempotent reads transparently redial while writes stay
+// fail-fast (a lost write response must surface, never silently retry).
+func TestClientReconnect(t *testing.T) {
+	_, addr, _ := startServer(t, 2, nil)
+	c := dialT(t, addr)
+	c.MaxRetries = 3
+	c.RetryBaseDelay = time.Millisecond
+
+	if err := c.Put([]byte("k"), []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+
+	c.nc.Close() // the connection dies mid-session
+	v, found, err := c.Get([]byte("k"))
+	if err != nil || !found || string(v) != "v" {
+		t.Fatalf("get after reconnect: %q found=%v err=%v", v, found, err)
+	}
+
+	c.nc.Close()
+	if err := c.Put([]byte("k2"), []byte("v"), 0); err == nil {
+		t.Fatal("write silently retried across a dropped connection")
+	}
+	// The sticky transport error from the failed write clears on the next
+	// idempotent call's reconnect.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after failed write: %v", err)
+	}
+}
+
+// TestShutdownDrains checks the graceful path: Shutdown lets an idle
+// connection unwind cleanly within the timeout, refuses new connections,
+// and leaves the shards untouched for the caller to close.
+func TestShutdownDrains(t *testing.T) {
+	shards := testShards(t, 2)
+	defer func() {
+		for _, db := range shards {
+			db.Close()
+		}
+	}()
+	srv := New(shards, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	c := dialT(t, ln.Addr().String())
+	if err := c.Put([]byte("k"), []byte("v"), FlagSync); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(2 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("connection survived shutdown")
+	}
+	if c2, err := Dial(ln.Addr().String()); err == nil {
+		defer c2.Close()
+		if err := c2.Ping(); err == nil {
+			t.Fatal("new connection accepted after shutdown")
+		}
+	}
+	// Shards remain usable by their owner after the server is gone.
+	if _, found, err := shards[0].Get([]byte("k"), nil); err != nil && found {
+		t.Fatalf("shard unusable after shutdown: %v", err)
 	}
 }

@@ -124,10 +124,13 @@ func (o *OutputBuilder) Cut() error {
 		err = cerr
 	}
 	if err != nil {
+		// The half-written table is garbage: remove it now rather than
+		// leaving an orphan for the next open's sweep to find.
+		o.fs.Remove(filepath.Join(o.dir, base.MakeFilename(base.FileTypeTable, o.curFn)))
 		if o.pending != nil {
 			o.pending.RemovePending(o.curFn)
 		}
-		o.cur = nil
+		o.cur, o.curFile = nil, nil
 		return o.setErr(err)
 	}
 	o.metas = append(o.metas, &base.FileMetadata{

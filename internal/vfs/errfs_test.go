@@ -1,0 +1,166 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestErrFSFailAtOneShot(t *testing.T) {
+	fs := NewErr(NewMem())
+	fs.FailAt(1, OpCreate, nil, false)
+
+	if _, err := fs.Create("a"); err != nil {
+		t.Fatalf("op 0 should pass: %v", err)
+	}
+	if _, err := fs.Create("b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 1 should fail injected, got %v", err)
+	}
+	if _, err := fs.Create("c"); err != nil {
+		t.Fatalf("one-shot must clear after firing: %v", err)
+	}
+	if got := fs.Injected(); got != 1 {
+		t.Fatalf("injected = %d, want 1", got)
+	}
+}
+
+func TestErrFSSticky(t *testing.T) {
+	fs := NewErr(NewMem())
+	sentinel := errors.New("dead device")
+	fs.FailAt(0, OpCreate|OpWrite, sentinel, true)
+
+	for i := 0; i < 3; i++ {
+		if _, err := fs.Create("x"); !errors.Is(err, sentinel) {
+			t.Fatalf("sticky attempt %d: got %v", i, err)
+		}
+	}
+	// Non-matching classes still work.
+	if _, err := fs.List("."); err != nil {
+		t.Fatalf("List should not match mask: %v", err)
+	}
+	fs.Clear()
+	if _, err := fs.Create("x"); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+}
+
+func TestErrFSOpClasses(t *testing.T) {
+	fs := NewErr(NewMem())
+	f, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	// Arm against sync only: writes keep passing, the sync fails.
+	fs.FailAt(0, OpSync, nil, true)
+	if _, err := f.Write([]byte("def")); err != nil {
+		t.Fatalf("write must not match OpSync: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync should fail, got %v", err)
+	}
+	fs.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reads go through the checker too.
+	fs.FailAt(0, OpRead, nil, true)
+	rf, err := fs.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 6)
+	if _, err := rf.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read should fail, got %v", err)
+	}
+	fs.Clear()
+	if _, err := rf.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "abcdef" {
+		t.Fatalf("read back %q", buf)
+	}
+	rf.Close()
+}
+
+func TestErrFSFullMode(t *testing.T) {
+	fs := NewErr(NewMem())
+	f, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFull(true)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write on full disk: got %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("sync on full disk: got %v", err)
+	}
+	if _, err := fs.Create("g"); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("create on full disk: got %v", err)
+	}
+	// Reads, listing and deletion still work: that is what lets a store
+	// keep serving and an operator free space.
+	if _, err := fs.List("."); err != nil {
+		t.Fatalf("list on full disk: %v", err)
+	}
+	if err := fs.Remove("f"); err != nil {
+		t.Fatalf("remove on full disk: %v", err)
+	}
+	fs.SetFull(false)
+	if _, err := fs.Create("g"); err != nil {
+		t.Fatalf("after clearing full: %v", err)
+	}
+}
+
+func TestErrFSOpCountDeterministic(t *testing.T) {
+	workload := func(fs FS) {
+		f, _ := fs.Create("a")
+		f.Write([]byte("hello"))
+		f.Sync()
+		f.Close()
+		fs.Rename("a", "b")
+		g, _ := fs.Open("b")
+		buf := make([]byte, 5)
+		g.ReadAt(buf, 0)
+		g.Close()
+		fs.Stat("b")
+		fs.List(".")
+		fs.Remove("b")
+	}
+	a := NewErr(NewMem())
+	b := NewErr(NewMem())
+	workload(a)
+	workload(b)
+	if a.OpCount() != b.OpCount() || a.OpCount() == 0 {
+		t.Fatalf("op counts differ: %d vs %d", a.OpCount(), b.OpCount())
+	}
+}
+
+// TestErrFSComposesWithCrash pins the composition the sweep and crash tests
+// rely on: ErrFS wrapping CrashFS forwards faults while the crash wrapper
+// keeps its own semantics.
+func TestErrFSComposesWithCrash(t *testing.T) {
+	crash := NewCrash()
+	fs := NewErr(crash)
+	f, err := fs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailAt(0, OpSync, nil, true)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync through composed stack: got %v", err)
+	}
+	fs.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+}

@@ -45,6 +45,13 @@ type Writer struct {
 	f           vfs.File
 	blockOffset int
 	buf         [headerSize]byte
+	// werr is the sticky append error: a failed write may have left a torn
+	// chunk mid-file, and any record appended after the tear would be
+	// unreadable on replay (the reader treats the tear as end-of-log). Once
+	// an append fails, every later AddRecord reports the failure instead of
+	// silently writing records recovery can never see. Touched only by
+	// AddRecord callers, which serialize among themselves.
+	werr error
 
 	// SyncCounter, when non-nil, is incremented once per physical fsync;
 	// the engine points it at its syncs-per-commit metric. Set it before
@@ -74,8 +81,13 @@ func NewWriter(f vfs.File) *Writer {
 	return w
 }
 
-// AddRecord appends one record.
+// AddRecord appends one record. After any append failure the Writer is
+// poisoned: every subsequent AddRecord returns the original error (see
+// werr). The caller rotates to a fresh log to resume.
 func (w *Writer) AddRecord(p []byte) error {
+	if w.werr != nil {
+		return w.werr
+	}
 	begin := true
 	for {
 		leftover := BlockSize - w.blockOffset
@@ -84,6 +96,7 @@ func (w *Writer) AddRecord(p []byte) error {
 			if leftover > 0 {
 				var zeros [headerSize]byte
 				if _, err := w.f.Write(zeros[:leftover]); err != nil {
+					w.werr = err
 					return err
 				}
 			}
@@ -109,6 +122,7 @@ func (w *Writer) AddRecord(p []byte) error {
 			typ = chunkMiddle
 		}
 		if err := w.emit(typ, frag); err != nil {
+			w.werr = err
 			return err
 		}
 		p = p[len(frag):]

@@ -1,6 +1,8 @@
 package pebblesdb
 
 import (
+	"time"
+
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/compress"
 	"pebblesdb/internal/engine"
@@ -147,6 +149,14 @@ type Options struct {
 	// carried WriteOptions{Sync: true}; concurrent commits still share
 	// amortized fsyncs.
 	WALSync bool
+	// MaxBgRetries is how many times a failed background flush or
+	// compaction is retried (with capped exponential backoff) before the
+	// store degrades to read-only; corruption never retries. 0 selects the
+	// default (3), negative disables retries.
+	MaxBgRetries int
+	// BgRetryDelay is the initial backoff between background retries,
+	// doubling per attempt up to one second. 0 selects the default (50ms).
+	BgRetryDelay time.Duration
 
 	// fs overrides the filesystem (tests).
 	fs vfs.FS
@@ -345,6 +355,8 @@ func (o *Options) toConfig() (*base.Config, engine.Kind, vfs.FS) {
 		ParallelGuardCompaction:  o.ParallelGuardCompaction,
 		MaxCompactionConcurrency: o.MaxCompactionConcurrency,
 		WALSync:                  o.WALSync,
+		BgErrorRetries:           o.MaxBgRetries,
+		BgErrorRetryDelay:        o.BgRetryDelay,
 	}
 	kind := engine.KindFLSM
 	if o.Engine == EngineLeveled {
