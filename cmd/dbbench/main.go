@@ -109,6 +109,20 @@ type jsonReport struct {
 	SyncCommits        int64   `json:"sync_commits"`
 	CompressionRatio   float64 `json:"compression_ratio"`
 
+	// Write-stall and compaction-scheduler accounting: WriteStallMS is
+	// wall time writers spent in L0 slowdown/stop stalls;
+	// PeakCompactionParallelism is the most units ever running at once in
+	// one shard, and PeakLevelParallelism the most whose *source* was the
+	// same level >= 1 (>1 means intra-level parallel compaction, the FLSM
+	// structural claim); ClaimConflicts/ClaimStallMS account workers that
+	// found work pending but fully claimed by peers.
+	WriteStallMS              float64 `json:"write_stall_ms"`
+	CompactionUnits           int64   `json:"compaction_units"`
+	PeakCompactionParallelism int64   `json:"peak_compaction_parallelism"`
+	PeakLevelParallelism      int     `json:"peak_level_parallelism"`
+	ClaimConflicts            int64   `json:"claim_conflicts"`
+	ClaimStallMS              float64 `json:"claim_stall_ms"`
+
 	Gets                   int64   `json:"gets"`
 	GetTablesProbed        int64   `json:"get_tables_probed"`
 	TablesProbedPerGet     float64 `json:"tables_probed_per_get"`
@@ -370,8 +384,11 @@ func main() {
 	}
 	fmt.Printf("\ncompactions %d (in-place %d, trivial %d, seek %d), flushes %d\n",
 		m.Tree.Compactions, m.Tree.InPlaceMerges, m.Tree.TrivialMoves, m.Tree.SeekCompactions, m.Flushes)
-	fmt.Printf("stalls: slowdown %d, stop %d, memtable waits %d\n",
-		m.SlowdownWrites, m.StoppedWrites, m.MemtableWaits)
+	fmt.Printf("stalls: slowdown %d, stop %d, memtable waits %d, write-stall %.1f ms\n",
+		m.SlowdownWrites, m.StoppedWrites, m.MemtableWaits, float64(m.StallNanos)/1e6)
+	fmt.Printf("compaction scheduler: %d units, peak parallelism %d (intra-level %d), %d claim conflicts, claim stall %.1f ms\n",
+		m.Tree.CompactionUnits, m.Tree.PeakUnitsInflight, m.Tree.MaxLevelParallelism(),
+		m.Tree.ClaimConflicts, float64(m.Tree.ClaimStallNanos)/1e6)
 	fmt.Printf("commit pipeline: %d groups, %.2f batches/group, %d fsyncs / %d sync commits (%.3f syncs/commit)\n",
 		m.CommitGroups, m.CommitGroupSize(), m.WALSyncs, m.SyncCommits, m.SyncsPerCommit())
 	cs := m.Tree.Compression
@@ -420,6 +437,13 @@ func main() {
 			WALSyncs:           m.WALSyncs,
 			SyncCommits:        m.SyncCommits,
 			CompressionRatio:   cs.Ratio(),
+
+			WriteStallMS:              float64(m.StallNanos) / 1e6,
+			CompactionUnits:           m.Tree.CompactionUnits,
+			PeakCompactionParallelism: m.Tree.PeakUnitsInflight,
+			PeakLevelParallelism:      m.Tree.MaxLevelParallelism(),
+			ClaimConflicts:            m.Tree.ClaimConflicts,
+			ClaimStallMS:              float64(m.Tree.ClaimStallNanos) / 1e6,
 
 			Gets:                   m.Gets,
 			GetTablesProbed:        m.GetTablesProbed,

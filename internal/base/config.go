@@ -100,6 +100,16 @@ type Config struct {
 	// goroutines. LevelDB uses 1; HyperLevelDB/RocksDB/PebblesDB use more.
 	MaxCompactionConcurrency int
 
+	// CompactionUnitGuards is the minimum number of guard groups one FLSM
+	// compaction unit claims when draining an over-threshold level. Unit
+	// size adapts upward: a level's populated groups split into about
+	// MaxCompactionConcurrency units so every worker gets a share, but a
+	// unit never shrinks below this floor — tiny units spend more time on
+	// fixed per-compaction costs (iterator setup, table builds, manifest
+	// edits) than on moving data. One whole-level pass is recovered by
+	// setting it very large. Default 4.
+	CompactionUnitGuards int
+
 	// WALSync, if true, syncs the write-ahead log on every commit.
 	WALSync bool
 
@@ -182,6 +192,9 @@ func (c *Config) EnsureDefaults() {
 	if c.MaxCompactionConcurrency == 0 {
 		c.MaxCompactionConcurrency = 3
 	}
+	if c.CompactionUnitGuards == 0 {
+		c.CompactionUnitGuards = 4
+	}
 	if c.BgErrorRetries == 0 {
 		c.BgErrorRetries = 3
 	}
@@ -205,6 +218,9 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxSSTablesPerGuard < 1 {
 		return fmt.Errorf("base: MaxSSTablesPerGuard must be >= 1, got %d", c.MaxSSTablesPerGuard)
+	}
+	if c.CompactionUnitGuards < 1 {
+		return fmt.Errorf("base: CompactionUnitGuards must be >= 1, got %d", c.CompactionUnitGuards)
 	}
 	if c.BitDecrement < 1 {
 		return fmt.Errorf("base: BitDecrement must be >= 1, got %d", c.BitDecrement)

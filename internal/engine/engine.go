@@ -102,6 +102,11 @@ type Tree interface {
 	// may be skipped), and a stats sink.
 	NewIters(req treebase.IterRequest, dst []iterator.Iterator) ([]iterator.Iterator, []rangedel.Tombstone, error)
 	NeedsCompaction() bool
+	// ClaimableUnits estimates how many compaction units workers could
+	// claim right now (disjoint guard groups or file sets); the engine
+	// sizes its worker pool to it instead of blindly spawning up to the
+	// concurrency cap.
+	ClaimableUnits() int
 	CompactOnce() (bool, error)
 	CompactAll() error
 	L0Count() int
@@ -201,6 +206,7 @@ type Engine struct {
 	stats struct {
 		slowdowns      atomic.Int64
 		stops          atomic.Int64
+		stallNanos     atomic.Int64
 		memWaits       atomic.Int64
 		flushes        atomic.Int64
 		walBytes       atomic.Int64
@@ -539,7 +545,21 @@ func (e *Engine) maybeScheduleCompactionLocked() {
 	if e.closed || e.bgErr != nil {
 		return
 	}
-	for e.compacting < e.cfg.MaxCompactionConcurrency && e.tree.NeedsCompaction() {
+	for e.compacting < e.cfg.MaxCompactionConcurrency {
+		// Size the pool to the work that is actually claimable: spawning
+		// more workers than units just burns wakeups on claim conflicts.
+		if e.tree.ClaimableUnits() <= e.compacting {
+			return
+		}
+		// Flush priority: while a flush is running and L0 is still healthy,
+		// hold the last worker slot back so the flush (which is what
+		// unblocks writers) keeps IO and CPU headroom. Once L0 reaches the
+		// slowdown trigger, draining it is the priority and every slot goes
+		// to compaction.
+		if e.flushing && e.compacting >= e.cfg.MaxCompactionConcurrency-1 &&
+			e.tree.L0Count() < e.cfg.L0SlowdownTrigger {
+			return
+		}
 		e.compacting++
 		go e.compactWorker()
 	}

@@ -23,6 +23,10 @@ type Metrics struct {
 	SlowdownWrites int64
 	StoppedWrites  int64
 	MemtableWaits  int64
+	// StallNanos is the wall time writers spent inside L0 slowdown delays
+	// and level0-stop blocks — the latency cost the parallel compaction
+	// scheduler exists to shrink.
+	StallNanos int64
 	// Flushes counts memtable flushes.
 	Flushes int64
 	// WALBytes counts bytes appended to the write-ahead log.
@@ -96,6 +100,7 @@ func (m *Metrics) Merge(o Metrics) {
 	m.SlowdownWrites += o.SlowdownWrites
 	m.StoppedWrites += o.StoppedWrites
 	m.MemtableWaits += o.MemtableWaits
+	m.StallNanos += o.StallNanos
 	m.Flushes += o.Flushes
 	m.WALBytes += o.WALBytes
 	m.WALSyncs += o.WALSyncs
@@ -183,6 +188,7 @@ func (e *Engine) Metrics() Metrics {
 		SlowdownWrites:         e.stats.slowdowns.Load(),
 		StoppedWrites:          e.stats.stops.Load(),
 		MemtableWaits:          e.stats.memWaits.Load(),
+		StallNanos:             e.stats.stallNanos.Load(),
 		Flushes:                e.stats.flushes.Load(),
 		WALBytes:               e.stats.walBytes.Load(),
 		WALSyncs:               e.stats.walSyncs.Load(),

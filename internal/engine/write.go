@@ -59,12 +59,14 @@ func (e *Engine) makeRoomForWrite(n int) error {
 			e.stats.slowdowns.Add(1)
 			clear := e.stallClear
 			e.mu.Unlock()
+			start := time.Now()
 			timer := time.NewTimer(time.Millisecond)
 			select {
 			case <-clear:
 			case <-timer.C:
 			}
 			timer.Stop()
+			e.stats.stallNanos.Add(int64(time.Since(start)))
 			e.mu.Lock()
 			delayed = true
 		case e.mem.ApproxSize()+int64(n) <= int64(e.cfg.MemtableSize):
@@ -76,7 +78,9 @@ func (e *Engine) makeRoomForWrite(n int) error {
 		case e.tree.L0Count() >= e.cfg.L0StopTrigger:
 			// Hard limit: block until compaction drains level 0.
 			e.stats.stops.Add(1)
+			start := time.Now()
 			e.cond.Wait()
+			e.stats.stallNanos.Add(int64(time.Since(start)))
 		default:
 			if err := e.rotateMemtableLocked(); err != nil {
 				e.setDegradedLocked(err)

@@ -2,8 +2,10 @@ package flsm
 
 import (
 	"bytes"
+	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/guard"
@@ -14,10 +16,16 @@ import (
 )
 
 // sourceGuard is one guard's worth of compaction input. key==nil means the
-// sentinel.
+// sentinel. dst/inPlace/partition describe the source's output: the level
+// its merged contents land in, whether it is an in-place rewrite, and the
+// shared partition keys the output is cut at (fixed at claim time, see
+// writerPartitionLocked).
 type sourceGuard struct {
-	key   []byte
-	files []*base.FileMetadata
+	key       []byte
+	files     []*base.FileMetadata
+	dst       int
+	inPlace   bool
+	partition [][]byte
 }
 
 func (s *sourceGuard) bytes() uint64 {
@@ -28,167 +36,472 @@ func (s *sourceGuard) bytes() uint64 {
 	return t
 }
 
-// compaction is one unit of FLSM compaction work.
+// guardCommit lists the uncommitted guards a unit commits at one level.
+type guardCommit struct {
+	level int
+	keys  [][]byte
+}
+
+// compaction is one claimed unit of FLSM compaction work: a set of source
+// guard groups of one level (or the whole of L0), each with its own
+// destination. Guards partition a level's key space into disjoint units
+// (§3.1), so units claiming disjoint guard sets of the same level can run
+// concurrently — the paper's "trivially parallelizable" compaction, here
+// across scheduler workers rather than only inside one unit.
 type compaction struct {
 	level       int // source level; 0 = L0 compaction
-	targetLevel int // level+1, or level for an in-place last-level merge
 	l0Files     []*base.FileMetadata
+	l0Partition [][]byte
 	sources     []sourceGuard
-	inPlace     bool
 	seek        bool
-	// targetKeys are the partition boundaries: committed guards of the
-	// target level plus the uncommitted guards eligible for commit.
-	targetKeys [][]byte
-	// commitKeys are the uncommitted guards this compaction commits.
-	commitKeys [][]byte
+	// commits are the uncommitted guards this unit commits, one entry per
+	// destination level it writes (from the level's shared commit set).
+	commits []guardCommit
+	// writerLevels are the levels this unit holds a writer claim on.
+	writerLevels []int
 	// v pins the version the compaction was planned against.
 	v *version
 }
 
-// NeedsCompaction reports whether compaction work is pending.
+// inflight is the scheduler's claim state: the compaction work owned by
+// running units. Claims are taken under Tree.mu at pick time and released
+// after the unit's edit installs.
+type inflight struct {
+	// l0 marks an exclusive L0->L1 unit: L0 files overlap arbitrarily, so
+	// only one unit may own them.
+	l0 bool
+	// srcGuards[l] holds the guard keys ("" = sentinel) whose files are
+	// claimed as compaction inputs at level l; concurrent units on one
+	// level own disjoint guard sets, so they never touch the same file.
+	srcGuards []map[string]bool
+	// writers[l] counts units currently adding files to level l. While it
+	// is non-zero, partition[l] is the level's shared output partition and
+	// commitKeys[l] the guards its writers commit: every concurrent output
+	// into the level cuts at the same keys, so no output can straddle a
+	// guard another unit commits (the invariant version.insertGuards
+	// relies on when it redistributes files).
+	writers    []int
+	partition  [][][]byte
+	commitKeys [][][]byte
+	// units / levelUnits count running units (total / per source level).
+	units      int
+	levelUnits []int
+}
+
+func (inf *inflight) init(numLevels int) {
+	inf.srcGuards = make([]map[string]bool, numLevels)
+	for i := range inf.srcGuards {
+		inf.srcGuards[i] = map[string]bool{}
+	}
+	inf.writers = make([]int, numLevels)
+	inf.partition = make([][][]byte, numLevels)
+	inf.commitKeys = make([][][]byte, numLevels)
+	inf.levelUnits = make([]int, numLevels)
+}
+
+// NeedsCompaction reports whether claimable compaction work is pending.
+// This is the allocation-free scheduling predicate: triggers are evaluated
+// against the live version without building candidate file sets.
 func (t *Tree) NeedsCompaction() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.pickLocked(false) != nil
+	return t.claimableLocked(1, false) > 0
 }
 
-// levelsFree reports whether the given levels are not being compacted.
-func (t *Tree) levelsFree(levels ...int) bool {
-	for _, l := range levels {
-		if t.busyLevels[l] {
-			return false
+// ClaimableUnits estimates how many compaction units workers could claim
+// right now; the engine sizes its worker pool to it. Allocation-free, and
+// capped well above any realistic pool size.
+func (t *Tree) ClaimableUnits() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.claimableLocked(64, false)
+}
+
+// claimedSrcLocked reports whether a guard group is claimed as input.
+func (t *Tree) claimedSrcLocked(level int, key []byte) bool {
+	return t.inflight.srcGuards[level][string(key)]
+}
+
+// unclaimedGroupsLocked counts populated guard groups of a level not
+// claimed by a running unit.
+func (t *Tree) unclaimedGroupsLocked(v *version, l int, ignoreClaims bool) int {
+	gl := &v.levels[l]
+	n := 0
+	if len(gl.sentinel) > 0 && (ignoreClaims || !t.claimedSrcLocked(l, nil)) {
+		n++
+	}
+	for i := range gl.guards {
+		if len(gl.guards[i].Files) > 0 && (ignoreClaims || !t.claimedSrcLocked(l, gl.guards[i].Key)) {
+			n++
 		}
 	}
-	return true
+	return n
 }
 
-// pickLocked chooses the next compaction unit following the paper's
-// triggers, in priority order: L0 fill, level size, size-ratio (§4.2
-// aggressive compaction), per-guard sstable caps (§3.5), and seek budgets
-// (§4.2).
-func (t *Tree) pickLocked(claim bool) *compaction {
+// claimableLocked counts the compaction units a worker could claim right
+// now, stopping once limit is reached. With ignoreClaims it counts pending
+// work as if nothing were claimed — the probe distinguishing "no work"
+// from "work exists but peers hold it all" for claim-stall accounting.
+func (t *Tree) claimableLocked(limit int, ignoreClaims bool) int {
 	v := t.cur
 	last := t.cfg.NumLevels - 1
-	var c *compaction
+	n := 0
 
-	// 1. L0 file count.
-	if len(v.l0) >= t.cfg.L0CompactionTrigger && t.levelsFree(0, 1) {
-		c = &compaction{
-			level:       0,
-			targetLevel: 1,
-			l0Files:     append([]*base.FileMetadata(nil), v.l0...),
-			v:           v,
+	// 1. L0 file count (exclusive unit).
+	if len(v.l0) >= t.cfg.L0CompactionTrigger && (ignoreClaims || !t.inflight.l0) {
+		if n++; n >= limit {
+			return n
 		}
 	}
 
-	// 2. Level size: compact the whole level (every populated guard) into
-	// the next. Each byte still moves down at most once per level.
-	if c == nil {
-		bestScore := 0.0
-		bestLevel := -1
-		for l := 1; l < last; l++ {
-			if !t.levelsFree(l, l+1) {
-				continue
+	// 2+3. Level size and size-ratio rule: an over-threshold level
+	// contributes one unit per CompactionUnitGuards unclaimed groups.
+	for l := 1; l < last; l++ {
+		size := v.levels[l].totalBytes()
+		over := size >= t.cfg.MaxBytesForLevel(l)
+		if !over && t.cfg.SizeRatioPct > 0 {
+			next := v.levels[l+1].totalBytes()
+			over = next > 0 && size*100 >= next*int64(t.cfg.SizeRatioPct)
+		}
+		if !over {
+			continue
+		}
+		groups := t.unclaimedGroupsLocked(v, l, ignoreClaims)
+		per := t.unitGroupsLocked(v, l)
+		n += (groups + per - 1) / per
+		if n >= limit {
+			return n
+		}
+	}
+
+	// 4. Guard sstable cap.
+	for l := 1; l <= last; l++ {
+		gl := &v.levels[l]
+		capped := func(key []byte, files []*base.FileMetadata) bool {
+			if len(files) < t.cfg.MaxSSTablesPerGuard {
+				return false
 			}
-			score := float64(v.levels[l].totalBytes()) / float64(t.cfg.MaxBytesForLevel(l))
-			if score >= 1.0 && score > bestScore {
-				bestScore, bestLevel = score, l
+			if l == last && len(files) < 2 {
+				return false
+			}
+			return ignoreClaims || !t.claimedSrcLocked(l, key)
+		}
+		if capped(nil, gl.sentinel) {
+			if n++; n >= limit {
+				return n
 			}
 		}
-		if bestLevel > 0 {
-			c = t.wholeLevelCompaction(v, bestLevel)
+		for i := range gl.guards {
+			if capped(gl.guards[i].Key, gl.guards[i].Files) {
+				if n++; n >= limit {
+					return n
+				}
+			}
+		}
+	}
+
+	// 5. Seek-triggered guard compaction. Stale entries (guard gone or
+	// down to one file) are pruned here so they cannot keep reporting
+	// phantom work.
+	for id := range t.seekPending {
+		src := t.findGroup(v, id.Level, id.Key)
+		if src == nil || len(src) <= 1 {
+			delete(t.seekPending, id)
+			continue
+		}
+		if !ignoreClaims && t.inflight.srcGuards[id.Level][id.Key] {
+			continue
+		}
+		if n++; n >= limit {
+			return n
+		}
+	}
+	return n
+}
+
+// unitGroupsLocked sizes a level-drain unit: the level's populated groups
+// split into about MaxCompactionConcurrency units, never smaller than
+// CompactionUnitGuards. A small level drains in one pass — the same
+// per-compaction overhead as a whole-level compaction — while a large
+// level splits into just enough units to feed every worker, instead of
+// shattering into many tiny compactions whose fixed costs (iterator
+// setup, table builds, manifest edits) would dominate.
+func (t *Tree) unitGroupsLocked(v *version, l int) int {
+	groups := t.unclaimedGroupsLocked(v, l, true)
+	per := (groups + t.cfg.MaxCompactionConcurrency - 1) / t.cfg.MaxCompactionConcurrency
+	if per < t.cfg.CompactionUnitGuards {
+		per = t.cfg.CompactionUnitGuards
+	}
+	return per
+}
+
+// pickLocked claims and returns the next compaction unit following the
+// paper's triggers, in priority order: L0 fill, level size, size-ratio
+// (§4.2 aggressive compaction), per-guard sstable caps (§3.5), and seek
+// budgets (§4.2). Work already claimed by a running unit is skipped, so N
+// workers end up holding disjoint units — including disjoint guard groups
+// of the same level.
+func (t *Tree) pickLocked() *compaction {
+	v := t.cur
+	last := t.cfg.NumLevels - 1
+
+	// 1. L0 file count. L0 files overlap arbitrarily, so the unit is
+	// exclusive; it also gets absolute priority, because draining L0 is
+	// what clears write stalls.
+	if len(v.l0) >= t.cfg.L0CompactionTrigger && !t.inflight.l0 {
+		return t.claimL0Locked(v)
+	}
+
+	// 2. Level size: claim up to CompactionUnitGuards unclaimed populated
+	// groups of the highest-scoring over-threshold level. The level
+	// drains through several concurrent units instead of one whole-level
+	// pass; each byte still moves down at most once per level.
+	bestScore := 0.0
+	bestLevel := -1
+	for l := 1; l < last; l++ {
+		score := float64(v.levels[l].totalBytes()) / float64(t.cfg.MaxBytesForLevel(l))
+		if score >= 1.0 && score > bestScore && t.unclaimedGroupsLocked(v, l, false) > 0 {
+			bestScore, bestLevel = score, l
+		}
+	}
+	if bestLevel > 0 {
+		if c := t.claimLevelUnitLocked(v, bestLevel, t.unitGroupsLocked(v, bestLevel)); c != nil {
+			return c
 		}
 	}
 
 	// 3. Size-ratio rule: level i within SizeRatioPct of level i+1.
-	if c == nil && t.cfg.SizeRatioPct > 0 {
+	if t.cfg.SizeRatioPct > 0 {
 		for l := 1; l < last; l++ {
-			if !t.levelsFree(l, l+1) {
-				continue
-			}
 			next := v.levels[l+1].totalBytes()
 			if next <= 0 {
 				continue
 			}
 			if v.levels[l].totalBytes()*100 >= next*int64(t.cfg.SizeRatioPct) {
-				c = t.wholeLevelCompaction(v, l)
-				break
+				if c := t.claimLevelUnitLocked(v, l, t.unitGroupsLocked(v, l)); c != nil {
+					return c
+				}
 			}
 		}
 	}
 
 	// 4. Guard sstable cap.
-	if c == nil {
-		for l := 1; l <= last && c == nil; l++ {
-			gl := &v.levels[l]
-			pick := func(key []byte, files []*base.FileMetadata) {
-				if len(files) < t.cfg.MaxSSTablesPerGuard || c != nil {
-					return
-				}
-				if l == last {
-					// In-place merges need at least two files; rewriting
-					// a single file is pure churn (matters when
-					// max_sstables_per_guard is 1, the PebblesDB-1 mode).
-					if len(files) < 2 || !t.levelsFree(l) {
-						return
-					}
-					c = &compaction{level: l, targetLevel: l, inPlace: true,
-						sources: []sourceGuard{{key: key, files: append([]*base.FileMetadata(nil), files...)}}, v: v}
-				} else {
-					if !t.levelsFree(l, l+1) {
-						return
-					}
-					c = &compaction{level: l, targetLevel: l + 1,
-						sources: []sourceGuard{{key: key, files: append([]*base.FileMetadata(nil), files...)}}, v: v}
-				}
-			}
-			pick(nil, gl.sentinel)
-			for i := range gl.guards {
-				pick(gl.guards[i].Key, gl.guards[i].Files)
+	for l := 1; l <= last; l++ {
+		gl := &v.levels[l]
+		if c := t.claimCapGroupLocked(v, l, nil, gl.sentinel); c != nil {
+			return c
+		}
+		for i := range gl.guards {
+			if c := t.claimCapGroupLocked(v, l, gl.guards[i].Key, gl.guards[i].Files); c != nil {
+				return c
 			}
 		}
 	}
 
 	// 5. Seek-triggered guard compaction.
-	if c == nil {
-		for id := range t.seekPending {
-			l := id.Level
-			src := t.findGroup(v, l, id.Key)
-			if src == nil || len(src) <= 1 {
-				delete(t.seekPending, id)
-				continue
-			}
-			var key []byte
-			if id.Key != "" {
-				key = []byte(id.Key)
-			}
-			if l == last {
-				if !t.levelsFree(l) {
-					continue
-				}
-				c = &compaction{level: l, targetLevel: l, inPlace: true, seek: true,
-					sources: []sourceGuard{{key: key, files: append([]*base.FileMetadata(nil), src...)}}, v: v}
-			} else {
-				if !t.levelsFree(l, l+1) {
-					continue
-				}
-				c = &compaction{level: l, targetLevel: l + 1, seek: true,
-					sources: []sourceGuard{{key: key, files: append([]*base.FileMetadata(nil), src...)}}, v: v}
-			}
+	for id := range t.seekPending {
+		l := id.Level
+		src := t.findGroup(v, l, id.Key)
+		if src == nil || len(src) <= 1 {
 			delete(t.seekPending, id)
-			break
+			continue
 		}
+		var key []byte
+		if id.Key != "" {
+			key = []byte(id.Key)
+		}
+		if t.claimedSrcLocked(l, key) {
+			continue
+		}
+		delete(t.seekPending, id)
+		return t.claimGroupLocked(v, l, key, src, l == last, true)
 	}
+	return nil
+}
 
-	if c == nil {
+// claimCapGroupLocked claims a single over-cap guard group, or nil.
+func (t *Tree) claimCapGroupLocked(v *version, l int, key []byte, files []*base.FileMetadata) *compaction {
+	last := t.cfg.NumLevels - 1
+	if len(files) < t.cfg.MaxSSTablesPerGuard {
 		return nil
 	}
-	t.fillTargetKeysLocked(c)
-	if claim {
-		t.busyLevels[c.level] = true
-		t.busyLevels[c.targetLevel] = true
+	if l == last && len(files) < 2 {
+		// In-place merges need at least two files; rewriting a single
+		// file is pure churn (matters when max_sstables_per_guard is 1,
+		// the PebblesDB-1 mode).
+		return nil
 	}
+	if t.claimedSrcLocked(l, key) {
+		return nil
+	}
+	return t.claimGroupLocked(v, l, key, files, l == last, false)
+}
+
+// claimGroupLocked builds and claims a single-group unit.
+func (t *Tree) claimGroupLocked(v *version, l int, key []byte, files []*base.FileMetadata, inPlace, seek bool) *compaction {
+	c := &compaction{level: l, seek: seek, v: v}
+	s := sourceGuard{key: key, files: append([]*base.FileMetadata(nil), files...), dst: l + 1}
+	if inPlace {
+		s.dst, s.inPlace = l, true
+	}
+	c.sources = append(c.sources, s)
+	t.finalizeUnitLocked(c)
 	return c
+}
+
+// claimLevelUnitLocked claims up to maxGroups unclaimed populated groups
+// of a level as one unit, or nil when every group is claimed or empty.
+func (t *Tree) claimLevelUnitLocked(v *version, l, maxGroups int) *compaction {
+	gl := &v.levels[l]
+	c := &compaction{level: l, v: v}
+	if len(gl.sentinel) > 0 && !t.claimedSrcLocked(l, nil) {
+		c.sources = append(c.sources, sourceGuard{
+			key:   nil,
+			files: append([]*base.FileMetadata(nil), gl.sentinel...),
+			dst:   l + 1,
+		})
+	}
+	for i := range gl.guards {
+		if len(c.sources) >= maxGroups {
+			break
+		}
+		if len(gl.guards[i].Files) == 0 || t.claimedSrcLocked(l, gl.guards[i].Key) {
+			continue
+		}
+		c.sources = append(c.sources, sourceGuard{
+			key:   gl.guards[i].Key,
+			files: append([]*base.FileMetadata(nil), gl.guards[i].Files...),
+			dst:   l + 1,
+		})
+	}
+	if len(c.sources) == 0 {
+		return nil
+	}
+	t.finalizeUnitLocked(c)
+	return c
+}
+
+// claimL0Locked claims the exclusive L0->L1 unit.
+func (t *Tree) claimL0Locked(v *version) *compaction {
+	c := &compaction{
+		level:   0,
+		l0Files: append([]*base.FileMetadata(nil), v.l0...),
+		v:       v,
+	}
+	t.inflight.l0 = true
+	c.l0Partition = t.writerPartitionLocked(c, 1)
+	t.noteUnitClaimedLocked(c)
+	return c
+}
+
+// finalizeUnitLocked turns gathered sources into a claimed, runnable unit:
+// it applies the §3.4 second-to-last-level rewrite heuristic, registers
+// the unit as a writer on every destination level (fixing each level's
+// shared output partition), claims the source guards, and updates the
+// concurrency metrics.
+func (t *Tree) finalizeUnitLocked(c *compaction) {
+	last := t.cfg.NumLevels - 1
+	for i := range c.sources {
+		s := &c.sources[i]
+		// Second-to-last level heuristic (§3.4): when the target guard in
+		// the last level is full and merging there would cost more than
+		// LastLevelRewriteFactor times the input, rewrite within this
+		// level instead. A single-file guard is exempt: rewriting one
+		// file in place is pure churn (and would repeat forever).
+		if !s.inPlace && c.level == last-1 && len(s.files) >= 2 {
+			if full, existing := t.lastLevelPressure(c.v, *s); full &&
+				existing > uint64(t.cfg.LastLevelRewriteFactor)*s.bytes() {
+				s.dst = c.level
+				s.inPlace = true
+			}
+		}
+	}
+	for i := range c.sources {
+		s := &c.sources[i]
+		s.partition = t.writerPartitionLocked(c, s.dst)
+		t.inflight.srcGuards[c.level][string(s.key)] = true
+	}
+	t.noteUnitClaimedLocked(c)
+}
+
+// writerPartitionLocked registers c as a writer on level dst (once per
+// unit) and returns the level's shared partition keys. The first writer
+// fixes the partition — the level's committed guards plus the uncommitted
+// guards no existing file straddles (§3.3) — and it stays fixed until the
+// last writer releases, so every concurrent output into the level cuts at
+// the same keys and no output can straddle a guard another unit commits.
+// An in-place rewrite partitions at the same shared keys: cuts only occur
+// at keys inside the data it writes, so the output stays within its guard
+// while still honoring every commit candidate.
+func (t *Tree) writerPartitionLocked(c *compaction, dst int) [][]byte {
+	inf := &t.inflight
+	for _, wl := range c.writerLevels {
+		if wl == dst {
+			return inf.partition[dst]
+		}
+	}
+	if inf.writers[dst] == 0 {
+		gl := &t.cur.levels[dst]
+		committed := gl.guardKeys()
+		var eligible [][]byte
+		for _, k := range t.uncommitted[dst] {
+			if !gl.straddles(k) {
+				eligible = append(eligible, append([]byte(nil), k...))
+			}
+		}
+		keys := make([][]byte, 0, len(committed)+len(eligible))
+		keys = append(keys, committed...)
+		keys = append(keys, eligible...)
+		sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+		inf.partition[dst] = keys
+		inf.commitKeys[dst] = eligible
+	}
+	inf.writers[dst]++
+	c.writerLevels = append(c.writerLevels, dst)
+	if keys := inf.commitKeys[dst]; len(keys) > 0 {
+		// Every writer carries the level's commit set; guard commits are
+		// idempotent (insertGuards dedups), and this way the commits land
+		// even if a peer unit fails.
+		c.commits = append(c.commits, guardCommit{level: dst, keys: keys})
+	}
+	return inf.partition[dst]
+}
+
+// noteUnitClaimedLocked updates the unit counters and high-water marks.
+func (t *Tree) noteUnitClaimedLocked(c *compaction) {
+	inf := &t.inflight
+	inf.units++
+	inf.levelUnits[c.level]++
+	t.metrics.CompactionUnits++
+	if int64(inf.units) > t.metrics.PeakUnitsInflight {
+		t.metrics.PeakUnitsInflight = int64(inf.units)
+	}
+	if inf.levelUnits[c.level] > t.metrics.PeakLevelUnits[c.level] {
+		t.metrics.PeakLevelUnits[c.level] = inf.levelUnits[c.level]
+	}
+}
+
+// releaseLocked returns a unit's claims: source guards unlock, writer
+// refcounts drop, and a level's shared partition dissolves with its last
+// writer (the next claim recomputes it against the then-current version).
+func (t *Tree) releaseLocked(c *compaction) {
+	inf := &t.inflight
+	if c.level == 0 {
+		inf.l0 = false
+	} else {
+		for i := range c.sources {
+			delete(inf.srcGuards[c.level], string(c.sources[i].key))
+		}
+	}
+	for _, wl := range c.writerLevels {
+		inf.writers[wl]--
+		if inf.writers[wl] == 0 {
+			inf.partition[wl] = nil
+			inf.commitKeys[wl] = nil
+		}
+	}
+	inf.units--
+	inf.levelUnits[c.level]--
 }
 
 // findGroup returns the files of the guard identified by key ("" sentinel).
@@ -207,60 +520,31 @@ func (t *Tree) findGroup(v *version, level int, key string) []*base.FileMetadata
 	return nil
 }
 
-// wholeLevelCompaction gathers every populated group of a level.
-func (t *Tree) wholeLevelCompaction(v *version, level int) *compaction {
-	c := &compaction{level: level, targetLevel: level + 1, v: v}
-	gl := &v.levels[level]
-	if len(gl.sentinel) > 0 {
-		c.sources = append(c.sources, sourceGuard{key: nil, files: append([]*base.FileMetadata(nil), gl.sentinel...)})
-	}
-	for i := range gl.guards {
-		if len(gl.guards[i].Files) > 0 {
-			c.sources = append(c.sources, sourceGuard{
-				key:   gl.guards[i].Key,
-				files: append([]*base.FileMetadata(nil), gl.guards[i].Files...),
-			})
-		}
-	}
-	if len(c.sources) == 0 {
-		return nil
-	}
-	return c
-}
-
-// fillTargetKeysLocked computes the partition boundaries for the target
-// level: its committed guards plus every uncommitted guard that no existing
-// file straddles (§3.3: sstables that would need splitting by an
-// uncommitted guard are instead handled at the next compaction cycle).
-func (t *Tree) fillTargetKeysLocked(c *compaction) {
-	gl := &t.cur.levels[c.targetLevel]
-	committed := gl.guardKeys()
-	var eligible [][]byte
-	for _, k := range t.uncommitted[c.targetLevel] {
-		if !gl.straddles(k) {
-			eligible = append(eligible, append([]byte(nil), k...))
-		}
-	}
-	keys := make([][]byte, 0, len(committed)+len(eligible))
-	keys = append(keys, committed...)
-	keys = append(keys, eligible...)
-	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
-	c.targetKeys = keys
-	c.commitKeys = eligible
-}
-
-// CompactOnce performs at most one compaction unit.
+// CompactOnce claims and performs at most one compaction unit. A worker
+// that finds work pending but fully claimed by its peers starts the
+// claim-stall clock; the next successful claim (by any worker) folds the
+// elapsed wait into ClaimStallNanos.
 func (t *Tree) CompactOnce() (bool, error) {
 	t.mu.Lock()
-	c := t.pickLocked(true)
-	t.mu.Unlock()
+	c := t.pickLocked()
 	if c == nil {
+		if t.claimableLocked(1, true) > 0 {
+			t.metrics.ClaimConflicts++
+			if t.claimStallStart.IsZero() {
+				t.claimStallStart = time.Now()
+			}
+		}
+		t.mu.Unlock()
 		return false, nil
 	}
+	if !t.claimStallStart.IsZero() {
+		t.metrics.ClaimStallNanos += int64(time.Since(t.claimStallStart))
+		t.claimStallStart = time.Time{}
+	}
+	t.mu.Unlock()
 	err := t.runCompaction(c)
 	t.mu.Lock()
-	delete(t.busyLevels, c.level)
-	delete(t.busyLevels, c.targetLevel)
+	t.releaseLocked(c)
 	t.mu.Unlock()
 	return true, err
 }
@@ -281,8 +565,10 @@ func (t *Tree) runCompaction(c *compaction) error {
 	last := t.cfg.NumLevels - 1
 
 	edit := &manifest.VersionEdit{}
-	for _, k := range c.commitKeys {
-		edit.NewGuards = append(edit.NewGuards, manifest.GuardEntry{Level: c.targetLevel, Key: k})
+	for _, gc := range c.commits {
+		for _, k := range gc.keys {
+			edit.NewGuards = append(edit.NewGuards, manifest.GuardEntry{Level: gc.level, Key: k})
+		}
 	}
 
 	var bytesIn, bytesOut int64
@@ -295,7 +581,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 			edit.DeletedFiles = append(edit.DeletedFiles, manifest.DeletedFileEntry{Level: 0, FileNum: f.FileNum})
 		}
 		// Tombstones are never elided here: older versions may live below.
-		out, err := t.mergeAndPartition(c.l0Files, c.targetKeys, smallest, false)
+		out, err := t.mergeAndPartition(c.l0Files, c.l0Partition, smallest, false)
 		if err != nil {
 			out.builder.Abandon()
 			return err
@@ -310,29 +596,13 @@ func (t *Tree) runCompaction(c *compaction) error {
 			}
 		}
 		run := func(s sourceGuard) (guardOutput, error) {
-			dst := c.targetLevel
-			partition := c.targetKeys
-			inPlace := c.inPlace
-			// Second-to-last level heuristic (§3.4): when the target guard
-			// in the last level is full and merging there would cost more
-			// than LastLevelRewriteFactor times the input, rewrite within
-			// this level instead. A single-file guard is exempt: rewriting
-			// one file in place is pure churn (and would repeat forever).
-			if !inPlace && c.level == last-1 && len(s.files) >= 2 {
-				if full, existing := t.lastLevelPressure(c.v, s); full &&
-					existing > uint64(t.cfg.LastLevelRewriteFactor)*s.bytes() {
-					dst = c.level
-					partition = nil // single guard: no partitioning needed
-					inPlace = true
-				}
-			}
 			// Elide tombstones only when the merge covers every file that
 			// could hold older versions of its keys: an in-place merge of
 			// a whole last-level guard.
-			elide := inPlace && dst == last
-			out, err := t.mergeAndPartition(s.files, partition, smallest, elide)
-			out.dstLevel = dst
-			out.inPlace = inPlace
+			elide := s.inPlace && s.dst == last
+			out, err := t.mergeAndPartition(s.files, s.partition, smallest, elide)
+			out.dstLevel = s.dst
+			out.inPlace = s.inPlace
 			return out, err
 		}
 
@@ -564,43 +834,24 @@ func (t *Tree) mergeAndPartition(files []*base.FileMetadata, partitionKeys [][]b
 	return out, nil
 }
 
-// forcePushLocked builds a compaction moving the topmost populated
-// level's data one level down regardless of size triggers, or nil when
-// everything already sits in the last level (or the levels are busy). The
-// claimed busy levels are recorded in the returned compaction.
+// forcePushLocked claims a compaction moving the topmost populated
+// level's unclaimed data one level down regardless of size triggers, or
+// nil when everything already sits in the last level (or running units
+// hold the remaining work).
 func (t *Tree) forcePushLocked() *compaction {
 	v := t.cur
 	last := t.cfg.NumLevels - 1
 	if len(v.l0) > 0 {
-		if !t.levelsFree(0, 1) {
+		if t.inflight.l0 {
 			return nil
 		}
-		c := &compaction{
-			level:       0,
-			targetLevel: 1,
-			l0Files:     append([]*base.FileMetadata(nil), v.l0...),
-			v:           v,
-		}
-		t.fillTargetKeysLocked(c)
-		t.busyLevels[0] = true
-		t.busyLevels[1] = true
-		return c
+		return t.claimL0Locked(v)
 	}
 	for l := 1; l < last; l++ {
 		if v.levels[l].fileCount() == 0 {
 			continue
 		}
-		if !t.levelsFree(l, l+1) {
-			return nil
-		}
-		c := t.wholeLevelCompaction(v, l)
-		if c == nil {
-			continue
-		}
-		t.fillTargetKeysLocked(c)
-		t.busyLevels[c.level] = true
-		t.busyLevels[c.targetLevel] = true
-		return c
+		return t.claimLevelUnitLocked(v, l, math.MaxInt)
 	}
 	return nil
 }
@@ -626,8 +877,7 @@ func (t *Tree) CompactAll() error {
 		}
 		err = t.runCompaction(c)
 		t.mu.Lock()
-		delete(t.busyLevels, c.level)
-		delete(t.busyLevels, c.targetLevel)
+		t.releaseLocked(c)
 		t.mu.Unlock()
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/cache"
@@ -36,12 +37,29 @@ type Tree struct {
 	// uncommitted holds guard keys selected from inserted keys but not yet
 	// partitioned on storage (§3.3). uncommitted[l] is sorted.
 	uncommitted [][][]byte
-	// busyLevels serializes compactions per level.
-	busyLevels map[int]bool
+	// inflight is the unit-granularity claim state of the parallel
+	// compaction scheduler (see compaction.go): which guard groups are
+	// owned as inputs, which levels are being written into and at what
+	// shared partition, and how many units are running.
+	inflight inflight
+	// claimStallStart, when non-zero, marks the moment a worker first
+	// found pending-but-unclaimable work; the next successful claim folds
+	// the elapsed time into metrics.ClaimStallNanos.
+	claimStallStart time.Time
 	// seekCounts tracks consecutive seeks per guard; seekPending holds
 	// guards whose budget is exhausted (§4.2 seek-based compaction).
 	seekCounts  map[guardID]int
 	seekPending map[guardID]bool
+
+	// logMu/logCond order manifest appends by install ticket: with
+	// concurrent compaction units, the edit that deletes a file must reach
+	// the manifest after the edit that added it, or recovery replay fails.
+	// installTicket (under mu) is the next ticket handed out at install;
+	// installTurn (under logMu) is the next ticket allowed to append.
+	logMu         sync.Mutex
+	logCond       *sync.Cond
+	installTicket uint64
+	installTurn   uint64
 
 	pendingMu sync.Mutex
 	pending   map[base.FileNum]bool
@@ -70,11 +88,13 @@ func Open(cfg *base.Config, fs vfs.FS, dir string, snap treebase.Host) (*Tree, e
 		},
 		cur:         newVersion(cfg.NumLevels),
 		uncommitted: make([][][]byte, cfg.NumLevels),
-		busyLevels:  make(map[int]bool),
 		seekCounts:  make(map[guardID]int),
 		seekPending: make(map[guardID]bool),
 		pending:     make(map[base.FileNum]bool),
 	}
+	t.inflight.init(cfg.NumLevels)
+	t.metrics.PeakLevelUnits = make([]int, cfg.NumLevels)
+	t.logCond = sync.NewCond(&t.logMu)
 	blockCache := cache.New(cfg.BlockCacheSize, nil)
 	t.tc = tablecache.New(fs, dir, cfg.TableCacheSize, blockCache)
 
@@ -252,24 +272,43 @@ func (t *Tree) Flush(it iterator.Iterator, rangeDels []rangedel.Tombstone, logNu
 // edit's new files are referenced by live reads even if persistence failed,
 // so the caller must NOT delete them (a later successful manifest rotation
 // snapshots the installed state and makes them durable).
+//
+// Concurrent compaction units install concurrently, so the manifest append
+// must happen in install order — an edit deleting file f has to land after
+// the edit that added f, or recovery replay rejects it. Each install takes
+// a ticket under t.mu (the same critical section that switches t.cur) and
+// waits its turn before appending; the turn advances even when the append
+// fails, so one degraded unit cannot wedge its peers.
 func (t *Tree) logAndInstall(edit *manifest.VersionEdit) (installed bool, err error) {
 	t.mu.Lock()
 	nv, err := t.cur.apply(edit, t.cfg.NumLevels)
-	if err == nil {
-		t.cur = nv
-		for _, g := range edit.NewGuards {
-			t.uncommitted[g.Level] = removeKey(t.uncommitted[g.Level], g.Key)
-		}
-	}
-	t.mu.Unlock()
 	if err != nil {
+		t.mu.Unlock()
 		return false, err
 	}
-	return true, t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
+	t.cur = nv
+	for _, g := range edit.NewGuards {
+		t.uncommitted[g.Level] = removeKey(t.uncommitted[g.Level], g.Key)
+	}
+	ticket := t.installTicket
+	t.installTicket++
+	t.mu.Unlock()
+
+	t.logMu.Lock()
+	for t.installTurn != ticket {
+		t.logCond.Wait()
+	}
+	t.logMu.Unlock()
+	err = t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		return t.snapshotEditLocked()
 	})
+	t.logMu.Lock()
+	t.installTurn++
+	t.logCond.Broadcast()
+	t.logMu.Unlock()
+	return true, err
 }
 
 func removeKey(keys [][]byte, key []byte) [][]byte {
@@ -591,6 +630,8 @@ func (t *Tree) Metrics() treebase.Metrics {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	m := t.metrics
+	m.PeakLevelUnits = append([]int(nil), t.metrics.PeakLevelUnits...)
+	m.UnitsInflight = int64(t.inflight.units)
 	m.LevelFiles = make([]int, t.cfg.NumLevels)
 	m.LevelBytes = make([]int64, t.cfg.NumLevels)
 	m.GuardsPerLevel = make([]int, t.cfg.NumLevels)

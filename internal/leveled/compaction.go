@@ -2,6 +2,7 @@ package leveled
 
 import (
 	"bytes"
+	"time"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
@@ -20,87 +21,100 @@ type compaction struct {
 	trivially bool // metadata-only move
 }
 
-// NeedsCompaction reports whether any level is over threshold.
+// NeedsCompaction reports whether claimable compaction work is pending.
+// This is the allocation-free scheduling predicate: triggers are evaluated
+// against the live version without building candidate file sets.
 func (t *Tree) NeedsCompaction() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.pickLocked(false) != nil
+	return t.claimableLocked(1, false) > 0
 }
 
-// pickLocked chooses the next compaction, or nil. When claim is true the
-// involved levels are marked busy.
-func (t *Tree) pickLocked(claim bool) *compaction {
+// ClaimableUnits estimates how many compaction units workers could claim
+// right now; the engine sizes its worker pool to it.
+func (t *Tree) ClaimableUnits() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.claimableLocked(64, false)
+}
+
+// targetsFreeLocked reports whether no level+1 file overlapping [lo, hi]
+// is claimed by a running unit. Allocation-free (no target slice built).
+func (t *Tree) targetsFreeLocked(v *version, level int, lo, hi []byte) bool {
+	for _, g := range v.files[level+1] {
+		if bytes.Compare(g.LargestUserKey(), lo) < 0 || bytes.Compare(g.SmallestUserKey(), hi) > 0 {
+			continue
+		}
+		if t.claimed[g.FileNum] {
+			return false
+		}
+	}
+	return true
+}
+
+// l0Hull returns the user-key hull of level 0 without allocating.
+func l0Hull(v *version) (lo, hi []byte) {
+	for i, f := range v.files[0] {
+		if i == 0 || bytes.Compare(f.SmallestUserKey(), lo) < 0 {
+			lo = f.SmallestUserKey()
+		}
+		if i == 0 || bytes.Compare(f.LargestUserKey(), hi) > 0 {
+			hi = f.LargestUserKey()
+		}
+	}
+	return lo, hi
+}
+
+// claimableLocked counts the compaction units a worker could claim right
+// now, stopping once limit is reached. With ignoreClaims it counts pending
+// work as if nothing were claimed — the probe distinguishing "no work"
+// from "work exists but peers hold it all" for claim-stall accounting.
+func (t *Tree) claimableLocked(limit int, ignoreClaims bool) int {
 	v := t.cur
-	bestScore := 0.0
-	bestLevel := -1
-
-	if !t.busyLevels[0] && !t.busyLevels[1] {
-		score := float64(len(v.files[0])) / float64(t.cfg.L0CompactionTrigger)
-		if score >= 1.0 && score > bestScore {
-			bestScore, bestLevel = score, 0
+	n := 0
+	if len(v.files[0]) >= t.cfg.L0CompactionTrigger {
+		free := ignoreClaims
+		if !free && !t.l0Busy {
+			lo, hi := l0Hull(v)
+			free = t.targetsFreeLocked(v, 0, lo, hi)
+		}
+		if free {
+			if n++; n >= limit {
+				return n
+			}
 		}
 	}
+	// An over-threshold level contributes one unit per file it is over by
+	// (score floor), bounded by the files actually free to claim: two
+	// workers can drain disjoint ranges of the same level pair.
 	for l := 1; l < t.cfg.NumLevels-1; l++ {
-		if t.busyLevels[l] || t.busyLevels[l+1] {
+		size := v.levelBytes(l)
+		max := t.cfg.MaxBytesForLevel(l)
+		if size < max {
 			continue
 		}
-		score := float64(v.levelBytes(l)) / float64(t.cfg.MaxBytesForLevel(l))
-		if score >= 1.0 && score > bestScore {
-			bestScore, bestLevel = score, l
+		want := int(size / max)
+		got := 0
+		for _, f := range v.files[l] {
+			if got >= want {
+				break
+			}
+			if !ignoreClaims {
+				if t.claimed[f.FileNum] ||
+					!t.targetsFreeLocked(v, l, f.SmallestUserKey(), f.LargestUserKey()) {
+					continue
+				}
+			}
+			got++
+		}
+		n += got
+		if n >= limit {
+			return n
 		}
 	}
-
-	var c *compaction
-	switch {
-	case bestLevel == 0:
-		inputs := append([]*base.FileMetadata(nil), v.files[0]...)
-		lo, hi := rangeOfFiles(inputs)
-		c = &compaction{level: 0, inputs: inputs, targets: overlaps(v.files[1], lo, hi)}
-	case bestLevel > 0:
-		f := t.pickFileLocked(v, bestLevel)
-		c = &compaction{
-			level:   bestLevel,
-			inputs:  []*base.FileMetadata{f},
-			targets: overlaps(v.files[bestLevel+1], f.SmallestUserKey(), f.LargestUserKey()),
-		}
-	default:
-		c = t.pickSeekLocked(v)
-	}
-	if c == nil {
-		return nil
-	}
-	if len(c.inputs) == 1 && c.level > 0 && len(c.targets) == 0 {
-		c.trivially = true
-	}
-	if c.level == 0 && len(c.inputs) == 1 && len(c.targets) == 0 {
-		c.trivially = true
-	}
-	if claim {
-		t.busyLevels[c.level] = true
-		t.busyLevels[c.level+1] = true
-	}
-	return c
-}
-
-// pickFileLocked selects the next file after the level's compaction
-// pointer, wrapping around (LevelDB's round-robin).
-func (t *Tree) pickFileLocked(v *version, level int) *base.FileMetadata {
-	files := v.files[level]
-	ptr := t.compactPtr[level]
-	for _, f := range files {
-		if ptr == nil || bytes.Compare(f.LargestUserKey(), ptr) > 0 {
-			return f
-		}
-	}
-	return files[0]
-}
-
-// pickSeekLocked turns a seek-budget exhaustion into a compaction.
-func (t *Tree) pickSeekLocked(v *version) *compaction {
+	// Seek-triggered candidates; stale entries (file compacted away) are
+	// pruned so they cannot keep reporting phantom work.
 	for fn, level := range t.seekPending {
-		if t.busyLevels[level] || t.busyLevels[level+1] {
-			continue
-		}
 		var file *base.FileMetadata
 		for _, f := range v.files[level] {
 			if f.FileNum == fn {
@@ -108,33 +122,211 @@ func (t *Tree) pickSeekLocked(v *version) *compaction {
 				break
 			}
 		}
-		delete(t.seekPending, fn)
 		if file == nil {
-			continue // already compacted away
+			delete(t.seekPending, fn)
+			continue
 		}
-		return &compaction{
+		if !ignoreClaims {
+			if t.claimed[fn] ||
+				!t.targetsFreeLocked(v, level, file.SmallestUserKey(), file.LargestUserKey()) {
+				continue
+			}
+		}
+		if n++; n >= limit {
+			return n
+		}
+	}
+	return n
+}
+
+// claimLocked marks a unit's files as owned and updates the concurrency
+// counters and high-water marks.
+func (t *Tree) claimLocked(c *compaction) {
+	if c.level == 0 {
+		t.l0Busy = true
+	}
+	for _, f := range c.inputs {
+		t.claimed[f.FileNum] = true
+	}
+	for _, f := range c.targets {
+		t.claimed[f.FileNum] = true
+	}
+	t.inflightUnits++
+	t.levelUnits[c.level]++
+	t.metrics.CompactionUnits++
+	if int64(t.inflightUnits) > t.metrics.PeakUnitsInflight {
+		t.metrics.PeakUnitsInflight = int64(t.inflightUnits)
+	}
+	if t.levelUnits[c.level] > t.metrics.PeakLevelUnits[c.level] {
+		t.metrics.PeakLevelUnits[c.level] = t.levelUnits[c.level]
+	}
+}
+
+// releaseLocked returns a unit's file claims.
+func (t *Tree) releaseLocked(c *compaction) {
+	if c.level == 0 {
+		t.l0Busy = false
+	}
+	for _, f := range c.inputs {
+		delete(t.claimed, f.FileNum)
+	}
+	for _, f := range c.targets {
+		delete(t.claimed, f.FileNum)
+	}
+	t.inflightUnits--
+	t.levelUnits[c.level]--
+}
+
+// pickLocked claims and returns the next compaction unit, or nil. Claims
+// are file-granular: a unit owns its inputs plus the level+1 files they
+// overlap, so units with disjoint key ranges run concurrently even on the
+// same level pair. Because targets are always the full contiguous run of
+// level+1 files overlapping the input hull, a unit's outputs can never
+// straddle a file it does not own — the level's disjointness invariant
+// holds under concurrent installs.
+func (t *Tree) pickLocked() *compaction {
+	v := t.cur
+
+	// L0 gets absolute priority (draining L0 is what clears write stalls)
+	// and is exclusive: L0 files overlap arbitrarily, so one unit takes
+	// them all.
+	if len(v.files[0]) >= t.cfg.L0CompactionTrigger && !t.l0Busy {
+		lo, hi := l0Hull(v)
+		if t.targetsFreeLocked(v, 0, lo, hi) {
+			inputs := append([]*base.FileMetadata(nil), v.files[0]...)
+			c := &compaction{level: 0, inputs: inputs, targets: overlaps(v.files[1], lo, hi)}
+			if len(c.inputs) == 1 && len(c.targets) == 0 {
+				c.trivially = true
+			}
+			t.claimLocked(c)
+			return c
+		}
+	}
+
+	// Size-triggered levels in score order; within a level, round-robin
+	// from the compaction pointer over files free to claim.
+	tried := 0
+	for {
+		bestScore := 0.0
+		bestLevel := -1
+		for l := 1; l < t.cfg.NumLevels-1; l++ {
+			if tried&(1<<l) != 0 {
+				continue
+			}
+			score := float64(v.levelBytes(l)) / float64(t.cfg.MaxBytesForLevel(l))
+			if score >= 1.0 && score > bestScore {
+				bestScore, bestLevel = score, l
+			}
+		}
+		if bestLevel < 0 {
+			break
+		}
+		if c := t.pickClaimableFileLocked(v, bestLevel); c != nil {
+			return c
+		}
+		tried |= 1 << bestLevel
+	}
+
+	return t.pickSeekLocked(v)
+}
+
+// pickClaimableFileLocked round-robins from the level's compaction pointer
+// (LevelDB style) over files whose input and target sets are free, claims
+// the first, and returns the unit; nil when every candidate conflicts with
+// a running unit.
+func (t *Tree) pickClaimableFileLocked(v *version, level int) *compaction {
+	files := v.files[level]
+	if len(files) == 0 {
+		return nil
+	}
+	start := 0
+	if ptr := t.compactPtr[level]; ptr != nil {
+		for i, f := range files {
+			if bytes.Compare(f.LargestUserKey(), ptr) > 0 {
+				start = i
+				break
+			}
+		}
+	}
+	for k := 0; k < len(files); k++ {
+		f := files[(start+k)%len(files)]
+		if t.claimed[f.FileNum] ||
+			!t.targetsFreeLocked(v, level, f.SmallestUserKey(), f.LargestUserKey()) {
+			continue
+		}
+		c := &compaction{
+			level:   level,
+			inputs:  []*base.FileMetadata{f},
+			targets: overlaps(v.files[level+1], f.SmallestUserKey(), f.LargestUserKey()),
+		}
+		if len(c.targets) == 0 {
+			c.trivially = true
+		}
+		t.claimLocked(c)
+		return c
+	}
+	return nil
+}
+
+// pickSeekLocked turns a seek-budget exhaustion into a claimed compaction.
+func (t *Tree) pickSeekLocked(v *version) *compaction {
+	for fn, level := range t.seekPending {
+		var file *base.FileMetadata
+		for _, f := range v.files[level] {
+			if f.FileNum == fn {
+				file = f
+				break
+			}
+		}
+		if file == nil {
+			delete(t.seekPending, fn) // already compacted away
+			continue
+		}
+		if t.claimed[fn] ||
+			!t.targetsFreeLocked(v, level, file.SmallestUserKey(), file.LargestUserKey()) {
+			continue
+		}
+		delete(t.seekPending, fn)
+		c := &compaction{
 			level:   level,
 			inputs:  []*base.FileMetadata{file},
 			targets: overlaps(v.files[level+1], file.SmallestUserKey(), file.LargestUserKey()),
 			seek:    true,
 		}
+		if len(c.targets) == 0 {
+			c.trivially = true
+		}
+		t.claimLocked(c)
+		return c
 	}
 	return nil
 }
 
-// CompactOnce performs at most one compaction unit. It returns whether any
-// work was done.
+// CompactOnce claims and performs at most one compaction unit. A worker
+// that finds work pending but fully claimed by its peers starts the
+// claim-stall clock; the next successful claim (by any worker) folds the
+// elapsed wait into ClaimStallNanos.
 func (t *Tree) CompactOnce() (bool, error) {
 	t.mu.Lock()
-	c := t.pickLocked(true)
-	t.mu.Unlock()
+	c := t.pickLocked()
 	if c == nil {
+		if t.claimableLocked(1, true) > 0 {
+			t.metrics.ClaimConflicts++
+			if t.claimStallStart.IsZero() {
+				t.claimStallStart = time.Now()
+			}
+		}
+		t.mu.Unlock()
 		return false, nil
 	}
+	if !t.claimStallStart.IsZero() {
+		t.metrics.ClaimStallNanos += int64(time.Since(t.claimStallStart))
+		t.claimStallStart = time.Time{}
+	}
+	t.mu.Unlock()
 	err := t.runCompaction(c)
 	t.mu.Lock()
-	delete(t.busyLevels, c.level)
-	delete(t.busyLevels, c.level+1)
+	t.releaseLocked(c)
 	t.mu.Unlock()
 	return true, err
 }
@@ -310,27 +502,34 @@ func (t *Tree) runCompaction(c *compaction) error {
 	return nil
 }
 
-// forcePushLocked builds a compaction moving the topmost populated
+// forcePushLocked claims a compaction moving the topmost populated
 // level's files one level down regardless of size triggers, or nil when
-// everything already sits in the last level (or the levels are busy). The
-// claimed busy levels are recorded before returning.
+// everything already sits in the last level (or running units hold any of
+// the involved files).
 func (t *Tree) forcePushLocked() *compaction {
 	v := t.cur
 	for l := 0; l < t.cfg.NumLevels-1; l++ {
 		if len(v.files[l]) == 0 {
 			continue
 		}
-		if t.busyLevels[l] || t.busyLevels[l+1] {
+		if l == 0 && t.l0Busy {
 			return nil
 		}
 		inputs := append([]*base.FileMetadata(nil), v.files[l]...)
 		lo, hi := rangeOfFiles(inputs)
+		for _, f := range inputs {
+			if t.claimed[f.FileNum] {
+				return nil
+			}
+		}
+		if !t.targetsFreeLocked(v, l, lo, hi) {
+			return nil
+		}
 		c := &compaction{level: l, inputs: inputs, targets: overlaps(v.files[l+1], lo, hi)}
 		if len(inputs) == 1 && len(c.targets) == 0 {
 			c.trivially = true
 		}
-		t.busyLevels[l] = true
-		t.busyLevels[l+1] = true
+		t.claimLocked(c)
 		return c
 	}
 	return nil
@@ -357,8 +556,7 @@ func (t *Tree) CompactAll() error {
 		}
 		err = t.runCompaction(c)
 		t.mu.Lock()
-		delete(t.busyLevels, c.level)
-		delete(t.busyLevels, c.level+1)
+		t.releaseLocked(c)
 		t.mu.Unlock()
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/cache"
@@ -28,13 +29,29 @@ type Tree struct {
 	tc   *tablecache.TableCache
 	snap treebase.Host
 
-	mu          sync.Mutex
-	cur         *version
-	compactPtr  [][]byte // per-level round-robin cursor (user key)
-	busyLevels  map[int]bool
-	seekPending map[base.FileNum]int // fileNum -> level, seek-triggered candidates
-	pendingMu   sync.Mutex
-	pending     map[base.FileNum]bool
+	mu         sync.Mutex
+	cur        *version
+	compactPtr [][]byte // per-level round-robin cursor (user key)
+	// claimed marks files owned by running compaction units (inputs and
+	// targets); l0Busy marks the exclusive L0->L1 unit. Units with disjoint
+	// claimed sets run concurrently, even on the same level pair.
+	claimed         map[base.FileNum]bool
+	l0Busy          bool
+	inflightUnits   int
+	levelUnits      []int
+	claimStallStart time.Time
+	seekPending     map[base.FileNum]int // fileNum -> level, seek-triggered candidates
+	pendingMu       sync.Mutex
+	pending         map[base.FileNum]bool
+
+	// logMu/logCond order manifest appends by install ticket: an edit
+	// deleting file f must be appended after the edit that added f, or
+	// recovery replay fails. Tickets are assigned in the same critical
+	// section that installs the in-memory version.
+	logMu         sync.Mutex
+	logCond       *sync.Cond
+	installTicket uint64
+	installTurn   uint64
 
 	metrics treebase.Metrics
 }
@@ -48,10 +65,13 @@ func Open(cfg *base.Config, fs vfs.FS, dir string, snap treebase.Host) (*Tree, e
 		snap:        snap,
 		cur:         newVersion(cfg.NumLevels),
 		compactPtr:  make([][]byte, cfg.NumLevels),
-		busyLevels:  make(map[int]bool),
+		claimed:     make(map[base.FileNum]bool),
+		levelUnits:  make([]int, cfg.NumLevels),
 		seekPending: make(map[base.FileNum]int),
 		pending:     make(map[base.FileNum]bool),
 	}
+	t.logCond = sync.NewCond(&t.logMu)
+	t.metrics.PeakLevelUnits = make([]int, cfg.NumLevels)
 	blockCache := cache.New(cfg.BlockCacheSize, nil)
 	t.tc = tablecache.New(fs, dir, cfg.TableCacheSize, blockCache)
 
@@ -199,21 +219,36 @@ func (t *Tree) Flush(it iterator.Iterator, rangeDels []rangedel.Tombstone, logNu
 // by live reads even if persistence failed, so the caller must NOT delete
 // them — a later successful manifest rotation snapshots the installed state
 // and makes them durable.
+// With concurrent units the append order must match the install order
+// (delete-after-add is the one non-commuting edit pair), so each install
+// takes a ticket under mu and appends strictly in ticket order.
 func (t *Tree) logAndInstall(edit *manifest.VersionEdit) (installed bool, err error) {
 	t.mu.Lock()
 	nv, err := t.cur.apply(edit, t.cfg.NumLevels)
-	if err == nil {
-		t.cur = nv
-	}
-	t.mu.Unlock()
 	if err != nil {
+		t.mu.Unlock()
 		return false, err
 	}
-	return true, t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
+	t.cur = nv
+	ticket := t.installTicket
+	t.installTicket++
+	t.mu.Unlock()
+
+	t.logMu.Lock()
+	for t.installTurn != ticket {
+		t.logCond.Wait()
+	}
+	t.logMu.Unlock()
+	err = t.vs.LogAndApply(edit, func() *manifest.VersionEdit {
 		t.mu.Lock()
 		defer t.mu.Unlock()
 		return t.snapshotEditLocked()
 	})
+	t.logMu.Lock()
+	t.installTurn++
+	t.logCond.Broadcast()
+	t.logMu.Unlock()
+	return true, err
 }
 
 // Get returns the newest visible value of ukey at seq. found=false means
@@ -340,8 +375,11 @@ func userKeyInRange(ukey []byte, f *base.FileMetadata) bool {
 
 // chargeSeek decrements a file's seek budget, scheduling a seek-triggered
 // compaction when exhausted (§4.2's baseline analogue, from LevelDB).
+// Level 0 is exempt: L0 files overlap each other, so compacting one L0
+// file down alone could bury a key's newest version under an older one
+// still sitting in another L0 file; the L0 count trigger handles L0.
 func (t *Tree) chargeSeek(f *base.FileMetadata, level int) {
-	if t.cfg.SeekCompactionThreshold <= 0 || level >= t.cfg.NumLevels-1 {
+	if t.cfg.SeekCompactionThreshold <= 0 || level == 0 || level >= t.cfg.NumLevels-1 {
 		return
 	}
 	t.mu.Lock()
@@ -463,6 +501,8 @@ func (t *Tree) Metrics() treebase.Metrics {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	m := t.metrics
+	m.PeakLevelUnits = append([]int(nil), t.metrics.PeakLevelUnits...)
+	m.UnitsInflight = int64(t.inflightUnits)
 	m.LevelFiles = make([]int, t.cfg.NumLevels)
 	m.LevelBytes = make([]int64, t.cfg.NumLevels)
 	for l, files := range t.cur.files {

@@ -225,6 +225,26 @@ type Metrics struct {
 	EmptyGuards int
 	// TableFileSizes lists the sizes of all live sstables (Table 5.1).
 	TableFileSizes []uint64
+	// CompactionUnits counts units claimed by the parallel compaction
+	// scheduler (flsm: guard groups; leveled: input+target file sets).
+	CompactionUnits int64
+	// UnitsInflight is the point-in-time number of running units.
+	UnitsInflight int64
+	// PeakUnitsInflight is the high-water mark of concurrently running
+	// units within one tree; Merge takes the max, so an aggregate reports
+	// the most parallel any single shard ever was.
+	PeakUnitsInflight int64
+	// PeakLevelUnits[l] is the high-water mark of concurrent units whose
+	// *source* is level l. PeakLevelUnits[l] > 1 for some l >= 1 is the
+	// FLSM paper's structural claim realized: disjoint guards of one level
+	// compacting simultaneously.
+	PeakLevelUnits []int
+	// ClaimConflicts counts picker passes that found pending work but
+	// could claim none of it (every unit held by a running peer);
+	// ClaimStallNanos is the time workers spent in that state before the
+	// next successful claim.
+	ClaimConflicts  int64
+	ClaimStallNanos int64
 	// Compression accounts the write-side block codec across flushes and
 	// compactions: logical (pre-compression) vs physical data-block bytes,
 	// block counts, and encoder time.
@@ -263,5 +283,33 @@ func (m *Metrics) Merge(o Metrics) {
 	}
 	m.EmptyGuards += o.EmptyGuards
 	m.TableFileSizes = append(m.TableFileSizes, o.TableFileSizes...)
+	m.CompactionUnits += o.CompactionUnits
+	m.UnitsInflight += o.UnitsInflight
+	if o.PeakUnitsInflight > m.PeakUnitsInflight {
+		m.PeakUnitsInflight = o.PeakUnitsInflight
+	}
+	for len(m.PeakLevelUnits) < len(o.PeakLevelUnits) {
+		m.PeakLevelUnits = append(m.PeakLevelUnits, 0)
+	}
+	for i, u := range o.PeakLevelUnits {
+		if u > m.PeakLevelUnits[i] {
+			m.PeakLevelUnits[i] = u
+		}
+	}
+	m.ClaimConflicts += o.ClaimConflicts
+	m.ClaimStallNanos += o.ClaimStallNanos
 	m.Compression.Merge(o.Compression)
+}
+
+// MaxLevelParallelism is the largest per-source-level unit high-water mark
+// at levels >= 1 — the single-level concurrency number the FLSM guard
+// structure is supposed to unlock.
+func (m Metrics) MaxLevelParallelism() int {
+	best := 0
+	for l, u := range m.PeakLevelUnits {
+		if l >= 1 && u > best {
+			best = u
+		}
+	}
+	return best
 }

@@ -145,6 +145,11 @@ type Options struct {
 	ParallelGuardCompaction bool
 	// MaxCompactionConcurrency is the background compaction thread count.
 	MaxCompactionConcurrency int
+	// CompactionUnitGuards is the minimum number of guard groups one FLSM
+	// compaction unit claims when draining an over-threshold level; the
+	// level's groups split into about MaxCompactionConcurrency units, but
+	// never smaller than this floor. 0 selects the default (4).
+	CompactionUnitGuards int
 	// WALSync makes every commit durable before it returns, as if each
 	// carried WriteOptions{Sync: true}; concurrent commits still share
 	// amortized fsyncs.
@@ -354,6 +359,7 @@ func (o *Options) toConfig() (*base.Config, engine.Kind, vfs.FS) {
 		ParallelSeeks:            o.ParallelSeeks,
 		ParallelGuardCompaction:  o.ParallelGuardCompaction,
 		MaxCompactionConcurrency: o.MaxCompactionConcurrency,
+		CompactionUnitGuards:     o.CompactionUnitGuards,
 		WALSync:                  o.WALSync,
 		BgErrorRetries:           o.MaxBgRetries,
 		BgErrorRetryDelay:        o.BgRetryDelay,
