@@ -19,7 +19,6 @@ import (
 	"time"
 
 	"pebblesdb"
-	"pebblesdb/internal/engine"
 	"pebblesdb/internal/harness"
 )
 
@@ -375,45 +374,7 @@ func main() {
 	}
 
 	m := db.Metrics()
-	fmt.Printf("\nstore: %s\n", preset)
-	fmt.Printf("levels (files/bytes):")
-	for l := range m.Tree.LevelFiles {
-		if m.Tree.LevelFiles[l] > 0 {
-			fmt.Printf("  L%d %d/%dMB", l, m.Tree.LevelFiles[l], m.Tree.LevelBytes[l]>>20)
-		}
-	}
-	fmt.Printf("\ncompactions %d (in-place %d, trivial %d, seek %d), flushes %d\n",
-		m.Tree.Compactions, m.Tree.InPlaceMerges, m.Tree.TrivialMoves, m.Tree.SeekCompactions, m.Flushes)
-	fmt.Printf("stalls: slowdown %d, stop %d, memtable waits %d, write-stall %.1f ms\n",
-		m.SlowdownWrites, m.StoppedWrites, m.MemtableWaits, float64(m.StallNanos)/1e6)
-	fmt.Printf("compaction scheduler: %d units, peak parallelism %d (intra-level %d), %d claim conflicts, claim stall %.1f ms\n",
-		m.Tree.CompactionUnits, m.Tree.PeakUnitsInflight, m.Tree.MaxLevelParallelism(),
-		m.Tree.ClaimConflicts, float64(m.Tree.ClaimStallNanos)/1e6)
-	fmt.Printf("commit pipeline: %d groups, %.2f batches/group, %d fsyncs / %d sync commits (%.3f syncs/commit)\n",
-		m.CommitGroups, m.CommitGroupSize(), m.WALSyncs, m.SyncCommits, m.SyncsPerCommit())
-	cs := m.Tree.Compression
-	fmt.Printf("compression (%s): logical %.1f MB -> physical %.1f MB (ratio %.3f), %d/%d blocks compressed, encode %.1f ms\n",
-		opts.Compression, float64(cs.LogicalDataBytes)/(1<<20), float64(cs.PhysicalDataBytes)/(1<<20),
-		cs.Ratio(), cs.CompressedBlocks, cs.DataBlocks, float64(cs.CompressNanos)/1e6)
-	fmt.Printf("decompression: %d blocks, %.1f MB inflated, %.1f ms (block-cache hits skip the codec)\n",
-		m.Cache.BlocksDecompressed, float64(m.Cache.BytesDecompressed)/(1<<20), float64(m.Cache.DecompressNanos)/1e6)
-	fmt.Printf("read path: %d gets, %.2f tables probed/get, bloom %d negative / %d false positive, block cache %d/%d hits (%.1f%%)\n",
-		m.Gets, m.TablesProbedPerGet(), m.GetBloomNegatives, m.GetBloomFalsePositives,
-		m.GetBlockCacheHits, m.GetBlockCacheHits+m.GetBlockCacheMisses, 100*m.GetBlockCacheHitRatio())
-	fmt.Printf("scan path: %d table iterators opened, %d prefix-filter skips (skip ratio %.3f)\n",
-		m.IterTablesOpened, m.IterPrefixSkips, m.IterTableSkipRatio())
-	fmt.Printf("commit waits:")
-	for i, c := range m.CommitWaitHist {
-		if c == 0 {
-			continue
-		}
-		if i < len(engine.CommitWaitBuckets) {
-			fmt.Printf("  <=%v %d", engine.CommitWaitBuckets[i], c)
-		} else {
-			fmt.Printf("  >%v %d", engine.CommitWaitBuckets[len(engine.CommitWaitBuckets)-1], c)
-		}
-	}
-	fmt.Printf("\ntotal write amplification: %.2f\n", m.WriteAmplification())
+	fmt.Printf("\nstore: %s (compression %s)\n%s", preset, opts.Compression, m.String())
 
 	if *jsonPath != "" {
 		report := jsonReport{
@@ -436,7 +397,7 @@ func main() {
 			BatchesPerGroup:    m.CommitGroupSize(),
 			WALSyncs:           m.WALSyncs,
 			SyncCommits:        m.SyncCommits,
-			CompressionRatio:   cs.Ratio(),
+			CompressionRatio:   m.Tree.Compression.Ratio(),
 
 			WriteStallMS:              float64(m.StallNanos) / 1e6,
 			CompactionUnits:           m.Tree.CompactionUnits,

@@ -12,12 +12,18 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -40,6 +46,8 @@ var (
 	dropN     = flag.Int("drop_tenants", 0, "after the run, drop this many tenants via DeleteRange and verify emptiness")
 	seed      = flag.Int64("seed", 1, "workload RNG seed")
 	jsonPath  = flag.String("json", "", "write a machine-readable result file to this path")
+	obsURL    = flag.String("obs", "", "dbserver observability base URL (e.g. http://127.0.0.1:6381); polls /metrics during the run and reports server-side commit latency vs client-observed write latency")
+	obsPoll   = flag.Duration("obs_poll", time.Second, "poll interval for -obs")
 )
 
 type jsonLatency struct {
@@ -77,7 +85,152 @@ type jsonReport struct {
 	DropMillis       float64 `json:"drop_ms,omitempty"`
 	SurvivorsScanned int     `json:"survivors_scanned,omitempty"`
 
+	// ServerLatency compares the server's own commit-latency histogram
+	// (scraped from -obs /metrics during the run) against the
+	// client-observed write latency; the delta is the network + framing +
+	// server queueing overhead the engine never sees.
+	ServerLatency *jsonServerLatency `json:"server_latency,omitempty"`
+
 	ServerStats json.RawMessage `json:"server_stats,omitempty"`
+}
+
+// jsonServerLatency is the -obs scrape summary. Server percentiles are
+// bucket upper bounds from the Prometheus histogram delta over the run, so
+// they are conservative (the true value is at most the reported one).
+type jsonServerLatency struct {
+	Polls                   int     `json:"polls"`
+	ServerCommits           int64   `json:"server_commits"`
+	ServerCommitMeanMicros  float64 `json:"server_commit_mean_us"`
+	ServerCommitP50Micros   float64 `json:"server_commit_p50_us"`
+	ServerCommitP99Micros   float64 `json:"server_commit_p99_us"`
+	ClientWriteMeanMicros   float64 `json:"client_write_mean_us"`
+	ClientMinusServerMicros float64 `json:"client_minus_server_mean_us"`
+}
+
+// promSample is one scrape of the server's commit-wait histogram from the
+// -obs /metrics endpoint: cumulative buckets keyed by their le bound in
+// seconds (+Inf keyed as math.Inf(1)), plus the running sum and count.
+type promSample struct {
+	sum     float64
+	count   int64
+	buckets map[float64]int64
+}
+
+func scrapeCommitWait(url string) (promSample, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return promSample{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return promSample{}, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	s := promSample{buckets: make(map[float64]int64)}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pebblesdb_commit_wait_seconds_sum "):
+			s.sum, _ = strconv.ParseFloat(strings.TrimPrefix(line, "pebblesdb_commit_wait_seconds_sum "), 64)
+		case strings.HasPrefix(line, "pebblesdb_commit_wait_seconds_count "):
+			v, _ := strconv.ParseFloat(strings.TrimPrefix(line, "pebblesdb_commit_wait_seconds_count "), 64)
+			s.count = int64(v)
+		case strings.HasPrefix(line, `pebblesdb_commit_wait_seconds_bucket{le="`):
+			rest := strings.TrimPrefix(line, `pebblesdb_commit_wait_seconds_bucket{le="`)
+			i := strings.Index(rest, `"} `)
+			if i < 0 {
+				continue
+			}
+			le := math.Inf(1)
+			if rest[:i] != "+Inf" {
+				le, _ = strconv.ParseFloat(rest[:i], 64)
+			}
+			v, _ := strconv.ParseFloat(rest[i+3:], 64)
+			s.buckets[le] = int64(v)
+		}
+	}
+	return s, sc.Err()
+}
+
+// pollMetrics scrapes url immediately, then every `every` until stop is
+// closed, then once more so the final sample covers the whole run. The
+// collected samples arrive on the returned channel after the final scrape.
+func pollMetrics(url string, every time.Duration, stop <-chan struct{}) <-chan []promSample {
+	out := make(chan []promSample, 1)
+	go func() {
+		var samples []promSample
+		scrape := func() {
+			if s, err := scrapeCommitWait(url); err == nil {
+				samples = append(samples, s)
+			} else {
+				fmt.Fprintf(os.Stderr, "obs poll: %v\n", err)
+			}
+		}
+		scrape()
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				scrape()
+				out <- samples
+				return
+			case <-t.C:
+				scrape()
+			}
+		}
+	}()
+	return out
+}
+
+// serverLatencySummary reduces the scrape series to the run-window delta:
+// commits the server retired between the first and last sample, their mean
+// wait, and histogram-derived p50/p99 (bucket upper bounds). The client
+// write mean minus the server commit mean is the overhead added outside the
+// engine: framing, network, and server-side queueing.
+func serverLatencySummary(samples []promSample, clientWrites *jsonLatency) *jsonServerLatency {
+	if len(samples) < 2 {
+		return nil
+	}
+	a, b := samples[0], samples[len(samples)-1]
+	n := b.count - a.count
+	if n <= 0 {
+		return nil
+	}
+	les := make([]float64, 0, len(b.buckets))
+	for le := range b.buckets {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	pct := func(q float64) float64 {
+		target := int64(math.Ceil(q * float64(n)))
+		lastFinite := 0.0
+		for _, le := range les {
+			if !math.IsInf(le, 1) {
+				lastFinite = le
+			}
+			if b.buckets[le]-a.buckets[le] >= target {
+				if math.IsInf(le, 1) {
+					break // landed in the overflow bucket: report the largest bound
+				}
+				return le * 1e6
+			}
+		}
+		return lastFinite * 1e6
+	}
+	out := &jsonServerLatency{
+		Polls:                  len(samples),
+		ServerCommits:          n,
+		ServerCommitMeanMicros: (b.sum - a.sum) / float64(n) * 1e6,
+		ServerCommitP50Micros:  pct(0.50),
+		ServerCommitP99Micros:  pct(0.99),
+	}
+	if clientWrites != nil {
+		out.ClientWriteMeanMicros = clientWrites.MeanMicros
+		out.ClientMinusServerMicros = clientWrites.MeanMicros - out.ServerCommitMeanMicros
+	}
+	return out
 }
 
 func latencyJSON(rec *harness.LatencyRecorder) *jsonLatency {
@@ -263,6 +416,12 @@ func main() {
 	perConn := *ops / *conns
 	ctrs := make([]counters, *conns)
 	errs := make([]error, *conns)
+	var obsCh <-chan []promSample
+	var obsStop chan struct{}
+	if *obsURL != "" {
+		obsStop = make(chan struct{})
+		obsCh = pollMetrics(strings.TrimSuffix(*obsURL, "/")+"/metrics", *obsPoll, obsStop)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for th := 0; th < *conns; th++ {
@@ -274,6 +433,11 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var obsSamples []promSample
+	if obsCh != nil {
+		close(obsStop)
+		obsSamples = <-obsCh
+	}
 	for _, err := range errs {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "worker: %v\n", err)
@@ -304,6 +468,7 @@ func main() {
 		rep.NotFound += c.notFound
 		rep.Errors += c.errors
 	}
+	rep.ServerLatency = serverLatencySummary(obsSamples, rep.Writes)
 
 	if *dropN > 0 {
 		d, survivors, err := dropTenants(*dropN)
@@ -344,6 +509,12 @@ func main() {
 	if rep.DroppedTenants > 0 {
 		fmt.Printf("  dropped %d tenants in %.1fms (verified empty; survivor scan saw %d keys)\n",
 			rep.DroppedTenants, rep.DropMillis, rep.SurvivorsScanned)
+	}
+	if sl := rep.ServerLatency; sl != nil {
+		fmt.Printf("  server: %d commits  mean %.1fus  p50 <=%.1fus  p99 <=%.1fus  (%d polls)\n",
+			sl.ServerCommits, sl.ServerCommitMeanMicros, sl.ServerCommitP50Micros, sl.ServerCommitP99Micros, sl.Polls)
+		fmt.Printf("  client-server write delta: %.1fus (client mean %.1fus - server commit mean %.1fus)\n",
+			sl.ClientMinusServerMicros, sl.ClientWriteMeanMicros, sl.ServerCommitMeanMicros)
 	}
 
 	if *jsonPath != "" {

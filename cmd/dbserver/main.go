@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -35,6 +36,8 @@ var (
 	accum  = flag.Int("accum", 0, "per-connection write accumulation cap in bytes (0 = default)")
 	drain  = flag.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout before connections are force-closed")
 	quiet  = flag.Bool("quiet", false, "suppress startup and connection logs")
+	obsFl  = flag.String("obs", "", "observability HTTP address (e.g. 127.0.0.1:6381): Prometheus /metrics, /debug/events flight recorders, /debug/metrics, /debug/pprof; empty = disabled")
+	slowOp = flag.Duration("slowop", 0, "log RPCs and commits slower than this threshold with a stage breakdown (0 = disabled)")
 )
 
 func presetByName(name string) (pebblesdb.Preset, bool) {
@@ -78,6 +81,10 @@ func main() {
 	dbs := make([]*pebblesdb.DB, *shards)
 	for i := range dbs {
 		o := preset.Options()
+		if *slowOp > 0 {
+			o.SlowOpThreshold = *slowOp
+			o.SlowOpLogger = logf
+		}
 		if memBytes > 0 {
 			// The memory target is per process; each shard gets an equal
 			// slice, and Tuned scales its caches and write buffers from it.
@@ -103,8 +110,9 @@ func main() {
 	}
 
 	srv := server.New(dbs, &server.Options{
-		AccumBytes: *accum,
-		Logf:       logf,
+		AccumBytes:      *accum,
+		Logf:            logf,
+		SlowOpThreshold: *slowOp,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -112,6 +120,22 @@ func main() {
 		os.Exit(1)
 	}
 	logf("dbserver: %d %s shards on %s (mem target %s)", *shards, preset.String(), ln.Addr(), *mem)
+
+	var obsSrv *http.Server
+	if *obsFl != "" {
+		obsLn, err := net.Listen("tcp", *obsFl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listen obs %s: %v\n", *obsFl, err)
+			os.Exit(1)
+		}
+		obsSrv = &http.Server{Handler: srv.DebugHandler()}
+		go func() {
+			if err := obsSrv.Serve(obsLn); err != nil && err != http.ErrServerClosed {
+				logf("dbserver: obs server: %v", err)
+			}
+		}()
+		logf("dbserver: observability on http://%s/metrics (/debug/events, /debug/metrics, /debug/pprof)", obsLn.Addr())
+	}
 
 	// SIGINT/SIGTERM drains gracefully: stop accepting, let in-flight
 	// requests finish and their responses flush (Shutdown force-closes
@@ -130,6 +154,9 @@ func main() {
 		}
 	}
 	st := srv.Stats()
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
 	if err := srv.Shutdown(*drain); err != nil {
 		logf("dbserver: %v", err)
 	}

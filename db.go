@@ -226,6 +226,14 @@ func (d *DB) WaitIdle() error {
 // guards, sstables) to w — the view in the paper's Figure 3.1.
 func (d *DB) Dump(w io.Writer) { d.eng.Dump(w) }
 
+// RecentEvents returns the store's flight recorder contents: the most
+// recent background events (flushes, compactions, rotations, stalls,
+// errors), oldest first. The recorder is always on — no EventListener
+// needs to be configured — and is automatically dumped through the logger
+// when the store degrades to read-only, so the activity leading up to a
+// failure is preserved.
+func (d *DB) RecentEvents() []Event { return d.eng.RecentEvents() }
+
 // Close shuts the store down, waiting for background work. The WAL
 // preserves any unflushed writes for the next Open.
 func (d *DB) Close() error {

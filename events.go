@@ -1,0 +1,43 @@
+package pebblesdb
+
+import "pebblesdb/internal/obs"
+
+// The event system lives in internal/obs so every internal layer (engine,
+// trees, WAL, manifest) can emit without import cycles; these aliases
+// re-export the surface users need to consume events — configuring
+// Options.EventListener, inspecting DB.RecentEvents — without importing an
+// internal package.
+
+// Event is one structured observability event. Events are delivered by
+// value (no per-event allocation) to Options.EventListener and retained in
+// the flight recorder behind DB.RecentEvents. Event.Nanos is a monotonic
+// process-relative timestamp; Event.String and Event.MarshalJSON render
+// human- and machine-readable forms.
+type Event = obs.Event
+
+// EventKind discriminates Event payloads; see the Event* constants.
+type EventKind = obs.EventKind
+
+// EventListener receives events; implementations must be safe for
+// concurrent use and fast (callbacks run on engine goroutines).
+// EventFunc adapts a plain function.
+type (
+	EventListener = obs.Listener
+	EventFunc     = obs.Func
+)
+
+// Event kinds emitted by the store.
+const (
+	EventFlushBegin       = obs.EventFlushBegin
+	EventFlushEnd         = obs.EventFlushEnd
+	EventCompactionBegin  = obs.EventCompactionBegin
+	EventCompactionEnd    = obs.EventCompactionEnd
+	EventWALRotation      = obs.EventWALRotation
+	EventWALSyncStall     = obs.EventWALSyncStall
+	EventManifestRotation = obs.EventManifestRotation
+	EventWriteStallBegin  = obs.EventWriteStallBegin
+	EventWriteStallEnd    = obs.EventWriteStallEnd
+	EventBackgroundError  = obs.EventBackgroundError
+	EventReadOnly         = obs.EventReadOnly
+	EventResume           = obs.EventResume
+)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pebblesdb/internal/compress"
+	"pebblesdb/internal/obs"
 )
 
 // Config carries every tunable shared by the engine and the two tree
@@ -124,6 +125,22 @@ type Config struct {
 
 	// Logger, if non-nil, receives diagnostic messages.
 	Logger func(format string, args ...interface{})
+
+	// EventListener, if non-nil, receives structured lifecycle events
+	// (flush, compaction, WAL/manifest rotation, stalls, background
+	// errors; see internal/obs). The engine tees it with its own flight
+	// recorder at Open, so downstream code can assume it is non-nil
+	// after that point. When nil before Open, only the flight recorder
+	// observes events.
+	EventListener obs.Listener
+
+	// SlowOpThreshold, when positive, emits a structured line through
+	// SlowOpLogger (falling back to Logger) for every commit whose total
+	// latency meets it, with a stage breakdown (wait, WAL sync, apply,
+	// stall). Zero disables the slow-op log.
+	SlowOpThreshold time.Duration
+	// SlowOpLogger, if non-nil, receives slow-op lines instead of Logger.
+	SlowOpLogger obs.Logger
 }
 
 // EnsureDefaults fills zero-valued fields with the PebblesDB defaults used
@@ -245,5 +262,24 @@ func (c *Config) MaxBytesForLevel(level int) int64 {
 func (c *Config) Logf(format string, args ...interface{}) {
 	if c.Logger != nil {
 		c.Logger(format, args...)
+	}
+}
+
+// SlowOpLogf routes a slow-op line through SlowOpLogger, falling back to
+// the diagnostic Logger.
+func (c *Config) SlowOpLogf(format string, args ...interface{}) {
+	if c.SlowOpLogger != nil {
+		c.SlowOpLogger(format, args...)
+		return
+	}
+	if c.Logger != nil {
+		c.Logger(format, args...)
+	}
+}
+
+// Emit notifies the configured event listener, if any.
+func (c *Config) Emit(e obs.Event) {
+	if c.EventListener != nil {
+		c.EventListener.Notify(e)
 	}
 }

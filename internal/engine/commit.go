@@ -40,6 +40,10 @@ type commitRequest struct {
 	// uncontended and guard selection stays deterministically in step
 	// with the writes, as in the serial write path).
 	solo bool
+	// stallNanos is the group's makeRoomForWrite duration, recorded by
+	// the leader for the slow-op log. Only filled when SlowOpThreshold is
+	// set; ordered by the scheduled release store.
+	stallNanos int64
 
 	// scheduled is set (with release semantics) once the fields above are
 	// final; followers whose batch was taken by another leader poll it
@@ -124,9 +128,12 @@ func (e *Engine) Apply(b *batch.Batch, sync bool) error {
 			// and nothing is in flight, so there is no concurrency to
 			// pipeline — commit inline under the lock, exactly like the
 			// classic serial write path, with zero pipeline bookkeeping.
-			err := e.commitSerialLocked(b, sync)
+			var st commitStages
+			err := e.commitSerialLocked(b, sync, &st)
 			e.commitMu.Unlock()
-			e.observeCommitWait(time.Since(start))
+			total := time.Since(start)
+			e.observeCommitWait(total)
+			e.maybeLogSlowOp(total, st, int(b.Count()), sync)
 			return err
 		}
 		// Writers are queued or still applying: lead them together with
@@ -176,14 +183,27 @@ func (e *Engine) Apply(b *batch.Batch, sync bool) error {
 		}
 	}
 
+	// Stage timing for the slow-op log is only taken when the threshold
+	// is configured, so the unconfigured pipeline pays one branch per
+	// stage and no clock reads.
+	slow := e.cfg.SlowOpThreshold > 0
+	var st commitStages
+	var t0 time.Time
+
 	// Apply our own batch concurrently with the other group members.
 	// applyBatch cannot fail for a validated batch; the error handling is
 	// a backstop.
 	applyErr := false
 	if req.err == nil && req.mem != nil {
+		if slow {
+			t0 = time.Now()
+		}
 		if err := e.applyBatch(req); err != nil {
 			req.err = err
 			applyErr = true
+		}
+		if slow {
+			st.apply = time.Since(t0)
 		}
 	}
 	if req.mem != nil {
@@ -195,7 +215,13 @@ func (e *Engine) Apply(b *batch.Batch, sync bool) error {
 	// (ledGroup is only allocated when the group needs one), deduplicated
 	// against concurrent groups by the WAL sync queue.
 	if ledGroup != nil {
+		if slow {
+			t0 = time.Now()
+		}
 		ledGroup.syncErr = ledWal.SyncWait()
+		if slow {
+			st.walSync += time.Since(t0)
+		}
 		close(ledGroup.syncDone)
 		ledWal.Unref()
 	}
@@ -214,7 +240,15 @@ func (e *Engine) Apply(b *batch.Batch, sync bool) error {
 		e.publishAndWait(req)
 	}
 	if req.sync && req.group != nil && req.group.needSync {
+		if slow {
+			t0 = time.Now()
+		}
 		<-req.group.syncDone
+		if slow {
+			// For the leader syncDone is already closed, so this adds ~0;
+			// for followers it is the wait for the shared fsync.
+			st.walSync += time.Since(t0)
+		}
 		if req.err == nil {
 			req.err = req.group.syncErr
 		}
@@ -222,7 +256,12 @@ func (e *Engine) Apply(b *batch.Batch, sync bool) error {
 	if req.err == nil {
 		e.stats.writes.Add(int64(b.Count()))
 	}
-	e.observeCommitWait(time.Since(start))
+	total := time.Since(start)
+	e.observeCommitWait(total)
+	if slow {
+		st.stall = time.Duration(req.stallNanos)
+		e.maybeLogSlowOp(total, st, int(b.Count()), req.sync)
+	}
 	// The owner is the last goroutine holding the request: the leader's
 	// group slice is dead after scheduling, the commit queue slot was
 	// drained, and the publication queue nils its slot before setting
@@ -234,12 +273,39 @@ func (e *Engine) Apply(b *batch.Batch, sync bool) error {
 	return err
 }
 
+// commitStages breaks one commit's latency into the slow-op log's stage
+// taxonomy: write-stall time (makeRoomForWrite), WAL fsync (or the wait
+// for the group's shared fsync), and memtable application. Whatever is
+// left of the total is queueing/publication wait.
+type commitStages struct {
+	stall   time.Duration
+	walSync time.Duration
+	apply   time.Duration
+}
+
+// maybeLogSlowOp emits one structured line through the slow-op logger for
+// commits whose total latency reached Config.SlowOpThreshold.
+func (e *Engine) maybeLogSlowOp(total time.Duration, st commitStages, entries int, sync bool) {
+	th := e.cfg.SlowOpThreshold
+	if th <= 0 || total < th {
+		return
+	}
+	wait := total - st.stall - st.walSync - st.apply
+	if wait < 0 {
+		wait = 0
+	}
+	e.cfg.SlowOpLogf(
+		"engine: slow commit: total=%s wait=%s stall=%s wal_sync=%s apply=%s entries=%d sync=%t",
+		total, wait, st.stall, st.walSync, st.apply, entries, sync)
+}
+
 var commitRequestPool = sync.Pool{New: func() any { return &commitRequest{} }}
 
 func newCommitRequest(b *batch.Batch, sync bool) *commitRequest {
 	req := commitRequestPool.Get().(*commitRequest)
 	req.b, req.sync = b, sync
 	req.err, req.mem, req.endSeq, req.group, req.solo = nil, nil, 0, nil, false
+	req.stallNanos = 0
 	req.scheduled.Store(false)
 	req.applied.Store(false)
 	req.published = false
@@ -254,9 +320,17 @@ func newCommitRequest(b *batch.Batch, sync bool) *commitRequest {
 // Rotation needs commitMu, so the memtable and WAL cannot change under us,
 // and publishing is a plain store: with the pipeline empty, the visible
 // sequence number equals the allocated one.
-func (e *Engine) commitSerialLocked(b *batch.Batch, sync bool) error {
+func (e *Engine) commitSerialLocked(b *batch.Batch, sync bool, st *commitStages) error {
+	slow := e.cfg.SlowOpThreshold > 0
+	var t0 time.Time
+	if slow {
+		t0 = time.Now()
+	}
 	if err := e.makeRoomForWrite(b.ApproxSize()); err != nil {
 		return err
+	}
+	if slow {
+		st.stall = time.Since(t0)
 	}
 	b.SetSeqNum(base.SeqNum(e.logSeq + 1))
 	e.logSeq += uint64(b.Count())
@@ -266,6 +340,9 @@ func (e *Engine) commitSerialLocked(b *batch.Batch, sync bool) error {
 		return err
 	}
 	e.stats.walBytes.Add(int64(len(repr)))
+	if slow {
+		t0 = time.Now()
+	}
 	err := b.Iterate(func(kind base.Kind, ukey, value []byte, s base.SeqNum) error {
 		if kind == base.KindRangeDelete {
 			e.mem.DeleteRange(ukey, value, s)
@@ -281,6 +358,9 @@ func (e *Engine) commitSerialLocked(b *batch.Batch, sync bool) error {
 		e.setBgErr(err)
 		return err
 	}
+	if slow {
+		st.apply = time.Since(t0)
+	}
 	// Publish visibility only after the memtable holds every entry.
 	e.seq.Store(e.logSeq)
 	e.stats.commitGroups.Add(1)
@@ -288,9 +368,15 @@ func (e *Engine) commitSerialLocked(b *batch.Batch, sync bool) error {
 	if sync {
 		// Holding commitMu through the fsync mirrors the serial path;
 		// writers arriving meanwhile queue up and enter the pipeline.
+		if slow {
+			t0 = time.Now()
+		}
 		if err := e.walW.SyncWait(); err != nil {
 			e.setBgErr(err)
 			return err
+		}
+		if slow {
+			st.walSync = time.Since(t0)
 		}
 	}
 	e.stats.writes.Add(int64(b.Count()))
@@ -317,6 +403,9 @@ func (e *Engine) leadCommitLocked(group []*commitRequest) (*commitGroup, *wal.Wr
 		g = &commitGroup{needSync: true, syncDone: make(chan struct{})}
 	}
 
+	// One clock pair per group (not per commit) prices the slow-op log's
+	// stall stage; leaders amortize it over every batch they schedule.
+	roomStart := time.Now()
 	if err := e.makeRoomForWrite(total); err != nil {
 		// Fail the whole group before any of it was scheduled.
 		if g != nil {
@@ -330,6 +419,7 @@ func (e *Engine) leadCommitLocked(group []*commitRequest) (*commitGroup, *wal.Wr
 		}
 		return nil, nil
 	}
+	stallNanos := int64(time.Since(roomStart))
 
 	// Pin the memtable and WAL for the group. Rotation only happens under
 	// commitMu, so these stay valid until every reservation drains.
@@ -343,6 +433,7 @@ func (e *Engine) leadCommitLocked(group []*commitRequest) (*commitGroup, *wal.Wr
 		r.group = g
 		r.mem = mem
 		r.solo = solo
+		r.stallNanos = stallNanos
 		r.b.SetSeqNum(base.SeqNum(e.logSeq + 1))
 		e.logSeq += uint64(r.b.Count())
 		r.endSeq = base.SeqNum(e.logSeq)
@@ -526,6 +617,7 @@ var CommitWaitBuckets = [...]time.Duration{
 }
 
 func (e *Engine) observeCommitWait(d time.Duration) {
+	e.stats.commitWaitNanos.Add(int64(d))
 	for i, b := range CommitWaitBuckets {
 		if d <= b {
 			e.stats.commitWaitHist[i].Add(1)

@@ -23,6 +23,7 @@ import (
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/leveled"
 	"pebblesdb/internal/memtable"
+	"pebblesdb/internal/obs"
 	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/sstable"
 	"pebblesdb/internal/tablecache"
@@ -203,40 +204,89 @@ type Engine struct {
 	// a file being created can never be mistaken for garbage.
 	obsolete []base.FileNum
 
-	stats struct {
-		slowdowns      atomic.Int64
-		stops          atomic.Int64
-		stallNanos     atomic.Int64
-		memWaits       atomic.Int64
-		flushes        atomic.Int64
-		walBytes       atomic.Int64
-		walSyncs       atomic.Int64
-		syncCommits    atomic.Int64
-		commitGroups   atomic.Int64
-		commitBatches  atomic.Int64
-		commitWaitHist [len(CommitWaitBuckets) + 1]atomic.Int64
-		gets           atomic.Int64
-		writes         atomic.Int64
-		iterators      atomic.Int64
+	// rec is the always-on flight recorder: every lifecycle event is teed
+	// into it (alongside any user listener) so a degradation comes with
+	// its causal trace. flushID and stallID correlate begin/end pairs.
+	rec     *obs.Recorder
+	flushID atomic.Uint64
+	stallID atomic.Uint64
 
-		// Point-read path counters, folded in from per-Get scratches.
-		getTablesProbed        atomic.Int64
-		getBloomNegatives      atomic.Int64
-		getBloomFalsePositives atomic.Int64
-		getBlockHits           atomic.Int64
-		getBlockMisses         atomic.Int64
+	stats engineStats
+}
 
-		// Scan path counters, folded in from per-iterator stats at Close.
-		iterTablesOpened atomic.Int64
-		iterPrefixSkips  atomic.Int64
+// engineStats holds the engine's lock-free counters. Keeping them in one
+// named struct lets Metrics snapshot them in a single pass (snapshot)
+// instead of scattering loads across the constructor — each atomic is
+// loaded exactly once per snapshot, so no counter can be read twice at
+// different instants within one Metrics value.
+type engineStats struct {
+	slowdowns       atomic.Int64
+	stops           atomic.Int64
+	stallNanos      atomic.Int64
+	memWaits        atomic.Int64
+	flushes         atomic.Int64
+	walBytes        atomic.Int64
+	walSyncs        atomic.Int64
+	syncCommits     atomic.Int64
+	commitGroups    atomic.Int64
+	commitBatches   atomic.Int64
+	commitWaitNanos atomic.Int64
+	commitWaitHist  [len(CommitWaitBuckets) + 1]atomic.Int64
+	gets            atomic.Int64
+	writes          atomic.Int64
+	iterators       atomic.Int64
 
-		// Failure-handling counters: degradations by error class, retried
-		// background operations, and successful Resumes.
-		bgRetryable atomic.Int64
-		bgPermanent atomic.Int64
-		bgRetries   atomic.Int64
-		resumes     atomic.Int64
+	// Point-read path counters, folded in from per-Get scratches.
+	getTablesProbed        atomic.Int64
+	getBloomNegatives      atomic.Int64
+	getBloomFalsePositives atomic.Int64
+	getBlockHits           atomic.Int64
+	getBlockMisses         atomic.Int64
+
+	// Scan path counters, folded in from per-iterator stats at Close.
+	iterTablesOpened atomic.Int64
+	iterPrefixSkips  atomic.Int64
+
+	// Failure-handling counters: degradations by error class, retried
+	// background operations, and successful Resumes.
+	bgRetryable atomic.Int64
+	bgPermanent atomic.Int64
+	bgRetries   atomic.Int64
+	resumes     atomic.Int64
+}
+
+// snapshot loads every counter exactly once into m. This is the single
+// atomic pass DB.Metrics relies on: adding a stat means adding its load
+// here, next to the field, rather than in a distant constructor.
+func (s *engineStats) snapshot(m *Metrics) {
+	m.SlowdownWrites = s.slowdowns.Load()
+	m.StoppedWrites = s.stops.Load()
+	m.MemtableWaits = s.memWaits.Load()
+	m.StallNanos = s.stallNanos.Load()
+	m.Flushes = s.flushes.Load()
+	m.WALBytes = s.walBytes.Load()
+	m.WALSyncs = s.walSyncs.Load()
+	m.SyncCommits = s.syncCommits.Load()
+	m.CommitGroups = s.commitGroups.Load()
+	m.CommitBatches = s.commitBatches.Load()
+	m.CommitWaitNanos = s.commitWaitNanos.Load()
+	for i := range s.commitWaitHist {
+		m.CommitWaitHist[i] = s.commitWaitHist[i].Load()
 	}
+	m.Gets = s.gets.Load()
+	m.Writes = s.writes.Load()
+	m.Iterators = s.iterators.Load()
+	m.GetTablesProbed = s.getTablesProbed.Load()
+	m.GetBloomNegatives = s.getBloomNegatives.Load()
+	m.GetBloomFalsePositives = s.getBloomFalsePositives.Load()
+	m.GetBlockCacheHits = s.getBlockHits.Load()
+	m.GetBlockCacheMisses = s.getBlockMisses.Load()
+	m.IterTablesOpened = s.iterTablesOpened.Load()
+	m.IterPrefixSkips = s.iterPrefixSkips.Load()
+	m.BgRetryableErrors = s.bgRetryable.Load()
+	m.BgPermanentErrors = s.bgPermanent.Load()
+	m.BgRetries = s.bgRetries.Load()
+	m.Resumes = s.resumes.Load()
 }
 
 // Open creates or recovers a store of the given kind in dir.
@@ -253,6 +303,14 @@ func Open(cfg *base.Config, fs vfs.FS, dir string, kind Kind) (*Engine, error) {
 	e.stallClear = make(chan struct{})
 	e.ing.cond = sync.NewCond(&e.ing.mu)
 	e.pubCond = sync.NewCond(&e.pendMu)
+
+	// Tee the flight recorder in front of any user listener so every
+	// lifecycle event — including those emitted by the trees, WAL, and
+	// manifest through this config — is retained for RecentEvents and the
+	// degradation dump. Downstream code can rely on cfg.EventListener
+	// being non-nil from here on.
+	e.rec = obs.NewRecorder(0)
+	cfg.EventListener = obs.Tee(e.rec, cfg.EventListener)
 
 	var tree Tree
 	var err error
@@ -390,7 +448,12 @@ func (e *Engine) startNewWAL() error {
 	}
 	e.walW = wal.NewWriter(f)
 	e.walW.SyncCounter = &e.stats.walSyncs
+	e.walW.Listener = e.cfg.EventListener
 	e.walNum = fn
+	e.cfg.Emit(obs.Event{
+		Kind: obs.EventWALRotation, Nanos: obs.Monotonic(), Level: -1,
+		FileNum: uint64(fn),
+	})
 	return nil
 }
 
@@ -592,6 +655,17 @@ func (e *Engine) setDegradedLocked(err error) {
 	}
 	e.readOnly.Store(true)
 	e.cfg.Logf("engine: degraded to read-only: %v", err)
+	detail := "retryable"
+	if e.bgPermanent {
+		detail = "permanent"
+	}
+	e.cfg.Emit(obs.Event{
+		Kind: obs.EventReadOnly, Nanos: obs.Monotonic(), Level: -1,
+		Err: err, Detail: detail,
+	})
+	// The degradation dump: everything the flight recorder retained up to
+	// and including the transition, through the diagnostic logger.
+	e.rec.Dump(e.cfg.Logger, fmt.Sprintf("degraded to read-only: %v", err))
 	e.cond.Broadcast()
 	e.signalStallClearLocked()
 }
@@ -601,8 +675,10 @@ const maxBgRetryDelay = time.Second
 
 // retryBg runs op, retrying transient failures with capped exponential
 // backoff per Config.BgErrorRetries / BgErrorRetryDelay. Corruption is
-// never retried — the bytes will not get better. Returns op's final error.
-func (e *Engine) retryBg(op func() error) error {
+// never retried — the bytes will not get better. Returns op's final
+// error. name labels the operation in background-error events so a
+// flight-recorder dump identifies what failed.
+func (e *Engine) retryBg(name string, op func() error) error {
 	retries := e.cfg.BgErrorRetries
 	if retries < 0 {
 		retries = 0
@@ -610,6 +686,12 @@ func (e *Engine) retryBg(op func() error) error {
 	delay := e.cfg.BgErrorRetryDelay
 	for attempt := 0; ; attempt++ {
 		err := op()
+		if err != nil {
+			e.cfg.Emit(obs.Event{
+				Kind: obs.EventBackgroundError, Nanos: obs.Monotonic(),
+				Level: -1, Unit: uint64(attempt), Err: err, Detail: name,
+			})
+		}
 		if err == nil || bgErrPermanent(err) || attempt >= retries {
 			return err
 		}
@@ -659,6 +741,7 @@ func (e *Engine) Resume() error {
 	e.bgErr = nil
 	e.readOnly.Store(false)
 	e.stats.resumes.Add(1)
+	e.cfg.Emit(obs.Event{Kind: obs.EventResume, Nanos: obs.Monotonic(), Level: -1})
 	if e.imm != nil {
 		// The interrupted flush keeps its original log/sequence stamp: its
 		// data precedes everything in the memtable's WAL, so the recovery
@@ -675,10 +758,14 @@ func (e *Engine) Resume() error {
 // ReadOnly reports whether the store is degraded to read-only mode.
 func (e *Engine) ReadOnly() bool { return e.readOnly.Load() }
 
+// RecentEvents returns the flight recorder's retained lifecycle events,
+// oldest-first.
+func (e *Engine) RecentEvents() []obs.Event { return e.rec.Snapshot() }
+
 func (e *Engine) compactWorker() {
 	for {
 		var did bool
-		err := e.retryBg(func() error {
+		err := e.retryBg("compaction", func() error {
 			var cerr error
 			did, cerr = e.tree.CompactOnce()
 			return cerr

@@ -45,8 +45,11 @@ type Metrics struct {
 	CommitBatches int64
 	// CommitWaitHist is the commit-latency histogram: bucket i counts
 	// commits that completed within CommitWaitBuckets[i]; the final slot
-	// counts the overflow.
-	CommitWaitHist [len(CommitWaitBuckets) + 1]int64
+	// counts the overflow. CommitWaitNanos is the summed commit latency,
+	// so CommitWaitNanos / sum(CommitWaitHist) is the mean and the
+	// Prometheus exposition can render a complete histogram (_sum).
+	CommitWaitHist  [len(CommitWaitBuckets) + 1]int64
+	CommitWaitNanos int64
 	// Gets / Writes / Iterators count operations.
 	Gets      int64
 	Writes    int64
@@ -110,6 +113,7 @@ func (m *Metrics) Merge(o Metrics) {
 	for i := range m.CommitWaitHist {
 		m.CommitWaitHist[i] += o.CommitWaitHist[i]
 	}
+	m.CommitWaitNanos += o.CommitWaitNanos
 	m.Gets += o.Gets
 	m.Writes += o.Writes
 	m.Iterators += o.Iterators
@@ -180,41 +184,20 @@ func (m Metrics) IterTableSkipRatio() float64 {
 	return float64(m.IterPrefixSkips) / float64(total)
 }
 
-// Metrics returns a snapshot of store statistics.
+// Metrics returns a snapshot of store statistics. The engine's atomic
+// counters are loaded in one pass (engineStats.snapshot, each counter
+// read exactly once), the memtable footprint under e.mu, and the tree's
+// structural metrics under the tree mutex — so a snapshot taken while a
+// saturated compaction scheduler mutates every counter is internally
+// consistent per group and safe to Merge concurrently from many
+// scrapers.
 func (e *Engine) Metrics() Metrics {
-	m := Metrics{
-		Tree:                   e.tree.Metrics(),
-		Cache:                  e.tree.CacheMetrics(),
-		SlowdownWrites:         e.stats.slowdowns.Load(),
-		StoppedWrites:          e.stats.stops.Load(),
-		MemtableWaits:          e.stats.memWaits.Load(),
-		StallNanos:             e.stats.stallNanos.Load(),
-		Flushes:                e.stats.flushes.Load(),
-		WALBytes:               e.stats.walBytes.Load(),
-		WALSyncs:               e.stats.walSyncs.Load(),
-		SyncCommits:            e.stats.syncCommits.Load(),
-		CommitGroups:           e.stats.commitGroups.Load(),
-		CommitBatches:          e.stats.commitBatches.Load(),
-		Gets:                   e.stats.gets.Load(),
-		Writes:                 e.stats.writes.Load(),
-		Iterators:              e.stats.iterators.Load(),
-		GetTablesProbed:        e.stats.getTablesProbed.Load(),
-		GetBloomNegatives:      e.stats.getBloomNegatives.Load(),
-		GetBloomFalsePositives: e.stats.getBloomFalsePositives.Load(),
-		GetBlockCacheHits:      e.stats.getBlockHits.Load(),
-		GetBlockCacheMisses:    e.stats.getBlockMisses.Load(),
-		IterTablesOpened:       e.stats.iterTablesOpened.Load(),
-		IterPrefixSkips:        e.stats.iterPrefixSkips.Load(),
-		LastSeq:                base.SeqNum(e.seq.Load()),
-		BgRetryableErrors:      e.stats.bgRetryable.Load(),
-		BgPermanentErrors:      e.stats.bgPermanent.Load(),
-		BgRetries:              e.stats.bgRetries.Load(),
-		Resumes:                e.stats.resumes.Load(),
-		ReadOnly:               e.readOnly.Load(),
-	}
-	for i := range e.stats.commitWaitHist {
-		m.CommitWaitHist[i] = e.stats.commitWaitHist[i].Load()
-	}
+	var m Metrics
+	e.stats.snapshot(&m)
+	m.Tree = e.tree.Metrics()
+	m.Cache = e.tree.CacheMetrics()
+	m.LastSeq = base.SeqNum(e.seq.Load())
+	m.ReadOnly = e.readOnly.Load()
 	e.mu.Lock()
 	m.MemtableBytes = e.mem.ApproxSize()
 	if e.imm != nil {

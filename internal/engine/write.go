@@ -6,6 +6,7 @@ import (
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/batch"
 	"pebblesdb/internal/memtable"
+	"pebblesdb/internal/obs"
 )
 
 // Set writes a single key-value pair.
@@ -59,6 +60,11 @@ func (e *Engine) makeRoomForWrite(n int) error {
 			e.stats.slowdowns.Add(1)
 			clear := e.stallClear
 			e.mu.Unlock()
+			stall := e.stallID.Add(1)
+			e.cfg.Emit(obs.Event{
+				Kind: obs.EventWriteStallBegin, Nanos: obs.Monotonic(),
+				Level: -1, Unit: stall, Detail: "slowdown",
+			})
 			start := time.Now()
 			timer := time.NewTimer(time.Millisecond)
 			select {
@@ -66,7 +72,12 @@ func (e *Engine) makeRoomForWrite(n int) error {
 			case <-timer.C:
 			}
 			timer.Stop()
-			e.stats.stallNanos.Add(int64(time.Since(start)))
+			d := time.Since(start)
+			e.stats.stallNanos.Add(int64(d))
+			e.cfg.Emit(obs.Event{
+				Kind: obs.EventWriteStallEnd, Nanos: obs.Monotonic(),
+				Level: -1, Unit: stall, Dur: d, Detail: "slowdown",
+			})
 			e.mu.Lock()
 			delayed = true
 		case e.mem.ApproxSize()+int64(n) <= int64(e.cfg.MemtableSize):
@@ -78,9 +89,19 @@ func (e *Engine) makeRoomForWrite(n int) error {
 		case e.tree.L0Count() >= e.cfg.L0StopTrigger:
 			// Hard limit: block until compaction drains level 0.
 			e.stats.stops.Add(1)
+			stall := e.stallID.Add(1)
+			e.cfg.Emit(obs.Event{
+				Kind: obs.EventWriteStallBegin, Nanos: obs.Monotonic(),
+				Level: -1, Unit: stall, Detail: "stop",
+			})
 			start := time.Now()
 			e.cond.Wait()
-			e.stats.stallNanos.Add(int64(time.Since(start)))
+			d := time.Since(start)
+			e.stats.stallNanos.Add(int64(d))
+			e.cfg.Emit(obs.Event{
+				Kind: obs.EventWriteStallEnd, Nanos: obs.Monotonic(),
+				Level: -1, Unit: stall, Dur: d, Detail: "stop",
+			})
 		default:
 			if err := e.rotateMemtableLocked(); err != nil {
 				e.setDegradedLocked(err)
@@ -121,8 +142,20 @@ func (e *Engine) rotateMemtableLocked() error {
 // flushWorker writes one immutable memtable to level 0, retrying transient
 // failures before degrading the store.
 func (e *Engine) flushWorker(imm *memtable.Memtable, newLogNum base.FileNum, lastSeq base.SeqNum) {
-	err := e.retryBg(func() error {
+	id := e.flushID.Add(1)
+	inputBytes := imm.ApproxSize()
+	e.cfg.Emit(obs.Event{
+		Kind: obs.EventFlushBegin, Nanos: obs.Monotonic(), Level: 0,
+		Unit: id, InputBytes: inputBytes, FileNum: uint64(newLogNum),
+	})
+	start := time.Now()
+	err := e.retryBg("flush", func() error {
 		return e.tree.Flush(imm.NewIter(), imm.RangeDels(), newLogNum, lastSeq)
+	})
+	e.cfg.Emit(obs.Event{
+		Kind: obs.EventFlushEnd, Nanos: obs.Monotonic(), Level: 0,
+		Unit: id, InputBytes: inputBytes, FileNum: uint64(newLogNum),
+		Dur: time.Since(start), Err: err,
 	})
 	e.mu.Lock()
 	if err != nil {

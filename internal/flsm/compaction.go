@@ -11,6 +11,7 @@ import (
 	"pebblesdb/internal/guard"
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/obs"
 	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/treebase"
 )
@@ -557,7 +558,50 @@ type guardOutput struct {
 	inPlace  bool
 }
 
+// runCompaction brackets one unit with compaction begin/end events —
+// source level, guard range, unit id, input/output volume, duration —
+// and delegates the work to compactUnit.
 func (t *Tree) runCompaction(c *compaction) error {
+	var inTables int
+	var inBytes int64
+	for _, f := range c.l0Files {
+		inTables++
+		inBytes += int64(f.Size)
+	}
+	var lo, hi string
+	for i := range c.sources {
+		s := &c.sources[i]
+		for _, f := range s.files {
+			inTables++
+			inBytes += int64(f.Size)
+		}
+		if i == 0 {
+			lo = string(s.key)
+		}
+		hi = string(s.key)
+	}
+	id := t.unitID.Add(1)
+	t.cfg.Emit(obs.Event{
+		Kind: obs.EventCompactionBegin, Nanos: obs.Monotonic(),
+		Level: c.level, Unit: id, GuardLo: lo, GuardHi: hi,
+		InputTables: inTables, InputBytes: inBytes,
+	})
+	start := time.Now()
+	outBytes, outTables, err := t.compactUnit(c)
+	t.cfg.Emit(obs.Event{
+		Kind: obs.EventCompactionEnd, Nanos: obs.Monotonic(),
+		Level: c.level, Unit: id, GuardLo: lo, GuardHi: hi,
+		InputTables: inTables, InputBytes: inBytes,
+		OutputTables: outTables, OutputBytes: outBytes,
+		Dur: time.Since(start), Err: err,
+	})
+	return err
+}
+
+// compactUnit performs one claimed unit: merge each source guard group,
+// partition the outputs, and install the edit. Returns the installed
+// output volume for the end event.
+func (t *Tree) compactUnit(c *compaction) (int64, int, error) {
 	smallest := base.MaxSeqNum
 	if t.snap != nil {
 		smallest = t.snap.SmallestSnapshot()
@@ -584,7 +628,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 		out, err := t.mergeAndPartition(c.l0Files, c.l0Partition, smallest, false)
 		if err != nil {
 			out.builder.Abandon()
-			return err
+			return 0, 0, err
 		}
 		out.dstLevel = 1
 		outputs = append(outputs, out)
@@ -646,10 +690,11 @@ func (t *Tree) runCompaction(c *compaction) error {
 		for _, o := range outputs {
 			o.builder.Abandon()
 		}
-		return failed
+		return 0, 0, failed
 	}
 
 	inPlaceCount := 0
+	outTables := 0
 	for _, o := range outputs {
 		if o.inPlace {
 			inPlaceCount++
@@ -657,6 +702,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 		for _, m := range o.metas {
 			edit.NewFiles = append(edit.NewFiles, manifest.NewFileEntry{Level: o.dstLevel, Meta: *m})
 			bytesOut += int64(m.Size)
+			outTables++
 		}
 	}
 
@@ -673,7 +719,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 				o.builder.Abandon()
 			}
 		}
-		return err
+		return 0, 0, err
 	}
 	for _, o := range outputs {
 		o.builder.ReleasePending()
@@ -703,7 +749,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 		delete(t.seekPending, id)
 	}
 	t.mu.Unlock()
-	return nil
+	return bytesOut, outTables, nil
 }
 
 // lastLevelPressure reports whether the last-level guard receiving source

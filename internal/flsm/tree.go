@@ -42,6 +42,9 @@ type Tree struct {
 	// owned as inputs, which levels are being written into and at what
 	// shared partition, and how many units are running.
 	inflight inflight
+	// unitID numbers compaction units for the event stream, so concurrent
+	// begin/end pairs can be correlated.
+	unitID atomic.Uint64
 	// claimStallStart, when non-zero, marks the moment a worker first
 	// found pending-but-unclaimable work; the next successful claim folds
 	// the elapsed time into metrics.ClaimStallNanos.
@@ -121,6 +124,7 @@ func Open(cfg *base.Config, fs vfs.FS, dir string, snap treebase.Host) (*Tree, e
 		}
 		t.vs = vs
 	}
+	t.vs.Listener = cfg.EventListener
 	return t, nil
 }
 

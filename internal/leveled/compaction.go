@@ -7,6 +7,7 @@ import (
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/iterator"
 	"pebblesdb/internal/manifest"
+	"pebblesdb/internal/obs"
 	"pebblesdb/internal/rangedel"
 	"pebblesdb/internal/treebase"
 )
@@ -331,7 +332,48 @@ func (t *Tree) CompactOnce() (bool, error) {
 	return true, err
 }
 
+// runCompaction brackets one unit with compaction begin/end events —
+// source level, input key range, unit id, input/output volume, duration —
+// and delegates the work to compactUnit.
 func (t *Tree) runCompaction(c *compaction) error {
+	inTables := len(c.inputs) + len(c.targets)
+	var inBytes int64
+	for _, f := range c.inputs {
+		inBytes += int64(f.Size)
+	}
+	for _, f := range c.targets {
+		inBytes += int64(f.Size)
+	}
+	lo, hi := rangeOfFiles(c.inputs)
+	detail := ""
+	switch {
+	case c.trivially:
+		detail = "trivial-move"
+	case c.seek:
+		detail = "seek"
+	}
+	id := t.unitID.Add(1)
+	t.cfg.Emit(obs.Event{
+		Kind: obs.EventCompactionBegin, Nanos: obs.Monotonic(),
+		Level: c.level, Unit: id, GuardLo: string(lo), GuardHi: string(hi),
+		InputTables: inTables, InputBytes: inBytes, Detail: detail,
+	})
+	start := time.Now()
+	outBytes, outTables, err := t.compactUnit(c)
+	t.cfg.Emit(obs.Event{
+		Kind: obs.EventCompactionEnd, Nanos: obs.Monotonic(),
+		Level: c.level, Unit: id, GuardLo: string(lo), GuardHi: string(hi),
+		InputTables: inTables, InputBytes: inBytes,
+		OutputTables: outTables, OutputBytes: outBytes,
+		Dur: time.Since(start), Err: err, Detail: detail,
+	})
+	return err
+}
+
+// compactUnit performs one claimed unit: merge the inputs with the
+// overlapping next-level files (or trivially move a file) and install the
+// edit. Returns the installed output volume for the end event.
+func (t *Tree) compactUnit(c *compaction) (int64, int, error) {
 	if c.trivially {
 		// Metadata-only move: the LSM fast path for non-overlapping data
 		// that FLSM deliberately forgoes (§4.5: sequential workloads).
@@ -341,13 +383,13 @@ func (t *Tree) runCompaction(c *compaction) error {
 			NewFiles:     []manifest.NewFileEntry{{Level: c.level + 1, Meta: *f}},
 		}
 		if _, err := t.logAndInstall(edit); err != nil {
-			return err
+			return 0, 0, err
 		}
 		t.mu.Lock()
 		t.metrics.TrivialMoves++
 		t.compactPtr[c.level] = append([]byte(nil), f.LargestUserKey()...)
 		t.mu.Unlock()
-		return nil
+		return int64(f.Size), 1, nil
 	}
 
 	all := append(append([]*base.FileMetadata(nil), c.inputs...), c.targets...)
@@ -368,7 +410,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 			for _, it := range iters {
 				it.Close()
 			}
-			return err
+			return 0, 0, err
 		}
 		if f.NumRangeDels > 0 {
 			if rd == nil {
@@ -428,30 +470,30 @@ func (t *Tree) runCompaction(c *compaction) error {
 			if err := cutAt(ukey); err != nil {
 				ob.Abandon()
 				ci.Close()
-				return err
+				return 0, 0, err
 			}
 		}
 		if err := ob.Add(ci.Key(), ci.Value()); err != nil {
 			ob.Abandon()
 			ci.Close()
-			return err
+			return 0, 0, err
 		}
 		prevUkey = append(prevUkey[:0], ukey...)
 	}
 	if err := ci.Error(); err != nil {
 		ob.Abandon()
 		ci.Close()
-		return err
+		return 0, 0, err
 	}
 	ci.Close()
 	if err := cutAt(nil); err != nil {
 		ob.Abandon()
-		return err
+		return 0, 0, err
 	}
 	metas, err := ob.Finish()
 	if err != nil {
 		ob.Abandon()
-		return err
+		return 0, 0, err
 	}
 
 	edit := &manifest.VersionEdit{}
@@ -476,7 +518,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 		} else {
 			ob.Abandon()
 		}
-		return err
+		return 0, 0, err
 	}
 	ob.ReleasePending()
 	if t.snap != nil {
@@ -499,7 +541,7 @@ func (t *Tree) runCompaction(c *compaction) error {
 		t.compactPtr[c.level] = append([]byte(nil), c.inputs[len(c.inputs)-1].LargestUserKey()...)
 	}
 	t.mu.Unlock()
-	return nil
+	return bytesOut, len(metas), nil
 }
 
 // forcePushLocked claims a compaction moving the topmost populated

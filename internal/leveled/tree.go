@@ -40,9 +40,12 @@ type Tree struct {
 	inflightUnits   int
 	levelUnits      []int
 	claimStallStart time.Time
-	seekPending     map[base.FileNum]int // fileNum -> level, seek-triggered candidates
-	pendingMu       sync.Mutex
-	pending         map[base.FileNum]bool
+	// unitID numbers compaction units for the event stream, so concurrent
+	// begin/end pairs can be correlated.
+	unitID      atomic.Uint64
+	seekPending map[base.FileNum]int // fileNum -> level, seek-triggered candidates
+	pendingMu   sync.Mutex
+	pending     map[base.FileNum]bool
 
 	// logMu/logCond order manifest appends by install ticket: an edit
 	// deleting file f must be appended after the edit that added f, or
@@ -98,6 +101,7 @@ func Open(cfg *base.Config, fs vfs.FS, dir string, snap treebase.Host) (*Tree, e
 		}
 		t.vs = vs
 	}
+	t.vs.Listener = cfg.EventListener
 	return t, nil
 }
 

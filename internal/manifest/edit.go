@@ -54,12 +54,12 @@ type GuardEntry struct {
 
 // VersionEdit is one atomic mutation of the store's metadata.
 type VersionEdit struct {
-	LogNum       *base.FileNum
-	NextFileNum  *base.FileNum
-	LastSeq      *base.SeqNum
-	NewFiles     []NewFileEntry
-	DeletedFiles []DeletedFileEntry
-	NewGuards    []GuardEntry
+	LogNum        *base.FileNum
+	NextFileNum   *base.FileNum
+	LastSeq       *base.SeqNum
+	NewFiles      []NewFileEntry
+	DeletedFiles  []DeletedFileEntry
+	NewGuards     []GuardEntry
 	DeletedGuards []GuardEntry
 }
 

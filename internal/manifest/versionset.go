@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"pebblesdb/internal/base"
+	"pebblesdb/internal/obs"
 	"pebblesdb/internal/vfs"
 	"pebblesdb/internal/wal"
 )
@@ -22,6 +23,11 @@ const rotateThreshold = 4 << 20
 type VersionSet struct {
 	fs  vfs.FS
 	dir string
+
+	// Listener, when non-nil, receives an EventManifestRotation for every
+	// manifest rewrite after the initial install. Set it (like the tree
+	// does from its config) before background work begins.
+	Listener obs.Listener
 
 	mu            sync.Mutex
 	manifestFile  vfs.File
@@ -278,7 +284,19 @@ func (vs *VersionSet) LogAndApply(edit *VersionEdit, snapshotFn func() *VersionE
 		// Rotation with a full snapshot: the snapshot already reflects the
 		// caller's in-memory state including this edit, so it both compacts
 		// history and recovers from a torn tail in the old manifest.
-		return vs.installManifestLocked(vs.NewFileNum(), snapshotFn(), newLog, newSeq)
+		reason := "size"
+		if vs.writeErr {
+			reason = "write-error"
+		}
+		num := vs.NewFileNum()
+		err := vs.installManifestLocked(num, snapshotFn(), newLog, newSeq)
+		if err == nil && vs.Listener != nil {
+			vs.Listener.Notify(obs.Event{
+				Kind: obs.EventManifestRotation, Nanos: obs.Monotonic(),
+				Level: -1, FileNum: uint64(num), Detail: reason,
+			})
+		}
+		return err
 	}
 	if vs.writeErr {
 		return fmt.Errorf("manifest: previous write failed; rotation with snapshot required")

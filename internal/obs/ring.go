@@ -1,0 +1,76 @@
+package obs
+
+import "sync"
+
+// DefaultRecorderSize is the flight-recorder capacity used when a size
+// of zero is requested.
+const DefaultRecorderSize = 256
+
+// Recorder is the flight recorder: a fixed-size ring buffer retaining
+// the last N events. It implements Listener. Writes take a short mutex
+// critical section (one slot copy); lifecycle events are rare — at most
+// a few per flush/compaction/stall episode — so the lock is never
+// contended on the data path.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded; next%len(buf) is the slot
+}
+
+// NewRecorder returns a recorder retaining the last size events
+// (DefaultRecorderSize when size <= 0).
+func NewRecorder(size int) *Recorder {
+	if size <= 0 {
+		size = DefaultRecorderSize
+	}
+	return &Recorder{buf: make([]Event, size)}
+}
+
+// Notify records the event, evicting the oldest when full.
+func (r *Recorder) Notify(e Event) {
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest-first.
+func (r *Recorder) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	size := uint64(len(r.buf))
+	count := n
+	if count > size {
+		count = size
+	}
+	out := make([]Event, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.buf[i%size])
+	}
+	return out
+}
+
+// Len returns the number of events currently retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next > uint64(len(r.buf)) {
+		return len(r.buf)
+	}
+	return int(r.next)
+}
+
+// Dump writes the retained events oldest-first through logf, one line
+// each, bracketed by a header. Used when the store degrades to
+// read-only so the causal trace lands in the diagnostic log.
+func (r *Recorder) Dump(logf Logger, reason string) {
+	if logf == nil {
+		return
+	}
+	evs := r.Snapshot()
+	logf("obs: flight recorder dump (%d events): %s", len(evs), reason)
+	for _, e := range evs {
+		logf("obs:   %s", e.String())
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestDebugHandlerMetrics exercises the observability endpoint end to end:
+// /metrics must be valid Prometheus text exposition (every sample preceded
+// by HELP/TYPE for its family, histogram buckets cumulative), and
+// /debug/events must decode as per-shard event lists.
+func TestDebugHandlerMetrics(t *testing.T) {
+	srv, addr, _ := startServer(t, 2, nil)
+	c := dialT(t, addr)
+	defer c.Close()
+	for i := 0; i < 200; i++ {
+		key := []byte("key" + strings.Repeat("x", i%7) + string(rune('a'+i%26)))
+		if err := c.Put(key, []byte("value"), 0); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+
+	ts := httptest.NewServer(srv.DebugHandler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("bad /metrics content type %q", ct)
+	}
+
+	// Parse the exposition: track families declared by TYPE lines, require
+	// every sample to belong to a declared family, and check the
+	// commit-wait histogram's buckets are cumulative.
+	declared := map[string]string{}
+	samples := 0
+	var lastBucket int64 = -1
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			declared[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(name, suffix); b != name && declared[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := declared[base]; !ok {
+			t.Errorf("sample %q has no TYPE declaration", name)
+		}
+		samples++
+		if strings.HasPrefix(line, "pebblesdb_commit_wait_seconds_bucket") {
+			v, err := strconv.ParseInt(line[strings.LastIndex(line, " ")+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < lastBucket {
+				t.Errorf("histogram buckets not cumulative: %q after %d", line, lastBucket)
+			}
+			lastBucket = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if samples == 0 {
+		t.Fatal("/metrics served no samples")
+	}
+	for _, fam := range []string{
+		"pebblesdb_flushes_total",
+		"pebblesdb_commit_wait_seconds",
+		"pebblesdb_server_requests_total",
+		"pebblesdb_io_written_bytes_total",
+	} {
+		if _, ok := declared[fam]; !ok {
+			t.Errorf("family %s missing from /metrics", fam)
+		}
+	}
+	if lastBucket < 0 {
+		t.Error("commit-wait histogram served no buckets")
+	}
+
+	// /debug/events: one entry per shard, JSON-decodable.
+	eresp, err := ts.Client().Get(ts.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	var events []struct {
+		Shard  int               `json:"shard"`
+		Events []json.RawMessage `json:"events"`
+	}
+	if err := json.NewDecoder(eresp.Body).Decode(&events); err != nil {
+		t.Fatalf("decode /debug/events: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("expected 2 shard entries, got %d", len(events))
+	}
+
+	// /debug/metrics?format=text serves the human-readable report.
+	tresp, err := ts.Client().Get(ts.URL + "/debug/metrics?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if !strings.Contains(string(body), "level") {
+		t.Errorf("text metrics report missing per-level table: %q", body)
+	}
+}

@@ -28,8 +28,14 @@ type Options struct {
 	// (or for 0 = server default) are clamped. Default 65536 / 1024.
 	MaxScanLimit     int
 	DefaultScanLimit int
-	// Logf, when set, receives connection-level error logs.
+	// Logf, when set, receives connection-level error logs and slow-op
+	// lines.
 	Logf func(format string, args ...any)
+	// SlowOpThreshold, when positive, logs every RPC (and every
+	// accumulated-write flush) slower than the threshold through Logf.
+	// Pair it with Options.SlowOpThreshold on the shard stores to also get
+	// the per-commit stage breakdown.
+	SlowOpThreshold time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -338,6 +344,11 @@ func (s *Server) serveConn(nc net.Conn) {
 			return
 		}
 		s.requests.Add(1)
+		slow := s.opts.SlowOpThreshold
+		var t0 time.Time
+		if slow > 0 {
+			t0 = time.Now()
+		}
 		switch req.Op {
 		case OpPut, OpDelete, OpDeleteRange, OpApplyBatch:
 			c.accumulate(&req)
@@ -366,6 +377,16 @@ func (s *Server) serveConn(nc net.Conn) {
 				return
 			}
 			c.writeResponse(StatusOK, nil)
+		}
+		if slow > 0 && s.opts.Logf != nil {
+			// Write ops are covered at flush time (flushWrites), where the
+			// engine commit actually happens.
+			switch req.Op {
+			case OpGet, OpScan, OpStats, OpPing:
+				if d := time.Since(t0); d >= slow {
+					s.opts.Logf("server: slow op: %s total=%s key=%dB", req.Op, d, len(req.Key))
+				}
+			}
 		}
 		// The pipelining heart: while more requests are already buffered,
 		// keep decoding and accumulating; the moment the connection goes
@@ -441,6 +462,11 @@ func (c *conn) flushWrites() error {
 	if c.sync {
 		wo = pebblesdb.Sync
 	}
+	slow := c.s.opts.SlowOpThreshold
+	var t0 time.Time
+	if slow > 0 {
+		t0 = time.Now()
+	}
 	var firstErr error
 	var active []int
 	for i, b := range c.batches {
@@ -470,6 +496,12 @@ func (c *conn) flushWrites() error {
 	}
 	for _, i := range active {
 		c.batches[i].Reset()
+	}
+	if slow > 0 && c.s.opts.Logf != nil {
+		if d := time.Since(t0); d >= slow {
+			c.s.opts.Logf("server: slow write flush: total=%s requests=%d shards=%d sync=%t",
+				d, c.pending, len(active), c.sync)
+		}
 	}
 	// One response per accumulated wire request, in arrival order. A
 	// failed apply fails every request in the flushed group: they shared

@@ -13,8 +13,10 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pebblesdb/internal/crc"
+	"pebblesdb/internal/obs"
 	"pebblesdb/internal/vfs"
 )
 
@@ -38,6 +40,12 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 // ErrWriterClosed is returned by SyncWait on a closed Writer.
 var ErrWriterClosed = errors.New("wal: writer is closed")
 
+// DefaultSyncStallThreshold is the fsync duration above which a Writer
+// with a Listener reports an EventWALSyncStall. Healthy fsyncs are
+// hundreds of microseconds to a few milliseconds; 20ms is a device or
+// queueing anomaly worth a trace entry.
+const DefaultSyncStallThreshold = 20 * time.Millisecond
+
 // Writer appends length-prefixed records to a log file. AddRecord callers
 // must serialize among themselves (the engine's commit leader does); the
 // sync-request queue (SyncWait) may run concurrently with appends.
@@ -57,6 +65,14 @@ type Writer struct {
 	// the engine points it at its syncs-per-commit metric. Set it before
 	// the first SyncWait.
 	SyncCounter *atomic.Int64
+
+	// Listener, when non-nil, receives an EventWALSyncStall for every
+	// physical fsync slower than SyncStallThreshold. Set it (like
+	// SyncCounter) before the first SyncWait.
+	Listener obs.Listener
+	// SyncStallThreshold is the fsync duration at which a sync-stall
+	// event fires; zero selects DefaultSyncStallThreshold.
+	SyncStallThreshold time.Duration
 
 	// The sync-request queue, generation-style: each completed fsync
 	// round increments syncGen, and a caller is satisfied by any round
@@ -176,9 +192,22 @@ func (w *Writer) SyncWait() error {
 			// Lead one round for everyone currently waiting.
 			w.syncing = true
 			w.syncMu.Unlock()
+			start := time.Now()
 			err := w.f.Sync()
 			if w.SyncCounter != nil {
 				w.SyncCounter.Add(1)
+			}
+			if w.Listener != nil {
+				th := w.SyncStallThreshold
+				if th == 0 {
+					th = DefaultSyncStallThreshold
+				}
+				if d := time.Since(start); d >= th {
+					w.Listener.Notify(obs.Event{
+						Kind: obs.EventWALSyncStall, Nanos: obs.Monotonic(),
+						Level: -1, Dur: d, Err: err, Detail: "fsync",
+					})
+				}
 			}
 			w.syncMu.Lock()
 			w.syncing = false

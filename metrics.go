@@ -1,6 +1,9 @@
 package pebblesdb
 
 import (
+	"fmt"
+	"strings"
+
 	"pebblesdb/internal/engine"
 	"pebblesdb/internal/vfs"
 )
@@ -36,6 +39,95 @@ func (m Metrics) WriteAmplification() float64 {
 		return 0
 	}
 	return float64(m.IO.TotalWritten()) / float64(m.UserBytesWritten)
+}
+
+// String renders the metrics as a human-readable report: a per-level
+// table (files, bytes, guards) followed by the compaction, stall, commit
+// pipeline, compression, read/scan path and commit-latency summaries.
+// dbbench prints it after each run and the debug endpoint serves it at
+// /debug/metrics?format=text.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7s %8s %12s %8s\n", "level", "tables", "bytes", "guards")
+	var totFiles int64
+	var totBytes int64
+	for l := range m.Tree.LevelFiles {
+		files := m.Tree.LevelFiles[l]
+		var bytes int64
+		if l < len(m.Tree.LevelBytes) {
+			bytes = m.Tree.LevelBytes[l]
+		}
+		guards := "-"
+		if l < len(m.Tree.GuardsPerLevel) && m.Tree.GuardsPerLevel[l] > 0 {
+			guards = fmt.Sprintf("%d", m.Tree.GuardsPerLevel[l])
+		}
+		totFiles += int64(files)
+		totBytes += bytes
+		if files == 0 && guards == "-" {
+			continue
+		}
+		fmt.Fprintf(&b, "%7s %8d %12s %8s\n", fmt.Sprintf("L%d", l), files, fmtBytes(bytes), guards)
+	}
+	fmt.Fprintf(&b, "%7s %8d %12s\n", "total", totFiles, fmtBytes(totBytes))
+	fmt.Fprintf(&b, "flushes %d (%s), compactions %d (in-place %d, trivial %d, seek %d), in %s out %s\n",
+		m.Flushes, fmtBytes(m.Tree.BytesFlushed),
+		m.Tree.Compactions, m.Tree.InPlaceMerges, m.Tree.TrivialMoves, m.Tree.SeekCompactions,
+		fmtBytes(m.Tree.BytesCompactedIn), fmtBytes(m.Tree.BytesCompactedOut))
+	fmt.Fprintf(&b, "stalls: slowdown %d, stop %d, memtable waits %d, write-stall %.1f ms\n",
+		m.SlowdownWrites, m.StoppedWrites, m.MemtableWaits, float64(m.StallNanos)/1e6)
+	fmt.Fprintf(&b, "compaction scheduler: %d units, peak parallelism %d (intra-level %d), %d claim conflicts, claim stall %.1f ms\n",
+		m.Tree.CompactionUnits, m.Tree.PeakUnitsInflight, m.Tree.MaxLevelParallelism(),
+		m.Tree.ClaimConflicts, float64(m.Tree.ClaimStallNanos)/1e6)
+	fmt.Fprintf(&b, "commit pipeline: %d groups, %.2f batches/group, %d fsyncs / %d sync commits (%.3f syncs/commit)\n",
+		m.CommitGroups, m.CommitGroupSize(), m.WALSyncs, m.SyncCommits, m.SyncsPerCommit())
+	cs := m.Tree.Compression
+	fmt.Fprintf(&b, "compression: logical %s -> physical %s (ratio %.3f), %d/%d blocks compressed, encode %.1f ms\n",
+		fmtBytes(cs.LogicalDataBytes), fmtBytes(cs.PhysicalDataBytes),
+		cs.Ratio(), cs.CompressedBlocks, cs.DataBlocks, float64(cs.CompressNanos)/1e6)
+	fmt.Fprintf(&b, "decompression: %d blocks, %s inflated, %.1f ms\n",
+		m.Cache.BlocksDecompressed, fmtBytes(m.Cache.BytesDecompressed), float64(m.Cache.DecompressNanos)/1e6)
+	fmt.Fprintf(&b, "read path: %d gets, %.2f tables probed/get, bloom %d negative / %d false positive, block cache %d/%d hits (%.1f%%)\n",
+		m.Gets, m.TablesProbedPerGet(), m.GetBloomNegatives, m.GetBloomFalsePositives,
+		m.GetBlockCacheHits, m.GetBlockCacheHits+m.GetBlockCacheMisses, 100*m.GetBlockCacheHitRatio())
+	fmt.Fprintf(&b, "scan path: %d table iterators opened, %d prefix-filter skips (skip ratio %.3f)\n",
+		m.IterTablesOpened, m.IterPrefixSkips, m.IterTableSkipRatio())
+	b.WriteString("commit waits:")
+	var commits int64
+	for i, c := range m.CommitWaitHist {
+		commits += c
+		if c == 0 {
+			continue
+		}
+		if i < len(engine.CommitWaitBuckets) {
+			fmt.Fprintf(&b, "  <=%v %d", engine.CommitWaitBuckets[i], c)
+		} else {
+			fmt.Fprintf(&b, "  >%v %d", engine.CommitWaitBuckets[len(engine.CommitWaitBuckets)-1], c)
+		}
+	}
+	if commits > 0 {
+		fmt.Fprintf(&b, "  (mean %.1fus)", float64(m.CommitWaitNanos)/float64(commits)/1e3)
+	}
+	b.WriteString("\n")
+	if m.BgRetryableErrors+m.BgPermanentErrors+m.BgRetries+m.Resumes > 0 || m.ReadOnly {
+		fmt.Fprintf(&b, "background errors: %d retryable, %d permanent, %d retries, %d resumes, read-only %t\n",
+			m.BgRetryableErrors, m.BgPermanentErrors, m.BgRetries, m.Resumes, m.ReadOnly)
+	}
+	fmt.Fprintf(&b, "io: read %s, written %s, write amplification %.2f\n",
+		fmtBytes(m.IO.TotalRead()), fmtBytes(m.IO.TotalWritten()), m.WriteAmplification())
+	return b.String()
+}
+
+// fmtBytes renders n in the most natural binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 10<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 10<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 10<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 // Metrics returns current statistics.

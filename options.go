@@ -6,6 +6,7 @@ import (
 	"pebblesdb/internal/base"
 	"pebblesdb/internal/compress"
 	"pebblesdb/internal/engine"
+	"pebblesdb/internal/obs"
 	"pebblesdb/internal/vfs"
 )
 
@@ -162,6 +163,23 @@ type Options struct {
 	// BgRetryDelay is the initial backoff between background retries,
 	// doubling per attempt up to one second. 0 selects the default (50ms).
 	BgRetryDelay time.Duration
+
+	// EventListener, when non-nil, receives structured begin/end events for
+	// background activity: flushes, compactions, WAL rotations, sync
+	// stalls, manifest rotations, write stalls, background errors,
+	// read-only degradation and Resume. Callbacks run synchronously on
+	// engine goroutines — keep them fast and non-blocking. Independent of
+	// the listener, the store always retains the most recent events in an
+	// in-memory flight recorder (DB.RecentEvents).
+	EventListener obs.Listener
+	// SlowOpThreshold, when positive, logs a structured line (via
+	// SlowOpLogger) for every commit slower than the threshold, broken
+	// down by stage: write-stall time, WAL sync, memtable apply, and
+	// residual queueing wait. 0 disables slow-op logging.
+	SlowOpThreshold time.Duration
+	// SlowOpLogger receives slow-op lines; nil falls back to the standard
+	// library logger.
+	SlowOpLogger obs.Logger
 
 	// fs overrides the filesystem (tests).
 	fs vfs.FS
@@ -363,6 +381,9 @@ func (o *Options) toConfig() (*base.Config, engine.Kind, vfs.FS) {
 		WALSync:                  o.WALSync,
 		BgErrorRetries:           o.MaxBgRetries,
 		BgErrorRetryDelay:        o.BgRetryDelay,
+		EventListener:            o.EventListener,
+		SlowOpThreshold:          o.SlowOpThreshold,
+		SlowOpLogger:             o.SlowOpLogger,
 	}
 	kind := engine.KindFLSM
 	if o.Engine == EngineLeveled {
